@@ -1,0 +1,132 @@
+// Reproduces the conclusion's architectural claim: "operating systems whose
+// paradigm is message passing and context switching, especially address
+// space switching, are a poor match for the characteristics of today's
+// processing engines which build up and maintain state internally as they
+// execute."
+//
+// Two threads ping-pong through kernel semaphores, each touching a working
+// set of W bytes between switches. Same-task switches keep the TLB; cross-
+// task switches flush it and evict each other's cache state — the cost per
+// switch grows with the working set that must be rebuilt.
+#include <benchmark/benchmark.h>
+
+#include "src/base/log.h"
+
+#include <cstdio>
+
+#include "src/hw/machine.h"
+#include "src/mk/kernel.h"
+
+namespace {
+
+constexpr int kVolleys = 300;
+const uint64_t kWorkingSets[] = {0, 2048, 8192, 32768};
+
+struct Cost {
+  double cycles_per_switch = 0;
+  double tlb_misses_per_switch = 0;
+  double cache_misses_per_switch = 0;
+};
+
+Cost Measure(bool separate_tasks, uint64_t working_set) {
+  hw::Machine machine(hw::MachineConfig{.ram_bytes = 32 * 1024 * 1024});
+  mk::Kernel kernel(&machine);
+  mk::Task* task_a = kernel.CreateTask("a");
+  mk::Task* task_b = separate_tasks ? kernel.CreateTask("b") : task_a;
+  auto sem_a = kernel.SemCreate(0);
+  auto sem_b = kernel.SemCreate(0);
+  WPOS_CHECK(sem_a.ok() && sem_b.ok());
+  Cost cost;
+
+  auto body = [&](mk::Task* task, uint32_t wait_sem, uint32_t post_sem, bool measuring) {
+    return [&kernel, task, wait_sem, post_sem, working_set, measuring, &cost](mk::Env& env) {
+      hw::VirtAddr ws = 0;
+      if (working_set > 0) {
+        auto mem = kernel.VmAllocate(*task, hw::PageRound(working_set));
+        WPOS_CHECK(mem.ok());
+        ws = *mem;
+        WPOS_CHECK(env.Touch(ws, working_set, true) == base::Status::kOk);
+      }
+      // Warmup volleys.
+      for (int i = 0; i < 30; ++i) {
+        WPOS_CHECK(kernel.SemWait(wait_sem) == base::Status::kOk);
+        if (working_set > 0) {
+          (void)env.Touch(ws, working_set, false);
+        }
+        WPOS_CHECK(kernel.SemSignal(post_sem) == base::Status::kOk);
+      }
+      hw::CpuCounters c0;
+      if (measuring) {
+        c0 = kernel.Counters();
+      }
+      for (int i = 0; i < kVolleys; ++i) {
+        WPOS_CHECK(kernel.SemWait(wait_sem) == base::Status::kOk);
+        if (working_set > 0) {
+          (void)env.Touch(ws, working_set, false);
+        }
+        WPOS_CHECK(kernel.SemSignal(post_sem) == base::Status::kOk);
+      }
+      if (measuring) {
+        const hw::CpuCounters d = kernel.Counters() - c0;
+        // Each volley is two switches (there and back).
+        cost.cycles_per_switch = static_cast<double>(d.cycles) / (2.0 * kVolleys);
+        cost.tlb_misses_per_switch = static_cast<double>(d.tlb_misses) / (2.0 * kVolleys);
+        cost.cache_misses_per_switch =
+            static_cast<double>(d.icache_misses + d.dcache_misses) / (2.0 * kVolleys);
+      }
+    };
+  };
+  kernel.CreateThread(task_a, "ping", body(task_a, *sem_a, *sem_b, true));
+  kernel.CreateThread(task_b, "pong", body(task_b, *sem_b, *sem_a, false));
+  // Kick off the volley.
+  kernel.CreateThread(task_a, "starter",
+                      [&](mk::Env& env) { WPOS_CHECK(kernel.SemSignal(*sem_a) == base::Status::kOk); });
+  kernel.Run();
+  return cost;
+}
+
+void PrintTable() {
+  std::printf("\n=== Context/address-space switch cost vs working set ===\n");
+  std::printf("%12s | %12s %8s %8s | %12s %8s %8s | %7s\n", "working set", "same-task cyc",
+              "tlb", "cache", "cross-task cyc", "tlb", "cache", "penalty");
+  for (uint64_t ws : kWorkingSets) {
+    const Cost same = Measure(false, ws);
+    const Cost cross = Measure(true, ws);
+    std::printf("%10llu B | %12.0f %8.1f %8.1f | %12.0f %8.1f %8.1f | %6.2fx\n",
+                static_cast<unsigned long long>(ws), same.cycles_per_switch,
+                same.tlb_misses_per_switch, same.cache_misses_per_switch,
+                cross.cycles_per_switch, cross.tlb_misses_per_switch,
+                cross.cache_misses_per_switch,
+                cross.cycles_per_switch / same.cycles_per_switch);
+  }
+  std::printf("paper: address-space switching discards the state modern processors build\n"
+              "up; the penalty grows with the working set rebuilt after each switch.\n\n");
+}
+
+void BM_Switch(benchmark::State& state) {
+  const bool cross = state.range(0) != 0;
+  const uint64_t ws = static_cast<uint64_t>(state.range(1));
+  for (auto _ : state) {
+    const Cost c = Measure(cross, ws);
+    state.SetIterationTime(c.cycles_per_switch * 2 * kVolleys / 133e6);
+    state.counters["cycles_per_switch"] = c.cycles_per_switch;
+    state.counters["tlb_per_switch"] = c.tlb_misses_per_switch;
+  }
+}
+BENCHMARK(BM_Switch)
+    ->Args({0, 8192})
+    ->Args({1, 8192})
+    ->Args({1, 32768})
+    ->UseManualTime()
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Table 1: "OS/2 Performance Comparisons" — the ratio of
+// WPOS-OS/2 elapsed time to monolithic-OS/2 elapsed time for the seven
+// application workloads, plus the overall (geometric-mean) ratio.
+//
+// Paper shape to reproduce: file-intensive ≈ 3x slower on the microkernel
+// system (RPC to the file server and driver), graphics ≈ 0.7-0.9 (user-level
+// shared libraries drive the framebuffer directly, without the monolithic
+// system's 16-bit GRE layer), PM tasking ≈ 0.8-1.0, overall ≈ 1.2.
+#include <benchmark/benchmark.h>
+
+#include "src/base/log.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/lib/workloads.h"
+
+namespace {
+
+void PrintTable1() {
+  std::printf("\n=== Table 1: OS/2 Performance Comparisons ===\n");
+  std::printf("%-20s %-24s %14s %14s %10s %10s\n", "Test", "Application Content",
+              "WPOS (ms)", "OS/2 (ms)", "ratio", "paper");
+  double log_sum = 0;
+  double paper_log_sum = 0;
+  for (const bench::NamedWorkload& w : bench::Table1Workloads()) {
+    const bench::WorkloadResult wpos = bench::RunOnWpos(w.fn);
+    const bench::WorkloadResult mono = bench::RunOnMono(w.fn);
+    const double ratio = wpos.seconds / mono.seconds;
+    log_sum += std::log(ratio);
+    paper_log_sum += std::log(w.paper_ratio);
+    std::printf("%-20s %-24s %14.2f %14.2f %10.2f %10.2f\n", w.name, w.content,
+                wpos.seconds * 1e3, mono.seconds * 1e3, ratio, w.paper_ratio);
+  }
+  const size_t n = bench::Table1Workloads().size();
+  std::printf("%-20s %-24s %14s %14s %10.2f %10.2f\n", "Overall", "(geometric mean)", "", "",
+              std::exp(log_sum / static_cast<double>(n)),
+              std::exp(paper_log_sum / static_cast<double>(n)));
+  std::printf("ratio = WPOS elapsed / monolithic elapsed; >1 means the multi-server system"
+              " is slower\n\n");
+}
+
+void BM_Workload(benchmark::State& state, bench::Workload fn, bool wpos) {
+  for (auto _ : state) {
+    const bench::WorkloadResult r = wpos ? bench::RunOnWpos(fn) : bench::RunOnMono(fn);
+    state.SetIterationTime(r.seconds);  // simulated time
+    state.counters["sim_cycles"] = static_cast<double>(r.cycles);
+    state.counters["sim_instructions"] = static_cast<double>(r.instructions);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
+  PrintTable1();
+  for (const bench::NamedWorkload& w : bench::Table1Workloads()) {
+    benchmark::RegisterBenchmark((std::string("wpos/") + w.name).c_str(), &BM_Workload, w.fn,
+                                 true)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark((std::string("mono/") + w.name).c_str(), &BM_Workload, w.fn,
+                                 false)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

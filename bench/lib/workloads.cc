@@ -1,0 +1,174 @@
+#include "bench/lib/workloads.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/base/rng.h"
+
+namespace bench {
+
+namespace {
+// Application compute between system interactions, sized so the file
+// workloads are dominated by service interaction (as the paper's were) and
+// the graphics workloads by user-level work.
+constexpr uint64_t kLightCompute = 1200;
+constexpr uint64_t kFrameCompute = 20'000;
+}  // namespace
+
+void FileIntensive1(mk::Env& env, Os2ApiBase& api) {
+  // IBM Works document processing: create, write, re-read, list, delete.
+  char block[512];
+  std::memset(block, 'w', sizeof(block));
+  WPOS_CHECK(api.Mkdir(env, "/works") == base::Status::kOk ||
+             api.Mkdir(env, "/works") == base::Status::kAlreadyExists);
+  for (int doc = 0; doc < 12; ++doc) {
+    const std::string path = "/works/doc" + std::to_string(doc) + ".wps";
+    auto h = api.Open(env, path, svc::kFsCreate | svc::kFsWrite);
+    WPOS_CHECK(h.ok());
+    // Write an 8 KB document in small pieces (word processors save often).
+    for (uint64_t off = 0; off < 8 * 1024; off += sizeof(block)) {
+      WPOS_CHECK(api.Write(env, *h, off, block, sizeof(block)).ok());
+      env.Compute(kLightCompute);
+    }
+    // Re-read for pagination.
+    for (uint64_t off = 0; off < 8 * 1024; off += sizeof(block)) {
+      WPOS_CHECK(api.Read(env, *h, off, block, sizeof(block)).ok());
+      env.Compute(kLightCompute);
+    }
+    WPOS_CHECK(api.Close(env, *h) == base::Status::kOk);
+    // Directory refresh after each save.
+    WPOS_CHECK(api.DirCount(env, "/works").ok());
+  }
+  // Cleanup pass (temp file behaviour).
+  for (int doc = 0; doc < 12; doc += 2) {
+    WPOS_CHECK(api.Unlink(env, "/works/doc" + std::to_string(doc) + ".wps") ==
+               base::Status::kOk);
+  }
+}
+
+void FileIntensive2(mk::Env& env, Os2ApiBase& api) {
+  // IBM Works ToDo: one record file, many small in-place updates.
+  constexpr uint32_t kRecord = 128;
+  constexpr int kRecords = 64;
+  auto h = api.Open(env, "/todo.db", svc::kFsCreate | svc::kFsWrite);
+  WPOS_CHECK(h.ok());
+  char record[kRecord];
+  std::memset(record, 't', sizeof(record));
+  for (int i = 0; i < kRecords; ++i) {
+    WPOS_CHECK(api.Write(env, *h, static_cast<uint64_t>(i) * kRecord, record, kRecord).ok());
+  }
+  base::Rng rng(1234);
+  for (int pass = 0; pass < 6; ++pass) {
+    for (int i = 0; i < kRecords; ++i) {
+      const uint64_t slot = rng.NextBelow(kRecords) * kRecord;
+      WPOS_CHECK(api.Read(env, *h, slot, record, kRecord).ok());
+      env.Compute(kLightCompute);
+      record[0] = static_cast<char>(pass);
+      WPOS_CHECK(api.Write(env, *h, slot, record, kRecord).ok());
+    }
+  }
+  WPOS_CHECK(api.Close(env, *h) == base::Status::kOk);
+}
+
+namespace {
+void GraphicsWorkload(mk::Env& env, Os2ApiBase& api, int frames, int fills_per_frame,
+                      int blits_per_frame) {
+  auto hwnd = api.WinCreate(env, 10, 10, 320, 240);
+  WPOS_CHECK(hwnd.ok());
+  base::Rng rng(99);
+  for (int frame = 0; frame < frames; ++frame) {
+    env.Compute(kFrameCompute);  // game logic
+    for (int i = 0; i < fills_per_frame; ++i) {
+      const uint32_t x = static_cast<uint32_t>(rng.NextBelow(256));
+      const uint32_t y = static_cast<uint32_t>(rng.NextBelow(200));
+      WPOS_CHECK(api.FillRect(env, *hwnd, x, y, 48, 32, static_cast<uint8_t>(i)) ==
+                 base::Status::kOk);
+    }
+    for (int i = 0; i < blits_per_frame; ++i) {
+      const uint32_t x = static_cast<uint32_t>(rng.NextBelow(200));
+      WPOS_CHECK(api.BitBlt(env, *hwnd, x, 0, 64, 48) == base::Status::kOk);
+    }
+  }
+}
+}  // namespace
+
+void GraphicsLow(mk::Env& env, Os2ApiBase& api) { GraphicsWorkload(env, api, 20, 2, 1); }
+void GraphicsMedium(mk::Env& env, Os2ApiBase& api) { GraphicsWorkload(env, api, 20, 6, 3); }
+void GraphicsHigh(mk::Env& env, Os2ApiBase& api) { GraphicsWorkload(env, api, 20, 16, 8); }
+
+namespace {
+void PmTaskingWorkload(mk::Env& env, Os2ApiBase& api, int windows, int volleys,
+                       int switches_per_volley) {
+  std::vector<uint32_t> hwnds;
+  for (int i = 0; i < windows; ++i) {
+    auto hwnd = api.WinCreate(env, static_cast<uint32_t>(10 + i * 15),
+                              static_cast<uint32_t>(10 + i * 10), 120, 90);
+    WPOS_CHECK(hwnd.ok());
+    hwnds.push_back(*hwnd);
+  }
+  for (int v = 0; v < volleys; ++v) {
+    // Message ping-pong around the ring of windows.
+    for (size_t i = 0; i < hwnds.size(); ++i) {
+      WPOS_CHECK(api.WinPost(env, hwnds[(i + 1) % hwnds.size()], 0x400 + v, v, 0) ==
+                 base::Status::kOk);
+    }
+    for (size_t i = 0; i < hwnds.size(); ++i) {
+      WPOS_CHECK(api.WinGet(env, hwnds[i]).ok());
+      env.Compute(kLightCompute);
+    }
+    for (int s = 0; s < switches_per_volley; ++s) {
+      WPOS_CHECK(api.WinSwitch(env, hwnds[(v + s) % hwnds.size()]) == base::Status::kOk);
+    }
+  }
+}
+}  // namespace
+
+void PmTaskingMedium(mk::Env& env, Os2ApiBase& api) { PmTaskingWorkload(env, api, 2, 30, 1); }
+void PmTaskingHigh(mk::Env& env, Os2ApiBase& api) { PmTaskingWorkload(env, api, 6, 30, 3); }
+
+const std::vector<NamedWorkload>& Table1Workloads() {
+  static const std::vector<NamedWorkload> kWorkloads = {
+      {"File Intensive 1", "IBM Works Applications", &FileIntensive1, 2.96},
+      {"File Intensive 2", "IBM Works ToDo", &FileIntensive2, 2.97},
+      {"Graphics Low", "Klondike", &GraphicsLow, 0.91},
+      {"Graphics Medium", "Klondike", &GraphicsMedium, 0.87},
+      {"Graphics High", "Klondike", &GraphicsHigh, 0.71},
+      {"PM Tasking Medium", "Swp32", &PmTaskingMedium, 0.82},
+      {"PM Tasking High", "Wind32", &PmTaskingHigh, 1.02},
+  };
+  return kWorkloads;
+}
+
+WorkloadResult RunOnWpos(Workload workload) {
+  WposSystem system;
+  WorkloadResult result;
+  system.RunApp([&](mk::Env& env) {
+    workload(env, *system.MakeApi());  // warm pass: caches, name lookups, FS metadata
+    const hw::CpuCounters c0 = system.kernel().Counters();
+    workload(env, *system.MakeApi());
+    const hw::CpuCounters delta = system.kernel().Counters() - c0;
+    result.cycles = delta.cycles;
+    result.instructions = delta.instructions;
+    result.seconds =
+        static_cast<double>(system.kernel().cpu().CyclesToNs(delta.cycles)) * 1e-9;
+  });
+  return result;
+}
+
+WorkloadResult RunOnMono(Workload workload) {
+  MonoSystem system;
+  WorkloadResult result;
+  system.RunApp([&](mk::Env& env) {
+    workload(env, *system.MakeApi());
+    const hw::CpuCounters c0 = system.kernel().Counters();
+    workload(env, *system.MakeApi());
+    const hw::CpuCounters delta = system.kernel().Counters() - c0;
+    result.cycles = delta.cycles;
+    result.instructions = delta.instructions;
+    result.seconds =
+        static_cast<double>(system.kernel().cpu().CyclesToNs(delta.cycles)) * 1e-9;
+  });
+  return result;
+}
+
+}  // namespace bench

@@ -1,0 +1,77 @@
+// Device-driver tour: the hardware resource manager's request/yield/grant
+// scheme, a user-level interrupt-driven disk driver serving block I/O over
+// RPC, and the OODDM fine-grained-object driver next to its coarse
+// equivalent — the three driver architectures the paper describes.
+//
+//   $ ./device_driver_tour
+#include <cstdio>
+
+#include "src/drv/disk_driver.h"
+#include "src/drv/oo/ooddm.h"
+#include "src/drv/resource_manager.h"
+#include "src/hw/machine.h"
+#include "src/mk/kernel.h"
+
+int main() {
+  hw::Machine machine(hw::MachineConfig{.ram_bytes = 32 * 1024 * 1024});
+  mk::Kernel kernel(&machine);
+  auto* disk = static_cast<hw::Disk*>(machine.AddDevice(std::make_unique<hw::Disk>("disk0", 3)));
+
+  // --- The hardware resource manager -------------------------------------------
+  drv::ResourceManager rm(kernel);
+  mk::Task* driver_task = kernel.CreateTask("disk-driver");
+  drv::DiskDriver driver(kernel, driver_task, disk, &rm);
+  std::printf("resource manager: driver owns irq3=%d, reg window=%d (grants=%llu)\n",
+              rm.Owns(1, {drv::ResourceKind::kIrqLine, 3}),
+              rm.Owns(1, {drv::ResourceKind::kIoWindow, disk->reg_base()}),
+              static_cast<unsigned long long>(rm.grants()));
+
+  // A diagnostic tool politely requests the register window; with no yield
+  // handler registered the driver declines and the request stays queued.
+  const drv::DriverId diag = rm.RegisterDriver("diagnostics");
+  const base::Status st = rm.Request(diag, {drv::ResourceKind::kIoWindow, disk->reg_base()});
+  std::printf("diagnostics requests the register window -> %s (owner declined to yield)\n",
+              base::StatusName(st).data());
+
+  // --- User-level interrupt-driven I/O ------------------------------------------
+  mk::Task* client_task = kernel.CreateTask("client");
+  const mk::PortName service = driver.GrantTo(*client_task);
+  kernel.CreateThread(client_task, "client", [&](mk::Env& env) {
+    drv::RpcBlockStore store(service, disk->num_sectors());
+    std::vector<uint8_t> sectors(4 * hw::Disk::kSectorSize);
+    for (size_t i = 0; i < sectors.size(); ++i) {
+      sectors[i] = static_cast<uint8_t>(i * 7);
+    }
+    store.Write(env, 100, 4, sectors.data());
+    std::vector<uint8_t> back(sectors.size());
+    store.Read(env, 100, 4, back.data());
+    std::printf("user-level driver: 4 sectors round-tripped %s, %llu interrupts taken\n",
+                back == sectors ? "intact" : "CORRUPTED",
+                static_cast<unsigned long long>(driver.interrupts_taken()));
+
+    // --- OODDM vs coarse objects --------------------------------------------------
+    auto dma = machine.mem().AllocContiguous(1);
+    drv::TDiskDrive fine(kernel, disk, *dma);
+    drv::CoarseDiskDriver coarse(kernel, disk, *dma);
+    std::vector<uint8_t> buf(hw::Disk::kSectorSize);
+    auto measure = [&](auto& d) {
+      const uint64_t i0 = kernel.Counters().instructions;
+      for (int i = 0; i < 10; ++i) {
+        d.ReadBlocks(env, 1, 1, buf.data());
+      }
+      return (kernel.Counters().instructions - i0) / 10;
+    };
+    const uint64_t fine_instr = measure(fine);
+    const uint64_t coarse_instr = measure(coarse);
+    std::printf("OODDM TDiskDrive: %llu instr/read over %llu virtual calls;"
+                " coarse driver: %llu instr/read\n",
+                static_cast<unsigned long long>(fine_instr),
+                static_cast<unsigned long long>(fine.virtual_calls() / 10),
+                static_cast<unsigned long long>(coarse_instr));
+    driver.Stop();
+    kernel.TerminateTask(driver_task);
+  });
+
+  kernel.Run();
+  return 0;
+}

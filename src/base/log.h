@@ -1,0 +1,55 @@
+// Minimal leveled logging. The kernel and servers log through this so tests
+// can silence or capture output. Not thread-safe in the preemptive sense, but
+// the simulation is single-OS-threaded by construction.
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace base {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+// Global minimum level; messages below it are dropped. Defaults to kWarn so
+// tests and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // emits; aborts on kFatal
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_internal
+}  // namespace base
+
+#define WPOS_LOG(level)                                                     \
+  (static_cast<int>(base::LogLevel::level) <                                \
+   static_cast<int>(base::GetLogLevel()))                                   \
+      ? (void)0                                                             \
+      : base::log_internal::Voidify() &                                     \
+            base::log_internal::LogMessage(base::LogLevel::level, __FILE__, \
+                                           __LINE__)                        \
+                .stream()
+
+#define WPOS_CHECK(cond)                                                     \
+  (cond) ? (void)0                                                          \
+         : base::log_internal::Voidify() &                                  \
+               base::log_internal::LogMessage(base::LogLevel::kFatal,       \
+                                              __FILE__, __LINE__)           \
+                   .stream() << "Check failed: " #cond " "
+
+#endif  // SRC_BASE_LOG_H_

@@ -1,0 +1,57 @@
+#include "src/base/status.h"
+
+namespace base {
+
+std::string_view StatusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "OK";
+    case Status::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::kInvalidName:
+      return "INVALID_NAME";
+    case Status::kInvalidRight:
+      return "INVALID_RIGHT";
+    case Status::kInvalidAddress:
+      return "INVALID_ADDRESS";
+    case Status::kProtectionFailure:
+      return "PROTECTION_FAILURE";
+    case Status::kNoSpace:
+      return "NO_SPACE";
+    case Status::kResourceShortage:
+      return "RESOURCE_SHORTAGE";
+    case Status::kNotFound:
+      return "NOT_FOUND";
+    case Status::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case Status::kNotSupported:
+      return "NOT_SUPPORTED";
+    case Status::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case Status::kTimedOut:
+      return "TIMED_OUT";
+    case Status::kAborted:
+      return "ABORTED";
+    case Status::kPortDead:
+      return "PORT_DEAD";
+    case Status::kQueueFull:
+      return "QUEUE_FULL";
+    case Status::kTooLarge:
+      return "TOO_LARGE";
+    case Status::kBusy:
+      return "BUSY";
+    case Status::kExhausted:
+      return "EXHAUSTED";
+    case Status::kIoError:
+      return "IO_ERROR";
+    case Status::kCorrupt:
+      return "CORRUPT";
+    case Status::kWouldBlock:
+      return "WOULD_BLOCK";
+    case Status::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace base

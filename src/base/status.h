@@ -1,0 +1,72 @@
+// Status codes and Result<T> used across the whole system.
+//
+// These mirror the kern_return_t convention of Mach 3.0: every kernel and
+// server interface returns a Status, and interfaces that produce a value
+// return Result<T>, which is either a value or a non-ok Status.
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace base {
+
+enum class Status : int32_t {
+  kOk = 0,
+  kInvalidArgument,
+  kInvalidName,        // no such right in the port space
+  kInvalidRight,       // right exists but has the wrong type
+  kInvalidAddress,     // address not mapped / out of range
+  kProtectionFailure,  // mapped but access not permitted
+  kNoSpace,            // address space or table exhausted
+  kResourceShortage,   // out of frames / kernel memory
+  kNotFound,
+  kAlreadyExists,
+  kNotSupported,
+  kPermissionDenied,
+  kTimedOut,
+  kAborted,            // operation interrupted (thread terminated, port died)
+  kPortDead,           // destination port has no receiver
+  kQueueFull,          // legacy IPC queue limit reached
+  kTooLarge,           // message or request exceeds limits
+  kBusy,
+  kExhausted,          // iteration finished / no more data
+  kIoError,
+  kCorrupt,            // on-disk structure failed validation
+  kWouldBlock,
+  kInternal,
+};
+
+// Human-readable name for diagnostics and test failure messages.
+std::string_view StatusName(Status s);
+
+// A value-or-error type. `status()` is kOk iff a value is present.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : state_(status) {}      // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  Status status() const {
+    return ok() ? Status::kOk : std::get<Status>(state_);
+  }
+  // Precondition: ok().
+  T& value() { return std::get<T>(state_); }
+  const T& value() const { return std::get<T>(state_); }
+  T value_or(T fallback) const { return ok() ? std::get<T>(state_) : fallback; }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> state_;
+};
+
+}  // namespace base
+
+#endif  // SRC_BASE_STATUS_H_

@@ -1,0 +1,187 @@
+#include "src/drv/disk_driver.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/base/log.h"
+
+namespace drv {
+
+namespace {
+const hw::CodeRegion& IoPathRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("drv.disk.io_path", 340);
+  return r;
+}
+const hw::CodeRegion& IsrRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("drv.disk.isr", 150);
+  return r;
+}
+}  // namespace
+
+DiskDriver::DiskDriver(mk::Kernel& kernel, mk::Task* task, hw::Disk* disk, ResourceManager* rm)
+    : kernel_(kernel), task_(task), disk_(disk) {
+  // Claim the hardware through the resource manager.
+  if (rm != nullptr) {
+    driver_id_ = rm->RegisterDriver("disk-driver");
+    (void)rm->DeclareResource({ResourceKind::kIoWindow, disk_->reg_base()}, "disk registers");
+    (void)rm->DeclareResource({ResourceKind::kIrqLine, static_cast<uint64_t>(disk_->irq_line())},
+                              "disk irq");
+    WPOS_CHECK(rm->Request(driver_id_, {ResourceKind::kIoWindow, disk_->reg_base()}) ==
+               base::Status::kOk);
+    WPOS_CHECK(rm->Request(driver_id_,
+                           {ResourceKind::kIrqLine, static_cast<uint64_t>(disk_->irq_line())}) ==
+               base::Status::kOk);
+  }
+  auto service = kernel_.PortAllocate(*task_);
+  WPOS_CHECK(service.ok());
+  service_port_ = *service;
+  auto irq = kernel_.PortAllocate(*task_);
+  WPOS_CHECK(irq.ok());
+  irq_port_ = *irq;
+  WPOS_CHECK(kernel_.ReflectInterrupt(*task_, static_cast<uint32_t>(disk_->irq_line()),
+                                      irq_port_) == base::Status::kOk);
+  auto dma = kernel_.machine().mem().AllocContiguous(kMaxSectors * hw::Disk::kSectorSize /
+                                                     hw::kPageSize);
+  WPOS_CHECK(dma.ok()) << "no contiguous memory for disk DMA buffer";
+  dma_buffer_ = *dma;
+  kernel_.CreateThread(task_, "disk-driver", [this](mk::Env& env) { Serve(env); },
+                       mk::Thread::kDefaultPriority + 4);
+}
+
+mk::PortName DiskDriver::GrantTo(mk::Task& client) {
+  auto name = kernel_.MakeSendRight(*task_, service_port_, client);
+  WPOS_CHECK(name.ok());
+  return *name;
+}
+
+void DiskDriver::AwaitCompletion(mk::Env& env) {
+  while ((kernel_.IoRead(disk_, hw::Disk::kRegStatus) & hw::Disk::kStatusDone) == 0) {
+    mk::MachMessage msg;
+    const base::Status st = kernel_.MachMsgReceive(irq_port_, &msg);
+    if (st != base::Status::kOk) {
+      return;
+    }
+    ++interrupts_taken_;
+    kernel_.cpu().Execute(IsrRegion());
+  }
+  kernel_.IoWrite(disk_, hw::Disk::kRegStatus, 0);  // ack done/error bits
+}
+
+base::Status DiskDriver::DoIo(mk::Env& env, const DiskRequest& req, uint8_t* data) {
+  if (req.count == 0 || req.count > kMaxSectors ||
+      req.lba + req.count > disk_->num_sectors()) {
+    return base::Status::kInvalidArgument;
+  }
+  kernel_.cpu().Execute(IoPathRegion());
+  const uint64_t bytes = static_cast<uint64_t>(req.count) * hw::Disk::kSectorSize;
+  if (req.op == DiskOp::kWrite) {
+    // Stage data into the DMA buffer.
+    kernel_.machine().mem().Write(dma_buffer_, data, bytes);
+    kernel_.ChargeCopy(kernel_.current()->msg_window(), dma_buffer_, bytes);
+  }
+  kernel_.IoWrite(disk_, hw::Disk::kRegLba, static_cast<uint32_t>(req.lba));
+  kernel_.IoWrite(disk_, hw::Disk::kRegCount, req.count);
+  kernel_.IoWrite(disk_, hw::Disk::kRegDmaLo, static_cast<uint32_t>(dma_buffer_));
+  kernel_.IoWrite(disk_, hw::Disk::kRegCommand,
+                  req.op == DiskOp::kRead ? hw::Disk::kCmdRead : hw::Disk::kCmdWrite);
+  AwaitCompletion(env);
+  if (req.op == DiskOp::kRead) {
+    kernel_.machine().mem().Read(dma_buffer_, data, bytes);
+    kernel_.ChargeCopy(dma_buffer_, kernel_.current()->msg_window(), bytes);
+  }
+  return base::Status::kOk;
+}
+
+void DiskDriver::Serve(mk::Env& env) {
+  DiskRequest req;
+  std::vector<uint8_t> data(kMaxSectors * hw::Disk::kSectorSize);
+  while (true) {
+    mk::RpcRef ref;
+    ref.recv_buf = data.data();
+    ref.recv_cap = static_cast<uint32_t>(data.size());
+    auto r = env.RpcReceive(service_port_, &req, sizeof(req), &ref);
+    if (!r.ok()) {
+      return;
+    }
+    ++requests_served_;
+    DiskReply reply;
+    switch (req.op) {
+      case DiskOp::kInfo:
+        reply.sectors = disk_->num_sectors();
+        env.RpcReply(r->token, &reply, sizeof(reply));
+        break;
+      case DiskOp::kRead: {
+        reply.status = static_cast<int32_t>(DoIo(env, req, data.data()));
+        const uint32_t bytes =
+            reply.status == 0 ? req.count * hw::Disk::kSectorSize : 0;
+        env.RpcReply(r->token, &reply, sizeof(reply), data.data(), bytes);
+        break;
+      }
+      case DiskOp::kWrite: {
+        if (ref.recv_len != req.count * hw::Disk::kSectorSize) {
+          reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+        } else {
+          reply.status = static_cast<int32_t>(DoIo(env, req, data.data()));
+        }
+        env.RpcReply(r->token, &reply, sizeof(reply));
+        break;
+      }
+      default:
+        reply.status = static_cast<int32_t>(base::Status::kNotSupported);
+        env.RpcReply(r->token, &reply, sizeof(reply));
+    }
+  
+    if (!running_) {
+      // Server shutdown: kill the service port so queued and future
+      // callers fail with kPortDead instead of blocking forever.
+      (void)kernel_.PortDestroy(*task_, service_port_);
+      return;
+    }
+  }
+}
+
+base::Status RpcBlockStore::Read(mk::Env& env, uint64_t lba, uint32_t count, void* out) {
+  uint64_t done = 0;
+  while (done < count) {
+    const uint32_t chunk =
+        static_cast<uint32_t>(std::min<uint64_t>(count - done, DiskDriver::kMaxSectors));
+    DiskRequest req{DiskOp::kRead, lba + done, chunk};
+    DiskReply reply;
+    mk::RpcRef ref;
+    ref.recv_buf = static_cast<uint8_t*>(out) + done * hw::Disk::kSectorSize;
+    ref.recv_cap = chunk * hw::Disk::kSectorSize;
+    const base::Status st = stub_.Call(env, req, &reply, &ref);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    if (reply.status != 0) {
+      return static_cast<base::Status>(reply.status);
+    }
+    done += chunk;
+  }
+  return base::Status::kOk;
+}
+
+base::Status RpcBlockStore::Write(mk::Env& env, uint64_t lba, uint32_t count, const void* src) {
+  uint64_t done = 0;
+  while (done < count) {
+    const uint32_t chunk =
+        static_cast<uint32_t>(std::min<uint64_t>(count - done, DiskDriver::kMaxSectors));
+    DiskRequest req{DiskOp::kWrite, lba + done, chunk};
+    DiskReply reply;
+    mk::RpcRef ref;
+    ref.send_data = static_cast<const uint8_t*>(src) + done * hw::Disk::kSectorSize;
+    ref.send_len = chunk * hw::Disk::kSectorSize;
+    const base::Status st = stub_.Call(env, req, &reply, &ref);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    if (reply.status != 0) {
+      return static_cast<base::Status>(reply.status);
+    }
+    done += chunk;
+  }
+  return base::Status::kOk;
+}
+
+}  // namespace drv

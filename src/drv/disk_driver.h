@@ -1,0 +1,81 @@
+// User-level disk driver in the style of [Golub'93]: the driver is an
+// ordinary task that maps the device's registers, takes its interrupts as
+// reflected messages, and serves block I/O to clients over RPC. A DMA bounce
+// buffer of physically contiguous frames carries the data to/from the device.
+#ifndef SRC_DRV_DISK_DRIVER_H_
+#define SRC_DRV_DISK_DRIVER_H_
+
+#include <memory>
+
+#include "src/drv/resource_manager.h"
+#include "src/hw/disk.h"
+#include "src/mk/kernel.h"
+#include "src/mk/server_loop.h"
+#include "src/mks/pager/default_pager.h"
+
+namespace drv {
+
+enum class DiskOp : uint32_t { kRead = 1, kWrite = 2, kInfo = 3 };
+
+struct DiskRequest {
+  DiskOp op = DiskOp::kRead;
+  uint64_t lba = 0;
+  uint32_t count = 0;  // sectors
+};
+
+struct DiskReply {
+  int32_t status = 0;
+  uint64_t sectors = 0;  // kInfo: disk size
+};
+
+class DiskDriver {
+ public:
+  // Max sectors per request, bounded by the DMA bounce buffer (64 KB).
+  static constexpr uint32_t kMaxSectors = 128;
+
+  DiskDriver(mk::Kernel& kernel, mk::Task* task, hw::Disk* disk, ResourceManager* rm);
+
+  mk::Task* task() const { return task_; }
+  mk::PortName service_port() const { return service_port_; }
+  mk::PortName GrantTo(mk::Task& client);
+  void Stop() { running_ = false; }
+
+  uint64_t requests_served() const { return requests_served_; }
+  uint64_t interrupts_taken() const { return interrupts_taken_; }
+
+ private:
+  void Serve(mk::Env& env);
+  base::Status DoIo(mk::Env& env, const DiskRequest& req, uint8_t* data);
+  void AwaitCompletion(mk::Env& env);
+
+  mk::Kernel& kernel_;
+  mk::Task* task_;
+  hw::Disk* disk_;
+  DriverId driver_id_ = 0;
+  mk::PortName service_port_ = mk::kNullPort;
+  mk::PortName irq_port_ = mk::kNullPort;
+  hw::PhysAddr dma_buffer_ = 0;
+  uint64_t requests_served_ = 0;
+  uint64_t interrupts_taken_ = 0;
+  bool running_ = true;
+};
+
+// Client-side block access over the driver's RPC service; plugs into the
+// default pager and the file server.
+class RpcBlockStore : public mks::BlockStore {
+ public:
+  RpcBlockStore(mk::PortName service, uint64_t num_sectors)
+      : stub_("drv.disk.client", service), num_sectors_(num_sectors) {}
+
+  base::Status Read(mk::Env& env, uint64_t lba, uint32_t count, void* out) override;
+  base::Status Write(mk::Env& env, uint64_t lba, uint32_t count, const void* src) override;
+  uint64_t num_sectors() const override { return num_sectors_; }
+
+ private:
+  mk::ClientStub stub_;
+  uint64_t num_sectors_;
+};
+
+}  // namespace drv
+
+#endif  // SRC_DRV_DISK_DRIVER_H_

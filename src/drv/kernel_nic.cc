@@ -1,0 +1,92 @@
+#include "src/drv/kernel_nic.h"
+
+#include "src/base/log.h"
+
+namespace drv {
+
+namespace {
+const hw::CodeRegion& TrapEntryRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.trap.entry", mk::Costs::kTrapEntry);
+  return r;
+}
+const hw::CodeRegion& KTxRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.drv.nic_tx", 200);
+  return r;
+}
+const hw::CodeRegion& KRxRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.drv.nic_rx", 220);
+  return r;
+}
+}  // namespace
+
+KernelNicDriver::KernelNicDriver(mk::Kernel& kernel, hw::Nic* nic)
+    : kernel_(kernel), nic_(nic) {
+  auto tx = kernel_.machine().mem().AllocContiguous(1);
+  auto rx = kernel_.machine().mem().AllocContiguous(1);
+  WPOS_CHECK(tx.ok() && rx.ok());
+  tx_buffer_ = *tx;
+  rx_buffer_ = *rx;
+  auto sem = kernel_.SemCreate(0);
+  WPOS_CHECK(sem.ok());
+  rx_sem_ = *sem;
+  kernel_.IoWrite(nic_, hw::Nic::kRegRxAddr, static_cast<uint32_t>(rx_buffer_));
+  kernel_.IoWrite(nic_, hw::Nic::kRegRxCap, hw::kPageSize);
+  // The BSD structure: the interrupt handler runs in the kernel and drains
+  // the device directly.
+  kernel_.RegisterKernelInterrupt(static_cast<uint32_t>(nic_->irq_line()),
+                                  [this] { DrainRx(); });
+}
+
+void KernelNicDriver::DrainRx() {
+  while ((kernel_.IoRead(nic_, hw::Nic::kRegStatus) & hw::Nic::kStatusRxReady) != 0) {
+    kernel_.cpu().Execute(KRxRegion());
+    const uint32_t len = kernel_.IoRead(nic_, hw::Nic::kRegRxLen);
+    std::vector<uint8_t> frame(len);
+    kernel_.machine().mem().Read(rx_buffer_, frame.data(), len);
+    kernel_.ChargeCopy(rx_buffer_, kernel_.heap().base(), len);
+    rx_queue_.push_back(std::move(frame));
+    ++frames_rx_;
+    kernel_.IoWrite(nic_, hw::Nic::kRegCommand, hw::Nic::kCmdRxAck);
+    (void)kernel_.SemSignal(rx_sem_);
+  }
+}
+
+base::Status KernelNicDriver::Send(mk::Env& env, const void* frame, uint32_t len) {
+  if (len == 0 || len > hw::Nic::kMaxFrame) {
+    return base::Status::kInvalidArgument;
+  }
+  kernel_.EnterKernel(TrapEntryRegion());
+  kernel_.cpu().Execute(KTxRegion());
+  kernel_.machine().mem().Write(tx_buffer_, frame, len);
+  kernel_.ChargeCopy(kernel_.current()->msg_window(), tx_buffer_, len);
+  kernel_.IoWrite(nic_, hw::Nic::kRegTxAddr, static_cast<uint32_t>(tx_buffer_));
+  kernel_.IoWrite(nic_, hw::Nic::kRegTxLen, len);
+  kernel_.IoWrite(nic_, hw::Nic::kRegCommand, hw::Nic::kCmdSend);
+  ++frames_tx_;
+  kernel_.LeaveKernel();
+  return base::Status::kOk;
+}
+
+base::Result<uint32_t> KernelNicDriver::Receive(mk::Env& env, void* buffer, uint32_t cap) {
+  kernel_.EnterKernel(TrapEntryRegion());
+  kernel_.cpu().Execute(KRxRegion());
+  while (rx_queue_.empty()) {
+    const base::Status st = kernel_.SemWait(rx_sem_);
+    if (st != base::Status::kOk) {
+      kernel_.LeaveKernel();
+      return st;
+    }
+  }
+  std::vector<uint8_t> frame = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+  if (frame.size() > cap) {
+    kernel_.LeaveKernel();
+    return base::Status::kTooLarge;
+  }
+  std::memcpy(buffer, frame.data(), frame.size());
+  kernel_.ChargeCopy(kernel_.heap().base(), kernel_.current()->msg_window(), frame.size());
+  kernel_.LeaveKernel();
+  return static_cast<uint32_t>(frame.size());
+}
+
+}  // namespace drv

@@ -1,0 +1,44 @@
+// BSD-style in-kernel NIC driver: the paper notes "some continuing use of
+// drivers in the kernel with a BSD-like structure, especially for
+// networking". Frames are sent/received by direct kernel calls with an
+// in-kernel interrupt handler — no driver task, no RPC — which is what the
+// user-level driver model is measured against.
+#ifndef SRC_DRV_KERNEL_NIC_H_
+#define SRC_DRV_KERNEL_NIC_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/hw/nic.h"
+#include "src/mk/kernel.h"
+
+namespace drv {
+
+class KernelNicDriver {
+ public:
+  KernelNicDriver(mk::Kernel& kernel, hw::Nic* nic);
+
+  // Direct kernel-call interface (trap + in-kernel function).
+  base::Status Send(mk::Env& env, const void* frame, uint32_t len);
+  // Blocks until a frame arrives.
+  base::Result<uint32_t> Receive(mk::Env& env, void* buffer, uint32_t cap);
+
+  uint64_t frames_tx() const { return frames_tx_; }
+  uint64_t frames_rx() const { return frames_rx_; }
+
+ private:
+  void DrainRx();
+
+  mk::Kernel& kernel_;
+  hw::Nic* nic_;
+  hw::PhysAddr tx_buffer_ = 0;
+  hw::PhysAddr rx_buffer_ = 0;
+  uint32_t rx_sem_ = 0;
+  std::deque<std::vector<uint8_t>> rx_queue_;
+  uint64_t frames_tx_ = 0;
+  uint64_t frames_rx_ = 0;
+};
+
+}  // namespace drv
+
+#endif  // SRC_DRV_KERNEL_NIC_H_

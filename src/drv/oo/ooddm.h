@@ -1,0 +1,185 @@
+// OODDM — Taligent's Object-Oriented Device Driver Management, reproduced
+// with the paper's structure: a deep class hierarchy where "the
+// implementation of a new driver [is] no more than the creation of a subclass
+// with a few lines of unique code", in-kernel, with an internal C++ runtime
+// (modelled by the fine-grained dispatch costs and per-class state).
+//
+// Hierarchy: TService -> TInterruptCapable -> TDevice -> TBusAttachedDevice
+//            -> TBlockDevice -> TDiskDrive (the "few lines" subclass).
+//
+// A coarse-object equivalent (CoarseDiskDriver) performs the identical
+// device programming in one flat function, for the fine-vs-coarse ablation.
+#ifndef SRC_DRV_OO_OODDM_H_
+#define SRC_DRV_OO_OODDM_H_
+
+#include "src/drv/oo/fine_grained.h"
+#include "src/hw/disk.h"
+#include "src/mk/kernel.h"
+
+namespace drv {
+
+class TService : public OoObject {
+ public:
+  TService(mk::Kernel& kernel, const std::string& cls) : OoObject(kernel, cls) {}
+
+  virtual void Open() { Method("Open", 16); }
+  virtual void Close() { Method("Close", 12); }
+  virtual void Audit() { Method("Audit", 10); }
+  virtual void Log() { Method("Log", 8); }
+};
+
+class TInterruptCapable : public TService {
+ public:
+  TInterruptCapable(mk::Kernel& kernel, const std::string& cls) : TService(kernel, cls) {}
+
+  virtual void EnableInterrupts() { Method("EnableInterrupts", 12); }
+  virtual void DisableInterrupts() { Method("DisableInterrupts", 12); }
+  virtual void HandleInterrupt() { Method("HandleInterrupt", 22); }
+};
+
+class TDevice : public TInterruptCapable {
+ public:
+  TDevice(mk::Kernel& kernel, const std::string& cls) : TInterruptCapable(kernel, cls) {}
+
+  virtual void Probe() { Method("Probe", 20); }
+  virtual void Reset() { Method("Reset", 18); }
+  virtual bool ValidateState() {
+    Method("ValidateState", 14);
+    return true;
+  }
+  virtual void PowerUp() { Method("PowerUp", 10); }
+  virtual void PowerDown() { Method("PowerDown", 10); }
+};
+
+class TBusAttachedDevice : public TDevice {
+ public:
+  TBusAttachedDevice(mk::Kernel& kernel, const std::string& cls) : TDevice(kernel, cls) {}
+
+  virtual void AcquireBus() { Method("AcquireBus", 12); }
+  virtual void ReleaseBus() { Method("ReleaseBus", 10); }
+  virtual uint32_t TranslateAddress(uint32_t addr) {
+    Method("TranslateAddress", 14);
+    return addr;
+  }
+};
+
+class TBlockDevice : public TBusAttachedDevice {
+ public:
+  TBlockDevice(mk::Kernel& kernel, const std::string& cls) : TBusAttachedDevice(kernel, cls) {}
+
+  // The framework's template method: a block request decomposes into many
+  // small overridable steps.
+  base::Status ReadBlocks(mk::Env& env, uint64_t lba, uint32_t count, void* out) {
+    if (!ValidateState()) {
+      return base::Status::kIoError;
+    }
+    ValidateRange(lba, count);
+    AcquireBus();
+    PrepareRequest(lba, count);
+    const uint32_t dma = TranslateAddress(StageBuffer());
+    SubmitRequest(dma, /*write=*/false);
+    AwaitCompletion(env);
+    CompleteRequest(out, count);
+    ReleaseBus();
+    Audit();
+    Log();
+    return base::Status::kOk;
+  }
+
+  virtual void ValidateRange(uint64_t lba, uint32_t count) { Method("ValidateRange", 12); }
+  virtual void PrepareRequest(uint64_t lba, uint32_t count) { Method("PrepareRequest", 16); }
+  virtual uint32_t StageBuffer() {
+    Method("StageBuffer", 14);
+    return 0;
+  }
+  virtual void SubmitRequest(uint32_t dma, bool write) { Method("SubmitRequest", 18); }
+  virtual void AwaitCompletion(mk::Env& env) { Method("AwaitCompletion", 16); }
+  virtual void CompleteRequest(void* out, uint32_t count) { Method("CompleteRequest", 14); }
+};
+
+// The actual driver: "a subclass with a few lines of unique code".
+class TDiskDrive : public TBlockDevice {
+ public:
+  TDiskDrive(mk::Kernel& kernel, hw::Disk* disk, hw::PhysAddr dma_buffer)
+      : TBlockDevice(kernel, "TDiskDrive"), disk_(disk), dma_buffer_(dma_buffer) {}
+
+  void PrepareRequest(uint64_t lba, uint32_t count) override {
+    Method("PrepareRequest", 8);
+    lba_ = lba;
+    count_ = count;
+  }
+  uint32_t StageBuffer() override {
+    Method("StageBuffer", 6);
+    return static_cast<uint32_t>(dma_buffer_);
+  }
+  void SubmitRequest(uint32_t dma, bool write) override {
+    Method("SubmitRequest", 10);
+    kernel_.IoWrite(disk_, hw::Disk::kRegLba, static_cast<uint32_t>(lba_));
+    kernel_.IoWrite(disk_, hw::Disk::kRegCount, count_);
+    kernel_.IoWrite(disk_, hw::Disk::kRegDmaLo, dma);
+    kernel_.IoWrite(disk_, hw::Disk::kRegCommand,
+                    write ? hw::Disk::kCmdWrite : hw::Disk::kCmdRead);
+  }
+  void AwaitCompletion(mk::Env& env) override {
+    Method("AwaitCompletion", 8);
+    HandleInterrupt();
+    while ((kernel_.IoRead(disk_, hw::Disk::kRegStatus) & hw::Disk::kStatusDone) == 0) {
+      env.SleepNs(50'000);
+    }
+    kernel_.IoWrite(disk_, hw::Disk::kRegStatus, 0);
+  }
+  void CompleteRequest(void* out, uint32_t count) override {
+    Method("CompleteRequest", 8);
+    kernel_.machine().mem().Read(dma_buffer_, out,
+                                 static_cast<uint64_t>(count) * hw::Disk::kSectorSize);
+    kernel_.ChargeCopy(dma_buffer_, kernel_.heap().base(),
+                       static_cast<uint64_t>(count) * hw::Disk::kSectorSize);
+  }
+
+ private:
+  hw::Disk* disk_;
+  hw::PhysAddr dma_buffer_;
+  uint64_t lba_ = 0;
+  uint32_t count_ = 0;
+};
+
+// The coarse-object comparator: same device programming, one flat function,
+// one code region, one state block (the MK++-style "simpler, coarser
+// objects" the paper recommends).
+class CoarseDiskDriver {
+ public:
+  CoarseDiskDriver(mk::Kernel& kernel, hw::Disk* disk, hw::PhysAddr dma_buffer)
+      : kernel_(kernel),
+        disk_(disk),
+        dma_buffer_(dma_buffer),
+        state_sim_(kernel.heap().Allocate(128)) {}
+
+  base::Status ReadBlocks(mk::Env& env, uint64_t lba, uint32_t count, void* out) {
+    static const hw::CodeRegion kRegion = hw::DefineCode("drv.coarse_disk.read", 150);
+    kernel_.cpu().Execute(kRegion);
+    kernel_.cpu().AccessData(state_sim_, 64, /*write=*/true);
+    kernel_.IoWrite(disk_, hw::Disk::kRegLba, static_cast<uint32_t>(lba));
+    kernel_.IoWrite(disk_, hw::Disk::kRegCount, count);
+    kernel_.IoWrite(disk_, hw::Disk::kRegDmaLo, static_cast<uint32_t>(dma_buffer_));
+    kernel_.IoWrite(disk_, hw::Disk::kRegCommand, hw::Disk::kCmdRead);
+    while ((kernel_.IoRead(disk_, hw::Disk::kRegStatus) & hw::Disk::kStatusDone) == 0) {
+      env.SleepNs(50'000);
+    }
+    kernel_.IoWrite(disk_, hw::Disk::kRegStatus, 0);
+    kernel_.machine().mem().Read(dma_buffer_, out,
+                                 static_cast<uint64_t>(count) * hw::Disk::kSectorSize);
+    kernel_.ChargeCopy(dma_buffer_, kernel_.heap().base(),
+                       static_cast<uint64_t>(count) * hw::Disk::kSectorSize);
+    return base::Status::kOk;
+  }
+
+ private:
+  mk::Kernel& kernel_;
+  hw::Disk* disk_;
+  hw::PhysAddr dma_buffer_;
+  hw::PhysAddr state_sim_;
+};
+
+}  // namespace drv
+
+#endif  // SRC_DRV_OO_OODDM_H_

@@ -1,0 +1,54 @@
+#include "src/hw/code_layout.h"
+
+#include "src/base/log.h"
+
+namespace hw {
+
+CodeLayout& CodeLayout::Global() {
+  static CodeLayout* layout = new CodeLayout();
+  return *layout;
+}
+
+CodeRegion CodeLayout::Register(const std::string& name, uint32_t instructions,
+                                uint32_t sparsity) {
+  auto it = regions_.find(name);
+  if (it != regions_.end()) {
+    WPOS_CHECK(it->second.instructions == instructions)
+        << "code region " << name << " re-registered with a different size";
+    return it->second;
+  }
+  const std::string component = name.substr(0, name.find('.'));
+  Component& comp = components_[component];
+  if (comp.next == 0) {
+    // Stagger image bases across cache sets: linkers do not align every
+    // module's text to the same cache-set-0 boundary, and doing so here
+    // would manufacture pathological conflicts.
+    comp.next = next_image_base_ + (image_count_ * 1312) % 4096;
+    ++image_count_;
+    next_image_base_ += kImageAlign * 256;  // 16 MB of address space per image
+  }
+  CodeRegion region;
+  region.base = comp.next;
+  region.instructions = instructions;
+  region.sparsity = sparsity;
+  // Line-align each function start (32-byte lines) as linkers typically do.
+  uint64_t bytes = (region.size_bytes() + 31) & ~31ull;
+  comp.next += bytes;
+  comp.bytes += bytes;
+  regions_.emplace(name, region);
+  return region;
+}
+
+uint64_t CodeLayout::ComponentTextBytes(const std::string& component) const {
+  auto it = components_.find(component);
+  return it == components_.end() ? 0 : it->second.bytes;
+}
+
+void CodeLayout::Clear() {
+  regions_.clear();
+  components_.clear();
+  next_image_base_ = kImageSpaceBase;
+  image_count_ = 0;
+}
+
+}  // namespace hw

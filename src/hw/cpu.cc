@@ -1,0 +1,96 @@
+#include "src/hw/cpu.h"
+
+namespace hw {
+
+Cpu::Cpu(const CpuConfig& config)
+    : config_(config), icache_(config.icache), dcache_(config.dcache), tlb_(config.tlb) {}
+
+void Cpu::ChargeFetch(PhysAddr addr) {
+  Cache::AccessResult r = icache_.Access(addr, /*write=*/false);
+  if (!r.hit) {
+    cycles_ += config_.icache_miss_cycles;
+    bus_cycles_ += config_.bus_per_fill;
+  }
+}
+
+void Cpu::ExecuteInstructions(const CodeRegion& region, uint64_t instructions) {
+  if (instructions == 0) {
+    return;
+  }
+  instructions_ += instructions;
+  // Base pipeline cost with fractional accumulation so that repeated short
+  // paths do not round the CPI away.
+  cycle_frac_ += static_cast<double>(instructions) * config_.base_cpi;
+  const Cycles whole = static_cast<Cycles>(cycle_frac_);
+  cycle_frac_ -= static_cast<double>(whole);
+  cycles_ += whole;
+
+  // Fetch every I-cache line the executed range covers. For partial
+  // execution beyond the region (copy loops), the same lines re-execute.
+  // With sparsity > 1 the dynamic path hops through a larger static body:
+  // the same number of line fetches, spread over sparsity times the span.
+  const uint64_t bytes =
+      (instructions > region.instructions ? region.instructions : instructions) *
+      kBytesPerInstruction;
+  const uint32_t line = config_.icache.line_bytes;
+  const uint32_t stride = line * region.sparsity;
+  const uint64_t fetches = (bytes + line - 1) / line;
+  PhysAddr a = region.base & ~static_cast<PhysAddr>(line - 1);
+  for (uint64_t i = 0; i < fetches; ++i) {
+    ChargeFetch(a + i * stride);
+  }
+}
+
+void Cpu::AccessData(PhysAddr paddr, uint32_t size, bool write) {
+  ++data_accesses_;
+  const uint32_t line = config_.dcache.line_bytes;
+  const PhysAddr first = paddr & ~static_cast<PhysAddr>(line - 1);
+  const PhysAddr last = (paddr + (size == 0 ? 0 : size - 1)) & ~static_cast<PhysAddr>(line - 1);
+  for (PhysAddr a = first; a <= last; a += line) {
+    Cache::AccessResult r = dcache_.Access(a, write);
+    if (!r.hit) {
+      cycles_ += config_.dcache_miss_cycles;
+      bus_cycles_ += config_.bus_per_fill;
+    }
+    if (r.writeback) {
+      cycles_ += config_.writeback_cycles;
+      bus_cycles_ += config_.bus_per_writeback;
+    }
+  }
+}
+
+void Cpu::AccessTranslated(VirtAddr vaddr, PhysAddr paddr, PhysAddr pte_paddr, uint32_t size,
+                           bool write) {
+  if (!tlb_.Access(PageIndex(vaddr))) {
+    cycles_ += config_.tlb_walk_cycles;
+    // The hardware walker reads the PTE through the data cache.
+    AccessData(pte_paddr, 4, /*write=*/false);
+  }
+  AccessData(paddr, size, write);
+}
+
+void Cpu::AccessUncached(PhysAddr paddr, uint32_t size, bool write) {
+  ++uncached_accesses_;
+  cycles_ += config_.uncached_cycles;
+  bus_cycles_ += config_.bus_per_uncached;
+}
+
+void Cpu::FlushCaches() {
+  icache_.Flush();
+  dcache_.Flush();
+}
+
+CpuCounters Cpu::counters() const {
+  CpuCounters c;
+  c.instructions = instructions_;
+  c.cycles = cycles_;
+  c.bus_cycles = bus_cycles_;
+  c.icache_misses = icache_.stats().misses;
+  c.dcache_misses = dcache_.stats().misses;
+  c.tlb_misses = tlb_.stats().misses;
+  c.data_accesses = data_accesses_;
+  c.uncached_accesses = uncached_accesses_;
+  return c;
+}
+
+}  // namespace hw

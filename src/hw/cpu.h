@@ -1,0 +1,139 @@
+// CPU cost model.
+//
+// The Cpu does not interpret instructions; it *accounts* for them. Kernel,
+// server and stub code is instrumented with code regions (see code_layout.h)
+// and explicit data accesses. The Cpu runs those through Pentium-like split
+// I/D caches and a TLB and accumulates the counters the paper's Table 2
+// reports: instructions, cycles, bus cycles (plus the miss breakdowns used in
+// the paper's analysis of where the RPC overhead comes from).
+//
+// Defaults approximate a 133 MHz Pentium (P54C): 8 KB 2-way I-cache, 8 KB
+// 2-way D-cache, 32-byte lines, 64-entry TLB, 64-bit bus.
+#ifndef SRC_HW_CPU_H_
+#define SRC_HW_CPU_H_
+
+#include <cstdint>
+
+#include "src/hw/cache.h"
+#include "src/hw/code_layout.h"
+#include "src/hw/tlb.h"
+#include "src/hw/types.h"
+
+namespace hw {
+
+struct CpuConfig {
+  uint64_t mhz = 133;
+  // Cycles per instruction when everything hits; Pentium dual-issue code
+  // averaged a bit above 1.
+  double base_cpi = 1.15;
+  uint32_t icache_miss_cycles = 12;   // line fill latency from DRAM
+  uint32_t dcache_miss_cycles = 12;
+  uint32_t writeback_cycles = 4;      // extra stall when evicting dirty line
+  uint32_t tlb_walk_cycles = 9;       // hardware page walk latency
+  uint32_t uncached_cycles = 20;      // device register access
+  uint32_t bus_per_fill = 5;          // 4 transfers of 8 bytes + overhead
+  uint32_t bus_per_writeback = 5;
+  uint32_t bus_per_uncached = 3;
+  CacheConfig icache;
+  CacheConfig dcache;
+  TlbConfig tlb;
+};
+
+struct CpuCounters {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  uint64_t bus_cycles = 0;
+  uint64_t icache_misses = 0;
+  uint64_t dcache_misses = 0;
+  uint64_t tlb_misses = 0;
+  uint64_t data_accesses = 0;
+  uint64_t uncached_accesses = 0;
+
+  CpuCounters operator-(const CpuCounters& rhs) const {
+    CpuCounters d;
+    d.instructions = instructions - rhs.instructions;
+    d.cycles = cycles - rhs.cycles;
+    d.bus_cycles = bus_cycles - rhs.bus_cycles;
+    d.icache_misses = icache_misses - rhs.icache_misses;
+    d.dcache_misses = dcache_misses - rhs.dcache_misses;
+    d.tlb_misses = tlb_misses - rhs.tlb_misses;
+    d.data_accesses = data_accesses - rhs.data_accesses;
+    d.uncached_accesses = uncached_accesses - rhs.uncached_accesses;
+    return d;
+  }
+
+  double cpi() const {
+    return instructions == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(instructions);
+  }
+};
+
+class Cpu {
+ public:
+  explicit Cpu(const CpuConfig& config = CpuConfig());
+
+  // --- Execution ------------------------------------------------------------
+  // Run all instructions of `region` (fetching its I-cache lines).
+  void Execute(const CodeRegion& region) { ExecuteInstructions(region, region.instructions); }
+
+  // Run the first `instructions` of `region`; used for data-dependent paths
+  // such as copy loops, where the same few lines of code execute repeatedly.
+  void ExecuteInstructions(const CodeRegion& region, uint64_t instructions);
+
+  // --- Data access ----------------------------------------------------------
+  // Cached access to physical memory (kernel structures, copies).
+  void AccessData(PhysAddr paddr, uint32_t size, bool write);
+
+  // Cached access through a virtual address: models the TLB lookup for the
+  // page containing `vaddr` and, on a TLB miss, a page walk touching the PTE
+  // at `pte_paddr`, then the D-cache access at `paddr`.
+  void AccessTranslated(VirtAddr vaddr, PhysAddr paddr, PhysAddr pte_paddr, uint32_t size,
+                        bool write);
+
+  // Uncached device-register access.
+  void AccessUncached(PhysAddr paddr, uint32_t size, bool write);
+
+  // --- Control --------------------------------------------------------------
+  void FlushTlb() { tlb_.Flush(); }
+  void FlushCaches();
+
+  // Advance time without executing (idle waiting for a device).
+  void AdvanceCycles(Cycles n) { cycles_ += n; }
+
+  // Extra stall cycles from a modelled microarchitectural event (e.g. the
+  // fixed privilege-switch cost of a trap, pipeline drain on interrupts).
+  void Stall(Cycles n) { cycles_ += n; }
+
+  // Bus transactions that bypass the caches (trap frames, descriptor loads);
+  // costs bus bandwidth but overlaps with the pipeline stall already charged.
+  void BusTransactions(uint32_t n) { bus_cycles_ += n; }
+
+  // --- Observation ----------------------------------------------------------
+  CpuCounters counters() const;
+  Cycles cycles() const { return cycles_; }
+  const CpuConfig& config() const { return config_; }
+  const CacheStats& icache_stats() const { return icache_.stats(); }
+  const CacheStats& dcache_stats() const { return dcache_.stats(); }
+  const TlbStats& tlb_stats() const { return tlb_.stats(); }
+
+  uint64_t CyclesToNs(Cycles c) const { return c * 1000ull / config_.mhz; }
+  Cycles NsToCycles(uint64_t ns) const { return ns * config_.mhz / 1000ull; }
+
+ private:
+  void ChargeFetch(PhysAddr addr);
+
+  CpuConfig config_;
+  Cache icache_;
+  Cache dcache_;
+  Tlb tlb_;
+
+  uint64_t instructions_ = 0;
+  Cycles cycles_ = 0;
+  uint64_t bus_cycles_ = 0;
+  uint64_t data_accesses_ = 0;
+  uint64_t uncached_accesses_ = 0;
+  double cycle_frac_ = 0.0;  // fractional-CPI accumulator
+};
+
+}  // namespace hw
+
+#endif  // SRC_HW_CPU_H_

@@ -1,0 +1,77 @@
+#include "src/hw/dma.h"
+
+#include <vector>
+
+namespace hw {
+
+uint32_t DmaEngine::ReadReg(uint32_t offset) {
+  const uint32_t channel = offset / 0x20;
+  const uint32_t reg = offset % 0x20;
+  if (channel >= kNumChannels) {
+    return 0;
+  }
+  const Channel& ch = channels_[channel];
+  switch (reg) {
+    case kRegSrc:
+      return ch.src;
+    case kRegDst:
+      return ch.dst;
+    case kRegLen:
+      return ch.len;
+    case kRegStatus:
+      return ch.status;
+    default:
+      return 0;
+  }
+}
+
+void DmaEngine::WriteReg(uint32_t offset, uint32_t value) {
+  const uint32_t channel = offset / 0x20;
+  const uint32_t reg = offset % 0x20;
+  if (channel >= kNumChannels) {
+    return;
+  }
+  Channel& ch = channels_[channel];
+  switch (reg) {
+    case kRegSrc:
+      ch.src = value;
+      break;
+    case kRegDst:
+      ch.dst = value;
+      break;
+    case kRegLen:
+      ch.len = value;
+      break;
+    case kRegControl:
+      if (value == 1) {
+        Start(channel);
+      }
+      break;
+    case kRegStatus:
+      ch.status &= ~kStatusDone;
+      break;
+    default:
+      break;
+  }
+}
+
+void DmaEngine::Start(uint32_t channel) {
+  Channel& ch = channels_[channel];
+  if ((ch.status & kStatusBusy) != 0 || ch.len == 0) {
+    return;
+  }
+  ch.status |= kStatusBusy;
+  ++transfers_;
+  const Cycles latency = cycles_per_8_bytes_ * ((ch.len + 7) / 8) + 50;
+  machine()->ScheduleAfter(latency, [this, channel] {
+    Channel& done = channels_[channel];
+    std::vector<uint8_t> buf(done.len);
+    machine()->mem().Read(done.src, buf.data(), buf.size());
+    machine()->mem().Write(done.dst, buf.data(), buf.size());
+    done.status &= ~kStatusBusy;
+    done.status |= kStatusDone;
+    RaiseIrq();
+  });
+}
+
+}  // namespace hw

@@ -1,0 +1,52 @@
+// DMA engine with a small number of channels. Transfers proceed without CPU
+// cycles (the bus contention of real hardware is not modelled) and complete
+// after a length-proportional delay with an interrupt.
+#ifndef SRC_HW_DMA_H_
+#define SRC_HW_DMA_H_
+
+#include <cstdint>
+
+#include "src/hw/machine.h"
+
+namespace hw {
+
+class DmaEngine : public Device {
+ public:
+  static constexpr uint32_t kNumChannels = 8;
+
+  // Per-channel register block of 0x20 bytes, channel c at c * 0x20:
+  static constexpr uint32_t kRegSrc = 0x00;
+  static constexpr uint32_t kRegDst = 0x04;
+  static constexpr uint32_t kRegLen = 0x08;
+  static constexpr uint32_t kRegControl = 0x0c;  // write 1 to start
+  static constexpr uint32_t kRegStatus = 0x10;   // bit0 busy, bit1 done
+
+  static constexpr uint32_t kStatusBusy = 1u << 0;
+  static constexpr uint32_t kStatusDone = 1u << 1;
+
+  DmaEngine(std::string name, int irq_line, Cycles cycles_per_8_bytes = 1)
+      : Device(std::move(name), irq_line), cycles_per_8_bytes_(cycles_per_8_bytes) {}
+
+  uint32_t ReadReg(uint32_t offset) override;
+  void WriteReg(uint32_t offset, uint32_t value) override;
+
+  uint64_t transfers() const { return transfers_; }
+
+ private:
+  struct Channel {
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    uint32_t len = 0;
+    uint32_t status = 0;
+  };
+
+  void Start(uint32_t channel);
+
+  Cycles cycles_per_8_bytes_;
+  Channel channels_[kNumChannels];
+  uint64_t transfers_ = 0;
+};
+
+}  // namespace hw
+
+#endif  // SRC_HW_DMA_H_

@@ -1,0 +1,37 @@
+#include "src/hw/framebuffer.h"
+
+#include "src/base/log.h"
+#include "src/hw/types.h"
+
+namespace hw {
+
+Framebuffer::Framebuffer(std::string name, Machine* machine, uint32_t width, uint32_t height)
+    : Device(std::move(name), /*irq_line=*/-1), width_(width), height_(height) {
+  const uint64_t frames = PageRound(vram_size()) >> kPageShift;
+  auto base = machine->mem().AllocContiguous(frames);
+  WPOS_CHECK(base.ok()) << "cannot allocate VRAM aperture";
+  vram_base_ = *base;
+}
+
+uint32_t Framebuffer::ReadReg(uint32_t offset) {
+  switch (offset) {
+    case kRegWidth:
+      return width_;
+    case kRegHeight:
+      return height_;
+    case kRegVramLo:
+      return static_cast<uint32_t>(vram_base_);
+    case kRegVsyncCount:
+      return vsync_count_;
+    default:
+      return 0;
+  }
+}
+
+void Framebuffer::WriteReg(uint32_t offset, uint32_t value) {
+  if (offset == kRegVsyncCount) {
+    ++vsync_count_;  // a write simulates waiting for the next vsync
+  }
+}
+
+}  // namespace hw

@@ -1,0 +1,43 @@
+// Simulated framebuffer. VRAM is carved out of top-of-RAM contiguous frames
+// (as on machines that map the adapter aperture into the physical address
+// space), so user-level code can have the aperture mapped into its address
+// space and "directly drive the screen buffer" the way the paper's graphics
+// workloads did.
+#ifndef SRC_HW_FRAMEBUFFER_H_
+#define SRC_HW_FRAMEBUFFER_H_
+
+#include <cstdint>
+
+#include "src/hw/machine.h"
+
+namespace hw {
+
+class Framebuffer : public Device {
+ public:
+  static constexpr uint32_t kRegWidth = 0x00;
+  static constexpr uint32_t kRegHeight = 0x04;
+  static constexpr uint32_t kRegVramLo = 0x08;   // physical base of the aperture
+  static constexpr uint32_t kRegVsyncCount = 0x0c;
+
+  // 8 bits per pixel. Allocates the aperture from machine RAM; call after the
+  // machine exists but before the kernel claims memory.
+  Framebuffer(std::string name, Machine* machine, uint32_t width, uint32_t height);
+
+  uint32_t ReadReg(uint32_t offset) override;
+  void WriteReg(uint32_t offset, uint32_t value) override;
+
+  PhysAddr vram_base() const { return vram_base_; }
+  uint64_t vram_size() const { return static_cast<uint64_t>(width_) * height_; }
+  uint32_t width() const { return width_; }
+  uint32_t height() const { return height_; }
+
+ private:
+  uint32_t width_;
+  uint32_t height_;
+  PhysAddr vram_base_ = 0;
+  uint32_t vsync_count_ = 0;
+};
+
+}  // namespace hw
+
+#endif  // SRC_HW_FRAMEBUFFER_H_

@@ -1,0 +1,41 @@
+#include "src/hw/interrupt_controller.h"
+
+#include "src/base/log.h"
+
+namespace hw {
+
+void InterruptController::Raise(uint32_t line) {
+  WPOS_CHECK(line < kNumLines);
+  pending_ |= static_cast<uint16_t>(1u << line);
+  ++raise_counts_[line];
+}
+
+void InterruptController::Ack(uint32_t line) {
+  WPOS_CHECK(line < kNumLines);
+  pending_ &= static_cast<uint16_t>(~(1u << line));
+}
+
+void InterruptController::Enable(uint32_t line, bool enabled) {
+  WPOS_CHECK(line < kNumLines);
+  if (enabled) {
+    enabled_ |= static_cast<uint16_t>(1u << line);
+  } else {
+    enabled_ &= static_cast<uint16_t>(~(1u << line));
+  }
+}
+
+bool InterruptController::IsPending(uint32_t line) const {
+  return (pending_ & enabled_ & (1u << line)) != 0;
+}
+
+int InterruptController::NextPending() const {
+  const uint16_t active = pending_ & enabled_;
+  for (uint32_t i = 0; i < kNumLines; ++i) {
+    if ((active & (1u << i)) != 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace hw

@@ -1,0 +1,34 @@
+// Interrupt controller: 16 lines with enable and pending state, modelled on
+// a PC-style PIC. Devices raise lines; the kernel polls, dispatches and acks
+// at its interrupt points.
+#ifndef SRC_HW_INTERRUPT_CONTROLLER_H_
+#define SRC_HW_INTERRUPT_CONTROLLER_H_
+
+#include <cstdint>
+
+namespace hw {
+
+class InterruptController {
+ public:
+  static constexpr uint32_t kNumLines = 16;
+
+  void Raise(uint32_t line);
+  void Ack(uint32_t line);
+  void Enable(uint32_t line, bool enabled);
+
+  bool IsPending(uint32_t line) const;
+  // Lowest pending-and-enabled line, or -1 if none.
+  int NextPending() const;
+  bool AnyPending() const { return NextPending() >= 0; }
+
+  uint64_t raise_count(uint32_t line) const { return raise_counts_[line]; }
+
+ private:
+  uint16_t pending_ = 0;
+  uint16_t enabled_ = 0xffff;
+  uint64_t raise_counts_[kNumLines] = {};
+};
+
+}  // namespace hw
+
+#endif  // SRC_HW_INTERRUPT_CONTROLLER_H_

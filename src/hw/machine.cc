@@ -1,0 +1,77 @@
+#include "src/hw/machine.h"
+
+#include "src/base/log.h"
+
+namespace hw {
+
+void Device::RaiseIrq() {
+  WPOS_CHECK(machine_ != nullptr) << "device " << name_ << " not attached";
+  WPOS_CHECK(irq_line_ >= 0) << "device " << name_ << " has no interrupt line";
+  machine_->pic().Raise(static_cast<uint32_t>(irq_line_));
+}
+
+Machine::Machine(const MachineConfig& config) : cpu_(config.cpu), mem_(config.ram_bytes) {}
+
+Device* Machine::AddDevice(std::unique_ptr<Device> device) {
+  device->machine_ = this;
+  device->reg_base_ = kDeviceSpaceBase + devices_.size() * kDeviceWindow;
+  devices_.push_back(std::move(device));
+  return devices_.back().get();
+}
+
+Device* Machine::FindDevice(const std::string& name) const {
+  for (const auto& d : devices_) {
+    if (d->name() == name) {
+      return d.get();
+    }
+  }
+  return nullptr;
+}
+
+uint32_t Machine::DeviceRead(PhysAddr addr) {
+  WPOS_CHECK(IsDeviceAddr(addr)) << "not a device address";
+  const uint64_t index = (addr - kDeviceSpaceBase) / kDeviceWindow;
+  const uint32_t offset = static_cast<uint32_t>((addr - kDeviceSpaceBase) % kDeviceWindow);
+  return devices_[index]->ReadReg(offset);
+}
+
+void Machine::DeviceWrite(PhysAddr addr, uint32_t value) {
+  WPOS_CHECK(IsDeviceAddr(addr)) << "not a device address";
+  const uint64_t index = (addr - kDeviceSpaceBase) / kDeviceWindow;
+  const uint32_t offset = static_cast<uint32_t>((addr - kDeviceSpaceBase) % kDeviceWindow);
+  devices_[index]->WriteReg(offset, value);
+}
+
+void Machine::ScheduleAt(Cycles when, EventFn fn) {
+  events_.push(Event{.when = when, .seq = event_seq_++, .fn = std::move(fn)});
+}
+
+void Machine::PollEvents() {
+  while (!events_.empty() && events_.top().when <= cpu_.cycles()) {
+    EventFn fn = std::move(const_cast<Event&>(events_.top()).fn);
+    events_.pop();
+    fn();
+  }
+}
+
+bool Machine::NextEventCycle(Cycles* when) const {
+  if (events_.empty()) {
+    return false;
+  }
+  *when = events_.top().when;
+  return true;
+}
+
+bool Machine::IdleAdvance() {
+  Cycles when = 0;
+  if (!NextEventCycle(&when)) {
+    return false;
+  }
+  if (when > cpu_.cycles()) {
+    cpu_.AdvanceCycles(when - cpu_.cycles());
+  }
+  PollEvents();
+  return true;
+}
+
+}  // namespace hw

@@ -1,0 +1,115 @@
+// Machine: one simulated computer — CPU, physical memory, interrupt
+// controller, devices, and the event queue that gives devices a notion of
+// time (in CPU cycles).
+#ifndef SRC_HW_MACHINE_H_
+#define SRC_HW_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/hw/cpu.h"
+#include "src/hw/interrupt_controller.h"
+#include "src/hw/phys_mem.h"
+#include "src/hw/types.h"
+
+namespace hw {
+
+class Machine;
+
+// Base class for simulated devices. Each device gets a 4 KB register window
+// in device space and (optionally) an interrupt line.
+class Device {
+ public:
+  Device(std::string name, int irq_line) : name_(std::move(name)), irq_line_(irq_line) {}
+  virtual ~Device() = default;
+
+  virtual uint32_t ReadReg(uint32_t offset) = 0;
+  virtual void WriteReg(uint32_t offset, uint32_t value) = 0;
+
+  const std::string& name() const { return name_; }
+  int irq_line() const { return irq_line_; }
+  PhysAddr reg_base() const { return reg_base_; }
+
+ protected:
+  Machine* machine() const { return machine_; }
+  void RaiseIrq();
+
+ private:
+  friend class Machine;
+  std::string name_;
+  int irq_line_;
+  PhysAddr reg_base_ = 0;
+  Machine* machine_ = nullptr;
+};
+
+struct MachineConfig {
+  uint64_t ram_bytes = 64ull * 1024 * 1024;  // the paper's PowerPC box: 64 MB
+  CpuConfig cpu;
+};
+
+class Machine {
+ public:
+  // Device register windows live here, far above RAM and code space.
+  static constexpr PhysAddr kDeviceSpaceBase = 0x2'0000'0000ull;
+  static constexpr uint64_t kDeviceWindow = 4096;
+
+  explicit Machine(const MachineConfig& config = MachineConfig());
+
+  Cpu& cpu() { return cpu_; }
+  PhysMem& mem() { return mem_; }
+  InterruptController& pic() { return pic_; }
+
+  // --- Devices ---------------------------------------------------------------
+  // Takes ownership; assigns the register window; returns the device.
+  Device* AddDevice(std::unique_ptr<Device> device);
+  Device* FindDevice(const std::string& name) const;
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+
+  bool IsDeviceAddr(PhysAddr addr) const {
+    return addr >= kDeviceSpaceBase && addr < kDeviceSpaceBase + devices_.size() * kDeviceWindow;
+  }
+  // Route a register access to the owning device (no cost charged here; the
+  // caller models the uncached access on the CPU).
+  uint32_t DeviceRead(PhysAddr addr);
+  void DeviceWrite(PhysAddr addr, uint32_t value);
+
+  // --- Events ----------------------------------------------------------------
+  using EventFn = std::function<void()>;
+  void ScheduleAt(Cycles when, EventFn fn);
+  void ScheduleAfter(Cycles delta, EventFn fn) { ScheduleAt(cpu_.cycles() + delta, std::move(fn)); }
+
+  // Run every event due at or before the current CPU cycle count.
+  void PollEvents();
+  // True if the event queue is non-empty; sets `when` to the earliest due time.
+  bool NextEventCycle(Cycles* when) const;
+  // Skip the CPU clock forward to the next event and run it. Returns false if
+  // there are no pending events (the machine would idle forever).
+  bool IdleAdvance();
+
+ private:
+  struct Event {
+    Cycles when;
+    uint64_t seq;  // tie-break to keep ordering deterministic
+    EventFn fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  Cpu cpu_;
+  PhysMem mem_;
+  InterruptController pic_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  uint64_t event_seq_ = 0;
+};
+
+}  // namespace hw
+
+#endif  // SRC_HW_MACHINE_H_

@@ -1,0 +1,77 @@
+#include "src/hw/nic.h"
+
+namespace hw {
+
+uint32_t Nic::ReadReg(uint32_t offset) {
+  switch (offset) {
+    case kRegStatus:
+      return reg_status_;
+    case kRegRxLen:
+      return reg_rx_len_;
+    default:
+      return 0;
+  }
+}
+
+void Nic::WriteReg(uint32_t offset, uint32_t value) {
+  switch (offset) {
+    case kRegTxAddr:
+      reg_tx_addr_ = value;
+      break;
+    case kRegTxLen:
+      reg_tx_len_ = value;
+      break;
+    case kRegRxAddr:
+      reg_rx_addr_ = value;
+      break;
+    case kRegRxCap:
+      reg_rx_cap_ = value;
+      break;
+    case kRegCommand:
+      if (value == kCmdSend) {
+        Transmit();
+      } else if (value == kCmdRxAck) {
+        reg_status_ &= ~kStatusRxReady;
+        TryDeliver();
+      }
+      break;
+    case kRegStatus:
+      reg_status_ &= ~kStatusTxDone;
+      break;
+    default:
+      break;
+  }
+}
+
+void Nic::Transmit() {
+  if (reg_tx_len_ == 0 || reg_tx_len_ > kMaxFrame) {
+    return;
+  }
+  std::vector<uint8_t> frame(reg_tx_len_);
+  machine()->mem().Read(reg_tx_addr_, frame.data(), frame.size());
+  ++frames_sent_;
+  machine()->ScheduleAfter(wire_latency_, [this, frame = std::move(frame)]() mutable {
+    in_flight_.push_back(std::move(frame));
+    reg_status_ |= kStatusTxDone;
+    TryDeliver();
+  });
+}
+
+void Nic::TryDeliver() {
+  if (in_flight_.empty() || (reg_status_ & kStatusRxReady) != 0 || reg_rx_cap_ == 0) {
+    return;
+  }
+  std::vector<uint8_t>& frame = in_flight_.front();
+  if (frame.size() > reg_rx_cap_) {
+    in_flight_.pop_front();  // oversize for buffer: drop
+    return;
+  }
+  machine()->mem().Write(reg_rx_addr_, frame.data(), frame.size());
+  reg_rx_len_ = static_cast<uint32_t>(frame.size());
+  reg_status_ |= kStatusRxReady;
+  in_flight_.pop_front();
+  ++frames_delivered_;
+  RaiseIrq();
+}
+
+}  // namespace hw

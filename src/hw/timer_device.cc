@@ -1,0 +1,53 @@
+#include "src/hw/timer_device.h"
+
+namespace hw {
+
+uint32_t TimerDevice::ReadReg(uint32_t offset) {
+  switch (offset) {
+    case kRegPeriod:
+      return period_;
+    case kRegControl:
+      return running_ ? 1 : 0;
+    case kRegTicks:
+      return static_cast<uint32_t>(ticks_);
+    default:
+      return 0;
+  }
+}
+
+void TimerDevice::WriteReg(uint32_t offset, uint32_t value) {
+  switch (offset) {
+    case kRegPeriod:
+      period_ = value;
+      ++generation_;
+      if (running_) {
+        Arm(generation_);
+      }
+      break;
+    case kRegControl:
+      if (value == kCtlStart && !running_ && period_ > 0) {
+        running_ = true;
+        ++generation_;
+        Arm(generation_);
+      } else if (value == kCtlStop) {
+        running_ = false;
+        ++generation_;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void TimerDevice::Arm(uint64_t generation) {
+  machine()->ScheduleAfter(period_, [this, generation] {
+    if (!running_ || generation != generation_) {
+      return;
+    }
+    ++ticks_;
+    RaiseIrq();
+    Arm(generation);
+  });
+}
+
+}  // namespace hw

@@ -1,0 +1,39 @@
+// Programmable interval timer raising periodic interrupts; the kernel's
+// clock service runs off it.
+#ifndef SRC_HW_TIMER_DEVICE_H_
+#define SRC_HW_TIMER_DEVICE_H_
+
+#include <cstdint>
+
+#include "src/hw/machine.h"
+
+namespace hw {
+
+class TimerDevice : public Device {
+ public:
+  static constexpr uint32_t kRegPeriod = 0x00;  // cycles between interrupts
+  static constexpr uint32_t kRegControl = 0x04;
+  static constexpr uint32_t kRegTicks = 0x08;
+
+  static constexpr uint32_t kCtlStart = 1;
+  static constexpr uint32_t kCtlStop = 0;
+
+  TimerDevice(std::string name, int irq_line) : Device(std::move(name), irq_line) {}
+
+  uint32_t ReadReg(uint32_t offset) override;
+  void WriteReg(uint32_t offset, uint32_t value) override;
+
+  uint64_t ticks() const { return ticks_; }
+
+ private:
+  void Arm(uint64_t generation);
+
+  uint32_t period_ = 0;
+  bool running_ = false;
+  uint64_t generation_ = 0;  // invalidates in-flight events on reprogram
+  uint64_t ticks_ = 0;
+};
+
+}  // namespace hw
+
+#endif  // SRC_HW_TIMER_DEVICE_H_

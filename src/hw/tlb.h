@@ -1,0 +1,53 @@
+// TLB model. The Pentium and 604 of the paper had no address-space tags, so
+// an address-space switch flushes the whole TLB; the refill cost after a
+// switch is one of the context-switch costs the paper calls out.
+#ifndef SRC_HW_TLB_H_
+#define SRC_HW_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/types.h"
+
+namespace hw {
+
+struct TlbConfig {
+  uint32_t entries = 64;  // Pentium DTLB: 64 entries
+  uint32_t ways = 4;
+};
+
+struct TlbStats {
+  uint64_t accesses = 0;
+  uint64_t misses = 0;
+  uint64_t flushes = 0;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config);
+
+  // Touch the translation for virtual page `vpn`. Returns true on hit; on a
+  // miss the entry is installed (the page walk itself is charged by the CPU).
+  bool Access(uint64_t vpn);
+
+  void Flush();
+
+  const TlbStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint64_t vpn = 0;
+    bool valid = false;
+    uint64_t lru = 0;
+  };
+
+  TlbConfig config_;
+  uint32_t num_sets_;
+  std::vector<Entry> entries_;
+  uint64_t tick_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace hw
+
+#endif  // SRC_HW_TLB_H_

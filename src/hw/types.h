@@ -1,0 +1,28 @@
+// Fundamental simulated-hardware types.
+#ifndef SRC_HW_TYPES_H_
+#define SRC_HW_TYPES_H_
+
+#include <cstdint>
+
+namespace hw {
+
+// Simulated processor cycles. All time in the system derives from this.
+using Cycles = uint64_t;
+
+// Simulated physical and virtual addresses. The simulation uses a 32-bit
+// style address space (the machines of the paper were 32-bit), carried in
+// 64-bit integers for convenience.
+using PhysAddr = uint64_t;
+using VirtAddr = uint64_t;
+
+inline constexpr uint32_t kPageShift = 12;
+inline constexpr uint64_t kPageSize = 1ull << kPageShift;
+inline constexpr uint64_t kPageMask = kPageSize - 1;
+
+inline constexpr uint64_t PageTrunc(uint64_t addr) { return addr & ~kPageMask; }
+inline constexpr uint64_t PageRound(uint64_t addr) { return (addr + kPageMask) & ~kPageMask; }
+inline constexpr uint64_t PageIndex(uint64_t addr) { return addr >> kPageShift; }
+
+}  // namespace hw
+
+#endif  // SRC_HW_TYPES_H_

@@ -1,0 +1,54 @@
+#include "src/mk/context.h"
+
+#include "src/base/log.h"
+
+// x86-64 SysV: rbx, rbp, r12-r15 are callee-saved; everything else is dead
+// across an ordinary function call, which is exactly what WposCtxSwitch is.
+asm(R"(
+.text
+.globl WposCtxSwitch
+.type WposCtxSwitch,@function
+.align 16
+WposCtxSwitch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  ret
+.size WposCtxSwitch,.-WposCtxSwitch
+)");
+
+namespace mk {
+
+void* WposCtxMake(void* stack_top, void (*entry)()) {
+  // Find the highest 16-byte-aligned slot and place the entry address there:
+  // the trailing `ret` of WposCtxSwitch pops it, leaving rsp ≡ 8 (mod 16) at
+  // entry — the normal post-call alignment the ABI promises a function.
+  uintptr_t top = reinterpret_cast<uintptr_t>(stack_top);
+  top &= ~uintptr_t{15};
+  uint64_t* slot = reinterpret_cast<uint64_t*>(top) - 1;
+  // Keep the return slot itself 16-aligned.
+  if ((reinterpret_cast<uintptr_t>(slot) & 15) != 0) {
+    --slot;
+  }
+  WPOS_CHECK((reinterpret_cast<uintptr_t>(slot) & 15) == 0);
+  *slot = reinterpret_cast<uint64_t>(entry);
+  // Six callee-saved register slots below the return address, all zero.
+  uint64_t* sp = slot - 6;
+  for (int i = 0; i < 6; ++i) {
+    sp[i] = 0;
+  }
+  return sp;
+}
+
+}  // namespace mk

@@ -1,0 +1,28 @@
+// Minimal stack-switching primitive for the green threads (x86-64 SysV).
+//
+// This replaces <ucontext.h>: it saves exactly the callee-saved registers on
+// the outgoing stack, records the stack pointer, and resumes the incoming
+// stack symmetrically. No signal masks, no floating-point environment — the
+// simulation never changes either — and the semantics are small enough to
+// audit in one screen.
+#ifndef SRC_MK_CONTEXT_H_
+#define SRC_MK_CONTEXT_H_
+
+#include <cstdint>
+
+namespace mk {
+
+extern "C" {
+// Saves the current context's callee-saved registers and stack pointer into
+// *save_sp, then resumes the context whose stack pointer is load_sp.
+void WposCtxSwitch(void** save_sp, void* load_sp);
+}
+
+// Prepares a fresh stack so that the first WposCtxSwitch into it enters
+// `entry` with a 16-byte-aligned stack. `stack_top` is the high end of the
+// stack region (exclusive). Returns the initial saved stack pointer.
+void* WposCtxMake(void* stack_top, void (*entry)());
+
+}  // namespace mk
+
+#endif  // SRC_MK_CONTEXT_H_

@@ -1,0 +1,22 @@
+#include "src/mk/host.h"
+
+#include "src/mk/task.h"
+
+namespace mk {
+
+base::Status Host::AssignTask(Task& task, ProcessorSet* pset) {
+  if (pset == nullptr) {
+    return base::Status::kInvalidArgument;
+  }
+  if (!pset->enabled()) {
+    return base::Status::kPermissionDenied;
+  }
+  if (task.processor_set() != nullptr) {
+    --task.processor_set()->tasks_assigned;
+  }
+  task.set_processor_set(pset);
+  ++pset->tasks_assigned;
+  return base::Status::kOk;
+}
+
+}  // namespace mk

@@ -1,0 +1,80 @@
+// Hosts and processor sets — the Mach abstraction of the machine itself.
+// The simulated machine is a uniprocessor, so processor sets act as
+// scheduling-admission groups rather than real partitions; the API shape is
+// what WPOS's personality-neutral code programmed against.
+#ifndef SRC_MK_HOST_H_
+#define SRC_MK_HOST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace mk {
+
+class Task;
+
+struct HostInfo {
+  std::string name;
+  uint32_t cpu_count = 1;
+  uint64_t cpu_mhz = 0;
+  uint64_t memory_bytes = 0;
+  uint64_t page_size = 4096;
+};
+
+class ProcessorSet {
+ public:
+  ProcessorSet(uint32_t id, std::string name, bool enabled)
+      : id_(id), name_(std::move(name)), enabled_(enabled) {}
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool e) { enabled_ = e; }
+
+  uint64_t tasks_assigned = 0;
+
+ private:
+  uint32_t id_;
+  std::string name_;
+  bool enabled_;
+};
+
+class Host {
+ public:
+  explicit Host(HostInfo info = HostInfo()) : info_(std::move(info)) {
+    // The default pset always exists and is always enabled.
+    psets_.push_back(std::make_unique<ProcessorSet>(0, "default", true));
+  }
+
+  const HostInfo& info() const { return info_; }
+  void set_info(HostInfo info) { info_ = std::move(info); }
+
+  ProcessorSet* default_pset() { return psets_.front().get(); }
+  ProcessorSet* CreateProcessorSet(const std::string& name) {
+    psets_.push_back(std::make_unique<ProcessorSet>(next_id_++, name, true));
+    return psets_.back().get();
+  }
+  ProcessorSet* FindProcessorSet(uint32_t id) {
+    for (auto& ps : psets_) {
+      if (ps->id() == id) {
+        return ps.get();
+      }
+    }
+    return nullptr;
+  }
+  const std::vector<std::unique_ptr<ProcessorSet>>& psets() const { return psets_; }
+
+  base::Status AssignTask(Task& task, ProcessorSet* pset);
+
+ private:
+  HostInfo info_;
+  std::vector<std::unique_ptr<ProcessorSet>> psets_;
+  uint32_t next_id_ = 1;
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_HOST_H_

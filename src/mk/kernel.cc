@@ -1,0 +1,432 @@
+// Kernel core: boot, tasks/threads, ports, traps, interrupts, instrumentation.
+// VM lives in kernel_vm.cc, RPC in kernel_rpc.cc, legacy IPC in kernel_ipc.cc,
+// synchronizers/clocks/timers/IO in kernel_sync.cc.
+#include "src/mk/kernel.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/mk/vm_object.h"
+
+namespace mk {
+
+namespace {
+// Kernel data structures live in their own simulated address range. The
+// addresses are never backed by PhysMem storage — only the cache model sees
+// them — so the range can sit above RAM.
+constexpr hw::PhysAddr kKernelHeapBase = 0x8000'0000ull;
+
+const hw::CodeRegion& TrapEntryRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.trap.entry", Costs::kTrapEntry);
+  return r;
+}
+const hw::CodeRegion& TrapExitRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.trap.exit", Costs::kTrapExit);
+  return r;
+}
+const hw::CodeRegion& CopyLoopRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.lib.copy_loop", 48);
+  return r;
+}
+const hw::CodeRegion& ThreadSelfRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.trap.thread_self", Costs::kThreadSelfBody);
+  return r;
+}
+const hw::CodeRegion& TaskSelfRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.trap.task_self", Costs::kThreadSelfBody);
+  return r;
+}
+const hw::CodeRegion& PortLookupRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.port.lookup", Costs::kPortNameLookup);
+  return r;
+}
+const hw::CodeRegion& PortAllocRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.port.allocate", Costs::kPortAllocate);
+  return r;
+}
+const hw::CodeRegion& PortTransferRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.port.transfer", Costs::kPortRightTransfer);
+  return r;
+}
+const hw::CodeRegion& PortDestroyRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.port.destroy", Costs::kPortDeallocate);
+  return r;
+}
+const hw::CodeRegion& TaskCreateRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.task.create", Costs::kTaskCreate);
+  return r;
+}
+const hw::CodeRegion& ThreadCreateRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.thread.create", Costs::kThreadCreate);
+  return r;
+}
+const hw::CodeRegion& InterruptRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.io.intr_deliver", Costs::kInterruptDeliver);
+  return r;
+}
+const hw::CodeRegion& InterruptReflectRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.io.intr_reflect", Costs::kInterruptReflect);
+  return r;
+}
+}  // namespace
+
+Kernel::Kernel(hw::Machine* machine, const KernelConfig& config)
+    : machine_(machine), config_(config), scheduler_(this) {
+  heap_ = std::make_unique<KernelHeap>(kKernelHeapBase, config.kernel_heap_bytes);
+  scheduler_.quantum_cycles = config.quantum_cycles;
+  HostInfo info;
+  info.name = "wpos-sim";
+  info.cpu_mhz = machine->cpu().config().mhz;
+  info.memory_bytes = machine->mem().size();
+  host_.set_info(info);
+}
+
+Kernel::~Kernel() = default;
+
+size_t Kernel::Run() {
+  scheduler_.Run();
+  size_t blocked = 0;
+  for (const auto& t : threads_) {
+    if (t->state() == Thread::State::kBlocked) {
+      ++blocked;
+      WPOS_LOG(kWarn) << "thread still blocked at halt: " << t->name();
+    }
+  }
+  return blocked;
+}
+
+void Kernel::EnterKernel(const hw::CodeRegion& trap_entry_region) {
+  PollHardware();
+  cpu().Stall(Costs::kTrapStallCycles);
+  cpu().BusTransactions(Costs::kTrapEntryBus);
+  cpu().Execute(trap_entry_region);
+}
+
+void Kernel::LeaveKernel() {
+  cpu().Execute(TrapExitRegion());
+  cpu().BusTransactions(Costs::kTrapExitBus);
+  Thread* t = scheduler_.current();
+  if (t != nullptr && cpu().cycles() - t->dispatch_cycle > scheduler_.quantum_cycles) {
+    scheduler_.Yield();
+  }
+}
+
+void Kernel::PollHardware() {
+  machine_->PollEvents();
+  hw::InterruptController& pic = machine_->pic();
+  int line;
+  while ((line = pic.NextPending()) >= 0) {
+    pic.Ack(static_cast<uint32_t>(line));
+    DispatchInterrupt(static_cast<uint32_t>(line));
+  }
+}
+
+void Kernel::DispatchInterrupt(uint32_t line) {
+  ++interrupts_delivered_;
+  cpu().Stall(Costs::kContextSwitchStallCycles);  // pipeline drain
+  cpu().Execute(InterruptRegion());
+  auto it = interrupt_bindings_.find(line);
+  if (it == interrupt_bindings_.end()) {
+    WPOS_LOG(kDebug) << "unclaimed interrupt line " << line;
+    return;
+  }
+  InterruptBinding& binding = it->second;
+  if (binding.kernel_handler) {
+    binding.kernel_handler();
+  }
+  if (binding.reflect_port != nullptr && !binding.reflect_port->dead()) {
+    cpu().Execute(InterruptReflectRegion());
+    auto qm = std::make_unique<QueuedMessage>();
+    qm->msg_id = 0x1000 + line;
+    qm->kernel_buffer = heap_->Allocate(64);
+    qm->send_cycle = cpu().cycles();
+    Port* port = binding.reflect_port;
+    if (port->queue.size() >= port->queue_limit) {
+      WPOS_LOG(kDebug) << "dropping interrupt notification, queue full, line " << line;
+      return;
+    }
+    port->queue.push_back(std::move(qm));
+    WakeOneReceiver(port);
+  }
+}
+
+void Kernel::RegisterKernelInterrupt(uint32_t line, std::function<void()> handler) {
+  interrupt_bindings_[line].kernel_handler = std::move(handler);
+}
+
+base::Status Kernel::ReflectInterrupt(Task& task, uint32_t line, PortName port) {
+  auto p = task.port_space().LookupReceive(port);
+  if (!p.ok()) {
+    return p.status();
+  }
+  interrupt_bindings_[line].reflect_task = &task;
+  interrupt_bindings_[line].reflect_port = *p;
+  return base::Status::kOk;
+}
+
+uint32_t Kernel::IoRead(hw::Device* device, uint32_t reg) {
+  static const hw::CodeRegion kRegion = hw::DefineKernelCode("mk.io.reg_access", Costs::kIoRegAccess);
+  cpu().Execute(kRegion);
+  cpu().AccessUncached(device->reg_base() + reg, 4, /*write=*/false);
+  return machine_->DeviceRead(device->reg_base() + reg);
+}
+
+void Kernel::IoWrite(hw::Device* device, uint32_t reg, uint32_t value) {
+  static const hw::CodeRegion kRegion = hw::DefineKernelCode("mk.io.reg_access", Costs::kIoRegAccess);
+  cpu().Execute(kRegion);
+  cpu().AccessUncached(device->reg_base() + reg, 4, /*write=*/true);
+  machine_->DeviceWrite(device->reg_base() + reg, value);
+}
+
+// --- Tasks and threads ---------------------------------------------------------
+
+Task* Kernel::CreateTask(const std::string& name, uint32_t app_footprint_instr) {
+  cpu().Execute(TaskCreateRegion());
+  const hw::PhysAddr sim_addr = heap_->Allocate(512);
+  const hw::PhysAddr pt_base = heap_->Allocate(Pmap::kPteWindowEntries * 4, hw::kPageSize);
+  auto task = std::make_unique<Task>(next_task_id_++, name, sim_addr, pt_base);
+  if (app_footprint_instr == 0) {
+    app_footprint_instr = config_.default_app_footprint;
+  }
+  task->app_code = hw::DefineKernelCode("app." + name, app_footprint_instr);
+  task->set_processor_set(host_.default_pset());
+  ++host_.default_pset()->tasks_assigned;
+  Port* self = NewPort();
+  self->set_receiver(task.get());
+  task->set_self_port(self);
+  tasks_.push_back(std::move(task));
+  return tasks_.back().get();
+}
+
+Thread* Kernel::CreateThread(Task* task, const std::string& name, ThreadBody body, int priority) {
+  WPOS_CHECK(task != nullptr);
+  WPOS_CHECK(priority >= 0 && priority < Thread::kNumPriorities);
+  cpu().Execute(ThreadCreateRegion());
+  const hw::PhysAddr sim_addr = heap_->Allocate(512);
+  const hw::PhysAddr window = heap_->Allocate(Thread::kMsgWindowSize, 64);
+  auto thread = std::make_unique<Thread>(next_thread_id_++, task, name, priority, sim_addr, window);
+  Thread* t = thread.get();
+  t->entry_ = [this, t, body = std::move(body)] {
+    Env env(*this, t);
+    body(env);
+  };
+  task->threads().push_back(t);
+  threads_.push_back(std::move(thread));
+  scheduler_.StartThread(t);
+  return t;
+}
+
+base::Status Kernel::ThreadJoin(Thread* target) {
+  WPOS_CHECK(scheduler_.current() != nullptr) << "ThreadJoin outside thread context";
+  if (target->state() == Thread::State::kTerminated) {
+    return base::Status::kOk;
+  }
+  return scheduler_.Block(Thread::State::kBlocked, &target->exit_waiters);
+}
+
+void Kernel::TerminateTask(Task* task) {
+  task->set_terminated();
+  for (Thread* t : task->threads()) {
+    if (t->state() == Thread::State::kBlocked) {
+      scheduler_.Wake(t, base::Status::kAborted);
+    }
+  }
+}
+
+// --- Ports ------------------------------------------------------------------------
+
+void Kernel::WakeOneReceiver(Port* port) {
+  if (Thread* receiver = port->blocked_receivers.DequeueFront()) {
+    receiver->waiting_on = nullptr;
+    scheduler_.Wake(receiver, base::Status::kOk);
+    return;
+  }
+  // Nobody on the port: a receiver may be parked on its port set.
+  if (port->member_of != nullptr) {
+    if (Thread* receiver = port->member_of->blocked_receivers.DequeueFront()) {
+      receiver->waiting_on = nullptr;
+      scheduler_.Wake(receiver, base::Status::kOk);
+    }
+  }
+}
+
+Port* Kernel::NewPort() {
+  ports_.push_back(std::make_unique<Port>(next_port_id_++, heap_->Allocate(128)));
+  return ports_.back().get();
+}
+
+void Kernel::DestroyPort(Port* port) {
+  port->MarkDead();
+  while (Thread* t = port->blocked_receivers.DequeueFront()) {
+    t->waiting_on = nullptr;
+    scheduler_.Wake(t, base::Status::kPortDead);
+  }
+  while (Thread* t = port->blocked_senders.DequeueFront()) {
+    t->waiting_on = nullptr;
+    scheduler_.Wake(t, base::Status::kPortDead);
+  }
+  for (Thread* t : port->waiting_servers) {
+    scheduler_.Wake(t, base::Status::kPortDead);
+  }
+  port->waiting_servers.clear();
+  for (Thread* t : port->waiting_clients) {
+    t->rpc.completion = base::Status::kPortDead;
+    scheduler_.Wake(t, base::Status::kPortDead);
+  }
+  port->waiting_clients.clear();
+}
+
+base::Result<PortName> Kernel::PortAllocate(Task& task) {
+  cpu().Execute(PortAllocRegion());
+  Port* port = NewPort();
+  port->set_receiver(&task);
+  cpu().AccessData(port->sim_addr(), 64, /*write=*/true);
+  cpu().AccessData(task.port_space().sim_addr(), 32, /*write=*/true);
+  return task.port_space().Insert(port, RightType::kReceive);
+}
+
+base::Status Kernel::PortDestroy(Task& task, PortName name) {
+  cpu().Execute(PortDestroyRegion());
+  auto port = task.port_space().LookupReceive(name);
+  if (!port.ok()) {
+    return port.status();
+  }
+  DestroyPort(*port);
+  return task.port_space().Release(name);
+}
+
+base::Result<PortName> Kernel::MakeSendRight(Task& from, PortName receive_name, Task& to) {
+  cpu().Execute(PortTransferRegion());
+  auto port = from.port_space().LookupReceive(receive_name);
+  if (!port.ok()) {
+    return port.status();
+  }
+  cpu().AccessData(to.port_space().sim_addr(), 32, /*write=*/true);
+  return to.port_space().Insert(*port, RightType::kSend);
+}
+
+base::Result<PortName> Kernel::PortSetAllocate(Task& task) {
+  cpu().Execute(PortAllocRegion());
+  Port* set = NewPort();
+  set->is_port_set = true;
+  set->set_receiver(&task);
+  cpu().AccessData(set->sim_addr(), 64, /*write=*/true);
+  return task.port_space().Insert(set, RightType::kReceive);
+}
+
+base::Status Kernel::PortSetAdd(Task& task, PortName set_name, PortName member_receive) {
+  cpu().Execute(PortTransferRegion());
+  auto set = task.port_space().LookupReceive(set_name);
+  if (!set.ok()) {
+    return set.status();
+  }
+  if (!(*set)->is_port_set) {
+    return base::Status::kInvalidRight;
+  }
+  auto member = task.port_space().LookupReceive(member_receive);
+  if (!member.ok()) {
+    return member.status();
+  }
+  if ((*member)->is_port_set) {
+    return base::Status::kInvalidArgument;  // sets do not nest
+  }
+  if ((*member)->member_of != nullptr) {
+    return base::Status::kAlreadyExists;
+  }
+  (*member)->member_of = *set;
+  (*set)->set_members.push_back(*member);
+  return base::Status::kOk;
+}
+
+base::Status Kernel::PortSetRemove(Task& task, PortName set_name, PortName member_receive) {
+  auto set = task.port_space().LookupReceive(set_name);
+  if (!set.ok()) {
+    return set.status();
+  }
+  auto member = task.port_space().LookupReceive(member_receive);
+  if (!member.ok()) {
+    return member.status();
+  }
+  if ((*member)->member_of != *set) {
+    return base::Status::kNotFound;
+  }
+  (*member)->member_of = nullptr;
+  auto& members = (*set)->set_members;
+  members.erase(std::find(members.begin(), members.end(), *member));
+  return base::Status::kOk;
+}
+
+base::Result<Port*> Kernel::ResolvePort(Task& task, PortName name) {
+  auto right = task.port_space().Lookup(name);
+  if (!right.ok()) {
+    return right.status();
+  }
+  return (*right)->port;
+}
+
+// --- Traps -------------------------------------------------------------------------
+
+PortName Kernel::TrapThreadSelf() {
+  Thread* t = scheduler_.current();
+  WPOS_CHECK(t != nullptr) << "TrapThreadSelf outside thread context";
+  EnterKernel(TrapEntryRegion());
+  cpu().Execute(ThreadSelfRegion());
+  cpu().AccessData(t->sim_addr(), 32, /*write=*/false);
+  if (t->self_port() == nullptr) {
+    Port* port = NewPort();
+    port->set_receiver(t->task());
+    t->set_self_port(port);
+    cpu().Execute(PortAllocRegion());
+    cpu().Execute(PortLookupRegion());
+    cpu().AccessData(t->task()->port_space().sim_addr(), 32, /*write=*/true);
+    t->set_self_port_name(t->task()->port_space().Insert(port, RightType::kSend));
+  } else {
+    cpu().Execute(PortLookupRegion());
+    cpu().AccessData(t->task()->port_space().sim_addr(), 16, /*write=*/false);
+  }
+  const PortName name = t->self_port_name();
+  LeaveKernel();
+  return name;
+}
+
+TaskId Kernel::TrapTaskSelf() {
+  Thread* t = scheduler_.current();
+  WPOS_CHECK(t != nullptr);
+  EnterKernel(TrapEntryRegion());
+  cpu().Execute(TaskSelfRegion());
+  cpu().AccessData(t->task()->sim_addr(), 16, /*write=*/false);
+  const TaskId id = t->task()->id();
+  LeaveKernel();
+  return id;
+}
+
+// --- Instrumentation ------------------------------------------------------------------
+
+void Kernel::ChargeCopy(hw::PhysAddr src, hw::PhysAddr dst, uint64_t len) {
+  if (len == 0) {
+    return;
+  }
+  cpu().ExecuteInstructions(CopyLoopRegion(),
+                            Costs::kCopyLoopOverhead + len / Costs::kCopyBytesPerInstr);
+  const uint32_t line = cpu().config().dcache.line_bytes;
+  for (uint64_t off = 0; off < len; off += line) {
+    const uint32_t chunk = static_cast<uint32_t>(len - off < line ? len - off : line);
+    cpu().AccessData(src + off, chunk, /*write=*/false);
+    cpu().AccessData(dst + off, chunk, /*write=*/true);
+  }
+}
+
+// --- Env ---------------------------------------------------------------------------------
+
+void Env::Compute(uint64_t instructions) {
+  kernel_.cpu().ExecuteInstructions(thread_->task()->app_code, instructions);
+}
+
+PortName Env::ThreadSelf() {
+  static const hw::CodeRegion kStub =
+      hw::DefineKernelCode("ustub.thread_self", Costs::kUserTrapStub);
+  kernel_.cpu().Execute(kStub);
+  return kernel_.TrapThreadSelf();
+}
+
+}  // namespace mk

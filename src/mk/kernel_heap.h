@@ -1,0 +1,44 @@
+// Kernel "heap" of simulated physical addresses.
+//
+// Kernel objects (threads, ports, message buffers, page tables) are ordinary
+// C++ objects, but the D-cache model needs physical addresses for them so
+// that walking a port space or touching a thread control block has realistic
+// cache behaviour. Each kernel object asks this allocator for a simulated
+// address range at construction. The range is carved from machine RAM so the
+// kernel's data competes for the same cache sets as user data, as it did on
+// the real machines.
+#ifndef SRC_MK_KERNEL_HEAP_H_
+#define SRC_MK_KERNEL_HEAP_H_
+
+#include <cstdint>
+
+#include "src/base/log.h"
+#include "src/hw/types.h"
+
+namespace mk {
+
+class KernelHeap {
+ public:
+  KernelHeap(hw::PhysAddr base, uint64_t size) : base_(base), next_(base), end_(base + size) {}
+
+  hw::PhysAddr Allocate(uint64_t size, uint64_t align = 16) {
+    hw::PhysAddr addr = (next_ + align - 1) & ~(align - 1);
+    WPOS_CHECK(addr + size <= end_) << "kernel heap exhausted";
+    next_ = addr + size;
+    bytes_allocated_ += size;
+    return addr;
+  }
+
+  uint64_t bytes_allocated() const { return bytes_allocated_; }
+  hw::PhysAddr base() const { return base_; }
+
+ private:
+  hw::PhysAddr base_;
+  hw::PhysAddr next_;
+  hw::PhysAddr end_;
+  uint64_t bytes_allocated_ = 0;
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_KERNEL_HEAP_H_

@@ -1,0 +1,450 @@
+// The reworked RPC (paper, "The IBM Microkernel" / IPC section):
+//   - synchronous call, receive and reply; no reply ports, no queuing
+//   - threads block waiting to send or receive
+//   - physical copy replaces virtual copy; large data passed by reference and
+//     copied directly from sender to receiver
+//   - direct thread handoff between client and server.
+#include "src/base/log.h"
+#include "src/mk/kernel.h"
+
+namespace mk {
+
+namespace {
+const hw::CodeRegion& ClientStubRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("ustub.rpc_call", Costs::kRpcClientStub);
+  return r;
+}
+const hw::CodeRegion& SendPathRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.rpc.send", Costs::kRpcSendPath);
+  return r;
+}
+const hw::CodeRegion& ReceivePathRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.rpc.receive", Costs::kRpcReceivePath);
+  return r;
+}
+const hw::CodeRegion& ReplyPathRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.rpc.reply", Costs::kRpcReplyPath);
+  return r;
+}
+const hw::CodeRegion& TrapEntry() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.trap.entry", Costs::kTrapEntry);
+  return r;
+}
+const hw::CodeRegion& RightsRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.rpc.rights", Costs::kPortRightTransfer);
+  return r;
+}
+// Offset within a thread's message window where by-reference bulk data is
+// modelled (separate from the inline request/reply area).
+constexpr uint64_t kRefWindowOffset = 16 * 1024;
+}  // namespace
+
+void Kernel::CopyMessageBytes(const void* src, void* dst, uint64_t len, Thread* from, Thread* to) {
+  if (len == 0) {
+    return;
+  }
+  std::memcpy(dst, src, len);
+  const hw::PhysAddr src_win = from != nullptr ? from->msg_window() : heap_->base();
+  const hw::PhysAddr dst_win = to != nullptr ? to->msg_window() : heap_->base();
+  // Wrap long transfers around the modelled window.
+  const uint64_t span = len < Thread::kMsgWindowSize ? len : Thread::kMsgWindowSize;
+  ChargeCopy(src_win, dst_win, span);
+}
+
+base::Status Kernel::TransferRights(Task& from, Task& to, const RightDescriptor* rights,
+                                    uint32_t count, std::vector<PortName>* out_names) {
+  for (uint32_t i = 0; i < count; ++i) {
+    cpu().Execute(RightsRegion());
+    auto port = from.port_space().LookupSendable(rights[i].name);
+    if (!port.ok()) {
+      return port.status();
+    }
+    cpu().AccessData(to.port_space().sim_addr(), 32, /*write=*/true);
+    const PortName name = to.port_space().Insert(*port, rights[i].disposition);
+    if (out_names != nullptr) {
+      out_names->push_back(name);
+    }
+    if (rights[i].disposition == RightType::kReceive) {
+      (*port)->set_receiver(&to);
+    }
+  }
+  return base::Status::kOk;
+}
+
+// Moves the client's request (inline bytes, by-reference data, rights) into
+// the waiting server's posted buffers. Returns false and completes the
+// client's call with an error if the request does not fit.
+void Kernel::DeliverRpcToServer(Thread* client, Thread* server) {
+  Thread::RpcState& c = client->rpc;
+  Thread::RpcState& s = server->rpc;
+  if (c.req_len > s.srv_cap) {
+    c.completion = base::Status::kTooLarge;
+    return;
+  }
+  CopyMessageBytes(c.req_data, s.srv_buf, c.req_len, client, server);
+  s.srv_req_len = c.req_len;
+  s.srv_ref_len = 0;
+  if (c.ref != nullptr && c.ref->send_len > 0) {
+    if (s.srv_ref == nullptr || c.ref->send_len > s.srv_ref->recv_cap) {
+      c.completion = base::Status::kTooLarge;
+      return;
+    }
+    std::memcpy(s.srv_ref->recv_buf, c.ref->send_data, c.ref->send_len);
+    const uint64_t span = c.ref->send_len < Thread::kMsgWindowSize - kRefWindowOffset
+                              ? c.ref->send_len
+                              : Thread::kMsgWindowSize - kRefWindowOffset;
+    ChargeCopy(client->msg_window() + kRefWindowOffset, server->msg_window() + kRefWindowOffset,
+               span);
+    s.srv_ref->recv_len = c.ref->send_len;
+    s.srv_ref_len = c.ref->send_len;
+  }
+  s.srv_rights.clear();
+  if (c.req_rights != nullptr && c.req_rights_count > 0) {
+    const base::Status st = TransferRights(*client->task(), *server->task(), c.req_rights,
+                                           c.req_rights_count, &s.srv_rights);
+    if (st != base::Status::kOk) {
+      c.completion = st;
+      return;
+    }
+  }
+  s.client = client;
+  s.token = next_rpc_token_++;
+  c.token = s.token;
+  rpc_waiters_[s.token] = client;
+  s.srv_client_task = client->task()->id();
+  c.completion = base::Status::kOk;
+}
+
+base::Status Kernel::RpcCall(PortName port_name, const void* req, uint32_t req_len, void* reply,
+                             uint32_t reply_cap, uint32_t* reply_len, RpcRef* ref,
+                             const RightDescriptor* rights, uint32_t rights_count,
+                             PortName* granted) {
+  Thread* client = scheduler_.current();
+  WPOS_CHECK(client != nullptr) << "RpcCall outside thread context";
+  cpu().Execute(ClientStubRegion());
+  EnterKernel(TrapEntry());
+  cpu().Execute(SendPathRegion());
+  cpu().AccessData(client->task()->port_space().sim_addr(), 32, /*write=*/false);
+  auto port_r = client->task()->port_space().LookupSendable(port_name);
+  if (!port_r.ok()) {
+    LeaveKernel();
+    return port_r.status();
+  }
+  LeaveKernel();  // cost bracketing only; the call continues below
+  const base::Status st =
+      RpcCallOnPort(*port_r, req, req_len, reply, reply_cap, reply_len, ref, rights, rights_count,
+                    granted);
+  return st;
+}
+
+base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len, void* reply,
+                                   uint32_t reply_cap, uint32_t* reply_len, RpcRef* ref,
+                                   const RightDescriptor* rights, uint32_t rights_count,
+                                   PortName* granted) {
+  Thread* client = scheduler_.current();
+  WPOS_CHECK(client != nullptr);
+  if (port->dead()) {
+    return base::Status::kPortDead;
+  }
+  ++rpc_calls_;
+  ++port->rpc_count;
+  cpu().AccessData(port->sim_addr(), 64, /*write=*/true);
+
+  Thread::RpcState& c = client->rpc;
+  c.req_data = req;
+  c.req_len = req_len;
+  c.reply_buf = reply;
+  c.reply_cap = reply_cap;
+  c.reply_len = 0;
+  c.ref = ref;
+  c.req_rights = rights;
+  c.req_rights_count = rights_count;
+  c.granted_right = kNullPort;
+  c.completion = base::Status::kOk;
+  c.port = port;
+
+  // A server may be parked on the port itself or on the set it belongs to.
+  std::deque<Thread*>* server_queue = nullptr;
+  if (!port->waiting_servers.empty()) {
+    server_queue = &port->waiting_servers;
+  } else if (port->member_of != nullptr && !port->member_of->waiting_servers.empty()) {
+    server_queue = &port->member_of->waiting_servers;
+  }
+  if (server_queue != nullptr) {
+    Thread* server = server_queue->front();
+    server_queue->pop_front();
+    server->rpc.arrived_port = port->id();
+    DeliverRpcToServer(client, server);
+    if (c.completion != base::Status::kOk) {
+      // Delivery failed; re-park the server, fail the call.
+      server_queue->push_front(server);
+      return c.completion;
+    }
+    scheduler_.Wake(server, base::Status::kOk);
+    const base::Status block_status = scheduler_.BlockAndHandoff(nullptr, server);
+    if (block_status != base::Status::kOk) {
+      rpc_waiters_.erase(c.token);
+      return block_status;
+    }
+  } else {
+    port->waiting_clients.push_back(client);
+    const base::Status block_status = scheduler_.Block(Thread::State::kBlocked, nullptr);
+    if (block_status != base::Status::kOk) {
+      // Aborted or port died while queued; make sure we are off the list.
+      for (auto it = port->waiting_clients.begin(); it != port->waiting_clients.end(); ++it) {
+        if (*it == client) {
+          port->waiting_clients.erase(it);
+          break;
+        }
+      }
+      rpc_waiters_.erase(c.token);
+      return block_status;
+    }
+    // A server received our request and will reply; if the reply already
+    // happened (it must have — we were woken by RpcReply or an error), fall
+    // through.
+  }
+  if (reply_len != nullptr) {
+    *reply_len = c.reply_len;
+  }
+  if (granted != nullptr) {
+    *granted = c.granted_right;
+  }
+  return c.completion;
+}
+
+base::Result<RpcRequest> Kernel::RpcReceive(PortName receive_name, void* buf, uint32_t cap,
+                                            RpcRef* ref) {
+  Thread* server = scheduler_.current();
+  WPOS_CHECK(server != nullptr) << "RpcReceive outside thread context";
+  EnterKernel(TrapEntry());
+  cpu().Execute(ReceivePathRegion());
+  cpu().AccessData(server->task()->port_space().sim_addr(), 32, /*write=*/false);
+  auto port_r = server->task()->port_space().LookupReceive(receive_name);
+  if (!port_r.ok()) {
+    LeaveKernel();
+    return port_r.status();
+  }
+  Port* port = *port_r;
+  Thread::RpcState& s = server->rpc;
+  s.srv_buf = buf;
+  s.srv_cap = cap;
+  s.srv_ref = ref;
+  if (ref != nullptr) {
+    ref->recv_len = 0;
+  }
+
+  // Receiving on a port set services whichever member has a caller waiting.
+  Port* source = port;
+  if (port->is_port_set) {
+    source = nullptr;
+    for (Port* member : port->set_members) {
+      if (!member->waiting_clients.empty()) {
+        source = member;
+        break;
+      }
+    }
+  } else if (!port->waiting_clients.empty()) {
+    source = port;
+  } else {
+    source = nullptr;
+  }
+  if (source != nullptr) {
+    Thread* client = source->waiting_clients.front();
+    source->waiting_clients.pop_front();
+    server->rpc.arrived_port = source->id();
+    DeliverRpcToServer(client, server);
+    if (client->rpc.completion != base::Status::kOk) {
+      // The queued request didn't fit; fail the client, keep receiving.
+      scheduler_.Wake(client, client->rpc.completion);
+      LeaveKernel();
+      return base::Status::kTooLarge;
+    }
+  } else {
+    port->waiting_servers.push_back(server);
+    const base::Status st = scheduler_.Block(Thread::State::kBlocked, nullptr);
+    if (st != base::Status::kOk) {
+      for (auto it = port->waiting_servers.begin(); it != port->waiting_servers.end(); ++it) {
+        if (*it == server) {
+          port->waiting_servers.erase(it);
+          break;
+        }
+      }
+      LeaveKernel();
+      return st;
+    }
+  }
+  RpcRequest out;
+  out.token = s.token;
+  out.arrived_port = s.arrived_port;
+  out.req_len = s.srv_req_len;
+  out.ref_len = s.srv_ref_len;
+  out.rights = std::move(s.srv_rights);
+  out.client_task = s.srv_client_task;
+  LeaveKernel();
+  return out;
+}
+
+// Copies the reply (inline, bulk, granted right) into the blocked client's
+// posted buffers. Shared by RpcReply and RpcReplyAndReceive.
+base::Status Kernel::DeliverReply(Thread* server, Thread* client, const void* reply,
+                                  uint32_t len, const void* ref_data, uint32_t ref_len,
+                                  PortName grant, base::Status completion) {
+  Thread::RpcState& c = client->rpc;
+  c.completion = completion;
+  if (len > c.reply_cap) {
+    c.completion = base::Status::kTooLarge;
+  } else {
+    CopyMessageBytes(reply, c.reply_buf, len, server, client);
+    c.reply_len = len;
+  }
+  if (ref_data != nullptr && ref_len > 0 && c.completion == base::Status::kOk) {
+    if (c.ref == nullptr || ref_len > c.ref->recv_cap) {
+      c.completion = base::Status::kTooLarge;
+    } else {
+      std::memcpy(c.ref->recv_buf, ref_data, ref_len);
+      const uint64_t span = ref_len < Thread::kMsgWindowSize - kRefWindowOffset
+                                ? ref_len
+                                : Thread::kMsgWindowSize - kRefWindowOffset;
+      ChargeCopy(server->msg_window() + kRefWindowOffset, client->msg_window() + kRefWindowOffset,
+                 span);
+      c.ref->recv_len = ref_len;
+    }
+  }
+  if (grant != kNullPort && c.completion == base::Status::kOk) {
+    RightDescriptor rd{.name = grant, .disposition = RightType::kSend};
+    std::vector<PortName> names;
+    const base::Status st = TransferRights(*server->task(), *client->task(), &rd, 1, &names);
+    if (st == base::Status::kOk) {
+      c.granted_right = names.front();
+    } else {
+      c.completion = st;
+    }
+  }
+  return c.completion;
+}
+
+base::Result<RpcRequest> Kernel::RpcReplyAndReceive(uint64_t token, const void* reply,
+                                                    uint32_t len, PortName receive_name,
+                                                    void* buf, uint32_t cap, RpcRef* ref,
+                                                    const void* reply_ref_data,
+                                                    uint32_t reply_ref_len, PortName grant) {
+  Thread* server = scheduler_.current();
+  WPOS_CHECK(server != nullptr) << "RpcReplyAndReceive outside thread context";
+  EnterKernel(TrapEntry());
+  cpu().Execute(ReplyPathRegion());
+  cpu().Execute(ReceivePathRegion());
+
+  auto port_r = server->task()->port_space().LookupReceive(receive_name);
+  if (!port_r.ok()) {
+    LeaveKernel();
+    return port_r.status();
+  }
+  Port* port = *port_r;
+
+  auto waiter = rpc_waiters_.find(token);
+  if (waiter == rpc_waiters_.end()) {
+    LeaveKernel();
+    return base::Status::kInvalidArgument;
+  }
+  Thread* client = waiter->second;
+  rpc_waiters_.erase(waiter);
+  if (client->rpc.token != token || client->state() != Thread::State::kBlocked) {
+    LeaveKernel();
+    return base::Status::kInvalidArgument;
+  }
+  server->rpc.client = nullptr;
+  (void)DeliverReply(server, client, reply, len, reply_ref_data, reply_ref_len, grant,
+                     base::Status::kOk);
+
+  // Post the receive buffers BEFORE resuming the replied client, so its next
+  // call finds this server already parked (reply_and_wait).
+  Thread::RpcState& s = server->rpc;
+  s.srv_buf = buf;
+  s.srv_cap = cap;
+  s.srv_ref = ref;
+  if (ref != nullptr) {
+    ref->recv_len = 0;
+  }
+
+  // Serve any caller already queued on a member/port.
+  Port* source = nullptr;
+  if (port->is_port_set) {
+    for (Port* member : port->set_members) {
+      if (!member->waiting_clients.empty()) {
+        source = member;
+        break;
+      }
+    }
+  } else if (!port->waiting_clients.empty()) {
+    source = port;
+  }
+  if (source != nullptr) {
+    Thread* next_client = source->waiting_clients.front();
+    source->waiting_clients.pop_front();
+    server->rpc.arrived_port = source->id();
+    DeliverRpcToServer(next_client, server);
+    scheduler_.Wake(client, base::Status::kOk);
+    RpcRequest out;
+    out.token = s.token;
+    out.arrived_port = s.arrived_port;
+    out.req_len = s.srv_req_len;
+    out.ref_len = s.srv_ref_len;
+    out.rights = std::move(s.srv_rights);
+    out.client_task = s.srv_client_task;
+    LeaveKernel();
+    return out;
+  }
+
+  port->waiting_servers.push_back(server);
+  scheduler_.Wake(client, base::Status::kOk);
+  const base::Status st = scheduler_.BlockAndHandoff(nullptr, client);
+  if (st != base::Status::kOk) {
+    for (auto it = port->waiting_servers.begin(); it != port->waiting_servers.end(); ++it) {
+      if (*it == server) {
+        port->waiting_servers.erase(it);
+        break;
+      }
+    }
+    LeaveKernel();
+    return st;
+  }
+  RpcRequest out;
+  out.token = s.token;
+  out.arrived_port = s.arrived_port;
+  out.req_len = s.srv_req_len;
+  out.ref_len = s.srv_ref_len;
+  out.rights = std::move(s.srv_rights);
+  out.client_task = s.srv_client_task;
+  LeaveKernel();
+  return out;
+}
+
+base::Status Kernel::RpcReply(uint64_t token, const void* reply, uint32_t len,
+                              const void* ref_data, uint32_t ref_len, PortName grant,
+                              base::Status completion) {
+  Thread* server = scheduler_.current();
+  WPOS_CHECK(server != nullptr) << "RpcReply outside thread context";
+  EnterKernel(TrapEntry());
+  cpu().Execute(ReplyPathRegion());
+  auto waiter = rpc_waiters_.find(token);
+  if (waiter == rpc_waiters_.end()) {
+    LeaveKernel();
+    return base::Status::kInvalidArgument;
+  }
+  Thread* client = waiter->second;
+  rpc_waiters_.erase(waiter);
+  if (client->rpc.token != token || client->state() != Thread::State::kBlocked) {
+    LeaveKernel();
+    return base::Status::kInvalidArgument;
+  }
+  server->rpc.client = nullptr;
+  (void)DeliverReply(server, client, reply, len, ref_data, ref_len, grant, completion);
+  scheduler_.Wake(client, base::Status::kOk);
+  // Direct handoff back to the client: the paper's synchronous reply path.
+  scheduler_.HandoffTo(client);
+  LeaveKernel();
+  return base::Status::kOk;
+}
+
+}  // namespace mk

@@ -1,0 +1,271 @@
+// Synchronizers, clocks and timers (paper: "Mach 3.0 also had no notion of
+// synchronization other than that which can be constructed using the IPC
+// system. Since this was too expensive ... we implemented a comprehensive set
+// of synchronizers including both memory- and kernel-based locks and
+// semaphores", plus "a much more extensive time management component").
+#include "src/base/log.h"
+#include "src/mk/kernel.h"
+
+namespace mk {
+
+namespace {
+const hw::CodeRegion& TrapEntry() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.trap.entry", Costs::kTrapEntry);
+  return r;
+}
+const hw::CodeRegion& SemFastRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.sync.sem_fast", Costs::kSemaphoreFast);
+  return r;
+}
+const hw::CodeRegion& SemBlockRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.sync.sem_block", Costs::kSemaphoreBlock);
+  return r;
+}
+const hw::CodeRegion& MemSyncUserRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("ustub.memsync_fast", Costs::kMemSyncUserFast);
+  return r;
+}
+const hw::CodeRegion& MemSyncKernelRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.sync.memsync_wait", Costs::kMemSyncKernelWait);
+  return r;
+}
+const hw::CodeRegion& ClockRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.clock.get_time", Costs::kClockGetTime);
+  return r;
+}
+const hw::CodeRegion& TimerArmRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.clock.timer_arm", Costs::kTimerArm);
+  return r;
+}
+const hw::CodeRegion& TimerFireRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.clock.timer_fire", Costs::kTimerFire);
+  return r;
+}
+}  // namespace
+
+// --- Timed wakes ------------------------------------------------------------------
+
+void Kernel::StartTimedWake(Thread* t, uint64_t timeout_ns) {
+  if (timeout_ns == kForever) {
+    return;
+  }
+  const uint64_t generation = t->wake_generation;
+  const hw::Cycles deadline = cpu().cycles() + cpu().NsToCycles(timeout_ns);
+  machine_->ScheduleAt(deadline, [this, t, generation] {
+    if (t->wake_generation == generation && t->state() == Thread::State::kBlocked) {
+      scheduler_.Wake(t, base::Status::kTimedOut);
+    }
+  });
+}
+
+void Kernel::ClearTimedWake(Thread* t) { ++t->wake_generation; }
+
+// --- Kernel semaphores ----------------------------------------------------------------
+
+base::Result<uint32_t> Kernel::SemCreate(uint32_t initial) {
+  const uint32_t id = next_sem_id_++;
+  Semaphore sem;
+  sem.count = initial;
+  sem.sim_addr = heap_->Allocate(64);
+  semaphores_.emplace(id, std::move(sem));
+  return id;
+}
+
+base::Status Kernel::SemWait(uint32_t sem_id, uint64_t timeout_ns) {
+  Thread* t = scheduler_.current();
+  WPOS_CHECK(t != nullptr) << "SemWait outside thread context";
+  EnterKernel(TrapEntry());
+  cpu().Execute(SemFastRegion());
+  auto it = semaphores_.find(sem_id);
+  if (it == semaphores_.end() || !it->second.alive) {
+    LeaveKernel();
+    return base::Status::kNotFound;
+  }
+  Semaphore& sem = it->second;
+  cpu().AccessData(sem.sim_addr, 8, /*write=*/true);
+  while (sem.count == 0) {
+    cpu().Execute(SemBlockRegion());
+    StartTimedWake(t, timeout_ns);
+    const base::Status st = scheduler_.Block(Thread::State::kBlocked, &sem.waiters);
+    if (st != base::Status::kOk) {
+      LeaveKernel();
+      return st;
+    }
+    if (!it->second.alive) {
+      LeaveKernel();
+      return base::Status::kAborted;
+    }
+  }
+  --sem.count;
+  LeaveKernel();
+  return base::Status::kOk;
+}
+
+base::Status Kernel::SemSignal(uint32_t sem_id) {
+  EnterKernel(TrapEntry());
+  cpu().Execute(SemFastRegion());
+  auto it = semaphores_.find(sem_id);
+  if (it == semaphores_.end() || !it->second.alive) {
+    LeaveKernel();
+    return base::Status::kNotFound;
+  }
+  Semaphore& sem = it->second;
+  cpu().AccessData(sem.sim_addr, 8, /*write=*/true);
+  ++sem.count;
+  if (Thread* waiter = sem.waiters.DequeueFront()) {
+    waiter->waiting_on = nullptr;
+    scheduler_.Wake(waiter, base::Status::kOk);
+  }
+  LeaveKernel();
+  return base::Status::kOk;
+}
+
+base::Status Kernel::SemDestroy(uint32_t sem_id) {
+  auto it = semaphores_.find(sem_id);
+  if (it == semaphores_.end() || !it->second.alive) {
+    return base::Status::kNotFound;
+  }
+  it->second.alive = false;
+  while (Thread* waiter = it->second.waiters.DequeueFront()) {
+    waiter->waiting_on = nullptr;
+    scheduler_.Wake(waiter, base::Status::kAborted);
+  }
+  return base::Status::kOk;
+}
+
+// --- Memory-based synchronizers ------------------------------------------------------------
+
+base::Status Kernel::MemSyncWait(hw::VirtAddr addr, uint32_t expected, uint64_t timeout_ns) {
+  Thread* t = scheduler_.current();
+  WPOS_CHECK(t != nullptr) << "MemSyncWait outside thread context";
+  Task& task = *t->task();
+  // User-level fast path: an atomic compare in shared memory.
+  cpu().Execute(MemSyncUserRegion());
+  auto pa = ResolveForAccess(task, addr, /*write=*/false);
+  if (!pa.ok()) {
+    return pa.status();
+  }
+  AccessUser(task, addr, *pa, 4, /*write=*/false);
+  const uint32_t value = machine_->mem().ReadU32(*pa);
+  if (value != expected) {
+    return base::Status::kOk;  // condition already changed; no kernel entry
+  }
+  // Slow path: park in the kernel keyed by the physical word, so waiters in
+  // different address spaces sharing the page (coerced memory) rendezvous.
+  EnterKernel(TrapEntry());
+  cpu().Execute(MemSyncKernelRegion());
+  WaitQueue& queue = memsync_waiters_[*pa & ~3ull];
+  StartTimedWake(t, timeout_ns);
+  const base::Status st = scheduler_.Block(Thread::State::kBlocked, &queue);
+  LeaveKernel();
+  return st;
+}
+
+uint32_t Kernel::MemSyncWake(hw::VirtAddr addr, uint32_t count) {
+  Thread* t = scheduler_.current();
+  WPOS_CHECK(t != nullptr) << "MemSyncWake outside thread context";
+  cpu().Execute(MemSyncUserRegion());
+  auto pa = ResolveForAccess(*t->task(), addr, /*write=*/false);
+  if (!pa.ok()) {
+    return 0;
+  }
+  auto it = memsync_waiters_.find(*pa & ~3ull);
+  if (it == memsync_waiters_.end() || it->second.empty()) {
+    return 0;  // nobody parked: pure user-level operation
+  }
+  EnterKernel(TrapEntry());
+  cpu().Execute(MemSyncKernelRegion());
+  uint32_t woken = 0;
+  while (woken < count) {
+    Thread* waiter = it->second.DequeueFront();
+    if (waiter == nullptr) {
+      break;
+    }
+    waiter->waiting_on = nullptr;
+    scheduler_.Wake(waiter, base::Status::kOk);
+    ++woken;
+  }
+  LeaveKernel();
+  return woken;
+}
+
+// --- Clocks and timers --------------------------------------------------------------------------
+
+uint64_t Kernel::NowNs() {
+  cpu().Execute(ClockRegion());
+  return cpu().CyclesToNs(cpu().cycles());
+}
+
+base::Status Kernel::SleepNs(uint64_t ns) {
+  Thread* t = scheduler_.current();
+  WPOS_CHECK(t != nullptr) << "SleepNs outside thread context";
+  EnterKernel(TrapEntry());
+  cpu().Execute(TimerArmRegion());
+  StartTimedWake(t, ns);
+  const base::Status st = scheduler_.Block(Thread::State::kBlocked, nullptr);
+  LeaveKernel();
+  return st == base::Status::kTimedOut ? base::Status::kOk : st;
+}
+
+base::Result<uint32_t> Kernel::TimerArmPeriodic(Task& task, PortName port, uint64_t period_ns) {
+  cpu().Execute(TimerArmRegion());
+  auto p = task.port_space().LookupReceive(port);
+  if (!p.ok()) {
+    return p.status();
+  }
+  const uint32_t id = next_timer_id_++;
+  PeriodicTimer timer;
+  timer.task = &task;
+  timer.port = *p;
+  timer.period_cycles = cpu().NsToCycles(period_ns);
+  if (timer.period_cycles == 0) {
+    return base::Status::kInvalidArgument;
+  }
+  timers_.emplace(id, timer);
+  ArmTimer(id);
+  return id;
+}
+
+base::Status Kernel::TimerCancel(uint32_t timer_id) {
+  auto it = timers_.find(timer_id);
+  if (it == timers_.end() || it->second.cancelled) {
+    return base::Status::kNotFound;
+  }
+  it->second.cancelled = true;
+  return base::Status::kOk;
+}
+
+void Kernel::ArmTimer(uint32_t timer_id) {
+  auto it = timers_.find(timer_id);
+  if (it == timers_.end() || it->second.cancelled) {
+    return;
+  }
+  machine_->ScheduleAfter(it->second.period_cycles, [this, timer_id] {
+    auto timer_it = timers_.find(timer_id);
+    if (timer_it == timers_.end() || timer_it->second.cancelled) {
+      return;
+    }
+    PeriodicTimer& timer = timer_it->second;
+    cpu().Execute(TimerFireRegion());
+    if (!timer.port->dead() && timer.port->queue.size() < timer.port->queue_limit) {
+      auto qm = std::make_unique<QueuedMessage>();
+      qm->msg_id = 0x2000 + timer_id;
+      qm->kernel_buffer = heap_->Allocate(64);
+      qm->send_cycle = cpu().cycles();
+      timer.port->queue.push_back(std::move(qm));
+      WakeOneReceiver(timer.port);
+    }
+    ArmTimer(timer_id);
+  });
+}
+
+uint64_t Kernel::TrapClockGetTimeNs() {
+  Thread* t = scheduler_.current();
+  WPOS_CHECK(t != nullptr);
+  EnterKernel(TrapEntry());
+  const uint64_t now = NowNs();
+  LeaveKernel();
+  return now;
+}
+
+}  // namespace mk

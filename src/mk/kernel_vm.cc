@@ -1,0 +1,501 @@
+// Virtual memory: allocation, mapping, the page-fault path (zero fill, COW
+// shadow chains, external-pager fill), coerced memory, fork-style address
+// space copy, and user-memory access with full cost modelling.
+#include <cstring>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/mk/kernel.h"
+#include "src/mk/pager_protocol.h"
+#include "src/mk/vm_object.h"
+
+namespace mk {
+
+namespace {
+const hw::CodeRegion& FaultEntryRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.vm.fault_entry", Costs::kFaultEntry);
+  return r;
+}
+const hw::CodeRegion& FaultResolveRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.vm.fault_resolve", Costs::kFaultResolve);
+  return r;
+}
+const hw::CodeRegion& ZeroFillRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.vm.zero_fill", Costs::kFaultZeroFill);
+  return r;
+}
+const hw::CodeRegion& CowCopyRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.vm.cow_copy", Costs::kFaultCowCopy);
+  return r;
+}
+const hw::CodeRegion& PmapEnterRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.vm.pmap_enter", Costs::kPmapEnter);
+  return r;
+}
+const hw::CodeRegion& AllocateRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.vm.allocate", Costs::kVmAllocate);
+  return r;
+}
+const hw::CodeRegion& DeallocateRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.vm.deallocate", Costs::kVmDeallocate);
+  return r;
+}
+const hw::CodeRegion& ProtectRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.vm.protect", Costs::kVmProtect);
+  return r;
+}
+const hw::CodeRegion& MapObjectRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.vm.map_object", Costs::kVmMapObject);
+  return r;
+}
+const hw::CodeRegion& UserAccessRegion() {
+  // The inline access sequence around each user-memory touch.
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.vm.user_access", 24);
+  return r;
+}
+}  // namespace
+
+// --- Allocation / mapping -------------------------------------------------------
+
+base::Result<hw::VirtAddr> Kernel::VmAllocate(Task& task, uint64_t size) {
+  cpu().Execute(AllocateRegion());
+  cpu().AccessData(task.sim_addr(), 32, /*write=*/true);
+  size = hw::PageRound(size);
+  VmMapEntry entry;
+  entry.size = size;
+  entry.object = std::make_shared<VmObject>(size);
+  return task.vm_map().InsertAnywhere(entry);
+}
+
+base::Status Kernel::VmAllocateAt(Task& task, hw::VirtAddr addr, uint64_t size) {
+  cpu().Execute(AllocateRegion());
+  size = hw::PageRound(size);
+  VmMapEntry entry;
+  entry.start = addr;
+  entry.size = size;
+  entry.object = std::make_shared<VmObject>(size);
+  return task.vm_map().InsertAt(entry);
+}
+
+base::Status Kernel::VmDeallocate(Task& task, hw::VirtAddr addr, uint64_t size) {
+  cpu().Execute(DeallocateRegion());
+  const base::Status st = task.vm_map().Remove(addr, hw::PageRound(size));
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  task.pmap().RemoveRange(hw::PageIndex(addr), hw::PageRound(size) >> hw::kPageShift);
+  cpu().FlushTlb();  // no selective invalidate on the modelled MMU
+  return base::Status::kOk;
+}
+
+base::Status Kernel::VmProtect(Task& task, hw::VirtAddr addr, uint64_t size, Prot prot) {
+  cpu().Execute(ProtectRegion());
+  const base::Status st = task.vm_map().Protect(addr, hw::PageRound(size), prot);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  task.pmap().ProtectRange(hw::PageIndex(addr), hw::PageRound(size) >> hw::kPageShift, prot);
+  cpu().FlushTlb();
+  return base::Status::kOk;
+}
+
+base::Result<hw::VirtAddr> Kernel::VmMapObject(Task& task, std::shared_ptr<VmObject> object,
+                                               uint64_t offset, uint64_t size, Prot prot,
+                                               bool anywhere, hw::VirtAddr fixed,
+                                               Inherit inherit) {
+  cpu().Execute(MapObjectRegion());
+  VmMapEntry entry;
+  entry.size = hw::PageRound(size);
+  entry.object = std::move(object);
+  entry.offset = offset;
+  entry.prot = prot;
+  entry.inherit = inherit;
+  if (anywhere) {
+    return task.vm_map().InsertAnywhere(entry);
+  }
+  entry.start = fixed;
+  const base::Status st = task.vm_map().InsertAt(entry);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  return fixed;
+}
+
+// --- Coerced memory (IBM extension) -------------------------------------------------
+
+base::Result<hw::VirtAddr> Kernel::VmAllocateCoerced(Task& first, uint64_t size) {
+  cpu().Execute(AllocateRegion());
+  size = hw::PageRound(size);
+  if (next_coerced_ + size > VmMap::kCoercedMax) {
+    return base::Status::kNoSpace;
+  }
+  const hw::VirtAddr addr = next_coerced_;
+  next_coerced_ += size;
+  CoercedRegion region;
+  region.addr = addr;
+  region.size = size;
+  region.object = std::make_shared<VmObject>(size);
+  coerced_.push_back(region);
+
+  VmMapEntry entry;
+  entry.start = addr;
+  entry.size = size;
+  entry.object = region.object;
+  entry.inherit = Inherit::kShare;
+  entry.coerced = true;
+  const base::Status st = first.vm_map().InsertAt(entry);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  return addr;
+}
+
+base::Status Kernel::VmMapCoerced(Task& task, hw::VirtAddr coerced_addr) {
+  cpu().Execute(MapObjectRegion());
+  for (const CoercedRegion& region : coerced_) {
+    if (region.addr == coerced_addr) {
+      VmMapEntry entry;
+      entry.start = region.addr;
+      entry.size = region.size;
+      entry.object = region.object;
+      entry.inherit = Inherit::kShare;
+      entry.coerced = true;
+      return task.vm_map().InsertAt(entry);
+    }
+  }
+  return base::Status::kNotFound;
+}
+
+// --- Fork-style copy ------------------------------------------------------------------
+
+Task* Kernel::TaskForkVm(Task& parent, const std::string& name) {
+  Task* child = CreateTask(name);
+  for (auto& [start, entry] : parent.vm_map().entries()) {
+    switch (entry.inherit) {
+      case Inherit::kNone:
+        break;
+      case Inherit::kShare: {
+        VmMapEntry copy = entry;
+        WPOS_CHECK(child->vm_map().InsertAt(copy) == base::Status::kOk);
+        break;
+      }
+      case Inherit::kCopy: {
+        // Symmetric COW: both sides shadow the old object.
+        auto original = entry.object;
+        auto parent_shadow = std::make_shared<VmObject>(original->size());
+        parent_shadow->SetShadow(original);
+        auto child_shadow = std::make_shared<VmObject>(original->size());
+        child_shadow->SetShadow(original);
+        entry.object = parent_shadow;
+        VmMapEntry copy = entry;
+        copy.object = child_shadow;
+        WPOS_CHECK(child->vm_map().InsertAt(copy) == base::Status::kOk);
+        // Downgrade the parent's live mappings so writes fault and copy.
+        parent.pmap().ProtectRange(hw::PageIndex(entry.start), entry.size >> hw::kPageShift,
+                                   Prot::kRead);
+        break;
+      }
+    }
+  }
+  cpu().FlushTlb();
+  return child;
+}
+
+// --- Legacy OOL snapshot -----------------------------------------------------------------
+
+base::Result<std::shared_ptr<VmObject>> Kernel::SnapshotForOol(Task& task, hw::VirtAddr addr,
+                                                               uint64_t size) {
+  VmMapEntry* entry = task.vm_map().Lookup(addr);
+  if (entry == nullptr || addr + size > entry->end()) {
+    return base::Status::kInvalidAddress;
+  }
+  auto original = entry->object;
+  auto sender_shadow = std::make_shared<VmObject>(original->size());
+  sender_shadow->SetShadow(original);
+  auto snapshot = std::make_shared<VmObject>(original->size());
+  snapshot->SetShadow(original);
+  entry->object = sender_shadow;
+  task.pmap().ProtectRange(hw::PageIndex(entry->start), entry->size >> hw::kPageShift,
+                           Prot::kRead);
+  cpu().FlushTlb();
+  return snapshot;
+}
+
+// --- Fault path ----------------------------------------------------------------------------
+
+base::Status Kernel::PagerFill(Task& task, VmObject* object, uint64_t page_index,
+                               hw::PhysAddr frame) {
+  Port* pager = object->pager_port();
+  if (pager == nullptr || pager->dead()) {
+    return base::Status::kPortDead;
+  }
+  ++task.pageins;
+  // The faulting thread RPCs to the pager and waits for the data, as in the
+  // external-memory-object protocol.
+  PagerRequest req;
+  req.op = PagerOp::kDataRequest;
+  req.object_id = object->pager_object_id();
+  req.page_index = page_index + (object->pager_offset() >> hw::kPageShift);
+  PagerReply reply{};
+  std::vector<uint8_t> page(hw::kPageSize);
+  RpcRef ref;
+  ref.recv_buf = page.data();
+  ref.recv_cap = static_cast<uint32_t>(page.size());
+  uint32_t reply_len = 0;
+  const base::Status st = RpcCallOnPort(pager, &req, sizeof(req), &reply, sizeof(reply),
+                                        &reply_len, &ref, nullptr, 0, nullptr);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  machine_->mem().Write(frame, page.data(), hw::kPageSize);
+  ChargeCopy(heap_->base(), frame, hw::kPageSize);
+  return base::Status::kOk;
+}
+
+base::Status Kernel::FaultIn(Task& task, VmMapEntry* entry, hw::VirtAddr vaddr, bool write,
+                             hw::PhysAddr* out_pa) {
+  cpu().Execute(FaultEntryRegion());
+  cpu().Execute(FaultResolveRegion());
+  cpu().AccessData(task.sim_addr(), 64, /*write=*/false);
+  ++task.faults_taken;
+
+  if (write && !ProtIncludes(entry->prot, Prot::kWrite)) {
+    return base::Status::kProtectionFailure;
+  }
+  VmObject* object = entry->object.get();
+  const uint64_t index = entry->PageIndexOf(vaddr);
+
+  const VmObject* owner = nullptr;
+  auto resident = object->LookupThroughShadow(index, &owner);
+  hw::PhysAddr frame = 0;
+  Prot map_prot = entry->prot;
+
+  if (resident.ok()) {
+    if (owner == object || !write) {
+      frame = *resident;
+      if (owner != object) {
+        // Page belongs to a shadow parent; keep it read-only so a later
+        // write faults and copies.
+        map_prot = Prot::kRead;
+      }
+    } else {
+      // COW: copy the parent's page into this object.
+      cpu().Execute(CowCopyRegion());
+      auto new_frame = machine_->mem().AllocFrame();
+      if (!new_frame.ok()) {
+        return base::Status::kResourceShortage;
+      }
+      std::vector<uint8_t> buf(hw::kPageSize);
+      machine_->mem().Read(*resident, buf.data(), buf.size());
+      machine_->mem().Write(*new_frame, buf.data(), buf.size());
+      ChargeCopy(*resident, *new_frame, hw::kPageSize);
+      object->InstallPage(index, *new_frame);
+      ++task.cow_copies;
+      frame = *new_frame;
+    }
+  } else {
+    // Not resident anywhere in the chain: ask the base object.
+    VmObject* base_obj = object;
+    while (base_obj->shadow_parent() != nullptr) {
+      base_obj = base_obj->shadow_parent().get();
+    }
+    switch (base_obj->backing()) {
+      case VmObject::Backing::kDevice:
+        frame = base_obj->device_base() + (index << hw::kPageShift);
+        break;
+      case VmObject::Backing::kPager: {
+        auto new_frame = machine_->mem().AllocFrame();
+        if (!new_frame.ok()) {
+          return base::Status::kResourceShortage;
+        }
+        const base::Status st = PagerFill(task, base_obj, index, *new_frame);
+        if (st != base::Status::kOk) {
+          machine_->mem().FreeFrame(*new_frame);
+          return st;
+        }
+        base_obj->InstallPage(index, *new_frame);
+        frame = *new_frame;
+        if (base_obj != object) {
+          map_prot = Prot::kRead;  // COW away from the pager-backed base
+        }
+        break;
+      }
+      case VmObject::Backing::kAnonymous: {
+        cpu().Execute(ZeroFillRegion());
+        auto new_frame = machine_->mem().AllocFrame();
+        if (!new_frame.ok()) {
+          return base::Status::kResourceShortage;
+        }
+        machine_->mem().Fill(*new_frame, 0, hw::kPageSize);
+        ChargeCopy(*new_frame, *new_frame, hw::kPageSize / 2);  // zeroing traffic
+        // Private zero-fill pages land in the faulting object itself so COW
+        // chains stay consistent.
+        object->InstallPage(index, *new_frame);
+        ++task.zero_fills;
+        frame = *new_frame;
+        break;
+      }
+    }
+  }
+
+  cpu().Execute(PmapEnterRegion());
+  const uint64_t vpn = hw::PageIndex(vaddr);
+  cpu().AccessData(task.pmap().PteAddr(vpn), 4, /*write=*/true);
+  task.pmap().Enter(vpn, frame, map_prot);
+  *out_pa = frame + (vaddr & hw::kPageMask);
+  return base::Status::kOk;
+}
+
+base::Result<hw::PhysAddr> Kernel::ResolveForAccess(Task& task, hw::VirtAddr vaddr, bool write) {
+  const uint64_t vpn = hw::PageIndex(vaddr);
+  const Pmap::Mapping* m = task.pmap().Lookup(vpn);
+  if (m != nullptr && (!write || ProtIncludes(m->prot, Prot::kWrite))) {
+    return m->frame + (vaddr & hw::kPageMask);
+  }
+  VmMapEntry* entry = task.vm_map().Lookup(vaddr);
+  if (entry == nullptr) {
+    return base::Status::kInvalidAddress;
+  }
+  hw::PhysAddr pa = 0;
+  const base::Status st = FaultIn(task, entry, vaddr, write, &pa);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  return pa;
+}
+
+// --- User memory access -----------------------------------------------------------------------
+
+void Kernel::AccessUser(Task& task, hw::VirtAddr vaddr, hw::PhysAddr pa, uint32_t size,
+                        bool write) {
+  cpu().AccessTranslated(vaddr, pa, task.pmap().PteAddr(hw::PageIndex(vaddr)), size, write);
+}
+
+namespace {
+// Iterates [addr, addr+len) in chunks that never cross a page boundary.
+template <typename Fn>
+base::Status ForEachPageChunk(hw::VirtAddr addr, uint64_t len, Fn&& fn) {
+  uint64_t done = 0;
+  while (done < len) {
+    const hw::VirtAddr va = addr + done;
+    const uint64_t in_page = hw::kPageSize - (va & hw::kPageMask);
+    const uint64_t chunk = len - done < in_page ? len - done : in_page;
+    const base::Status st = fn(va, done, chunk);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    done += chunk;
+  }
+  return base::Status::kOk;
+}
+}  // namespace
+
+base::Status Kernel::CopyOut(Task& task, hw::VirtAddr dst, const void* src, uint64_t len) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(src);
+  return ForEachPageChunk(dst, len, [&](hw::VirtAddr va, uint64_t off, uint64_t chunk) {
+    auto pa = ResolveForAccess(task, va, /*write=*/true);
+    if (!pa.ok()) {
+      return pa.status();
+    }
+    machine_->mem().Write(*pa, bytes + off, chunk);
+    cpu().ExecuteInstructions(UserAccessRegion(),
+                              Costs::kCopyLoopOverhead / 2 + chunk / Costs::kCopyBytesPerInstr);
+    const uint32_t line = cpu().config().dcache.line_bytes;
+    for (uint64_t o = 0; o < chunk; o += line) {
+      const uint32_t n = static_cast<uint32_t>(chunk - o < line ? chunk - o : line);
+      AccessUser(task, va + o, *pa + o, n, /*write=*/true);
+    }
+    return base::Status::kOk;
+  });
+}
+
+base::Status Kernel::CopyIn(Task& task, hw::VirtAddr src, void* dst, uint64_t len) {
+  uint8_t* bytes = static_cast<uint8_t*>(dst);
+  return ForEachPageChunk(src, len, [&](hw::VirtAddr va, uint64_t off, uint64_t chunk) {
+    auto pa = ResolveForAccess(task, va, /*write=*/false);
+    if (!pa.ok()) {
+      return pa.status();
+    }
+    machine_->mem().Read(*pa, bytes + off, chunk);
+    cpu().ExecuteInstructions(UserAccessRegion(),
+                              Costs::kCopyLoopOverhead / 2 + chunk / Costs::kCopyBytesPerInstr);
+    const uint32_t line = cpu().config().dcache.line_bytes;
+    for (uint64_t o = 0; o < chunk; o += line) {
+      const uint32_t n = static_cast<uint32_t>(chunk - o < line ? chunk - o : line);
+      AccessUser(task, va + o, *pa + o, n, /*write=*/false);
+    }
+    return base::Status::kOk;
+  });
+}
+
+base::Status Kernel::UserFill(Task& task, hw::VirtAddr dst, uint8_t byte, uint64_t len) {
+  return ForEachPageChunk(dst, len, [&](hw::VirtAddr va, uint64_t off, uint64_t chunk) {
+    auto pa = ResolveForAccess(task, va, /*write=*/true);
+    if (!pa.ok()) {
+      return pa.status();
+    }
+    machine_->mem().Fill(*pa, byte, chunk);
+    cpu().ExecuteInstructions(UserAccessRegion(), chunk / Costs::kCopyBytesPerInstr);
+    const uint32_t line = cpu().config().dcache.line_bytes;
+    for (uint64_t o = 0; o < chunk; o += line) {
+      const uint32_t n = static_cast<uint32_t>(chunk - o < line ? chunk - o : line);
+      AccessUser(task, va + o, *pa + o, n, /*write=*/true);
+    }
+    return base::Status::kOk;
+  });
+}
+
+base::Status Kernel::UserTouch(Task& task, hw::VirtAddr addr, uint64_t len, bool write) {
+  return ForEachPageChunk(addr, len, [&](hw::VirtAddr va, uint64_t off, uint64_t chunk) {
+    auto pa = ResolveForAccess(task, va, write);
+    if (!pa.ok()) {
+      return pa.status();
+    }
+    cpu().ExecuteInstructions(UserAccessRegion(), chunk / Costs::kCopyBytesPerInstr);
+    const uint32_t line = cpu().config().dcache.line_bytes;
+    for (uint64_t o = 0; o < chunk; o += line) {
+      const uint32_t n = static_cast<uint32_t>(chunk - o < line ? chunk - o : line);
+      AccessUser(task, va + o, *pa + o, n, write);
+    }
+    return base::Status::kOk;
+  });
+}
+
+base::Status Kernel::CopyUserToUser(Task& src_task, hw::VirtAddr src, Task& dst_task,
+                                    hw::VirtAddr dst, uint64_t len) {
+  std::vector<uint8_t> bounce(4096);
+  uint64_t done = 0;
+  while (done < len) {
+    const uint64_t chunk = len - done < bounce.size() ? len - done : bounce.size();
+    base::Status st = CopyIn(src_task, src + done, bounce.data(), chunk);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    st = CopyOut(dst_task, dst + done, bounce.data(), chunk);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    done += chunk;
+  }
+  return base::Status::kOk;
+}
+
+// --- External memory objects --------------------------------------------------------------------
+
+uint64_t Kernel::RegisterPagedObject(std::shared_ptr<VmObject> object, Port* pager_port,
+                                     uint64_t pager_offset) {
+  const uint64_t id = next_object_id_++;
+  object->SetPager(pager_port, pager_offset, id);
+  paged_objects_.emplace(id, std::move(object));
+  return id;
+}
+
+std::shared_ptr<VmObject> Kernel::LookupPagedObject(uint64_t object_id) {
+  auto it = paged_objects_.find(object_id);
+  return it == paged_objects_.end() ? nullptr : it->second;
+}
+
+}  // namespace mk

@@ -1,0 +1,77 @@
+// Message formats for the two IPC systems.
+//
+// MachMessage is the legacy Mach 3.0 format: queued, asynchronous, with reply
+// ports, inline data, port-right descriptors and out-of-line regions moved by
+// virtual (copy-on-write) copy.
+//
+// The reworked RPC (see rpc declarations in kernel.h) has no message object
+// at all on the wire: requests and replies are plain byte buffers physically
+// copied between the parties, plus optional right transfers and by-reference
+// bulk-data descriptors — the paper's "passed data too large for the message
+// body by reference, copying it across from sender to receiver".
+#ifndef SRC_MK_MESSAGE_H_
+#define SRC_MK_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/hw/types.h"
+#include "src/mk/ids.h"
+
+namespace mk {
+
+class VmObject;
+class Port;
+
+// A port right carried in a message, named in the sender's (on send) or the
+// receiver's (after receive) port space.
+struct RightDescriptor {
+  PortName name = kNullPort;
+  // Disposition: what the receiver gets. kReceive moves the receive right;
+  // kSend copies/creates a send right; kSendOnce moves a send-once right.
+  RightType disposition = RightType::kSend;
+};
+
+struct OolDescriptor {
+  hw::VirtAddr address = 0;  // sender space on send; receiver space on receive
+  uint64_t size = 0;
+  bool deallocate_sender = false;
+};
+
+struct MachMessage {
+  uint32_t msg_id = 0;
+  PortName dest = kNullPort;        // send-time destination
+  PortName reply_port = kNullPort;  // right carried to the receiver
+  std::vector<uint8_t> inline_data;
+  std::vector<RightDescriptor> rights;
+  std::vector<OolDescriptor> ool;
+};
+
+// Kernel-internal representation of a queued message: rights are resolved to
+// ports, OOL regions snapshotted as VM objects, inline data copied into a
+// kernel buffer (which is what makes the legacy path a two-copy path).
+struct QueuedMessage {
+  uint32_t msg_id = 0;
+  std::vector<uint8_t> inline_data;
+  hw::PhysAddr kernel_buffer = 0;  // simulated address of the kmsg copy
+
+  struct ResolvedRight {
+    Port* port = nullptr;
+    RightType disposition = RightType::kSend;
+  };
+  ResolvedRight reply;  // null port if none
+  std::vector<ResolvedRight> rights;
+
+  struct OolRegion {
+    std::shared_ptr<VmObject> object;
+    uint64_t size = 0;
+  };
+  std::vector<OolRegion> ool;
+
+  uint64_t send_cycle = 0;
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_MESSAGE_H_

@@ -1,0 +1,29 @@
+// Wire protocol between the kernel's fault path and external memory objects
+// (pagers), in the spirit of the OSF RI RPC-based external memory management
+// interface. The faulting thread performs an RPC to the pager port; page
+// contents travel as by-reference bulk data.
+#ifndef SRC_MK_PAGER_PROTOCOL_H_
+#define SRC_MK_PAGER_PROTOCOL_H_
+
+#include <cstdint>
+
+namespace mk {
+
+enum class PagerOp : uint32_t {
+  kDataRequest = 1,  // kernel -> pager: supply page `page_index`
+  kDataWrite = 2,    // kernel -> pager: page out (bulk data in request ref)
+};
+
+struct PagerRequest {
+  PagerOp op = PagerOp::kDataRequest;
+  uint64_t object_id = 0;
+  uint64_t page_index = 0;
+};
+
+struct PagerReply {
+  int32_t status = 0;  // 0 = ok, else a base::Status value
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_PAGER_PROTOCOL_H_

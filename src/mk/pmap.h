@@ -1,0 +1,67 @@
+// pmap: the machine-dependent translation layer (Tevanian's architecture),
+// one per task. Holds the virtual-to-physical mappings currently installed
+// for the task and supplies PTE addresses so the CPU model can charge
+// hardware page walks realistically.
+#ifndef SRC_MK_PMAP_H_
+#define SRC_MK_PMAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/hw/types.h"
+#include "src/mk/ids.h"
+
+namespace mk {
+
+class Pmap {
+ public:
+  // `pt_base` is the simulated physical address of this task's page tables;
+  // the page-walk cost model reads PTEs there.
+  explicit Pmap(hw::PhysAddr pt_base) : pt_base_(pt_base) {}
+
+  struct Mapping {
+    hw::PhysAddr frame = 0;
+    Prot prot = Prot::kNone;
+  };
+
+  void Enter(uint64_t vpn, hw::PhysAddr frame, Prot prot) {
+    mappings_[vpn] = Mapping{frame, prot};
+  }
+  void Remove(uint64_t vpn) { mappings_.erase(vpn); }
+  void RemoveRange(uint64_t first_vpn, uint64_t count) {
+    for (uint64_t i = 0; i < count; ++i) {
+      mappings_.erase(first_vpn + i);
+    }
+  }
+  void ProtectRange(uint64_t first_vpn, uint64_t count, Prot prot) {
+    for (uint64_t i = 0; i < count; ++i) {
+      auto it = mappings_.find(first_vpn + i);
+      if (it != mappings_.end()) {
+        it->second.prot = prot;
+      }
+    }
+  }
+
+  const Mapping* Lookup(uint64_t vpn) const {
+    auto it = mappings_.find(vpn);
+    return it == mappings_.end() ? nullptr : &it->second;
+  }
+
+  // Simulated address of the PTE for `vpn`. The table is modelled as a 64 KB
+  // window (16 K entries of 4 bytes) per task; sparse address spaces hash
+  // into it, which is adequate for the cache model.
+  static constexpr uint64_t kPteWindowEntries = 16 * 1024;
+  hw::PhysAddr PteAddr(uint64_t vpn) const {
+    return pt_base_ + (vpn & (kPteWindowEntries - 1)) * 4;
+  }
+
+  size_t resident() const { return mappings_.size(); }
+
+ private:
+  hw::PhysAddr pt_base_;
+  std::unordered_map<uint64_t, Mapping> mappings_;
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_PMAP_H_

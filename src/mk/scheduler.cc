@@ -1,0 +1,229 @@
+#include "src/mk/scheduler.h"
+
+#include "src/base/log.h"
+#include "src/mk/kernel.h"
+#include "src/mk/task.h"
+
+namespace mk {
+
+namespace {
+// The scheduler currently executing Run(); the trampoline needs it because
+// makecontext cannot carry a pointer portably.
+Scheduler* g_active_scheduler = nullptr;
+
+const hw::CodeRegion& PickRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.sched.pick", Costs::kSchedPickThread);
+  return r;
+}
+const hw::CodeRegion& SwitchRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.sched.switch", Costs::kSchedContextSwitch);
+  return r;
+}
+const hw::CodeRegion& HandoffRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.sched.handoff", Costs::kSchedHandoff);
+  return r;
+}
+const hw::CodeRegion& PmapRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.sched.pmap_activate", Costs::kPmapActivate);
+  return r;
+}
+}  // namespace
+
+Task* Scheduler::current_task() const {
+  return current_ == nullptr ? nullptr : current_->task();
+}
+
+void Scheduler::MakeReady(Thread* t) {
+  WPOS_CHECK(t != nullptr);
+  if (t->state() == Thread::State::kReady || t->state() == Thread::State::kRunning) {
+    return;
+  }
+  WPOS_CHECK(t->state() != Thread::State::kTerminated) << "waking dead thread " << t->name();
+  t->set_state(Thread::State::kReady);
+  t->waiting_on = nullptr;
+  ready_[t->priority()].push_back(t);
+  ++ready_count_;
+}
+
+void Scheduler::Wake(Thread* t, base::Status wait_status) {
+  if (t->state() != Thread::State::kBlocked) {
+    return;
+  }
+  if (t->waiting_on != nullptr) {
+    t->waiting_on->Remove(t);
+    t->waiting_on = nullptr;
+  }
+  ++t->wake_generation;  // invalidate any pending timed wake
+  t->wait_status = wait_status;
+  MakeReady(t);
+}
+
+void Scheduler::StartThread(Thread* t) {
+  WPOS_CHECK(t->state() == Thread::State::kEmbryo);
+  MakeReady(t);
+}
+
+Thread* Scheduler::PickNext() {
+  // Direct handoff takes precedence; the hint must still be runnable.
+  if (handoff_hint_ != nullptr) {
+    Thread* hint = handoff_hint_;
+    handoff_hint_ = nullptr;
+    if (hint->state() == Thread::State::kReady) {
+      auto& q = ready_[hint->priority()];
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (*it == hint) {
+          q.erase(it);
+          --ready_count_;
+          return hint;
+        }
+      }
+    }
+  }
+  for (int prio = Thread::kNumPriorities - 1; prio >= 0; --prio) {
+    auto& q = ready_[prio];
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      Thread* t = *it;
+      ProcessorSet* ps = t->task()->processor_set();
+      if (ps != nullptr && !ps->enabled()) {
+        continue;  // task's processor set is disabled; skip but keep queued
+      }
+      q.erase(it);
+      --ready_count_;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::Trampoline() {
+  Scheduler* sched = g_active_scheduler;
+  Thread* self = sched->current_;
+  self->entry_();
+  sched->ExitCurrent();
+}
+
+void Scheduler::SwitchInto(Thread* t) {
+  WPOS_CHECK(current_ == nullptr) << "SwitchInto from a thread context (into " << t->name()
+                                  << ")";
+  hw::Cpu& cpu = kernel_->cpu();
+  const bool handoff = handoff_was_hint_;
+  handoff_was_hint_ = false;
+  cpu.Execute(handoff ? HandoffRegion() : SwitchRegion());
+  cpu.Stall(Costs::kContextSwitchStallCycles);
+  // Touch the incoming thread control block and its stack-save area.
+  cpu.AccessData(t->sim_addr(), 64, /*write=*/true);
+  ++context_switches_;
+
+  if (t->task() != last_task_) {
+    ++space_switches_;
+    cpu.Execute(PmapRegion());
+    cpu.AccessData(t->task()->sim_addr(), 32, /*write=*/false);
+    cpu.FlushTlb();
+    cpu.Stall(Costs::kSpaceSwitchRefillCycles);
+    cpu.BusTransactions(Costs::kSpaceSwitchRefillBus);
+    last_task_ = t->task();
+  }
+
+  current_ = t;
+  t->set_state(Thread::State::kRunning);
+  t->dispatch_cycle = cpu.cycles();
+
+  if (!t->started_) {
+    t->started_ = true;
+    t->ctx_sp_ = WposCtxMake(t->stack_ + t->stack_bytes_, &Scheduler::Trampoline);
+  }
+  WposCtxSwitch(&main_ctx_sp_, t->ctx_sp_);
+  // Back in the scheduler: account the slice.
+  Thread* was = current_;
+  current_ = nullptr;
+  was->cpu_cycles_used += cpu.cycles() - was->dispatch_cycle;
+}
+
+void Scheduler::SwapOut() {
+  Thread* self = current_;
+  WPOS_CHECK(self != nullptr) << "SwapOut outside thread context";
+  WposCtxSwitch(&self->ctx_sp_, main_ctx_sp_);
+  WPOS_CHECK(current_ == self) << "context resumed under wrong current thread";
+}
+
+void Scheduler::Run() {
+  WPOS_CHECK(!running_) << "scheduler re-entered";
+  WPOS_CHECK(current_ == nullptr) << "Run called from a thread context";
+  running_ = true;
+  Scheduler* prev_active = g_active_scheduler;
+  g_active_scheduler = this;
+  while (true) {
+    kernel_->PollHardware();
+    kernel_->cpu().Execute(PickRegion());
+    Thread* next = PickNext();
+    if (next == nullptr) {
+      if (kernel_->machine().IdleAdvance()) {
+        continue;  // a device event may have readied someone
+      }
+      break;
+    }
+    SwitchInto(next);
+  }
+  g_active_scheduler = prev_active;
+  running_ = false;
+}
+
+void Scheduler::Yield() {
+  Thread* self = current_;
+  WPOS_CHECK(self != nullptr) << "Yield outside thread context";
+  self->set_state(Thread::State::kReady);
+  ready_[self->priority()].push_back(self);
+  ++ready_count_;
+  SwapOut();
+}
+
+base::Status Scheduler::Block(Thread::State, WaitQueue* queue) {
+  Thread* self = current_;
+  WPOS_CHECK(self != nullptr) << "Block outside thread context";
+  self->set_state(Thread::State::kBlocked);
+  self->wait_status = base::Status::kOk;
+  if (queue != nullptr) {
+    queue->Enqueue(self);
+    self->waiting_on = queue;
+  }
+  SwapOut();
+  return self->wait_status;
+}
+
+base::Status Scheduler::BlockAndHandoff(WaitQueue* queue, Thread* next) {
+  WPOS_CHECK(next == nullptr || next->state() == Thread::State::kReady);
+  if (handoff_enabled) {
+    handoff_hint_ = next;
+    handoff_was_hint_ = next != nullptr;
+  }
+  return Block(Thread::State::kBlocked, queue);
+}
+
+void Scheduler::HandoffTo(Thread* next) {
+  Thread* self = current_;
+  WPOS_CHECK(self != nullptr);
+  WPOS_CHECK(next->state() == Thread::State::kReady);
+  if (handoff_enabled) {
+    handoff_hint_ = next;
+    handoff_was_hint_ = true;
+  }
+  self->set_state(Thread::State::kReady);
+  ready_[self->priority()].push_back(self);
+  ++ready_count_;
+  SwapOut();
+}
+
+void Scheduler::ExitCurrent() {
+  Thread* self = current_;
+  WPOS_CHECK(self != nullptr);
+  self->set_state(Thread::State::kTerminated);
+  while (Thread* waiter = self->exit_waiters.DequeueFront()) {
+    waiter->waiting_on = nullptr;
+    Wake(waiter, base::Status::kOk);
+  }
+  SwapOut();
+  WPOS_CHECK(false) << "terminated thread resumed";
+  __builtin_unreachable();
+}
+
+}  // namespace mk

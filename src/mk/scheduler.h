@@ -1,0 +1,93 @@
+// Priority scheduler over ucontext green threads.
+//
+// The scheduler runs in the "kernel main" context; threads swap back to it
+// whenever they block, yield, or are preempted at a kernel entry. Direct
+// handoff (SwitchTo) transfers the CPU straight to a named thread — the
+// optimization the reworked RPC relies on.
+//
+// Every dispatch charges the modelled context-switch cost, including the
+// pmap activation and TLB flush when the incoming thread belongs to a
+// different task.
+#ifndef SRC_MK_SCHEDULER_H_
+#define SRC_MK_SCHEDULER_H_
+
+#include <array>
+#include <deque>
+
+#include "src/mk/context.h"
+
+#include "src/mk/thread.h"
+
+namespace mk {
+
+class Kernel;
+class Task;
+
+class Scheduler {
+ public:
+  explicit Scheduler(Kernel* kernel) : kernel_(kernel) {}
+
+  Thread* current() const { return current_; }
+  Task* current_task() const;
+
+  // Main loop: dispatches ready threads until none are ready and no machine
+  // event can make one ready. Called once by Kernel::Run.
+  void Run();
+
+  // --- Called from inside a running thread -----------------------------------
+  // Give up the CPU but stay ready.
+  void Yield();
+  // Block the current thread on `queue` (optional) until woken.
+  // Returns the thread's wait_status (kOk, kTimedOut, kAborted).
+  base::Status Block(Thread::State reason_unused, WaitQueue* queue);
+  // Block, then hand the CPU directly to `next` (which must be ready).
+  base::Status BlockAndHandoff(WaitQueue* queue, Thread* next);
+  // Stay runnable but hand the CPU directly to `next`.
+  void HandoffTo(Thread* next);
+  // Terminate the current thread; does not return.
+  [[noreturn]] void ExitCurrent();
+
+  // --- Called from anywhere ----------------------------------------------------
+  void MakeReady(Thread* t);
+  void Wake(Thread* t, base::Status wait_status);
+  void StartThread(Thread* t);  // embryo -> ready
+
+  uint64_t context_switches() const { return context_switches_; }
+  uint64_t address_space_switches() const { return space_switches_; }
+
+  // Timeslice in cycles; a thread that has been on-CPU longer than this is
+  // preempted at its next kernel entry.
+  uint64_t quantum_cycles = 1'000'000;
+
+  // Ablation knob: with direct handoff disabled, RPC rendezvous go through
+  // the ordinary ready queue (wake + full dispatch) instead of switching
+  // straight to the peer.
+  bool handoff_enabled = true;
+
+ private:
+  friend class Kernel;
+
+  Thread* PickNext();
+  void DispatchLoop();
+  // Switch from the scheduler context into `t`.
+  void SwitchInto(Thread* t);
+  // Called in thread context: swap back to the scheduler context.
+  void SwapOut();
+  static void Trampoline();
+
+  Kernel* kernel_;
+  Thread* current_ = nullptr;
+  Thread* handoff_hint_ = nullptr;
+  bool handoff_was_hint_ = false;
+  Task* last_task_ = nullptr;  // address space currently "live" on the CPU
+  std::array<std::deque<Thread*>, Thread::kNumPriorities> ready_;
+  size_t ready_count_ = 0;
+  void* main_ctx_sp_ = nullptr;
+  uint64_t context_switches_ = 0;
+  uint64_t space_switches_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_SCHEDULER_H_

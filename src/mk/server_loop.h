@@ -1,0 +1,110 @@
+// Server-loop helper shared by every RPC server in the system: receives
+// requests on a port, demultiplexes on a 32-bit operation code at the start
+// of the request, and charges the modelled server-stub and loop costs.
+// Requests are POD structs whose first field is the op code.
+#ifndef SRC_MK_SERVER_LOOP_H_
+#define SRC_MK_SERVER_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mk/kernel.h"
+
+namespace mk {
+
+class ServerLoop {
+ public:
+  // A handler receives the raw request and must end with env.RpcReply(token,
+  // ...). `ref_data`/`ref_len` is by-reference bulk data the client attached.
+  using Handler = std::function<void(Env& env, const RpcRequest& request, const uint8_t* req,
+                                     const uint8_t* ref_data, uint32_t ref_len)>;
+
+  // `interface` names the server's stub image for the I-cache model (each
+  // server's stubs are distinct linked code, as they were in WPOS).
+  ServerLoop(PortName receive_port, const std::string& interface, uint32_t max_request = 512,
+             uint32_t max_ref = 64 * 1024)
+      : port_(receive_port),
+        stub_region_(hw::DefineKernelCode("stub." + interface, Costs::kRpcServerStub)),
+        loop_region_(hw::DefineKernelCode("loop." + interface, Costs::kRpcServerLoop)),
+        request_buf_(max_request),
+        ref_buf_(max_ref) {}
+
+  void Register(uint32_t op, Handler handler) { handlers_[op] = std::move(handler); }
+
+  void Stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  // Runs until Stop() or the port dies. Unknown ops get an empty error reply.
+  // On shutdown the receive port is destroyed so queued callers fail with
+  // kPortDead rather than blocking forever.
+  void Run(Env& env) {
+    running_ = true;
+    while (true) {
+      RpcRef ref;
+      ref.recv_buf = ref_buf_.data();
+      ref.recv_cap = static_cast<uint32_t>(ref_buf_.size());
+      auto request = env.RpcReceive(port_, request_buf_.data(),
+                                    static_cast<uint32_t>(request_buf_.size()), &ref);
+      if (!request.ok()) {
+        return;  // port destroyed or task aborted
+      }
+      env.kernel().cpu().Execute(loop_region_);
+      env.kernel().cpu().Execute(stub_region_);
+      uint32_t op = 0;
+      if (request->req_len >= sizeof(uint32_t)) {
+        std::memcpy(&op, request_buf_.data(), sizeof(uint32_t));
+      }
+      auto it = handlers_.find(op);
+      if (it == handlers_.end()) {
+        env.RpcReply(request->token, nullptr, 0, nullptr, 0, kNullPort,
+                     base::Status::kNotSupported);
+      } else {
+        it->second(env, *request, request_buf_.data(), ref_buf_.data(), ref.recv_len);
+      }
+      if (!running_) {
+        (void)env.kernel().PortDestroy(env.task(), port_);
+        return;
+      }
+    }
+  }
+
+ private:
+  PortName port_;
+  hw::CodeRegion stub_region_;
+  hw::CodeRegion loop_region_;
+  std::vector<uint8_t> request_buf_;
+  std::vector<uint8_t> ref_buf_;
+  std::unordered_map<uint32_t, Handler> handlers_;
+  bool running_ = false;
+};
+
+// Client-side stub helper: charges a per-interface stub region around a
+// typed call. REQ/REP are POD structs.
+class ClientStub {
+ public:
+  ClientStub(const std::string& interface, PortName port)
+      : region_(hw::DefineKernelCode("cstub." + interface, Costs::kRpcClientStub)), port_(port) {}
+
+  PortName port() const { return port_; }
+
+  template <typename Req, typename Rep>
+  base::Status Call(Env& env, const Req& req, Rep* rep, RpcRef* ref = nullptr,
+                    const RightDescriptor* rights = nullptr, uint32_t rights_count = 0,
+                    PortName* granted = nullptr) {
+    env.kernel().cpu().Execute(region_);
+    uint32_t reply_len = 0;
+    return env.RpcCall(port_, &req, sizeof(Req), rep, sizeof(Rep), &reply_len, ref, rights,
+                       rights_count, granted);
+  }
+
+ private:
+  hw::CodeRegion region_;
+  PortName port_;
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_SERVER_LOOP_H_

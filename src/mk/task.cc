@@ -1,0 +1,16 @@
+#include "src/mk/task.h"
+
+#include "src/mk/thread.h"
+
+namespace mk {
+
+Task::Task(TaskId id, std::string name, hw::PhysAddr sim_addr, hw::PhysAddr pt_base)
+    : id_(id),
+      name_(std::move(name)),
+      sim_addr_(sim_addr),
+      pmap_(pt_base),
+      port_space_(sim_addr + 0x100) {}
+
+Task::~Task() = default;
+
+}  // namespace mk

@@ -1,0 +1,38 @@
+#include "src/mk/thread.h"
+
+#include <sys/mman.h>
+
+#include "src/base/log.h"
+#include "src/mk/task.h"
+
+namespace mk {
+
+namespace {
+constexpr size_t kStackBytes = 512 * 1024;
+constexpr size_t kGuardBytes = 4096;
+}  // namespace
+
+Thread::Thread(ThreadId id, Task* task, std::string name, int priority, hw::PhysAddr sim_addr,
+               hw::PhysAddr msg_window)
+    : id_(id),
+      task_(task),
+      name_(std::move(name)),
+      priority_(priority),
+      sim_addr_(sim_addr),
+      msg_window_(msg_window) {
+  stack_bytes_ = kStackBytes;
+  void* mapping = mmap(nullptr, kGuardBytes + stack_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  WPOS_CHECK(mapping != MAP_FAILED) << "cannot allocate thread stack";
+  // Guard page at the low end (stacks grow down).
+  WPOS_CHECK(mprotect(mapping, kGuardBytes, PROT_NONE) == 0);
+  stack_ = static_cast<uint8_t*>(mapping) + kGuardBytes;
+}
+
+Thread::~Thread() {
+  if (stack_ != nullptr) {
+    munmap(stack_ - kGuardBytes, kGuardBytes + stack_bytes_);
+  }
+}
+
+}  // namespace mk

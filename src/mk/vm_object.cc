@@ -1,0 +1,24 @@
+#include "src/mk/vm_object.h"
+
+namespace mk {
+
+base::Result<hw::PhysAddr> VmObject::LookupThroughShadow(uint64_t index,
+                                                         const VmObject** owner) const {
+  const VmObject* obj = this;
+  while (obj != nullptr) {
+    auto it = obj->pages_.find(index);
+    if (it != obj->pages_.end()) {
+      if (owner != nullptr) {
+        *owner = obj;
+      }
+      return it->second;
+    }
+    obj = obj->shadow_parent_.get();
+  }
+  if (owner != nullptr) {
+    *owner = nullptr;
+  }
+  return base::Status::kNotFound;
+}
+
+}  // namespace mk

@@ -1,0 +1,88 @@
+// VM objects: the unit of memory backing, as in Mach. An object holds pages
+// (physical frames), may shadow another object (copy-on-write chains), and
+// may be backed by an external memory object (a pager port) in the style of
+// the OSF RI external memory-management interface.
+#ifndef SRC_MK_VM_OBJECT_H_
+#define SRC_MK_VM_OBJECT_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/hw/types.h"
+#include "src/mk/ids.h"
+
+namespace mk {
+
+class Port;
+
+class VmObject {
+ public:
+  enum class Backing : uint8_t {
+    kAnonymous,  // zero-fill on first touch
+    kPager,      // pages supplied by an external memory object
+    kDevice,     // fixed physical window (framebuffer, DMA buffers)
+  };
+
+  explicit VmObject(uint64_t size, Backing backing = Backing::kAnonymous)
+      : size_(size), backing_(backing) {}
+
+  uint64_t size() const { return size_; }
+  Backing backing() const { return backing_; }
+
+  // --- Resident pages ---------------------------------------------------------
+  // page index (within this object) -> frame base physical address
+  bool HasPage(uint64_t index) const { return pages_.contains(index); }
+  base::Result<hw::PhysAddr> GetPage(uint64_t index) const {
+    auto it = pages_.find(index);
+    if (it == pages_.end()) {
+      return base::Status::kNotFound;
+    }
+    return it->second;
+  }
+  void InstallPage(uint64_t index, hw::PhysAddr frame) { pages_[index] = frame; }
+  void RemovePage(uint64_t index) { pages_.erase(index); }
+  const std::unordered_map<uint64_t, hw::PhysAddr>& pages() const { return pages_; }
+  size_t resident_pages() const { return pages_.size(); }
+
+  // --- Shadowing (COW) ----------------------------------------------------------
+  const std::shared_ptr<VmObject>& shadow_parent() const { return shadow_parent_; }
+  void SetShadow(std::shared_ptr<VmObject> parent) { shadow_parent_ = std::move(parent); }
+
+  // Finds the frame backing `index`, walking the shadow chain. Returns the
+  // object that owns it via `owner` (null if not resident anywhere).
+  base::Result<hw::PhysAddr> LookupThroughShadow(uint64_t index, const VmObject** owner) const;
+
+  // --- Pager backing -------------------------------------------------------------
+  Port* pager_port() const { return pager_port_; }
+  uint64_t pager_offset() const { return pager_offset_; }
+  uint64_t pager_object_id() const { return pager_object_id_; }
+  void SetPager(Port* port, uint64_t offset, uint64_t object_id) {
+    backing_ = Backing::kPager;
+    pager_port_ = port;
+    pager_offset_ = offset;
+    pager_object_id_ = object_id;
+  }
+
+  // --- Device backing -------------------------------------------------------------
+  void SetDeviceWindow(hw::PhysAddr base) {
+    backing_ = Backing::kDevice;
+    device_base_ = base;
+  }
+  hw::PhysAddr device_base() const { return device_base_; }
+
+ private:
+  uint64_t size_;
+  Backing backing_;
+  std::unordered_map<uint64_t, hw::PhysAddr> pages_;
+  std::shared_ptr<VmObject> shadow_parent_;
+  Port* pager_port_ = nullptr;
+  uint64_t pager_offset_ = 0;
+  uint64_t pager_object_id_ = 0;
+  hw::PhysAddr device_base_ = 0;
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_VM_OBJECT_H_

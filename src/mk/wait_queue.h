@@ -1,0 +1,42 @@
+// FIFO wait queue of blocked threads. The scheduler owns the block/wake
+// mechanics; this is just the bookkeeping container.
+#ifndef SRC_MK_WAIT_QUEUE_H_
+#define SRC_MK_WAIT_QUEUE_H_
+
+#include <deque>
+
+namespace mk {
+
+class Thread;
+
+class WaitQueue {
+ public:
+  bool empty() const { return waiters_.empty(); }
+  size_t size() const { return waiters_.size(); }
+
+  void Enqueue(Thread* t) { waiters_.push_back(t); }
+  Thread* DequeueFront() {
+    if (waiters_.empty()) {
+      return nullptr;
+    }
+    Thread* t = waiters_.front();
+    waiters_.pop_front();
+    return t;
+  }
+  bool Remove(Thread* t) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == t) {
+        waiters_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::deque<Thread*> waiters_;
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_WAIT_QUEUE_H_

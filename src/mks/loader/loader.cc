@@ -1,0 +1,190 @@
+#include "src/mks/loader/loader.h"
+
+#include "src/base/log.h"
+
+namespace mks {
+
+namespace {
+const hw::CodeRegion& MapRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("mks.loader.map_segment", 260);
+  return r;
+}
+const hw::CodeRegion& SymbolRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("mks.loader.resolve_symbol", 120);
+  return r;
+}
+}  // namespace
+
+base::Status Loader::RegisterModule(LoadModule module) {
+  if (module.name.empty()) {
+    return base::Status::kInvalidArgument;
+  }
+  if (registry_.contains(module.name)) {
+    return base::Status::kAlreadyExists;
+  }
+  registry_.emplace(module.name, std::move(module));
+  return base::Status::kOk;
+}
+
+base::Result<const LoadModule*> Loader::FindModule(const std::string& name) const {
+  auto it = registry_.find(name);
+  if (it == registry_.end()) {
+    return base::Status::kNotFound;
+  }
+  return &it->second;
+}
+
+base::Result<hw::VirtAddr> Loader::MapModule(mk::Task& task, const LoadModule& module) {
+  auto& task_mods = per_task_[task.id()];
+  if (auto it = task_mods.find(module.name); it != task_mods.end()) {
+    return it->second;  // already mapped in this task
+  }
+  kernel_.cpu().Execute(MapRegion());
+
+  const uint64_t text_bytes = hw::PageRound(module.text_size);
+  const uint64_t data_bytes = hw::PageRound(module.data_size + module.bss_size);
+  const uint64_t total = text_bytes + data_bytes;
+  if (total == 0) {
+    return base::Status::kInvalidArgument;
+  }
+
+  hw::VirtAddr base = 0;
+  if (module.coerced) {
+    // Address-coerced shared library: one range for every task.
+    auto it = coerced_bases_.find(module.name);
+    if (it == coerced_bases_.end()) {
+      auto addr = kernel_.VmAllocateCoerced(task, total);
+      if (!addr.ok()) {
+        return addr.status();
+      }
+      coerced_bases_.emplace(module.name, *addr);
+      base = *addr;
+    } else {
+      base = it->second;
+      const base::Status st = kernel_.VmMapCoerced(task, base);
+      if (st != base::Status::kOk) {
+        return st;
+      }
+    }
+  } else {
+    // Reserve a contiguous range, then carve it: text (shared object for
+    // shared libraries), then private data+bss.
+    std::shared_ptr<mk::VmObject> text;
+    if (module.shared_library) {
+      auto it = text_objects_.find(module.name);
+      if (it == text_objects_.end()) {
+        text = std::make_shared<mk::VmObject>(text_bytes);
+        text_objects_.emplace(module.name, text);
+      } else {
+        text = it->second;
+      }
+    } else {
+      text = std::make_shared<mk::VmObject>(text_bytes);
+    }
+    auto text_addr = kernel_.VmMapObject(task, text, 0, text_bytes,
+                                         mk::Prot::kRead | mk::Prot::kExecute,
+                                         /*anywhere=*/true);
+    if (!text_addr.ok()) {
+      return text_addr.status();
+    }
+    base = *text_addr;
+    if (data_bytes > 0) {
+      const base::Status st = kernel_.VmAllocateAt(task, base + text_bytes, data_bytes);
+      if (st != base::Status::kOk) {
+        // Range after text was taken; fall back to anywhere for data. The
+        // module's data then lives at a non-standard offset, which the
+        // loader tolerates by tracking only the text base.
+        auto data_addr = kernel_.VmAllocate(task, data_bytes);
+        if (!data_addr.ok()) {
+          return data_addr.status();
+        }
+      }
+      // Write the initialized-data image through the fault path.
+      if (!module.data_image.empty()) {
+        const base::Status wr = kernel_.CopyOut(task, base + text_bytes,
+                                                module.data_image.data(),
+                                                module.data_image.size());
+        if (wr != base::Status::kOk) {
+          return wr;
+        }
+      }
+    }
+  }
+  task_mods.emplace(module.name, base);
+  return base;
+}
+
+base::Status Loader::LoadClosure(mk::Task& task, const std::string& name,
+                                 std::vector<MappedModule>* loaded) {
+  for (const MappedModule& m : *loaded) {
+    if (m.module->name == name) {
+      return base::Status::kOk;  // dependency cycle or diamond: already done
+    }
+  }
+  auto module = FindModule(name);
+  if (!module.ok()) {
+    return module.status();
+  }
+  // Depth-first: dependencies map first (SVR4 initialization order).
+  for (const std::string& dep : (*module)->needed) {
+    const base::Status st = LoadClosure(task, dep, loaded);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+  }
+  auto base = MapModule(task, **module);
+  if (!base.ok()) {
+    return base.status();
+  }
+  loaded->push_back({.base = *base, .module = *module});
+  return base::Status::kOk;
+}
+
+base::Result<Loader::LoadResult> Loader::LoadProgram(mk::Task& task, const std::string& program) {
+  std::vector<MappedModule> loaded;
+  const base::Status st = LoadClosure(task, program, &loaded);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  LoadResult result;
+  result.base = loaded.back().base;  // the program itself maps last
+  for (const MappedModule& m : loaded) {
+    result.modules.push_back(m.module->name);
+  }
+  // Resolve every import of every loaded module.
+  for (const MappedModule& m : loaded) {
+    for (const ModuleImport& imp : m.module->imports) {
+      kernel_.cpu().Execute(SymbolRegion());
+      ++relocations_;
+      bool found = false;
+      for (const MappedModule& provider : loaded) {
+        if (policy_ == ResolutionPolicy::kRestrictedPerLibrary &&
+            provider.module->name != imp.library) {
+          continue;
+        }
+        if (policy_ == ResolutionPolicy::kSvr4Global && provider.module == m.module) {
+          continue;  // global search skips the importer itself
+        }
+        for (const ModuleSymbol& sym : provider.module->exports) {
+          if (sym.name == imp.symbol) {
+            result.resolved[imp.symbol] =
+                LoadedSymbol{provider.module->name, provider.base + sym.offset};
+            found = true;
+            break;
+          }
+        }
+        if (found) {
+          break;
+        }
+      }
+      if (!found) {
+        WPOS_LOG(kInfo) << "unresolved symbol " << imp.symbol << " wanted by "
+                        << m.module->name;
+        return base::Status::kNotFound;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mks

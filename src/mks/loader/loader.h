@@ -1,0 +1,87 @@
+// The Microkernel Services loader: loads programs and shared libraries into
+// address spaces.
+//
+// Paper features modelled here:
+//   - ELF-style load modules (module.h) with SVR4-style global symbol
+//     resolution, later restricted to per-library resolution
+//     (ResolutionPolicy) when personality-neutral and personality-specific
+//     code began sharing address spaces;
+//   - shared-library text shared between tasks via a common VM object;
+//   - address coercion of shared libraries (the library occupies the same
+//     address range in every task, via the kernel's coerced memory).
+#ifndef SRC_MKS_LOADER_LOADER_H_
+#define SRC_MKS_LOADER_LOADER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mk/kernel.h"
+#include "src/mks/loader/module.h"
+
+namespace mks {
+
+enum class ResolutionPolicy {
+  kSvr4Global,           // search every module loaded in the task, load order
+  kRestrictedPerLibrary  // search only the library named by the import
+};
+
+class Loader {
+ public:
+  explicit Loader(mk::Kernel& kernel, ResolutionPolicy policy = ResolutionPolicy::kSvr4Global)
+      : kernel_(kernel), policy_(policy) {}
+
+  ResolutionPolicy policy() const { return policy_; }
+  void set_policy(ResolutionPolicy p) { policy_ = p; }
+
+  // The module registry stands in for the executables on disk.
+  base::Status RegisterModule(LoadModule module);
+  base::Result<const LoadModule*> FindModule(const std::string& name) const;
+
+  struct LoadedSymbol {
+    std::string module;
+    hw::VirtAddr address = 0;
+  };
+
+  struct LoadResult {
+    hw::VirtAddr base = 0;            // program load base
+    std::vector<std::string> modules; // everything mapped, dependency order
+    // import symbol -> resolved address (after relocation)
+    std::unordered_map<std::string, LoadedSymbol> resolved;
+  };
+
+  // Loads `program` plus its `needed` closure into `task`.
+  base::Result<LoadResult> LoadProgram(mk::Task& task, const std::string& program);
+
+  // Diagnostics.
+  uint64_t text_objects_created() const { return text_objects_.size(); }
+  uint64_t relocations_processed() const { return relocations_; }
+
+ private:
+  struct MappedModule {
+    hw::VirtAddr base = 0;
+    const LoadModule* module = nullptr;
+  };
+
+  // Maps one module into the task; reuses shared text, honours coercion.
+  base::Result<hw::VirtAddr> MapModule(mk::Task& task, const LoadModule& module);
+  base::Status LoadClosure(mk::Task& task, const std::string& name,
+                           std::vector<MappedModule>* loaded);
+
+  mk::Kernel& kernel_;
+  ResolutionPolicy policy_;
+  std::map<std::string, LoadModule> registry_;
+  // Shared text objects: one per shared library, shared across all tasks.
+  std::unordered_map<std::string, std::shared_ptr<mk::VmObject>> text_objects_;
+  // Coerced libraries: fixed address, assigned on first load.
+  std::unordered_map<std::string, hw::VirtAddr> coerced_bases_;
+  // Per task: what is already mapped (task id -> module -> base).
+  std::unordered_map<mk::TaskId, std::unordered_map<std::string, hw::VirtAddr>> per_task_;
+  uint64_t relocations_ = 0;
+};
+
+}  // namespace mks
+
+#endif  // SRC_MKS_LOADER_LOADER_H_

@@ -1,0 +1,136 @@
+#include "src/mks/loader/module.h"
+
+#include <cstring>
+
+namespace mks {
+
+namespace {
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.insert(out.end(), {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8),
+                         static_cast<uint8_t>(v >> 16), static_cast<uint8_t>(v >> 24)});
+}
+void PutString(std::vector<uint8_t>& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& data) : data_(data) {}
+  bool ok() const { return ok_; }
+  uint32_t U32() {
+    if (pos_ + 4 > data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  std::string String() {
+    const uint32_t len = U32();
+    if (!ok_ || pos_ + len > data_.size() || len > 4096) {
+      ok_ = false;
+      return "";
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  std::vector<uint8_t> Bytes(uint32_t len) {
+    if (pos_ + len > data_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<uint8_t> b(data_.begin() + pos_, data_.begin() + pos_ + len);
+    pos_ += len;
+    return b;
+  }
+
+ private:
+  const std::vector<uint8_t>& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+}  // namespace
+
+std::vector<uint8_t> LoadModule::Serialize() const {
+  std::vector<uint8_t> out;
+  PutU32(out, kMagic);
+  PutString(out, name);
+  PutU32(out, (shared_library ? 1u : 0u) | (coerced ? 2u : 0u));
+  PutU32(out, text_size);
+  PutU32(out, data_size);
+  PutU32(out, bss_size);
+  PutU32(out, static_cast<uint32_t>(data_image.size()));
+  out.insert(out.end(), data_image.begin(), data_image.end());
+  PutU32(out, static_cast<uint32_t>(exports.size()));
+  for (const ModuleSymbol& s : exports) {
+    PutString(out, s.name);
+    PutU32(out, s.offset);
+  }
+  PutU32(out, static_cast<uint32_t>(imports.size()));
+  for (const ModuleImport& imp : imports) {
+    PutString(out, imp.library);
+    PutString(out, imp.symbol);
+  }
+  PutU32(out, static_cast<uint32_t>(needed.size()));
+  for (const std::string& n : needed) {
+    PutString(out, n);
+  }
+  return out;
+}
+
+base::Result<LoadModule> LoadModule::Parse(const std::vector<uint8_t>& image) {
+  Reader r(image);
+  if (r.U32() != kMagic) {
+    return base::Status::kCorrupt;
+  }
+  LoadModule m;
+  m.name = r.String();
+  const uint32_t flags = r.U32();
+  m.shared_library = (flags & 1u) != 0;
+  m.coerced = (flags & 2u) != 0;
+  m.text_size = r.U32();
+  m.data_size = r.U32();
+  m.bss_size = r.U32();
+  const uint32_t data_len = r.U32();
+  if (!r.ok() || data_len > m.data_size) {
+    return base::Status::kCorrupt;
+  }
+  m.data_image = r.Bytes(data_len);
+  const uint32_t n_exports = r.U32();
+  if (!r.ok() || n_exports > 10000) {
+    return base::Status::kCorrupt;
+  }
+  for (uint32_t i = 0; i < n_exports; ++i) {
+    ModuleSymbol s;
+    s.name = r.String();
+    s.offset = r.U32();
+    m.exports.push_back(std::move(s));
+  }
+  const uint32_t n_imports = r.U32();
+  if (!r.ok() || n_imports > 10000) {
+    return base::Status::kCorrupt;
+  }
+  for (uint32_t i = 0; i < n_imports; ++i) {
+    ModuleImport imp;
+    imp.library = r.String();
+    imp.symbol = r.String();
+    m.imports.push_back(std::move(imp));
+  }
+  const uint32_t n_needed = r.U32();
+  if (!r.ok() || n_needed > 1000) {
+    return base::Status::kCorrupt;
+  }
+  for (uint32_t i = 0; i < n_needed; ++i) {
+    m.needed.push_back(r.String());
+  }
+  if (!r.ok()) {
+    return base::Status::kCorrupt;
+  }
+  return m;
+}
+
+}  // namespace mks

@@ -1,0 +1,103 @@
+#include "src/mks/naming/lite_name_server.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace mks {
+
+namespace {
+const hw::CodeRegion& LookupRegion() {
+  // One flat hash probe; contrast with the full service's per-component walk.
+  static const hw::CodeRegion r = hw::DefineCode("mks.name_lite.lookup", 70);
+  return r;
+}
+}  // namespace
+
+LiteNameServer::LiteNameServer(mk::Kernel& kernel, mk::Task* task)
+    : kernel_(kernel), task_(task) {
+  auto port = kernel_.PortAllocate(*task_);
+  WPOS_CHECK(port.ok());
+  receive_port_ = *port;
+  table_sim_addr_ = kernel_.heap().Allocate(4096);
+  kernel_.CreateThread(task_, "lite-name-server", [this](mk::Env& env) { Serve(env); },
+                       mk::Thread::kDefaultPriority + 2);
+}
+
+mk::PortName LiteNameServer::GrantTo(mk::Task& client) {
+  auto name = kernel_.MakeSendRight(*task_, receive_port_, client);
+  WPOS_CHECK(name.ok());
+  return *name;
+}
+
+void LiteNameServer::Serve(mk::Env& env) {
+  static const hw::CodeRegion kLoop =
+      hw::DefineCode("loop.naming_lite", mk::Costs::kRpcServerLoop);
+  LiteNameRequest r;
+  while (true) {
+    auto req = env.RpcReceive(receive_port_, &r, sizeof(r));
+    if (!req.ok()) {
+      return;
+    }
+    kernel_.cpu().Execute(kLoop);
+    kernel_.cpu().Execute(LookupRegion());
+    const uint64_t bucket = std::hash<std::string_view>{}(r.name) % 64;
+    kernel_.cpu().AccessData(table_sim_addr_ + bucket * 64, 32, /*write=*/false);
+    LiteNameReply reply;
+    if (r.op == LiteNameOp::kRegister) {
+      if (req->rights.empty()) {
+        reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+      } else if (!entries_.emplace(r.name, req->rights.front()).second) {
+        reply.status = static_cast<int32_t>(base::Status::kAlreadyExists);
+      }
+      env.RpcReply(req->token, &reply, sizeof(reply));
+    } else if (r.op == LiteNameOp::kResolve) {
+      ++resolves_;
+      auto it = entries_.find(r.name);
+      if (it == entries_.end()) {
+        reply.status = static_cast<int32_t>(base::Status::kNotFound);
+        env.RpcReply(req->token, &reply, sizeof(reply));
+      } else {
+        env.RpcReply(req->token, &reply, sizeof(reply), nullptr, 0, /*grant=*/it->second);
+      }
+    } else {
+      reply.status = static_cast<int32_t>(base::Status::kNotSupported);
+      env.RpcReply(req->token, &reply, sizeof(reply));
+    }
+  
+    if (!running_) {
+      // Server shutdown: kill the service port so queued and future
+      // callers fail with kPortDead instead of blocking forever.
+      (void)kernel_.PortDestroy(*task_, receive_port_);
+      return;
+    }
+  }
+}
+
+base::Status LiteNameClient::Register(mk::Env& env, const std::string& name, mk::PortName right) {
+  LiteNameRequest r;
+  r.op = LiteNameOp::kRegister;
+  r.SetName(name.c_str());
+  LiteNameReply reply;
+  mk::RightDescriptor rd{.name = right, .disposition = mk::RightType::kSend};
+  const base::Status st = stub_.Call(env, r, &reply, nullptr, &rd, 1);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Result<mk::PortName> LiteNameClient::Resolve(mk::Env& env, const std::string& name) {
+  LiteNameRequest r;
+  r.op = LiteNameOp::kResolve;
+  r.SetName(name.c_str());
+  LiteNameReply reply;
+  mk::PortName granted = mk::kNullPort;
+  const base::Status st = stub_.Call(env, r, &reply, nullptr, nullptr, 0, &granted);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return granted;
+}
+
+}  // namespace mks

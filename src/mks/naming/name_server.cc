@@ -1,0 +1,459 @@
+#include "src/mks/naming/name_server.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace mks {
+
+namespace {
+const hw::CodeRegion& ParseRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("mks.name.parse", 180);
+  return r;
+}
+const hw::CodeRegion& ComponentRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("mks.name.component", 140);
+  return r;
+}
+const hw::CodeRegion& AttrRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("mks.name.attr_match", 90);
+  return r;
+}
+const hw::CodeRegion& NotifyRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("mks.name.notify", 130);
+  return r;
+}
+
+std::string Canonical(const char* raw) {
+  std::string name(raw);
+  while (name.size() > 1 && name.back() == '/') {
+    name.pop_back();
+  }
+  if (name.empty() || name.front() != '/') {
+    name.insert(name.begin(), '/');
+  }
+  return name;
+}
+
+bool IsDirectChild(const std::string& dir, const std::string& name) {
+  const std::string prefix = dir == "/" ? "/" : dir + "/";
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  return name.find('/', prefix.size()) == std::string::npos;
+}
+}  // namespace
+
+NameServer::NameServer(mk::Kernel& kernel, mk::Task* task) : kernel_(kernel), task_(task) {
+  auto port = kernel_.PortAllocate(*task_);
+  WPOS_CHECK(port.ok());
+  receive_port_ = *port;
+  kernel_.CreateThread(task_, "name-server", [this](mk::Env& env) { Serve(env); },
+                       mk::Thread::kDefaultPriority + 2);
+}
+
+mk::PortName NameServer::GrantTo(mk::Task& client) {
+  auto name = kernel_.MakeSendRight(*task_, receive_port_, client);
+  WPOS_CHECK(name.ok());
+  return *name;
+}
+
+void NameServer::Stop() { running_ = false; }
+
+void NameServer::ChargeNameWalk(const std::string& name) {
+  kernel_.cpu().Execute(ParseRegion());
+  size_t components = 0;
+  std::string prefix;
+  for (size_t i = 1; i <= name.size(); ++i) {
+    if (i == name.size() || name[i] == '/') {
+      ++components;
+      prefix = name.substr(0, i);
+      kernel_.cpu().Execute(ComponentRegion());
+      auto it = entries_.lower_bound(prefix);
+      if (it != entries_.end() && it->second.sim_addr != 0) {
+        kernel_.cpu().AccessData(it->second.sim_addr, 48, /*write=*/false);
+      }
+    }
+  }
+}
+
+void NameServer::Serve(mk::Env& env) {
+  std::vector<uint8_t> buf(sizeof(NameRequest));
+  std::vector<uint8_t> ref(sizeof(Attribute) * kMaxAttrsPerEntry);
+  static const hw::CodeRegion kLoop = hw::DefineCode("loop.naming", mk::Costs::kRpcServerLoop);
+  static const hw::CodeRegion kStub = hw::DefineCode("stub.naming", mk::Costs::kRpcServerStub);
+  while (true) {
+    mk::RpcRef rref;
+    rref.recv_buf = ref.data();
+    rref.recv_cap = static_cast<uint32_t>(ref.size());
+    auto req = env.RpcReceive(receive_port_, buf.data(), static_cast<uint32_t>(buf.size()), &rref);
+    if (!req.ok()) {
+      return;
+    }
+    kernel_.cpu().Execute(kLoop);
+    kernel_.cpu().Execute(kStub);
+    NameRequest r;
+    std::memcpy(&r, buf.data(), std::min<size_t>(req->req_len, sizeof(r)));
+    switch (r.op) {
+      case NameOp::kRegister:
+        HandleRegister(env, *req, r, ref.data(), rref.recv_len);
+        break;
+      case NameOp::kResolve:
+        HandleResolve(env, *req, r);
+        break;
+      case NameOp::kUnregister:
+        HandleUnregister(env, *req, r);
+        break;
+      case NameOp::kList:
+        HandleList(env, *req, r);
+        break;
+      case NameOp::kSearch:
+        HandleSearch(env, *req, r);
+        break;
+      case NameOp::kSetAttr:
+        HandleSetAttr(env, *req, r);
+        break;
+      case NameOp::kGetAttr:
+        HandleGetAttr(env, *req, r);
+        break;
+      case NameOp::kWatch:
+        HandleWatch(env, *req, r);
+        break;
+      default: {
+        NameReply reply;
+        reply.status = static_cast<int32_t>(base::Status::kNotSupported);
+        env.RpcReply(req->token, &reply, sizeof(reply));
+      }
+    }
+  
+    if (!running_) {
+      // Server shutdown: kill the service port so queued and future
+      // callers fail with kPortDead instead of blocking forever.
+      (void)kernel_.PortDestroy(*task_, receive_port_);
+      return;
+    }
+  }
+}
+
+void NameServer::HandleRegister(mk::Env& env, const mk::RpcRequest& req, const NameRequest& r,
+                                const uint8_t* ref, uint32_t ref_len) {
+  NameReply reply;
+  const std::string name = Canonical(r.name);
+  ChargeNameWalk(name);
+  if (req.rights.empty()) {
+    reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+    env.RpcReply(req.token, &reply, sizeof(reply));
+    return;
+  }
+  if (entries_.contains(name)) {
+    reply.status = static_cast<int32_t>(base::Status::kAlreadyExists);
+    env.RpcReply(req.token, &reply, sizeof(reply));
+    return;
+  }
+  Node node;
+  node.right = req.rights.front();
+  node.sim_addr = kernel_.heap().Allocate(128);
+  const uint32_t n_attrs = std::min(r.attr_count, kMaxAttrsPerEntry);
+  for (uint32_t i = 0; i < n_attrs && (i + 1) * sizeof(Attribute) <= ref_len; ++i) {
+    Attribute a;
+    std::memcpy(&a, ref + i * sizeof(Attribute), sizeof(Attribute));
+    node.attrs.push_back(a);
+  }
+  entries_.emplace(name, std::move(node));
+  ++registrations_;
+  NotifyWatchers(env, 1, name);
+  env.RpcReply(req.token, &reply, sizeof(reply));
+}
+
+void NameServer::HandleResolve(mk::Env& env, const mk::RpcRequest& req, const NameRequest& r) {
+  NameReply reply;
+  const std::string name = Canonical(r.name);
+  ChargeNameWalk(name);
+  ++resolves_;
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    reply.status = static_cast<int32_t>(base::Status::kNotFound);
+    env.RpcReply(req.token, &reply, sizeof(reply));
+    return;
+  }
+  kernel_.cpu().AccessData(it->second.sim_addr, 48, /*write=*/false);
+  env.RpcReply(req.token, &reply, sizeof(reply), nullptr, 0, /*grant=*/it->second.right);
+}
+
+void NameServer::HandleUnregister(mk::Env& env, const mk::RpcRequest& req, const NameRequest& r) {
+  NameReply reply;
+  const std::string name = Canonical(r.name);
+  ChargeNameWalk(name);
+  if (entries_.erase(name) == 0) {
+    reply.status = static_cast<int32_t>(base::Status::kNotFound);
+  } else {
+    NotifyWatchers(env, 2, name);
+  }
+  env.RpcReply(req.token, &reply, sizeof(reply));
+}
+
+void NameServer::HandleList(mk::Env& env, const mk::RpcRequest& req, const NameRequest& r) {
+  NameReply reply;
+  const std::string dir = Canonical(r.name);
+  ChargeNameWalk(dir);
+  std::vector<NameListEntry> results;
+  for (const auto& [name, node] : entries_) {
+    kernel_.cpu().Execute(ComponentRegion());
+    if (IsDirectChild(dir, name) && results.size() < kMaxListResults) {
+      NameListEntry e;
+      std::strncpy(e.name, name.c_str(), kMaxNameLen - 1);
+      results.push_back(e);
+    }
+  }
+  reply.count = static_cast<uint32_t>(results.size());
+  env.RpcReply(req.token, &reply, sizeof(reply), results.data(),
+               static_cast<uint32_t>(results.size() * sizeof(NameListEntry)));
+}
+
+void NameServer::HandleSearch(mk::Env& env, const mk::RpcRequest& req, const NameRequest& r) {
+  NameReply reply;
+  std::vector<NameListEntry> results;
+  for (const auto& [name, node] : entries_) {
+    kernel_.cpu().Execute(AttrRegion());
+    kernel_.cpu().AccessData(node.sim_addr, 64, /*write=*/false);
+    for (const Attribute& a : node.attrs) {
+      if (std::strncmp(a.key, r.attr.key, kMaxAttrKey) == 0 &&
+          std::strncmp(a.value, r.attr.value, kMaxAttrValue) == 0) {
+        if (results.size() < kMaxListResults) {
+          NameListEntry e;
+          std::strncpy(e.name, name.c_str(), kMaxNameLen - 1);
+          results.push_back(e);
+        }
+        break;
+      }
+    }
+  }
+  reply.count = static_cast<uint32_t>(results.size());
+  env.RpcReply(req.token, &reply, sizeof(reply), results.data(),
+               static_cast<uint32_t>(results.size() * sizeof(NameListEntry)));
+}
+
+void NameServer::HandleSetAttr(mk::Env& env, const mk::RpcRequest& req, const NameRequest& r) {
+  NameReply reply;
+  const std::string name = Canonical(r.name);
+  ChargeNameWalk(name);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    reply.status = static_cast<int32_t>(base::Status::kNotFound);
+  } else {
+    kernel_.cpu().AccessData(it->second.sim_addr, 64, /*write=*/true);
+    bool updated = false;
+    for (Attribute& a : it->second.attrs) {
+      if (std::strncmp(a.key, r.attr.key, kMaxAttrKey) == 0) {
+        std::memcpy(a.value, r.attr.value, kMaxAttrValue);
+        updated = true;
+        break;
+      }
+    }
+    if (!updated) {
+      if (it->second.attrs.size() >= kMaxAttrsPerEntry) {
+        reply.status = static_cast<int32_t>(base::Status::kNoSpace);
+      } else {
+        it->second.attrs.push_back(r.attr);
+      }
+    }
+    if (reply.status == 0) {
+      NotifyWatchers(env, 3, name);
+    }
+  }
+  env.RpcReply(req.token, &reply, sizeof(reply));
+}
+
+void NameServer::HandleGetAttr(mk::Env& env, const mk::RpcRequest& req, const NameRequest& r) {
+  NameReply reply;
+  const std::string name = Canonical(r.name);
+  ChargeNameWalk(name);
+  auto it = entries_.find(name);
+  reply.status = static_cast<int32_t>(base::Status::kNotFound);
+  if (it != entries_.end()) {
+    for (const Attribute& a : it->second.attrs) {
+      kernel_.cpu().Execute(AttrRegion());
+      if (std::strncmp(a.key, r.attr.key, kMaxAttrKey) == 0) {
+        reply.attr = a;
+        reply.status = 0;
+        break;
+      }
+    }
+  }
+  env.RpcReply(req.token, &reply, sizeof(reply));
+}
+
+void NameServer::HandleWatch(mk::Env& env, const mk::RpcRequest& req, const NameRequest& r) {
+  NameReply reply;
+  if (req.rights.empty()) {
+    reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+  } else {
+    auto port = kernel_.ResolvePort(*task_, req.rights.front());
+    if (!port.ok()) {
+      reply.status = static_cast<int32_t>(port.status());
+    } else {
+      watchers_.push_back({Canonical(r.name), *port});
+    }
+  }
+  env.RpcReply(req.token, &reply, sizeof(reply));
+}
+
+void NameServer::NotifyWatchers(mk::Env& env, uint32_t kind, const std::string& name) {
+  for (const Watcher& w : watchers_) {
+    const std::string prefix = w.prefix == "/" ? "/" : w.prefix + "/";
+    if (name != w.prefix && name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    kernel_.cpu().Execute(NotifyRegion());
+    if (w.port->dead() || w.port->queue.size() >= w.port->queue_limit) {
+      continue;
+    }
+    NameEvent event;
+    event.kind = kind;
+    std::strncpy(event.name, name.c_str(), kMaxNameLen - 1);
+    auto qm = std::make_unique<mk::QueuedMessage>();
+    qm->msg_id = 0x3000;
+    qm->kernel_buffer = kernel_.heap().Allocate(sizeof(NameEvent));
+    qm->inline_data.resize(sizeof(NameEvent));
+    std::memcpy(qm->inline_data.data(), &event, sizeof(NameEvent));
+    w.port->queue.push_back(std::move(qm));
+    if (mk::Thread* receiver = w.port->blocked_receivers.DequeueFront()) {
+      receiver->waiting_on = nullptr;
+      kernel_.scheduler().Wake(receiver, base::Status::kOk);
+    }
+  }
+}
+
+// --- Client library ---------------------------------------------------------------
+
+base::Status NameClient::Register(mk::Env& env, const std::string& name, mk::PortName right,
+                                  const std::vector<Attribute>& attrs) {
+  NameRequest r;
+  r.op = NameOp::kRegister;
+  r.SetName(name.c_str());
+  r.attr_count = static_cast<uint32_t>(attrs.size());
+  NameReply reply;
+  mk::RightDescriptor rd{.name = right, .disposition = mk::RightType::kSend};
+  mk::RpcRef ref;
+  if (!attrs.empty()) {
+    ref.send_data = attrs.data();
+    ref.send_len = static_cast<uint32_t>(attrs.size() * sizeof(Attribute));
+  }
+  const base::Status st = stub_.Call(env, r, &reply, attrs.empty() ? nullptr : &ref, &rd, 1);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  return static_cast<base::Status>(reply.status);
+}
+
+base::Result<mk::PortName> NameClient::Resolve(mk::Env& env, const std::string& name) {
+  NameRequest r;
+  r.op = NameOp::kResolve;
+  r.SetName(name.c_str());
+  NameReply reply;
+  mk::PortName granted = mk::kNullPort;
+  const base::Status st = stub_.Call(env, r, &reply, nullptr, nullptr, 0, &granted);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return granted;
+}
+
+base::Status NameClient::Unregister(mk::Env& env, const std::string& name) {
+  NameRequest r;
+  r.op = NameOp::kUnregister;
+  r.SetName(name.c_str());
+  NameReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Result<std::vector<std::string>> NameClient::List(mk::Env& env, const std::string& dir) {
+  NameRequest r;
+  r.op = NameOp::kList;
+  r.SetName(dir.c_str());
+  NameReply reply;
+  std::vector<NameListEntry> results(kMaxListResults);
+  mk::RpcRef ref;
+  ref.recv_buf = results.data();
+  ref.recv_cap = static_cast<uint32_t>(results.size() * sizeof(NameListEntry));
+  const base::Status st = stub_.Call(env, r, &reply, &ref);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  std::vector<std::string> names;
+  for (uint32_t i = 0; i < reply.count; ++i) {
+    names.emplace_back(results[i].name);
+  }
+  return names;
+}
+
+base::Result<std::vector<std::string>> NameClient::Search(mk::Env& env, const std::string& key,
+                                                          const std::string& value) {
+  NameRequest r;
+  r.op = NameOp::kSearch;
+  std::strncpy(r.attr.key, key.c_str(), kMaxAttrKey - 1);
+  std::strncpy(r.attr.value, value.c_str(), kMaxAttrValue - 1);
+  NameReply reply;
+  std::vector<NameListEntry> results(kMaxListResults);
+  mk::RpcRef ref;
+  ref.recv_buf = results.data();
+  ref.recv_cap = static_cast<uint32_t>(results.size() * sizeof(NameListEntry));
+  const base::Status st = stub_.Call(env, r, &reply, &ref);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  std::vector<std::string> names;
+  for (uint32_t i = 0; i < reply.count; ++i) {
+    names.emplace_back(results[i].name);
+  }
+  return names;
+}
+
+base::Status NameClient::SetAttr(mk::Env& env, const std::string& name, const std::string& key,
+                                 const std::string& value) {
+  NameRequest r;
+  r.op = NameOp::kSetAttr;
+  r.SetName(name.c_str());
+  std::strncpy(r.attr.key, key.c_str(), kMaxAttrKey - 1);
+  std::strncpy(r.attr.value, value.c_str(), kMaxAttrValue - 1);
+  NameReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Result<std::string> NameClient::GetAttr(mk::Env& env, const std::string& name,
+                                              const std::string& key) {
+  NameRequest r;
+  r.op = NameOp::kGetAttr;
+  r.SetName(name.c_str());
+  std::strncpy(r.attr.key, key.c_str(), kMaxAttrKey - 1);
+  NameReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return std::string(reply.attr.value);
+}
+
+base::Status NameClient::Watch(mk::Env& env, const std::string& prefix,
+                               mk::PortName notify_port) {
+  NameRequest r;
+  r.op = NameOp::kWatch;
+  r.SetName(prefix.c_str());
+  NameReply reply;
+  mk::RightDescriptor rd{.name = notify_port, .disposition = mk::RightType::kSend};
+  const base::Status st = stub_.Call(env, r, &reply, nullptr, &rd, 1);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+}  // namespace mks

@@ -1,0 +1,88 @@
+// Wire protocol of the Microkernel Services name service.
+//
+// The full service is X.500-flavoured (paper: "We based our interfaces on a
+// subset of the X.500 architecture to support storing attribute information
+// with names, complex naming formats, sophisticated search mechanisms and
+// notifications on name space alteration"). The lite service (Release 2)
+// supports only register/resolve over a flat namespace.
+#ifndef SRC_MKS_NAMING_PROTOCOL_H_
+#define SRC_MKS_NAMING_PROTOCOL_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace mks {
+
+inline constexpr uint32_t kMaxNameLen = 120;
+inline constexpr uint32_t kMaxAttrKey = 24;
+inline constexpr uint32_t kMaxAttrValue = 48;
+inline constexpr uint32_t kMaxAttrsPerEntry = 6;
+inline constexpr uint32_t kMaxListResults = 16;
+
+enum class NameOp : uint32_t {
+  kRegister = 1,     // bind name -> transferred port right (+ attributes)
+  kResolve = 2,      // name -> granted send right
+  kUnregister = 3,
+  kList = 4,         // children of a directory name
+  kSearch = 5,       // attribute filter -> matching names
+  kSetAttr = 6,
+  kGetAttr = 7,
+  kWatch = 8,        // notifications on namespace alteration under a prefix
+};
+
+struct Attribute {
+  char key[kMaxAttrKey] = {};
+  char value[kMaxAttrValue] = {};
+};
+
+struct NameRequest {
+  NameOp op = NameOp::kResolve;
+  char name[kMaxNameLen] = {};
+  // kSearch: attribute filter; kSetAttr/kRegister: attribute payload.
+  Attribute attr;
+  uint32_t attr_count = 0;  // kRegister: attributes in the bulk-ref payload
+
+  void SetName(const char* s) {
+    std::strncpy(name, s, kMaxNameLen - 1);
+    name[kMaxNameLen - 1] = '\0';
+  }
+};
+
+struct NameReply {
+  int32_t status = 0;  // base::Status
+  uint32_t count = 0;  // kList/kSearch: number of results in the bulk reply
+  Attribute attr;      // kGetAttr result
+};
+
+// kList/kSearch bulk reply: `count` of these.
+struct NameListEntry {
+  char name[kMaxNameLen] = {};
+};
+
+// Notification message (legacy IPC) posted to watchers.
+struct NameEvent {
+  uint32_t kind = 0;  // 1 = registered, 2 = unregistered, 3 = attr changed
+  char name[kMaxNameLen] = {};
+};
+
+enum class LiteNameOp : uint32_t {
+  kRegister = 1,
+  kResolve = 2,
+};
+
+struct LiteNameRequest {
+  LiteNameOp op = LiteNameOp::kResolve;
+  char name[kMaxNameLen] = {};
+  void SetName(const char* s) {
+    std::strncpy(name, s, kMaxNameLen - 1);
+    name[kMaxNameLen - 1] = '\0';
+  }
+};
+
+struct LiteNameReply {
+  int32_t status = 0;
+};
+
+}  // namespace mks
+
+#endif  // SRC_MKS_NAMING_PROTOCOL_H_

@@ -1,0 +1,117 @@
+#include "src/mks/pager/default_pager.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/mk/vm_object.h"
+
+namespace mks {
+
+namespace {
+const hw::CodeRegion& ServeRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("mks.pager.serve", 240);
+  return r;
+}
+}  // namespace
+
+DefaultPager::DefaultPager(mk::Kernel& kernel, mk::Task* task, std::unique_ptr<BlockStore> store)
+    : kernel_(kernel), task_(task), store_(std::move(store)) {
+  auto port = kernel_.PortAllocate(*task_);
+  WPOS_CHECK(port.ok());
+  receive_port_ = *port;
+  port_raw_ = *kernel_.ResolvePort(*task_, receive_port_);
+  kernel_.CreateThread(task_, "default-pager", [this](mk::Env& env) { Serve(env); },
+                       mk::Thread::kDefaultPriority + 3);
+}
+
+std::shared_ptr<mk::VmObject> DefaultPager::CreateBackedObject(uint64_t size) {
+  auto object = std::make_shared<mk::VmObject>(hw::PageRound(size));
+  kernel_.RegisterPagedObject(object, port_raw_, 0);
+  return object;
+}
+
+uint64_t DefaultPager::LbaFor(uint64_t object_id, uint64_t page_index, bool allocate) {
+  const auto key = std::make_pair(object_id, page_index);
+  auto it = allocation_.find(key);
+  if (it != allocation_.end()) {
+    return it->second;
+  }
+  if (!allocate) {
+    return ~0ull;
+  }
+  const uint64_t lba = next_lba_;
+  next_lba_ += kSectorsPerPage;
+  WPOS_CHECK(next_lba_ <= store_->num_sectors()) << "paging partition exhausted";
+  allocation_.emplace(key, lba);
+  return lba;
+}
+
+base::Status DefaultPager::Preload(uint64_t object_id, uint64_t page_index, const void* page) {
+  // Host-side staging: the page is held in memory and served (or flushed by a
+  // later data-write) as if it had been paged out before the system booted.
+  std::vector<uint8_t> copy(hw::kPageSize);
+  std::memcpy(copy.data(), page, hw::kPageSize);
+  preloaded_[std::make_pair(object_id, page_index)] = std::move(copy);
+  return base::Status::kOk;
+}
+
+void DefaultPager::Serve(mk::Env& env) {
+  struct Buffers {
+    mk::PagerRequest req;
+    std::vector<uint8_t> page = std::vector<uint8_t>(hw::kPageSize);
+  } b;
+  while (true) {
+    mk::RpcRef ref;
+    ref.recv_buf = b.page.data();
+    ref.recv_cap = static_cast<uint32_t>(b.page.size());
+    auto req = env.RpcReceive(receive_port_, &b.req, sizeof(b.req), &ref);
+    if (!req.ok()) {
+      return;
+    }
+    kernel_.cpu().Execute(ServeRegion());
+    mk::PagerReply reply{};
+    if (b.req.op == mk::PagerOp::kDataRequest) {
+      ++pageins_served_;
+      const auto key = std::make_pair(b.req.object_id, b.req.page_index);
+      std::vector<uint8_t> out(hw::kPageSize, 0);
+      if (auto pre = preloaded_.find(key); pre != preloaded_.end()) {
+        out = pre->second;
+      } else {
+        const uint64_t lba = LbaFor(b.req.object_id, b.req.page_index, /*allocate=*/false);
+        if (lba != ~0ull) {
+          const base::Status st = store_->Read(env, lba, kSectorsPerPage, out.data());
+          if (st != base::Status::kOk) {
+            reply.status = static_cast<int32_t>(st);
+          }
+        }
+        // Never-written pages page in as zeros.
+      }
+      env.RpcReply(req->token, &reply, sizeof(reply), out.data(),
+                   static_cast<uint32_t>(out.size()));
+    } else if (b.req.op == mk::PagerOp::kDataWrite) {
+      ++pageouts_served_;
+      if (ref.recv_len != hw::kPageSize) {
+        reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+      } else {
+        const uint64_t lba = LbaFor(b.req.object_id, b.req.page_index, /*allocate=*/true);
+        const base::Status st = store_->Write(env, lba, kSectorsPerPage, b.page.data());
+        reply.status = static_cast<int32_t>(st);
+        preloaded_.erase(std::make_pair(b.req.object_id, b.req.page_index));
+      }
+      env.RpcReply(req->token, &reply, sizeof(reply));
+    } else {
+      reply.status = static_cast<int32_t>(base::Status::kNotSupported);
+      env.RpcReply(req->token, &reply, sizeof(reply));
+    }
+  
+    if (!running_) {
+      // Server shutdown: kill the service port so queued and future
+      // callers fail with kPortDead instead of blocking forever.
+      (void)kernel_.PortDestroy(*task_, receive_port_);
+      return;
+    }
+  }
+}
+
+}  // namespace mks

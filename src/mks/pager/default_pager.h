@@ -1,0 +1,94 @@
+// The default pager: the Microkernel Services component that backs anonymous
+// memory objects with a paging partition on disk. It is an ordinary
+// user-level RPC server speaking the external-memory-object protocol
+// (src/mk/pager_protocol.h); the kernel's fault path RPCs to it exactly as it
+// would to any personality-provided pager.
+#ifndef SRC_MKS_PAGER_DEFAULT_PAGER_H_
+#define SRC_MKS_PAGER_DEFAULT_PAGER_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/hw/disk.h"
+#include "src/mk/kernel.h"
+#include "src/mk/pager_protocol.h"
+
+namespace mks {
+
+// Abstract block access so the pager can run against the raw disk backdoor
+// (tests) or a real driver stack (system assembly).
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+  virtual base::Status Read(mk::Env& env, uint64_t lba, uint32_t count, void* out) = 0;
+  virtual base::Status Write(mk::Env& env, uint64_t lba, uint32_t count, const void* src) = 0;
+  virtual uint64_t num_sectors() const = 0;
+};
+
+class DefaultPager {
+ public:
+  static constexpr uint32_t kSectorsPerPage = 4096 / 512;
+
+  DefaultPager(mk::Kernel& kernel, mk::Task* task, std::unique_ptr<BlockStore> store);
+
+  mk::Task* task() const { return task_; }
+  mk::Port* port_raw() const { return port_raw_; }
+  void Stop() { running_ = false; }
+
+  // Creates a pager-backed object of `size` bytes registered with the kernel.
+  std::shared_ptr<mk::VmObject> CreateBackedObject(uint64_t size);
+
+  // Host-side helper: pre-populates the backing store for (object, page), as
+  // if the page had been paged out earlier. Usable before the kernel runs.
+  base::Status Preload(uint64_t object_id, uint64_t page_index, const void* page);
+
+  uint64_t pageins_served() const { return pageins_served_; }
+  uint64_t pageouts_served() const { return pageouts_served_; }
+  uint64_t sectors_allocated() const { return next_lba_; }
+
+ private:
+  void Serve(mk::Env& env);
+  uint64_t LbaFor(uint64_t object_id, uint64_t page_index, bool allocate);
+
+  mk::Kernel& kernel_;
+  mk::Task* task_;
+  mk::PortName receive_port_ = mk::kNullPort;
+  mk::Port* port_raw_ = nullptr;
+  std::unique_ptr<BlockStore> store_;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> allocation_;  // (obj,page) -> lba
+  std::map<std::pair<uint64_t, uint64_t>, std::vector<uint8_t>> preloaded_;
+  uint64_t next_lba_ = 0;
+  uint64_t pageins_served_ = 0;
+  uint64_t pageouts_served_ = 0;
+  bool running_ = true;
+};
+
+// BlockStore over the disk's host backdoor, with the device latency modelled
+// as a sleep (the full driver-based store lives in src/drv).
+class BackdoorBlockStore : public BlockStore {
+ public:
+  explicit BackdoorBlockStore(hw::Disk* disk, uint64_t latency_ns = 300'000)
+      : disk_(disk), latency_ns_(latency_ns) {}
+
+  base::Status Read(mk::Env& env, uint64_t lba, uint32_t count, void* out) override {
+    env.SleepNs(latency_ns_);
+    disk_->ReadSectors(lba, count, out);
+    return base::Status::kOk;
+  }
+  base::Status Write(mk::Env& env, uint64_t lba, uint32_t count, const void* src) override {
+    env.SleepNs(latency_ns_);
+    disk_->WriteSectors(lba, count, src);
+    return base::Status::kOk;
+  }
+  uint64_t num_sectors() const override { return disk_->num_sectors(); }
+
+ private:
+  hw::Disk* disk_;
+  uint64_t latency_ns_;
+};
+
+}  // namespace mks
+
+#endif  // SRC_MKS_PAGER_DEFAULT_PAGER_H_

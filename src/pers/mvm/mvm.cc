@@ -1,0 +1,131 @@
+#include "src/pers/mvm/mvm.h"
+
+#include "src/base/log.h"
+
+namespace pers {
+
+namespace {
+const hw::CodeRegion& TrapReflectRegion() {
+  // The MVM shared libraries "handled the traps generated" by the guest.
+  static const hw::CodeRegion r = hw::DefineCode("mvm.lib.trap_reflect", 120);
+  return r;
+}
+const hw::CodeRegion& VddRegion() {
+  // Virtual device driver bridging a DOS call to the real services.
+  static const hw::CodeRegion r = hw::DefineCode("mvm.lib.vdd", 160);
+  return r;
+}
+}  // namespace
+
+DosBox::DosBox(mk::Kernel& kernel, svc::FileServer& fs, const std::string& name)
+    : kernel_(kernel), task_(kernel.CreateTask("mvm." + name, 4096)) {
+  fs_ = std::make_unique<svc::FsClient>(fs.GrantTo(*task_));
+  vm_ = std::make_unique<Vm86>(kernel, task_, [this](mk::Env& env, uint8_t vector,
+                                                     Vm86State& state) {
+    HandleInt(env, vector, state);
+  });
+}
+
+base::Result<uint64_t> DosBox::Run(mk::Env& env, bool translated, uint64_t budget) {
+  return translated ? vm_->RunTranslated(env, budget) : vm_->RunInterpreted(env, budget);
+}
+
+void DosBox::HandleInt(mk::Env& env, uint8_t vector, Vm86State& state) {
+  kernel_.cpu().Execute(TrapReflectRegion());
+  switch (vector) {
+    case 0x21:
+      HandleDos(env, state);
+      break;
+    case 0x10: {  // video teletype: AL = character
+      console_.push_back(static_cast<char>(state.reg(Vm86Reg::kAx) & 0xff));
+      break;
+    }
+    default:
+      // Unknown interrupt: real MVM would reflect to the DOS image; we halt.
+      state.halted = true;
+  }
+}
+
+void DosBox::HandleDos(mk::Env& env, Vm86State& state) {
+  ++dos_calls_;
+  const uint8_t ah = static_cast<uint8_t>(state.reg(Vm86Reg::kAx) >> 8);
+  switch (ah) {
+    case kDosPrintChar:
+      console_.push_back(static_cast<char>(state.reg(Vm86Reg::kDx) & 0xff));
+      break;
+    case kDosCreate:
+    case kDosOpen: {
+      kernel_.cpu().Execute(VddRegion());
+      // DX = guest address of NUL-terminated filename.
+      char name[64] = {};
+      if (vm_->ReadGuest(env, state.reg(Vm86Reg::kDx), name, sizeof(name) - 1) !=
+          base::Status::kOk) {
+        state.reg(Vm86Reg::kAx) = 0xffff;
+        return;
+      }
+      name[sizeof(name) - 1] = '\0';
+      const uint32_t flags =
+          ah == kDosCreate ? (svc::kFsCreate | svc::kFsWrite | svc::kFsTruncate)
+                           : svc::kFsWrite;
+      auto handle = fs_->Open(env, std::string("/") + name, flags | svc::kFsCaseInsensitive);
+      if (!handle.ok()) {
+        state.reg(Vm86Reg::kAx) = 0xffff;
+        return;
+      }
+      const uint16_t dos_handle = next_handle_++;
+      dos_handles_[dos_handle] = *handle;
+      state.reg(Vm86Reg::kAx) = dos_handle;
+      break;
+    }
+    case kDosClose: {
+      kernel_.cpu().Execute(VddRegion());
+      auto it = dos_handles_.find(state.reg(Vm86Reg::kBx));
+      if (it == dos_handles_.end()) {
+        state.reg(Vm86Reg::kAx) = 0xffff;
+        return;
+      }
+      (void)fs_->Close(env, it->second);
+      dos_handles_.erase(it);
+      state.reg(Vm86Reg::kAx) = 0;
+      break;
+    }
+    case kDosRead:
+    case kDosWrite: {
+      kernel_.cpu().Execute(VddRegion());
+      auto it = dos_handles_.find(state.reg(Vm86Reg::kBx));
+      if (it == dos_handles_.end()) {
+        state.reg(Vm86Reg::kAx) = 0xffff;
+        return;
+      }
+      const uint16_t len = state.reg(Vm86Reg::kCx);
+      const uint16_t buf = state.reg(Vm86Reg::kDx);
+      const uint16_t pos = state.reg(Vm86Reg::kSi);  // simplification: SI = offset
+      std::vector<uint8_t> data(len);
+      if (ah == kDosWrite) {
+        if (vm_->ReadGuest(env, buf, data.data(), len) != base::Status::kOk) {
+          state.reg(Vm86Reg::kAx) = 0xffff;
+          return;
+        }
+        auto wrote = fs_->Write(env, it->second, pos, data.data(), len);
+        state.reg(Vm86Reg::kAx) = wrote.ok() ? static_cast<uint16_t>(*wrote) : 0xffff;
+      } else {
+        auto got = fs_->Read(env, it->second, pos, data.data(), len);
+        if (!got.ok() ||
+            vm_->WriteGuest(env, buf, data.data(), *got) != base::Status::kOk) {
+          state.reg(Vm86Reg::kAx) = 0xffff;
+          return;
+        }
+        state.reg(Vm86Reg::kAx) = static_cast<uint16_t>(*got);
+      }
+      break;
+    }
+    case kDosExit:
+      exit_code_ = static_cast<int32_t>(state.reg(Vm86Reg::kAx) & 0xff);
+      state.halted = true;
+      break;
+    default:
+      state.reg(Vm86Reg::kAx) = 0xffff;  // unsupported function
+  }
+}
+
+}  // namespace pers

@@ -1,0 +1,64 @@
+// MVM — the multiple-DOS environment [Golub'93 MVM]: each DOS box is a
+// microkernel task whose shared libraries handle the traps the guest
+// generates and use *virtual device drivers* to reach the real services.
+// INT 21h (DOS API) file calls bridge to the personality-neutral file
+// server; INT 10h teletype output drives a console buffer. On PowerPC the
+// real MVM also carried the x86 instruction translator — vm86.h implements
+// both the interpreter and the block-translating engine.
+#ifndef SRC_PERS_MVM_MVM_H_
+#define SRC_PERS_MVM_MVM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/mk/kernel.h"
+#include "src/pers/mvm/vm86.h"
+#include "src/svc/fs/file_server.h"
+
+namespace pers {
+
+class DosBox {
+ public:
+  DosBox(mk::Kernel& kernel, svc::FileServer& fs, const std::string& name);
+
+  mk::Task* task() { return task_; }
+  Vm86& vm() { return *vm_; }
+
+  base::Status LoadProgram(mk::Env& env, const std::vector<uint8_t>& image) {
+    return vm_->LoadProgram(env, image);
+  }
+  // Runs until HLT (or the instruction budget runs out).
+  base::Result<uint64_t> Run(mk::Env& env, bool translated, uint64_t budget = 1'000'000);
+
+  const std::string& console() const { return console_; }
+  uint64_t dos_calls() const { return dos_calls_; }
+  int32_t exit_code() const { return exit_code_; }
+
+  // DOS INT 21h function numbers (AH).
+  static constexpr uint8_t kDosPrintChar = 0x02;
+  static constexpr uint8_t kDosCreate = 0x3c;
+  static constexpr uint8_t kDosOpen = 0x3d;
+  static constexpr uint8_t kDosClose = 0x3e;
+  static constexpr uint8_t kDosRead = 0x3f;
+  static constexpr uint8_t kDosWrite = 0x40;
+  static constexpr uint8_t kDosExit = 0x4c;
+
+ private:
+  void HandleInt(mk::Env& env, uint8_t vector, Vm86State& state);
+  void HandleDos(mk::Env& env, Vm86State& state);
+
+  mk::Kernel& kernel_;
+  mk::Task* task_;
+  std::unique_ptr<svc::FsClient> fs_;  // the virtual device driver's far end
+  std::unique_ptr<Vm86> vm_;
+  std::string console_;
+  std::map<uint16_t, uint64_t> dos_handles_;  // DOS handle -> fs handle
+  uint16_t next_handle_ = 5;
+  uint64_t dos_calls_ = 0;
+  int32_t exit_code_ = -1;
+};
+
+}  // namespace pers
+
+#endif  // SRC_PERS_MVM_MVM_H_

@@ -1,0 +1,225 @@
+#include "src/pers/os2/os2.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace pers {
+
+namespace {
+const hw::CodeRegion& DosStubRegion() {
+  // The OS/2 client library entry sequence (doscalls.dll analogue).
+  static const hw::CodeRegion r = hw::DefineCode("os2.lib.dos_stub", 90);
+  return r;
+}
+}  // namespace
+
+Os2Server::Os2Server(mk::Kernel& kernel, mk::Task* task) : kernel_(kernel), task_(task) {
+  auto port = kernel_.PortAllocate(*task_);
+  WPOS_CHECK(port.ok());
+  receive_port_ = *port;
+  kernel_.CreateThread(task_, "os2-server", [this](mk::Env& env) { Serve(env); },
+                       mk::Thread::kDefaultPriority + 2);
+}
+
+mk::PortName Os2Server::GrantTo(mk::Task& client) {
+  auto name = kernel_.MakeSendRight(*task_, receive_port_, client);
+  WPOS_CHECK(name.ok());
+  return *name;
+}
+
+uint32_t Os2Server::RegisterProcess(const std::string& name) {
+  const uint32_t pid = next_pid_++;
+  processes_.emplace(pid, Process{name, -1, true});
+  return pid;
+}
+
+void Os2Server::UnregisterProcess(uint32_t pid) { processes_.erase(pid); }
+
+void Os2Server::Serve(mk::Env& env) {
+  static const hw::CodeRegion kLoop = hw::DefineCode("loop.os2", mk::Costs::kRpcServerLoop);
+  Os2Request r;
+  while (true) {
+    auto rpc = env.RpcReceive(receive_port_, &r, sizeof(r));
+    if (!rpc.ok()) {
+      return;
+    }
+    kernel_.cpu().Execute(kLoop);
+    Os2Reply reply;
+    switch (r.op) {
+      case Os2Op::kExitProcess: {
+        auto it = processes_.find(r.pid);
+        if (it == processes_.end()) {
+          reply.status = static_cast<int32_t>(base::Status::kNotFound);
+        } else {
+          it->second.alive = false;
+          it->second.exit_code = static_cast<int32_t>(r.value);
+        }
+        break;
+      }
+      case Os2Op::kQueryProcess: {
+        auto it = processes_.find(r.pid);
+        if (it == processes_.end()) {
+          reply.status = static_cast<int32_t>(base::Status::kNotFound);
+        } else {
+          reply.value = it->second.alive ? 1 : 0;
+        }
+        break;
+      }
+      case Os2Op::kCreateSem: {
+        if (sem_ids_.contains(r.name)) {
+          reply.status = static_cast<int32_t>(base::Status::kAlreadyExists);
+        } else {
+          const uint32_t id = next_sem_++;
+          sem_ids_.emplace(r.name, id);
+          system_sems_.emplace(id, SystemSem{});
+          reply.value = id;
+        }
+        break;
+      }
+      case Os2Op::kRequestSem: {
+        auto it = system_sems_.find(r.value);
+        if (it == system_sems_.end()) {
+          reply.status = static_cast<int32_t>(base::Status::kNotFound);
+        } else if (it->second.count > 0) {
+          --it->second.count;
+        } else {
+          // Owner holds it: defer the reply; the release completes it. The
+          // server thread stays free to serve other processes meanwhile.
+          it->second.waiters.push_back(rpc->token);
+          continue;
+        }
+        break;
+      }
+      case Os2Op::kReleaseSem: {
+        auto it = system_sems_.find(r.value);
+        if (it == system_sems_.end()) {
+          reply.status = static_cast<int32_t>(base::Status::kNotFound);
+        } else if (!it->second.waiters.empty()) {
+          const uint64_t waiter = it->second.waiters.front();
+          it->second.waiters.pop_front();
+          Os2Reply granted;
+          (void)kernel_.RpcReply(waiter, &granted, sizeof(granted));
+        } else {
+          ++it->second.count;
+        }
+        break;
+      }
+      default:
+        reply.status = static_cast<int32_t>(base::Status::kNotSupported);
+    }
+    env.RpcReply(rpc->token, &reply, sizeof(reply));
+    if (!running_) {
+      (void)kernel_.PortDestroy(*task_, receive_port_);
+      return;
+    }
+  }
+}
+
+Os2Process::Os2Process(mk::Kernel& kernel, Os2Server& server, svc::FileServer& fs,
+                       const std::string& name)
+    : kernel_(kernel),
+      server_(server),
+      task_(kernel.CreateTask("os2." + name, /*app_footprint_instr=*/4096)),
+      pid_(server.RegisterProcess(name)),
+      memory_(kernel, *task_),
+      fs_(fs.GrantTo(*task_)),
+      os2_stub_("os2.client", server.GrantTo(*task_)) {}
+
+void Os2Process::ChargeStub() {
+  ++api_calls_;
+  kernel_.cpu().Execute(DosStubRegion());
+}
+
+base::Result<uint64_t> Os2Process::DosOpen(mk::Env& env, const std::string& path,
+                                           uint32_t fs_flags, svc::FsShare share) {
+  ChargeStub();
+  // OS/2 file names are case-insensitive regardless of the store.
+  return fs_.Open(env, path, fs_flags | svc::kFsCaseInsensitive, share);
+}
+
+base::Result<uint32_t> Os2Process::DosRead(mk::Env& env, uint64_t handle, uint64_t offset,
+                                           void* out, uint32_t len) {
+  ChargeStub();
+  return fs_.Read(env, handle, offset, out, len);
+}
+
+base::Result<uint32_t> Os2Process::DosWrite(mk::Env& env, uint64_t handle, uint64_t offset,
+                                            const void* data, uint32_t len) {
+  ChargeStub();
+  return fs_.Write(env, handle, offset, data, len);
+}
+
+base::Status Os2Process::DosClose(mk::Env& env, uint64_t handle) {
+  ChargeStub();
+  return fs_.Close(env, handle);
+}
+
+base::Status Os2Process::DosDelete(mk::Env& env, const std::string& path) {
+  ChargeStub();
+  return fs_.Unlink(env, path);
+}
+
+base::Status Os2Process::DosMkdir(mk::Env& env, const std::string& path) {
+  ChargeStub();
+  return fs_.Mkdir(env, path);
+}
+
+base::Result<std::vector<svc::DirEntry>> Os2Process::DosFindAll(mk::Env& env,
+                                                                const std::string& dir) {
+  ChargeStub();
+  return fs_.ReadDir(env, dir);
+}
+
+mk::Thread* Os2Process::DosCreateThread(const std::string& name, mk::ThreadBody body) {
+  return kernel_.CreateThread(task_, name, std::move(body));
+}
+
+base::Result<uint32_t> Os2Process::DosCreateSem(mk::Env& env, const std::string& name) {
+  ChargeStub();
+  Os2Request r;
+  r.op = Os2Op::kCreateSem;
+  std::strncpy(r.name, name.c_str(), sizeof(r.name) - 1);
+  Os2Reply reply;
+  const base::Status st = os2_stub_.Call(env, r, &reply);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return reply.value;
+}
+
+base::Status Os2Process::DosRequestSem(mk::Env& env, uint32_t sem) {
+  ChargeStub();
+  Os2Request r;
+  r.op = Os2Op::kRequestSem;
+  r.value = sem;
+  Os2Reply reply;
+  const base::Status st = os2_stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Status Os2Process::DosReleaseSem(mk::Env& env, uint32_t sem) {
+  ChargeStub();
+  Os2Request r;
+  r.op = Os2Op::kReleaseSem;
+  r.value = sem;
+  Os2Reply reply;
+  const base::Status st = os2_stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Status Os2Process::DosExit(mk::Env& env, int32_t code) {
+  ChargeStub();
+  Os2Request r;
+  r.op = Os2Op::kExitProcess;
+  r.pid = pid_;
+  r.value = static_cast<uint32_t>(code);
+  Os2Reply reply;
+  const base::Status st = os2_stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+}  // namespace pers

@@ -1,0 +1,133 @@
+// The OS/2 personality.
+//
+// Per the paper: each OS/2 process gets a microkernel task, each OS/2 thread
+// a microkernel thread; programs link shared libraries containing RPC stubs
+// for the microkernel, Microkernel Services, shared services and the OS/2
+// server, with as much function as possible implemented in the libraries
+// themselves to reduce server interaction. The OS/2 server holds the truly
+// shared state (process table, system semaphores); file function forwards to
+// the personality-neutral file server with OS/2 semantics flags; memory
+// function is the commitment-oriented layer in os2_memory.h.
+#ifndef SRC_PERS_OS2_OS2_H_
+#define SRC_PERS_OS2_OS2_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/mk/kernel.h"
+#include "src/mk/server_loop.h"
+#include "src/pers/os2/os2_memory.h"
+#include "src/svc/fs/file_server.h"
+
+namespace pers {
+
+enum class Os2Op : uint32_t {
+  kExitProcess = 1,
+  kQueryProcess = 2,
+  kCreateSem = 3,
+  kRequestSem = 4,
+  kReleaseSem = 5,
+};
+
+struct Os2Request {
+  Os2Op op = Os2Op::kQueryProcess;
+  uint32_t pid = 0;
+  uint32_t value = 0;
+  char name[64] = {};
+};
+
+struct Os2Reply {
+  int32_t status = 0;
+  uint32_t value = 0;
+};
+
+class Os2Server {
+ public:
+  Os2Server(mk::Kernel& kernel, mk::Task* task);
+
+  mk::PortName GrantTo(mk::Task& client);
+  void Stop() { running_ = false; }
+
+  uint32_t RegisterProcess(const std::string& name);
+  void UnregisterProcess(uint32_t pid);
+  size_t process_count() const { return processes_.size(); }
+
+ private:
+  void Serve(mk::Env& env);
+
+  mk::Kernel& kernel_;
+  mk::Task* task_;
+  mk::PortName receive_port_ = mk::kNullPort;
+  struct Process {
+    std::string name;
+    int32_t exit_code = -1;
+    bool alive = true;
+  };
+  std::map<uint32_t, Process> processes_;
+  struct SystemSem {
+    uint32_t count = 1;
+    std::deque<uint64_t> waiters;  // RPC tokens awaiting the semaphore
+  };
+  std::map<std::string, uint32_t> sem_ids_;
+  std::map<uint32_t, SystemSem> system_sems_;
+  uint32_t next_sem_ = 1;
+  uint32_t next_pid_ = 2;  // pid 1 is the server itself, OS/2 style
+  bool running_ = true;
+};
+
+// One OS/2 process: a microkernel task plus the client-side libraries.
+class Os2Process {
+ public:
+  Os2Process(mk::Kernel& kernel, Os2Server& server, svc::FileServer& fs,
+             const std::string& name);
+
+  mk::Task* task() { return task_; }
+  uint32_t pid() const { return pid_; }
+  Os2Memory& memory() { return memory_; }
+
+  // --- Dos* API (client library; charges OS/2 stub code) ----------------------
+  base::Result<uint64_t> DosOpen(mk::Env& env, const std::string& path, uint32_t fs_flags,
+                                 svc::FsShare share = svc::FsShare::kDenyNone);
+  base::Result<uint32_t> DosRead(mk::Env& env, uint64_t handle, uint64_t offset, void* out,
+                                 uint32_t len);
+  base::Result<uint32_t> DosWrite(mk::Env& env, uint64_t handle, uint64_t offset,
+                                  const void* data, uint32_t len);
+  base::Status DosClose(mk::Env& env, uint64_t handle);
+  base::Status DosDelete(mk::Env& env, const std::string& path);
+  base::Status DosMkdir(mk::Env& env, const std::string& path);
+  base::Result<std::vector<svc::DirEntry>> DosFindAll(mk::Env& env, const std::string& dir);
+
+  base::Result<hw::VirtAddr> DosAllocMem(mk::Env& env, uint64_t bytes, uint32_t flags) {
+    return memory_.AllocMem(env, bytes, flags);
+  }
+  base::Status DosFreeMem(mk::Env& env, hw::VirtAddr addr) { return memory_.FreeMem(env, addr); }
+
+  mk::Thread* DosCreateThread(const std::string& name, mk::ThreadBody body);
+  base::Status DosSleep(mk::Env& env, uint64_t ms) { return env.SleepNs(ms * 1'000'000); }
+
+  // System semaphores via the OS/2 server.
+  base::Result<uint32_t> DosCreateSem(mk::Env& env, const std::string& name);
+  base::Status DosRequestSem(mk::Env& env, uint32_t sem);
+  base::Status DosReleaseSem(mk::Env& env, uint32_t sem);
+  base::Status DosExit(mk::Env& env, int32_t code);
+
+  uint64_t api_calls() const { return api_calls_; }
+
+ private:
+  void ChargeStub();
+
+  mk::Kernel& kernel_;
+  Os2Server& server_;
+  mk::Task* task_;
+  uint32_t pid_;
+  Os2Memory memory_;
+  svc::FsClient fs_;
+  mk::ClientStub os2_stub_;
+  uint64_t api_calls_ = 0;
+};
+
+}  // namespace pers
+
+#endif  // SRC_PERS_OS2_OS2_H_

@@ -1,0 +1,220 @@
+#include "src/pers/os2/pm.h"
+
+#include "src/base/log.h"
+
+namespace pers {
+
+namespace {
+// All 32-bit user-level library code (the WPOS conversion).
+const hw::CodeRegion& WinMgrRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("os2.pm.window_mgr", 200);
+  return r;
+}
+const hw::CodeRegion& MsgRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("os2.pm.msg", 380);
+  return r;
+}
+const hw::CodeRegion& DrawSetupRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("os2.pm.draw_setup", 140);
+  return r;
+}
+const hw::CodeRegion& DrawLoopRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("os2.pm.draw_loop", 40);
+  return r;
+}
+}  // namespace
+
+PmDesktop::PmDesktop(mk::Kernel& kernel, drv::FbDriver* fb) : kernel_(kernel), fb_(fb) {}
+
+base::Result<std::unique_ptr<PmSession>> PmDesktop::Attach(mk::Task& task) {
+  if (shared_region_ == 0) {
+    auto region = kernel_.VmAllocateCoerced(task, hw::kPageSize);
+    if (!region.ok()) {
+      return region.status();
+    }
+    shared_region_ = *region;
+  } else {
+    const base::Status st = kernel_.VmMapCoerced(task, shared_region_);
+    if (st != base::Status::kOk && st != base::Status::kNoSpace) {
+      return st;
+    }
+  }
+  auto vram = fb_->MapInto(task);
+  if (!vram.ok()) {
+    return vram.status();
+  }
+  return std::unique_ptr<PmSession>(new PmSession(this, &task, *vram));
+}
+
+base::Result<Hwnd> PmSession::CreateWindow(mk::Env& env, const std::string& title, uint32_t x,
+                                           uint32_t y, uint32_t w, uint32_t h) {
+  PmDesktop& d = *desktop_;
+  d.kernel_.cpu().Execute(WinMgrRegion());
+  if (x + w > d.width() || y + h > d.height()) {
+    return base::Status::kInvalidArgument;
+  }
+  PmDesktop::Window win;
+  win.title = title;
+  win.owner = task_;
+  win.x = x;
+  win.y = y;
+  win.w = w;
+  win.h = h;
+  win.z = d.next_z_++;
+  win.wait_word = d.shared_region_ + 4 * d.next_word_++;
+  WPOS_CHECK(d.next_word_ <= hw::kPageSize / 4) << "desktop shared region full";
+  const Hwnd hwnd = d.next_hwnd_++;
+  d.windows_.emplace(hwnd, std::move(win));
+  return hwnd;
+}
+
+base::Status PmSession::DestroyWindow(mk::Env& env, Hwnd hwnd) {
+  desktop_->kernel_.cpu().Execute(WinMgrRegion());
+  return desktop_->windows_.erase(hwnd) != 0 ? base::Status::kOk : base::Status::kNotFound;
+}
+
+base::Status PmSession::PostMsg(mk::Env& env, Hwnd hwnd, uint32_t msg, uint32_t p1,
+                                uint32_t p2) {
+  PmDesktop& d = *desktop_;
+  d.kernel_.cpu().Execute(MsgRegion());
+  auto it = d.windows_.find(hwnd);
+  if (it == d.windows_.end()) {
+    return base::Status::kNotFound;
+  }
+  it->second.queue.push_back({hwnd, msg, p1, p2});
+  ++d.messages_posted_;
+  // Bump the shared word and wake any parked receiver — all user level plus
+  // the memory-synchronizer wake.
+  uint32_t seq = 0;
+  (void)env.CopyIn(it->second.wait_word, &seq, 4);
+  ++seq;
+  (void)env.CopyOut(it->second.wait_word, &seq, 4);
+  d.kernel_.MemSyncWake(it->second.wait_word, 1);
+  return base::Status::kOk;
+}
+
+base::Result<PmMsg> PmSession::PeekMsg(mk::Env& env, Hwnd hwnd) {
+  PmDesktop& d = *desktop_;
+  d.kernel_.cpu().Execute(MsgRegion());
+  auto it = d.windows_.find(hwnd);
+  if (it == d.windows_.end()) {
+    return base::Status::kNotFound;
+  }
+  if (it->second.queue.empty()) {
+    return base::Status::kWouldBlock;
+  }
+  PmMsg msg = it->second.queue.front();
+  it->second.queue.pop_front();
+  return msg;
+}
+
+base::Result<PmMsg> PmSession::GetMsg(mk::Env& env, Hwnd hwnd) {
+  PmDesktop& d = *desktop_;
+  while (true) {
+    auto msg = PeekMsg(env, hwnd);
+    if (msg.ok() || msg.status() != base::Status::kWouldBlock) {
+      return msg;
+    }
+    auto it = d.windows_.find(hwnd);
+    uint32_t seq = 0;
+    const base::Status st = env.CopyIn(it->second.wait_word, &seq, 4);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    if (!it->second.queue.empty()) {
+      continue;
+    }
+    (void)d.kernel_.MemSyncWait(it->second.wait_word, seq);
+  }
+}
+
+base::Status PmSession::FillRect(mk::Env& env, Hwnd hwnd, uint32_t x, uint32_t y, uint32_t w,
+                                 uint32_t h, uint8_t color) {
+  PmDesktop& d = *desktop_;
+  ++draw_calls_;
+  d.kernel_.cpu().Execute(DrawSetupRegion());
+  auto it = d.windows_.find(hwnd);
+  if (it == d.windows_.end()) {
+    return base::Status::kNotFound;
+  }
+  const PmDesktop::Window& win = it->second;
+  if (x + w > win.w || y + h > win.h) {
+    return base::Status::kInvalidArgument;
+  }
+  // Direct aperture stores, one scanline at a time.
+  for (uint32_t row = 0; row < h; ++row) {
+    d.kernel_.cpu().ExecuteInstructions(DrawLoopRegion(), 8 + w / 8);
+    const uint64_t offset =
+        static_cast<uint64_t>(win.y + y + row) * d.width() + win.x + x;
+    const base::Status st = d.kernel_.UserFill(*task_, vram_base_ + offset, color, w);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+  }
+  return base::Status::kOk;
+}
+
+base::Status PmSession::DrawText(mk::Env& env, Hwnd hwnd, uint32_t x, uint32_t y,
+                                 const std::string& text) {
+  // 8x8 glyph cells; each glyph is a small fill.
+  for (size_t i = 0; i < text.size(); ++i) {
+    const base::Status st = FillRect(env, hwnd, x + static_cast<uint32_t>(i) * 8, y, 8, 8,
+                                     static_cast<uint8_t>(text[i]));
+    if (st != base::Status::kOk) {
+      return st;
+    }
+  }
+  return base::Status::kOk;
+}
+
+base::Status PmSession::BitBlt(mk::Env& env, Hwnd hwnd, uint32_t x, uint32_t y, uint32_t w,
+                               uint32_t h) {
+  PmDesktop& d = *desktop_;
+  ++draw_calls_;
+  d.kernel_.cpu().Execute(DrawSetupRegion());
+  auto it = d.windows_.find(hwnd);
+  if (it == d.windows_.end()) {
+    return base::Status::kNotFound;
+  }
+  const PmDesktop::Window& win = it->second;
+  if (x + w > win.w || y + h > win.h) {
+    return base::Status::kInvalidArgument;
+  }
+  // Read-modify-write of the aperture (a blit touches source and target).
+  for (uint32_t row = 0; row < h; ++row) {
+    d.kernel_.cpu().ExecuteInstructions(DrawLoopRegion(), 8 + w / 4);
+    const uint64_t offset =
+        static_cast<uint64_t>(win.y + y + row) * d.width() + win.x + x;
+    base::Status st = d.kernel_.UserTouch(*task_, vram_base_ + offset, w, /*write=*/false);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    st = d.kernel_.UserTouch(*task_, vram_base_ + offset, w, /*write=*/true);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+  }
+  return base::Status::kOk;
+}
+
+base::Status PmSession::SwitchTo(mk::Env& env, Hwnd hwnd) {
+  PmDesktop& d = *desktop_;
+  d.kernel_.cpu().Execute(WinMgrRegion());
+  auto it = d.windows_.find(hwnd);
+  if (it == d.windows_.end()) {
+    return base::Status::kNotFound;
+  }
+  it->second.z = d.next_z_++;
+  ++d.window_switches_;
+  // Activation broadcast: every other window learns about the focus change
+  // (WM_ACTIVATE in real PM), through the shared-memory queues.
+  for (auto& [other_hwnd, other] : d.windows_) {
+    if (other_hwnd != hwnd) {
+      (void)PostMsg(env, other_hwnd, /*msg=*/0x0d, hwnd, 0);
+    }
+  }
+  // Bringing a window forward repaints it.
+  return BitBlt(env, hwnd, 0, 0, it->second.w, it->second.h);
+}
+
+}  // namespace pers

@@ -1,0 +1,222 @@
+#include "src/pers/unixp/unix.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace pers {
+
+namespace {
+const hw::CodeRegion& LibcRegion() {
+  // The POSIX-ish libc stub layer over the personality-neutral services.
+  static const hw::CodeRegion r = hw::DefineCode("unix.lib.libc_stub", 80);
+  return r;
+}
+const hw::CodeRegion& ForkRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("unix.proc.fork", 420);
+  return r;
+}
+}  // namespace
+
+UnixProcess::UnixProcess(UnixPersonality* pers, mk::Task* task, uint32_t pid)
+    : pers_(pers), task_(task), pid_(pid) {
+  fs_ = std::make_unique<svc::FsClient>(pers->fs_.GrantTo(*task));
+}
+
+UnixProcess* UnixPersonality::Spawn(const std::string& name, mk::ThreadBody main) {
+  mk::Task* task = kernel_.CreateTask("unix." + name, 4096);
+  processes_.push_back(
+      std::unique_ptr<UnixProcess>(new UnixProcess(this, task, next_pid_++)));
+  UnixProcess* proc = processes_.back().get();
+  proc->main_thread_ = kernel_.CreateThread(task, name, std::move(main));
+  return proc;
+}
+
+UnixProcess* UnixPersonality::AdoptTask(mk::Task* task) {
+  processes_.push_back(
+      std::unique_ptr<UnixProcess>(new UnixProcess(this, task, next_pid_++)));
+  return processes_.back().get();
+}
+
+base::Result<int> UnixProcess::Open(mk::Env& env, const std::string& path, uint32_t flags) {
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  uint32_t fs_flags = 0;
+  if ((flags & kOCreat) != 0) {
+    fs_flags |= svc::kFsCreate;
+  }
+  if ((flags & kOExcl) != 0) {
+    fs_flags |= svc::kFsExclusive;
+  }
+  if ((flags & kOTrunc) != 0) {
+    fs_flags |= svc::kFsTruncate;
+  }
+  if ((flags & kOAppend) != 0) {
+    fs_flags |= svc::kFsAppend;
+  }
+  if ((flags & (kOWrOnly | kORdWr)) != 0) {
+    fs_flags |= svc::kFsWrite;
+  }
+  auto handle = fs_->Open(env, path, fs_flags);
+  if (!handle.ok()) {
+    return handle.status();
+  }
+  const int fd = next_fd_++;
+  fds_.emplace(fd, FileDesc{FileDesc::Kind::kFile, *handle, 0, flags, mk::kNullPort});
+  return fd;
+}
+
+base::Result<uint32_t> UnixProcess::Read(mk::Env& env, int fd, void* buf, uint32_t len) {
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return base::Status::kInvalidArgument;
+  }
+  FileDesc& desc = it->second;
+  if (desc.kind == FileDesc::Kind::kPipeRead) {
+    mk::MachMessage msg;
+    const base::Status st = pers_->kernel_.MachMsgReceive(desc.pipe, &msg);
+    if (st != base::Status::kOk) {
+      return st == base::Status::kPortDead ? base::Result<uint32_t>(0u)
+                                           : base::Result<uint32_t>(st);
+    }
+    const uint32_t n = static_cast<uint32_t>(std::min<size_t>(len, msg.inline_data.size()));
+    std::memcpy(buf, msg.inline_data.data(), n);
+    return n;
+  }
+  auto got = fs_->Read(env, desc.handle, desc.offset, buf, len);
+  if (!got.ok()) {
+    return got;
+  }
+  desc.offset += *got;  // the implicit POSIX offset
+  return got;
+}
+
+base::Result<uint32_t> UnixProcess::Write(mk::Env& env, int fd, const void* buf, uint32_t len) {
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return base::Status::kInvalidArgument;
+  }
+  FileDesc& desc = it->second;
+  if (desc.kind == FileDesc::Kind::kPipeWrite) {
+    mk::MachMessage msg;
+    msg.dest = desc.pipe;
+    msg.inline_data.assign(static_cast<const uint8_t*>(buf),
+                           static_cast<const uint8_t*>(buf) + len);
+    const base::Status st = pers_->kernel_.MachMsgSend(std::move(msg));
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    return len;
+  }
+  auto wrote = fs_->Write(env, desc.handle, desc.offset, buf, len);
+  if (!wrote.ok()) {
+    return wrote;
+  }
+  desc.offset += *wrote;
+  return wrote;
+}
+
+base::Result<uint64_t> UnixProcess::Lseek(mk::Env& env, int fd, int64_t offset, int whence) {
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.kind != FileDesc::Kind::kFile) {
+    return base::Status::kInvalidArgument;
+  }
+  FileDesc& desc = it->second;
+  int64_t base_pos = 0;
+  switch (whence) {
+    case 0:  // SEEK_SET
+      break;
+    case 1:  // SEEK_CUR
+      base_pos = static_cast<int64_t>(desc.offset);
+      break;
+    case 2: {  // SEEK_END — size comes from the server
+      // The file server tracks no paths for handles; model via GetAttr on a
+      // cached path is unavailable, so SEEK_END is resolved by probing: read
+      // of zero bytes at a large offset is not defined, so keep a size query
+      // through the handle: not supported -> approximate with current offset.
+      return base::Status::kNotSupported;
+    }
+    default:
+      return base::Status::kInvalidArgument;
+  }
+  if (base_pos + offset < 0) {
+    return base::Status::kInvalidArgument;
+  }
+  desc.offset = static_cast<uint64_t>(base_pos + offset);
+  return desc.offset;
+}
+
+base::Status UnixProcess::Close(mk::Env& env, int fd) {
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return base::Status::kInvalidArgument;
+  }
+  base::Status st = base::Status::kOk;
+  if (it->second.kind == FileDesc::Kind::kFile) {
+    st = fs_->Close(env, it->second.handle);
+  } else if (it->second.kind == FileDesc::Kind::kPipeWrite) {
+    // Closing the write end kills the port: readers see EOF (kPortDead).
+    st = pers_->kernel_.PortDestroy(*task_, it->second.pipe);
+  }
+  fds_.erase(it);
+  return st;
+}
+
+base::Status UnixProcess::Unlink(mk::Env& env, const std::string& path) {
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  return fs_->Unlink(env, path);
+}
+
+base::Status UnixProcess::Mkdir(mk::Env& env, const std::string& path) {
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  return fs_->Mkdir(env, path);
+}
+
+base::Result<std::pair<int, int>> UnixProcess::Pipe(mk::Env& env) {
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  auto port = pers_->kernel_.PortAllocate(*task_);
+  if (!port.ok()) {
+    return port.status();
+  }
+  const int rfd = next_fd_++;
+  const int wfd = next_fd_++;
+  fds_.emplace(rfd, FileDesc{FileDesc::Kind::kPipeRead, 0, 0, 0, *port});
+  fds_.emplace(wfd, FileDesc{FileDesc::Kind::kPipeWrite, 0, 0, 0, *port});
+  return std::make_pair(rfd, wfd);
+}
+
+base::Result<UnixProcess*> UnixProcess::Fork(mk::Env& env, mk::ThreadBody child_main) {
+  mk::Kernel& kernel = pers_->kernel_;
+  kernel.cpu().Execute(ForkRegion());
+  mk::Task* child_task = kernel.TaskForkVm(*task_, task_->name() + ".child");
+  UnixProcess* child = pers_->AdoptTask(child_task);
+  // POSIX: descriptors are inherited. File offsets are duplicated (a
+  // simplification of shared open-file descriptions, recorded in DESIGN.md).
+  child->fds_ = fds_;
+  child->next_fd_ = next_fd_;
+  child->main_thread_ = kernel.CreateThread(child_task, "forked-main", std::move(child_main));
+  return child;
+}
+
+base::Result<int32_t> UnixProcess::WaitPid(mk::Env& env, UnixProcess* child) {
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  if (child->main_thread_ == nullptr) {
+    return base::Status::kInvalidArgument;
+  }
+  const base::Status st = pers_->kernel_.ThreadJoin(child->main_thread_);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  return child->exit_code_;
+}
+
+void UnixProcess::Exit(mk::Env& env, int32_t code) {
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  exit_code_ = code;
+  exited_ = true;
+}
+
+}  // namespace pers

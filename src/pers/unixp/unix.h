@@ -1,0 +1,98 @@
+// UNIX personality (the AIX-compatible multi-server implementation the
+// project planned): POSIX-flavoured processes and file descriptors built
+// entirely from personality-neutral pieces — fork is the microkernel's
+// COW address-space copy, the file table fronts the shared file server,
+// pipes are port-based.
+#ifndef SRC_PERS_UNIXP_UNIX_H_
+#define SRC_PERS_UNIXP_UNIX_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/mk/kernel.h"
+#include "src/svc/fs/file_server.h"
+
+namespace pers {
+
+enum UnixOpenFlags : uint32_t {
+  kORdOnly = 0,
+  kOWrOnly = 1u << 0,
+  kORdWr = 1u << 1,
+  kOCreat = 1u << 2,
+  kOTrunc = 1u << 3,
+  kOAppend = 1u << 4,
+  kOExcl = 1u << 5,
+};
+
+class UnixPersonality;
+
+class UnixProcess {
+ public:
+  mk::Task* task() { return task_; }
+  uint32_t pid() const { return pid_; }
+  int32_t exit_code() const { return exit_code_; }
+  bool exited() const { return exited_; }
+
+  // --- POSIX-ish API -----------------------------------------------------------
+  base::Result<int> Open(mk::Env& env, const std::string& path, uint32_t flags);
+  base::Result<uint32_t> Read(mk::Env& env, int fd, void* buf, uint32_t len);
+  base::Result<uint32_t> Write(mk::Env& env, int fd, const void* buf, uint32_t len);
+  base::Result<uint64_t> Lseek(mk::Env& env, int fd, int64_t offset, int whence);
+  base::Status Close(mk::Env& env, int fd);
+  base::Status Unlink(mk::Env& env, const std::string& path);
+  base::Status Mkdir(mk::Env& env, const std::string& path);
+  base::Result<std::pair<int, int>> Pipe(mk::Env& env);  // {read_fd, write_fd}
+
+  // fork: COW-copies the address space and the descriptor table, then runs
+  // `child_main` as the child's initial thread. Returns the child.
+  base::Result<UnixProcess*> Fork(mk::Env& env, mk::ThreadBody child_main);
+  // waitpid: blocks until the child's main thread exits; returns exit code.
+  base::Result<int32_t> WaitPid(mk::Env& env, UnixProcess* child);
+  void Exit(mk::Env& env, int32_t code);
+
+ private:
+  friend class UnixPersonality;
+  UnixProcess(UnixPersonality* pers, mk::Task* task, uint32_t pid);
+
+  struct FileDesc {
+    enum class Kind : uint8_t { kFile, kPipeRead, kPipeWrite } kind = Kind::kFile;
+    uint64_t handle = 0;       // file-server handle
+    uint64_t offset = 0;       // implicit POSIX file offset
+    uint32_t flags = 0;
+    mk::PortName pipe = mk::kNullPort;  // pipe port right
+  };
+
+  UnixPersonality* pers_;
+  mk::Task* task_;
+  uint32_t pid_;
+  std::unique_ptr<svc::FsClient> fs_;
+  std::map<int, FileDesc> fds_;
+  int next_fd_ = 3;  // 0-2 reserved, as tradition demands
+  mk::Thread* main_thread_ = nullptr;
+  int32_t exit_code_ = 0;
+  bool exited_ = false;
+};
+
+class UnixPersonality {
+ public:
+  UnixPersonality(mk::Kernel& kernel, svc::FileServer& fs) : kernel_(kernel), fs_(fs) {}
+
+  // Creates the initial process; its main thread runs `main`.
+  UnixProcess* Spawn(const std::string& name, mk::ThreadBody main);
+
+  size_t process_count() const { return processes_.size(); }
+
+ private:
+  friend class UnixProcess;
+  UnixProcess* AdoptTask(mk::Task* task);
+
+  mk::Kernel& kernel_;
+  svc::FileServer& fs_;
+  std::vector<std::unique_ptr<UnixProcess>> processes_;
+  uint32_t next_pid_ = 1;
+};
+
+}  // namespace pers
+
+#endif  // SRC_PERS_UNIXP_UNIX_H_

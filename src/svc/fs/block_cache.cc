@@ -1,0 +1,130 @@
+#include "src/svc/fs/block_cache.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace svc {
+
+namespace {
+const hw::CodeRegion& HitRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("svc.fs.bcache_hit", 60);
+  return r;
+}
+const hw::CodeRegion& MissRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("svc.fs.bcache_miss", 140);
+  return r;
+}
+}  // namespace
+
+BlockCache::BlockCache(mk::Kernel& kernel, mks::BlockStore* store, uint32_t capacity_sectors)
+    : kernel_(kernel), store_(store), capacity_(capacity_sectors) {}
+
+base::Status BlockCache::Evict(mk::Env& env) {
+  WPOS_CHECK(!lru_.empty());
+  const uint64_t victim = lru_.back();
+  Entry& e = entries_.at(victim);
+  if (e.dirty) {
+    ++writebacks_;
+    const base::Status st = store_->Write(env, victim, 1, e.data.data());
+    if (st != base::Status::kOk) {
+      return st;
+    }
+  }
+  lru_.pop_back();
+  entries_.erase(victim);
+  return base::Status::kOk;
+}
+
+base::Result<BlockCache::Entry*> BlockCache::GetSector(mk::Env& env, uint64_t lba, bool load) {
+  auto it = entries_.find(lba);
+  if (it != entries_.end()) {
+    ++hits_;
+    kernel_.cpu().Execute(HitRegion());
+    kernel_.cpu().AccessData(it->second.sim_addr, 64, /*write=*/false);
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(lba);
+    it->second.lru_pos = lru_.begin();
+    return &it->second;
+  }
+  ++misses_;
+  kernel_.cpu().Execute(MissRegion());
+  while (entries_.size() >= capacity_) {
+    const base::Status st = Evict(env);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+  }
+  Entry e;
+  e.data.resize(kSectorSize);
+  e.sim_addr = kernel_.heap().Allocate(kSectorSize);
+  if (load) {
+    const base::Status st = store_->Read(env, lba, 1, e.data.data());
+    if (st != base::Status::kOk) {
+      return st;
+    }
+  }
+  lru_.push_front(lba);
+  e.lru_pos = lru_.begin();
+  auto [pos, inserted] = entries_.emplace(lba, std::move(e));
+  WPOS_CHECK(inserted);
+  return &pos->second;
+}
+
+base::Status BlockCache::ReadSector(mk::Env& env, uint64_t lba, void* out) {
+  auto e = GetSector(env, lba, /*load=*/true);
+  if (!e.ok()) {
+    return e.status();
+  }
+  std::memcpy(out, (*e)->data.data(), kSectorSize);
+  kernel_.cpu().AccessData((*e)->sim_addr, kSectorSize, /*write=*/false);
+  return base::Status::kOk;
+}
+
+base::Status BlockCache::WriteSector(mk::Env& env, uint64_t lba, const void* data) {
+  auto e = GetSector(env, lba, /*load=*/false);
+  if (!e.ok()) {
+    return e.status();
+  }
+  std::memcpy((*e)->data.data(), data, kSectorSize);
+  (*e)->dirty = true;
+  kernel_.cpu().AccessData((*e)->sim_addr, kSectorSize, /*write=*/true);
+  return base::Status::kOk;
+}
+
+base::Status BlockCache::Read(mk::Env& env, uint64_t lba, uint32_t count, void* out) {
+  for (uint32_t i = 0; i < count; ++i) {
+    const base::Status st = ReadSector(env, lba + i, static_cast<uint8_t*>(out) + i * kSectorSize);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+  }
+  return base::Status::kOk;
+}
+
+base::Status BlockCache::Write(mk::Env& env, uint64_t lba, uint32_t count, const void* data) {
+  for (uint32_t i = 0; i < count; ++i) {
+    const base::Status st =
+        WriteSector(env, lba + i, static_cast<const uint8_t*>(data) + i * kSectorSize);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+  }
+  return base::Status::kOk;
+}
+
+base::Status BlockCache::Flush(mk::Env& env) {
+  for (auto& [lba, e] : entries_) {
+    if (e.dirty) {
+      ++writebacks_;
+      const base::Status st = store_->Write(env, lba, 1, e.data.data());
+      if (st != base::Status::kOk) {
+        return st;
+      }
+      e.dirty = false;
+    }
+  }
+  return base::Status::kOk;
+}
+
+}  // namespace svc

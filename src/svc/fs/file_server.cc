@@ -1,0 +1,800 @@
+#include "src/svc/fs/file_server.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace svc {
+
+namespace {
+const hw::CodeRegion& WalkRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("svc.fs.walk", 150);
+  return r;
+}
+const hw::CodeRegion& UnionSemRegion() {
+  // The union-of-personalities semantic checks around every operation.
+  static const hw::CodeRegion r = hw::DefineCode("svc.fs.union_sem", 190);
+  return r;
+}
+const hw::CodeRegion& CaseScanRegion() {
+  static const hw::CodeRegion r = hw::DefineCode("svc.fs.case_scan", 120);
+  return r;
+}
+
+std::string LowerCase(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+}  // namespace
+
+FileServer::FileServer(mk::Kernel& kernel, mk::Task* task) : kernel_(kernel), task_(task) {
+  auto port = kernel_.PortAllocate(*task_);
+  WPOS_CHECK(port.ok());
+  receive_port_ = *port;
+  kernel_.CreateThread(task_, "file-server", [this](mk::Env& env) { Serve(env); },
+                       mk::Thread::kDefaultPriority + 2);
+}
+
+base::Status FileServer::AddMount(const std::string& prefix, Pfs* pfs) {
+  std::string canon = prefix;
+  while (canon.size() > 1 && canon.back() == '/') {
+    canon.pop_back();
+  }
+  if (canon.empty() || canon.front() != '/') {
+    return base::Status::kInvalidArgument;
+  }
+  for (const auto& m : mounts_) {
+    if (m->prefix == canon) {
+      return base::Status::kAlreadyExists;
+    }
+  }
+  auto mount = std::make_unique<Mount>();
+  mount->prefix = canon;
+  mount->pfs = pfs;
+  mounts_.push_back(std::move(mount));
+  // Longest prefix first.
+  std::sort(mounts_.begin(), mounts_.end(),
+            [](const auto& a, const auto& b) { return a->prefix.size() > b->prefix.size(); });
+  return base::Status::kOk;
+}
+
+mk::PortName FileServer::GrantTo(mk::Task& client) {
+  auto name = kernel_.MakeSendRight(*task_, receive_port_, client);
+  WPOS_CHECK(name.ok());
+  return *name;
+}
+
+FileServer::Mount* FileServer::MountFor(const std::string& path, std::string* rest) {
+  for (const auto& m : mounts_) {
+    const std::string& p = m->prefix;
+    if (p == "/") {
+      *rest = path.substr(1);
+      return m.get();
+    }
+    if (path.compare(0, p.size(), p) == 0 &&
+        (path.size() == p.size() || path[p.size()] == '/')) {
+      *rest = path.size() == p.size() ? "" : path.substr(p.size() + 1);
+      return m.get();
+    }
+  }
+  return nullptr;
+}
+
+base::Result<NodeId> FileServer::LookupChild(mk::Env& env, Mount* mount, NodeId dir,
+                                             const std::string& name, bool case_insensitive) {
+  auto direct = mount->pfs->Lookup(env, dir, name);
+  if (direct.ok() || !case_insensitive || mount->pfs->capabilities().case_sensitive == false) {
+    return direct;
+  }
+  // Union-semantics fallback: a case-insensitive personality looking at a
+  // case-sensitive store must scan the directory — slow and ambiguous, one
+  // of the compromises the paper describes.
+  kernel_.cpu().Execute(CaseScanRegion());
+  auto entries = mount->pfs->ReadDir(env, dir);
+  if (!entries.ok()) {
+    return entries.status();
+  }
+  const std::string wanted = LowerCase(name);
+  for (const DirEntry& e : *entries) {
+    kernel_.cpu().Execute(CaseScanRegion());
+    if (LowerCase(e.name) == wanted) {
+      return e.node;
+    }
+  }
+  return base::Status::kNotFound;
+}
+
+base::Result<NodeId> FileServer::Walk(mk::Env& env, Mount* mount, const std::string& rest,
+                                      bool case_insensitive, NodeId* parent, std::string* leaf,
+                                      bool stop_at_parent) {
+  kernel_.cpu().Execute(WalkRegion());
+  NodeId dir = mount->pfs->root();
+  if (parent != nullptr) {
+    *parent = dir;
+  }
+  if (rest.empty()) {
+    if (leaf != nullptr) {
+      leaf->clear();
+    }
+    return dir;
+  }
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= rest.size()) {
+    const size_t slash = rest.find('/', start);
+    const std::string part =
+        slash == std::string::npos ? rest.substr(start) : rest.substr(start, slash - start);
+    if (!part.empty()) {
+      parts.push_back(part);
+    }
+    if (slash == std::string::npos) {
+      break;
+    }
+    start = slash + 1;
+  }
+  if (parts.empty()) {
+    return dir;
+  }
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    auto next = LookupChild(env, mount, dir, parts[i], case_insensitive);
+    if (!next.ok()) {
+      return next.status();
+    }
+    dir = *next;
+  }
+  if (parent != nullptr) {
+    *parent = dir;
+  }
+  if (leaf != nullptr) {
+    *leaf = parts.back();
+  }
+  if (stop_at_parent) {
+    return dir;
+  }
+  return LookupChild(env, mount, dir, parts.back(), case_insensitive);
+}
+
+bool FileServer::LockConflicts(const NodeState& state, uint64_t start, uint64_t len,
+                               bool exclusive, uint64_t handle) const {
+  for (const LockRange& l : state.locks) {
+    if (l.handle == handle) {
+      continue;  // a handle never conflicts with its own locks
+    }
+    const bool overlap = start < l.start + l.len && l.start < start + len;
+    if (overlap && (exclusive || l.exclusive)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FileServer::HandleOpen(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r) {
+  FsReply reply;
+  kernel_.cpu().Execute(UnionSemRegion());
+  std::string rest;
+  Mount* mount = MountFor(r.path, &rest);
+  if (mount == nullptr) {
+    reply.status = static_cast<int32_t>(base::Status::kNotFound);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  const bool ci = (r.flags & kFsCaseInsensitive) != 0;
+  NodeId parent = 0;
+  std::string leaf;
+  auto node = Walk(env, mount, rest, ci, &parent, &leaf, /*stop_at_parent=*/false);
+  if (!node.ok() && node.status() == base::Status::kNotFound && (r.flags & kFsCreate) != 0 &&
+      !leaf.empty()) {
+    node = mount->pfs->Create(env, parent, leaf, /*directory=*/false);
+  } else if (node.ok() && (r.flags & kFsExclusive) != 0 && (r.flags & kFsCreate) != 0) {
+    reply.status = static_cast<int32_t>(base::Status::kAlreadyExists);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  if (!node.ok()) {
+    reply.status = static_cast<int32_t>(node.status());
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  // Sharing-mode admission (OS/2 deny modes).
+  NodeState& state = node_states_[NodeKey(mount, *node)];
+  const bool wants_write = (r.flags & (kFsWrite | kFsTruncate | kFsAppend)) != 0;
+  if (state.deny_all > 0 || (wants_write && state.deny_write > 0) ||
+      (r.share == FsShare::kDenyAll && state.open_count > 0) ||
+      (r.share == FsShare::kDenyWrite && state.writers > 0)) {
+    reply.status = static_cast<int32_t>(base::Status::kBusy);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  if ((r.flags & kFsTruncate) != 0) {
+    const base::Status st = mount->pfs->SetSize(env, *node, 0);
+    if (st != base::Status::kOk && st != base::Status::kNotSupported) {
+      reply.status = static_cast<int32_t>(st);
+      env.RpcReply(rpc.token, &reply, sizeof(reply));
+      return;
+    }
+  }
+  ++state.open_count;
+  if (wants_write) {
+    ++state.writers;
+  }
+  if (r.share == FsShare::kDenyWrite) {
+    ++state.deny_write;
+  } else if (r.share == FsShare::kDenyAll) {
+    ++state.deny_all;
+  }
+  if ((r.flags & kFsDeleteOnClose) != 0) {
+    state.delete_on_close = true;
+    state.parent = parent;
+    state.name = leaf;
+  }
+  OpenFile of;
+  of.mount = mount;
+  of.node = *node;
+  of.flags = r.flags;
+  of.share = r.share;
+  of.sim_addr = kernel_.heap().Allocate(96);
+  // The open file is represented by a port granted to the client.
+  auto file_port_name = kernel_.PortAllocate(*task_);
+  WPOS_CHECK(file_port_name.ok());
+  of.file_port = *file_port_name;
+  const uint64_t handle = next_handle_++;
+  open_files_.emplace(handle, of);
+  ++opens_;
+  reply.handle = handle;
+  auto attr = mount->pfs->GetAttr(env, *node);
+  if (attr.ok()) {
+    reply.attr = {attr->size, attr->directory ? uint8_t{1} : uint8_t{0}};
+  }
+  env.RpcReply(rpc.token, &reply, sizeof(reply), nullptr, 0, /*grant=*/*file_port_name);
+}
+
+void FileServer::HandleClose(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r) {
+  FsReply reply;
+  kernel_.cpu().Execute(UnionSemRegion());
+  auto it = open_files_.find(r.handle);
+  if (it == open_files_.end()) {
+    reply.status = static_cast<int32_t>(base::Status::kNotFound);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  OpenFile& of = it->second;
+  auto key = NodeKey(of.mount, of.node);
+  NodeState& state = node_states_[key];
+  // Drop this handle's locks.
+  std::erase_if(state.locks, [&](const LockRange& l) { return l.handle == r.handle; });
+  --state.open_count;
+  if ((of.flags & (kFsWrite | kFsTruncate | kFsAppend)) != 0) {
+    --state.writers;
+  }
+  if (of.share == FsShare::kDenyWrite) {
+    --state.deny_write;
+  } else if (of.share == FsShare::kDenyAll) {
+    --state.deny_all;
+  }
+  if (state.open_count == 0 && state.delete_on_close && !state.name.empty()) {
+    (void)of.mount->pfs->Remove(env, state.parent, state.name);
+  }
+  if (state.open_count == 0) {
+    node_states_.erase(key);
+  }
+  (void)kernel_.PortDestroy(*task_, of.file_port);
+  open_files_.erase(it);
+  env.RpcReply(rpc.token, &reply, sizeof(reply));
+}
+
+void FileServer::HandleRead(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r) {
+  FsReply reply;
+  static std::vector<uint8_t> buffer(kFsMaxIo);
+  auto it = open_files_.find(r.handle);
+  if (it == open_files_.end() || r.len > kFsMaxIo) {
+    reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  OpenFile& of = it->second;
+  kernel_.cpu().AccessData(of.sim_addr, 48, /*write=*/true);
+  auto got = of.mount->pfs->Read(env, of.node, r.offset, buffer.data(), r.len);
+  if (!got.ok()) {
+    reply.status = static_cast<int32_t>(got.status());
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  ++reads_;
+  reply.len = *got;
+  env.RpcReply(rpc.token, &reply, sizeof(reply), buffer.data(), *got);
+}
+
+void FileServer::HandleWrite(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r,
+                             const uint8_t* data, uint32_t data_len) {
+  FsReply reply;
+  auto it = open_files_.find(r.handle);
+  if (it == open_files_.end() || data_len != r.len || r.len > kFsMaxIo) {
+    reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  OpenFile& of = it->second;
+  kernel_.cpu().AccessData(of.sim_addr, 48, /*write=*/true);
+  uint64_t offset = r.offset;
+  if ((of.flags & kFsAppend) != 0) {
+    auto attr = of.mount->pfs->GetAttr(env, of.node);
+    if (attr.ok()) {
+      offset = attr->size;  // UNIX O_APPEND semantics
+    }
+  }
+  // Byte-range lock enforcement.
+  NodeState& state = node_states_[NodeKey(of.mount, of.node)];
+  if (LockConflicts(state, offset, r.len, /*exclusive=*/true, r.handle)) {
+    reply.status = static_cast<int32_t>(base::Status::kBusy);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  auto wrote = of.mount->pfs->Write(env, of.node, offset, data, r.len);
+  if (!wrote.ok()) {
+    reply.status = static_cast<int32_t>(wrote.status());
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  ++writes_;
+  reply.len = *wrote;
+  env.RpcReply(rpc.token, &reply, sizeof(reply));
+}
+
+void FileServer::HandleLock(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r) {
+  FsReply reply;
+  kernel_.cpu().Execute(UnionSemRegion());
+  auto it = open_files_.find(r.handle);
+  if (it == open_files_.end()) {
+    reply.status = static_cast<int32_t>(base::Status::kNotFound);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  OpenFile& of = it->second;
+  NodeState& state = node_states_[NodeKey(of.mount, of.node)];
+  if (r.op == FsOp::kLock) {
+    if (LockConflicts(state, r.offset, r.len, r.lock_exclusive != 0, r.handle)) {
+      reply.status = static_cast<int32_t>(base::Status::kBusy);
+    } else {
+      state.locks.push_back({r.offset, r.len, r.lock_exclusive != 0, r.handle});
+    }
+  } else {
+    const size_t before = state.locks.size();
+    std::erase_if(state.locks, [&](const LockRange& l) {
+      return l.handle == r.handle && l.start == r.offset && l.len == r.len;
+    });
+    if (state.locks.size() == before) {
+      reply.status = static_cast<int32_t>(base::Status::kNotFound);
+    }
+  }
+  env.RpcReply(rpc.token, &reply, sizeof(reply));
+}
+
+void FileServer::HandlePathOp(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r) {
+  FsReply reply;
+  kernel_.cpu().Execute(UnionSemRegion());
+  std::string rest;
+  Mount* mount = MountFor(r.path, &rest);
+  if (mount == nullptr) {
+    reply.status = static_cast<int32_t>(base::Status::kNotFound);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  const bool ci = (r.flags & kFsCaseInsensitive) != 0;
+  switch (r.op) {
+    case FsOp::kGetAttr: {
+      auto node = Walk(env, mount, rest, ci, nullptr, nullptr, false);
+      if (!node.ok()) {
+        reply.status = static_cast<int32_t>(node.status());
+        break;
+      }
+      auto attr = mount->pfs->GetAttr(env, *node);
+      if (!attr.ok()) {
+        reply.status = static_cast<int32_t>(attr.status());
+        break;
+      }
+      reply.attr = {attr->size, attr->directory ? uint8_t{1} : uint8_t{0}};
+      break;
+    }
+    case FsOp::kMkdir: {
+      NodeId parent = 0;
+      std::string leaf;
+      auto st = Walk(env, mount, rest, ci, &parent, &leaf, /*stop_at_parent=*/true);
+      if (!st.ok()) {
+        reply.status = static_cast<int32_t>(st.status());
+        break;
+      }
+      if (leaf.empty()) {
+        reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+        break;
+      }
+      auto node = mount->pfs->Create(env, parent, leaf, /*directory=*/true);
+      reply.status = static_cast<int32_t>(node.status());
+      break;
+    }
+    case FsOp::kUnlink: {
+      NodeId parent = 0;
+      std::string leaf;
+      auto node = Walk(env, mount, rest, ci, &parent, &leaf, false);
+      if (!node.ok()) {
+        reply.status = static_cast<int32_t>(node.status());
+        break;
+      }
+      // Union rule: an open file cannot be unlinked by path on OS/2; UNIX
+      // would allow it. The server takes the restrictive intersection and
+      // reports busy (one of the inevitable compromises).
+      if (node_states_.contains(NodeKey(mount, *node))) {
+        reply.status = static_cast<int32_t>(base::Status::kBusy);
+        break;
+      }
+      reply.status = static_cast<int32_t>(mount->pfs->Remove(env, parent, leaf));
+      break;
+    }
+    case FsOp::kRename: {
+      NodeId from_parent = 0;
+      std::string from_leaf;
+      auto node = Walk(env, mount, rest, ci, &from_parent, &from_leaf, false);
+      if (!node.ok()) {
+        reply.status = static_cast<int32_t>(node.status());
+        break;
+      }
+      std::string rest2;
+      Mount* mount2 = MountFor(r.path2, &rest2);
+      if (mount2 != mount) {
+        reply.status = static_cast<int32_t>(base::Status::kNotSupported);  // cross-FS rename
+        break;
+      }
+      NodeId to_parent = 0;
+      std::string to_leaf;
+      auto tst = Walk(env, mount, rest2, ci, &to_parent, &to_leaf, /*stop_at_parent=*/true);
+      if (!tst.ok()) {
+        reply.status = static_cast<int32_t>(tst.status());
+        break;
+      }
+      reply.status = static_cast<int32_t>(
+          mount->pfs->Rename(env, from_parent, from_leaf, to_parent, to_leaf));
+      break;
+    }
+    case FsOp::kReadDir: {
+      auto node = Walk(env, mount, rest, ci, nullptr, nullptr, false);
+      if (!node.ok()) {
+        reply.status = static_cast<int32_t>(node.status());
+        break;
+      }
+      auto entries = mount->pfs->ReadDir(env, *node);
+      if (!entries.ok()) {
+        reply.status = static_cast<int32_t>(entries.status());
+        break;
+      }
+      std::vector<FsDirEntryWire> wire;
+      for (const DirEntry& e : *entries) {
+        FsDirEntryWire w;
+        std::strncpy(w.name, e.name.c_str(), sizeof(w.name) - 1);
+        w.directory = e.directory ? 1 : 0;
+        wire.push_back(w);
+        if (wire.size() * sizeof(FsDirEntryWire) + sizeof(FsDirEntryWire) > kFsMaxIo) {
+          break;
+        }
+      }
+      reply.len = static_cast<uint32_t>(wire.size());
+      env.RpcReply(rpc.token, &reply, sizeof(reply), wire.data(),
+                   static_cast<uint32_t>(wire.size() * sizeof(FsDirEntryWire)));
+      return;
+    }
+    case FsOp::kSetEa: {
+      auto node = Walk(env, mount, rest, ci, nullptr, nullptr, false);
+      if (!node.ok()) {
+        reply.status = static_cast<int32_t>(node.status());
+        break;
+      }
+      // Value travels in path2 after the key's NUL: "key\0value".
+      const std::string key(r.path2);
+      const char* value = r.path2 + key.size() + 1;
+      reply.status = static_cast<int32_t>(mount->pfs->SetEa(env, *node, key, value));
+      break;
+    }
+    case FsOp::kGetEa: {
+      auto node = Walk(env, mount, rest, ci, nullptr, nullptr, false);
+      if (!node.ok()) {
+        reply.status = static_cast<int32_t>(node.status());
+        break;
+      }
+      auto value = mount->pfs->GetEa(env, *node, r.path2);
+      if (!value.ok()) {
+        reply.status = static_cast<int32_t>(value.status());
+        break;
+      }
+      reply.len = static_cast<uint32_t>(value->size());
+      env.RpcReply(rpc.token, &reply, sizeof(reply), value->data(),
+                   static_cast<uint32_t>(value->size()));
+      return;
+    }
+    case FsOp::kSync: {
+      for (const auto& m : mounts_) {
+        (void)m->pfs->Sync(env);
+      }
+      break;
+    }
+    case FsOp::kSetSize: {
+      auto it = open_files_.find(r.handle);
+      if (it == open_files_.end()) {
+        reply.status = static_cast<int32_t>(base::Status::kNotFound);
+        break;
+      }
+      reply.status = static_cast<int32_t>(
+          it->second.mount->pfs->SetSize(env, it->second.node, r.offset));
+      break;
+    }
+    default:
+      reply.status = static_cast<int32_t>(base::Status::kNotSupported);
+  }
+  env.RpcReply(rpc.token, &reply, sizeof(reply));
+}
+
+void FileServer::Serve(mk::Env& env) {
+  static const hw::CodeRegion kLoop = hw::DefineCode("loop.fs", mk::Costs::kRpcServerLoop);
+  static const hw::CodeRegion kStub = hw::DefineCode("stub.fs", mk::Costs::kRpcServerStub);
+  FsRequest r;
+  std::vector<uint8_t> ref_buf(kFsMaxIo);
+  while (true) {
+    mk::RpcRef ref;
+    ref.recv_buf = ref_buf.data();
+    ref.recv_cap = static_cast<uint32_t>(ref_buf.size());
+    auto rpc = env.RpcReceive(receive_port_, &r, sizeof(r), &ref);
+    if (!rpc.ok()) {
+      return;
+    }
+    kernel_.cpu().Execute(kLoop);
+    kernel_.cpu().Execute(kStub);
+    switch (r.op) {
+      case FsOp::kOpen:
+        HandleOpen(env, *rpc, r);
+        break;
+      case FsOp::kClose:
+        HandleClose(env, *rpc, r);
+        break;
+      case FsOp::kRead:
+        HandleRead(env, *rpc, r);
+        break;
+      case FsOp::kWrite:
+        HandleWrite(env, *rpc, r, ref_buf.data(), ref.recv_len);
+        break;
+      case FsOp::kLock:
+      case FsOp::kUnlock:
+        HandleLock(env, *rpc, r);
+        break;
+      default:
+        HandlePathOp(env, *rpc, r);
+    }
+  
+    if (!running_) {
+      // Server shutdown: kill the service port so queued and future
+      // callers fail with kPortDead instead of blocking forever.
+      (void)kernel_.PortDestroy(*task_, receive_port_);
+      return;
+    }
+  }
+}
+
+// --- Client ------------------------------------------------------------------------------
+
+base::Result<uint64_t> FsClient::Open(mk::Env& env, const std::string& path, uint32_t flags,
+                                      FsShare share) {
+  FsRequest r;
+  r.op = FsOp::kOpen;
+  r.flags = flags;
+  r.share = share;
+  r.SetPath(path.c_str());
+  FsReply reply;
+  mk::PortName granted = mk::kNullPort;
+  const base::Status st = stub_.Call(env, r, &reply, nullptr, nullptr, 0, &granted);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return reply.handle;
+}
+
+base::Status FsClient::Close(mk::Env& env, uint64_t handle) {
+  FsRequest r;
+  r.op = FsOp::kClose;
+  r.handle = handle;
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Result<uint32_t> FsClient::Read(mk::Env& env, uint64_t handle, uint64_t offset, void* out,
+                                      uint32_t len) {
+  FsRequest r;
+  r.op = FsOp::kRead;
+  r.handle = handle;
+  r.offset = offset;
+  r.len = std::min(len, kFsMaxIo);
+  FsReply reply;
+  mk::RpcRef ref;
+  ref.recv_buf = out;
+  ref.recv_cap = len;
+  const base::Status st = stub_.Call(env, r, &reply, &ref);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return reply.len;
+}
+
+base::Result<uint32_t> FsClient::Write(mk::Env& env, uint64_t handle, uint64_t offset,
+                                       const void* data, uint32_t len) {
+  FsRequest r;
+  r.op = FsOp::kWrite;
+  r.handle = handle;
+  r.offset = offset;
+  r.len = len;
+  FsReply reply;
+  mk::RpcRef ref;
+  ref.send_data = data;
+  ref.send_len = len;
+  const base::Status st = stub_.Call(env, r, &reply, &ref);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return reply.len;
+}
+
+base::Result<FileAttr> FsClient::GetAttr(mk::Env& env, const std::string& path) {
+  FsRequest r;
+  r.op = FsOp::kGetAttr;
+  r.SetPath(path.c_str());
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return FileAttr{.size = reply.attr.size, .directory = reply.attr.directory != 0};
+}
+
+base::Status FsClient::SetSize(mk::Env& env, uint64_t handle, uint64_t size) {
+  FsRequest r;
+  r.op = FsOp::kSetSize;
+  r.handle = handle;
+  r.offset = size;
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Status FsClient::Mkdir(mk::Env& env, const std::string& path) {
+  FsRequest r;
+  r.op = FsOp::kMkdir;
+  r.SetPath(path.c_str());
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Result<std::vector<DirEntry>> FsClient::ReadDir(mk::Env& env, const std::string& path) {
+  FsRequest r;
+  r.op = FsOp::kReadDir;
+  r.SetPath(path.c_str());
+  FsReply reply;
+  std::vector<FsDirEntryWire> wire(kFsMaxIo / sizeof(FsDirEntryWire));
+  mk::RpcRef ref;
+  ref.recv_buf = wire.data();
+  ref.recv_cap = static_cast<uint32_t>(wire.size() * sizeof(FsDirEntryWire));
+  const base::Status st = stub_.Call(env, r, &reply, &ref);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  std::vector<DirEntry> out;
+  for (uint32_t i = 0; i < reply.len; ++i) {
+    out.push_back({wire[i].name, 0, wire[i].directory != 0});
+  }
+  return out;
+}
+
+base::Status FsClient::Unlink(mk::Env& env, const std::string& path) {
+  FsRequest r;
+  r.op = FsOp::kUnlink;
+  r.SetPath(path.c_str());
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Status FsClient::Rename(mk::Env& env, const std::string& from, const std::string& to) {
+  FsRequest r;
+  r.op = FsOp::kRename;
+  r.SetPath(from.c_str());
+  r.SetPath2(to.c_str());
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Status FsClient::Lock(mk::Env& env, uint64_t handle, uint64_t start, uint64_t len,
+                            bool exclusive) {
+  FsRequest r;
+  r.op = FsOp::kLock;
+  r.handle = handle;
+  r.offset = start;
+  r.len = static_cast<uint32_t>(len);
+  r.lock_exclusive = exclusive ? 1 : 0;
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Status FsClient::Unlock(mk::Env& env, uint64_t handle, uint64_t start, uint64_t len) {
+  FsRequest r;
+  r.op = FsOp::kUnlock;
+  r.handle = handle;
+  r.offset = start;
+  r.len = static_cast<uint32_t>(len);
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Status FsClient::SetEa(mk::Env& env, const std::string& path, const std::string& key,
+                             const std::string& value) {
+  FsRequest r;
+  r.op = FsOp::kSetEa;
+  r.SetPath(path.c_str());
+  if (key.size() + value.size() + 2 > kFsMaxPath) {
+    return base::Status::kTooLarge;
+  }
+  std::memcpy(r.path2, key.c_str(), key.size() + 1);
+  std::memcpy(r.path2 + key.size() + 1, value.c_str(), value.size() + 1);
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Result<std::string> FsClient::GetEa(mk::Env& env, const std::string& path,
+                                          const std::string& key) {
+  FsRequest r;
+  r.op = FsOp::kGetEa;
+  r.SetPath(path.c_str());
+  r.SetPath2(key.c_str());
+  FsReply reply;
+  char value[256] = {};
+  mk::RpcRef ref;
+  ref.recv_buf = value;
+  ref.recv_cap = sizeof(value) - 1;
+  const base::Status st = stub_.Call(env, r, &reply, &ref);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return std::string(value, reply.len);
+}
+
+base::Status FsClient::Sync(mk::Env& env) {
+  FsRequest r;
+  r.op = FsOp::kSync;
+  r.SetPath("/");
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+}  // namespace svc

@@ -1,0 +1,150 @@
+// The file server: the archetypal personality-neutral shared service.
+//
+// A separate user-level task providing generic file service over an extended
+// vnode architecture (multiple physical file systems mounted into one rooted
+// tree, integrated with the name service), with the *union* of the
+// personalities' stateful semantics implemented server-side:
+//   - OS/2: deny-mode sharing, delete-on-close, extended attributes,
+//     case-insensitive lookup;
+//   - UNIX: append mode, byte-range locks, case-sensitive lookup;
+//   - TalOS: case-insensitive opens over case-preserving stores.
+// Open files are tracked per handle with a port granted to the client (the
+// paper: "heavy use of ports to manage open files").
+#ifndef SRC_SVC_FS_FILE_SERVER_H_
+#define SRC_SVC_FS_FILE_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mk/kernel.h"
+#include "src/mk/server_loop.h"
+#include "src/svc/fs/pfs.h"
+#include "src/svc/fs/protocol.h"
+
+namespace svc {
+
+class FileServer {
+ public:
+  FileServer(mk::Kernel& kernel, mk::Task* task);
+
+  // Mounts `pfs` at `prefix` (e.g. "/os2"). Must happen before Run serves
+  // requests that touch the prefix. The PFS must already be formatted.
+  base::Status AddMount(const std::string& prefix, Pfs* pfs);
+
+  mk::Task* task() const { return task_; }
+  mk::PortName receive_port() const { return receive_port_; }
+  mk::PortName GrantTo(mk::Task& client);
+  void Stop() { running_ = false; }
+
+  uint64_t opens() const { return opens_; }
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  size_t open_files() const { return open_files_.size(); }
+
+ private:
+  struct Mount {
+    std::string prefix;  // "/", "/os2", ... canonical, no trailing slash
+    Pfs* pfs = nullptr;
+  };
+
+  struct LockRange {
+    uint64_t start = 0;
+    uint64_t len = 0;
+    bool exclusive = false;
+    uint64_t handle = 0;
+  };
+
+  // Shared, per-file state (all opens of the same node).
+  struct NodeState {
+    uint32_t open_count = 0;
+    uint32_t deny_write = 0;  // opens holding deny-write or deny-all
+    uint32_t deny_all = 0;
+    uint32_t writers = 0;
+    bool delete_on_close = false;
+    NodeId parent = 0;
+    std::string name;  // for delete-on-close
+    std::vector<LockRange> locks;
+  };
+
+  struct OpenFile {
+    Mount* mount = nullptr;
+    NodeId node = 0;
+    uint32_t flags = 0;
+    FsShare share = FsShare::kDenyNone;
+    mk::PortName file_port = mk::kNullPort;  // identity object granted to the client
+    hw::PhysAddr sim_addr = 0;
+  };
+
+  void Serve(mk::Env& env);
+  Mount* MountFor(const std::string& path, std::string* rest);
+  // Walks `rest` within `mount`; returns the final node and (optionally) its
+  // parent + leaf name. Honours kFsCaseInsensitive over case-sensitive PFSes
+  // by falling back to a directory scan (one of the union-semantics costs).
+  base::Result<NodeId> Walk(mk::Env& env, Mount* mount, const std::string& rest,
+                            bool case_insensitive, NodeId* parent, std::string* leaf,
+                            bool stop_at_parent);
+  base::Result<NodeId> LookupChild(mk::Env& env, Mount* mount, NodeId dir,
+                                   const std::string& name, bool case_insensitive);
+
+  void HandleOpen(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
+  void HandleClose(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
+  void HandleRead(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
+  void HandleWrite(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r,
+                   const uint8_t* data, uint32_t data_len);
+  void HandlePathOp(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
+  void HandleLock(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
+
+  bool LockConflicts(const NodeState& state, uint64_t start, uint64_t len, bool exclusive,
+                     uint64_t handle) const;
+
+  std::pair<uint64_t, uint64_t> NodeKey(Mount* m, NodeId n) const {
+    return {reinterpret_cast<uint64_t>(m), n};
+  }
+
+  mk::Kernel& kernel_;
+  mk::Task* task_;
+  mk::PortName receive_port_ = mk::kNullPort;
+  std::vector<std::unique_ptr<Mount>> mounts_;  // longest prefix wins
+  std::map<uint64_t, OpenFile> open_files_;
+  std::map<std::pair<uint64_t, uint64_t>, NodeState> node_states_;
+  uint64_t next_handle_ = 1;
+  uint64_t opens_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  bool running_ = true;
+};
+
+// Client library: the RPC stubs a personality links against.
+class FsClient {
+ public:
+  explicit FsClient(mk::PortName service) : stub_("svc.fs.client", service) {}
+
+  base::Result<uint64_t> Open(mk::Env& env, const std::string& path, uint32_t flags = 0,
+                              FsShare share = FsShare::kDenyNone);
+  base::Status Close(mk::Env& env, uint64_t handle);
+  base::Result<uint32_t> Read(mk::Env& env, uint64_t handle, uint64_t offset, void* out,
+                              uint32_t len);
+  base::Result<uint32_t> Write(mk::Env& env, uint64_t handle, uint64_t offset, const void* data,
+                               uint32_t len);
+  base::Result<FileAttr> GetAttr(mk::Env& env, const std::string& path);
+  base::Status SetSize(mk::Env& env, uint64_t handle, uint64_t size);
+  base::Status Mkdir(mk::Env& env, const std::string& path);
+  base::Result<std::vector<DirEntry>> ReadDir(mk::Env& env, const std::string& path);
+  base::Status Unlink(mk::Env& env, const std::string& path);
+  base::Status Rename(mk::Env& env, const std::string& from, const std::string& to);
+  base::Status Lock(mk::Env& env, uint64_t handle, uint64_t start, uint64_t len, bool exclusive);
+  base::Status Unlock(mk::Env& env, uint64_t handle, uint64_t start, uint64_t len);
+  base::Status SetEa(mk::Env& env, const std::string& path, const std::string& key,
+                     const std::string& value);
+  base::Result<std::string> GetEa(mk::Env& env, const std::string& path, const std::string& key);
+  base::Status Sync(mk::Env& env);
+
+ private:
+  mk::ClientStub stub_;
+};
+
+}  // namespace svc
+
+#endif  // SRC_SVC_FS_FILE_SERVER_H_

@@ -1,0 +1,169 @@
+// Inode-based physical file system core, instantiated twice:
+//   - HPFS-flavoured: long names, case-insensitive but case-preserving,
+//     extended attributes, no journal;
+//   - JFS-flavoured: long names, case-sensitive, extended attributes, and a
+//     physical redo journal for metadata (write-ahead logged, replayed on
+//     mount).
+// Both run against the shared block cache, like the real file server's
+// vnode-dispatched physical file systems.
+#ifndef SRC_SVC_FS_INODE_FS_H_
+#define SRC_SVC_FS_INODE_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/svc/fs/block_cache.h"
+#include "src/svc/fs/pfs.h"
+
+namespace svc {
+
+struct InodeFsConfig {
+  std::string type_name = "hpfs";
+  bool case_sensitive = false;
+  bool journaled = false;
+  uint32_t num_inodes = 1024;
+  uint32_t journal_sectors = 256;  // only if journaled
+};
+
+class InodeFs : public Pfs {
+ public:
+  static constexpr uint32_t kMagic = 0x57494e31;  // "WIN1"
+  static constexpr uint32_t kSectorSize = 512;
+  static constexpr uint32_t kInodeSize = 256;
+  static constexpr uint32_t kInodesPerSector = kSectorSize / kInodeSize;
+  static constexpr uint32_t kDirect = 12;
+  static constexpr uint32_t kPtrsPerIndirect = kSectorSize / 4;
+  static constexpr uint32_t kDirentSize = 64;
+  static constexpr uint32_t kNameMax = 55;
+  static constexpr uint32_t kEaSlots = 2;
+  static constexpr NodeId kRootInode = 1;
+
+  InodeFs(mk::Kernel& kernel, BlockCache* cache, uint64_t sectors, InodeFsConfig config);
+
+  base::Status Format(mk::Env& env);
+
+  std::string type() const override { return config_.type_name; }
+  PfsCapabilities capabilities() const override {
+    return {.long_names = true,
+            .case_sensitive = config_.case_sensitive,
+            .case_preserving = true,
+            .extended_attributes = true,
+            .journaled = config_.journaled};
+  }
+
+  base::Status Mount(mk::Env& env) override;
+  base::Status Sync(mk::Env& env) override;
+  NodeId root() const override { return kRootInode; }
+  base::Result<NodeId> Lookup(mk::Env& env, NodeId dir, const std::string& name) override;
+  base::Result<NodeId> Create(mk::Env& env, NodeId dir, const std::string& name,
+                              bool directory) override;
+  base::Status Remove(mk::Env& env, NodeId dir, const std::string& name) override;
+  base::Status Rename(mk::Env& env, NodeId from_dir, const std::string& from, NodeId to_dir,
+                      const std::string& to) override;
+  base::Result<uint32_t> Read(mk::Env& env, NodeId node, uint64_t offset, void* out,
+                              uint32_t len) override;
+  base::Result<uint32_t> Write(mk::Env& env, NodeId node, uint64_t offset, const void* data,
+                               uint32_t len) override;
+  base::Result<FileAttr> GetAttr(mk::Env& env, NodeId node) override;
+  base::Status SetSize(mk::Env& env, NodeId node, uint64_t size) override;
+  base::Result<std::vector<DirEntry>> ReadDir(mk::Env& env, NodeId dir) override;
+  base::Status SetEa(mk::Env& env, NodeId node, const std::string& key,
+                     const std::string& value) override;
+  base::Result<std::string> GetEa(mk::Env& env, NodeId node, const std::string& key) override;
+
+  uint64_t journal_records() const { return journal_records_; }
+  uint64_t journal_replays() const { return journal_replays_; }
+  uint64_t free_blocks() const { return free_blocks_; }
+
+  // Test hook: fail before the journal is applied to the main area, leaving
+  // only the log written. A subsequent Mount must replay it.
+  void CrashBeforeApply() { crash_before_apply_ = true; }
+
+ private:
+  struct DiskInode {
+    uint32_t mode = 0;  // 0 free, 1 file, 2 directory
+    uint32_t reserved = 0;
+    uint64_t size = 0;
+    uint32_t direct[kDirect] = {};
+    uint32_t indirect = 0;
+    char ea[kEaSlots][48] = {};  // "key\0value\0"
+    uint8_t pad[kInodeSize - 4 - 4 - 8 - kDirect * 4 - 4 - kEaSlots * 48] = {};
+  };
+  static_assert(sizeof(DiskInode) == kInodeSize);
+
+  struct Dirent64 {
+    char name[kNameMax + 1] = {};  // NUL-terminated, case preserved
+    uint32_t ino = 0;
+    uint8_t used = 0;
+    uint8_t pad[3] = {};
+  };
+  static_assert(sizeof(Dirent64) == kDirentSize);
+
+  bool NamesEqual(const std::string& a, const char* b) const;
+
+  // Journalled metadata write: logged (when journaling) then applied.
+  base::Status MetaWrite(mk::Env& env, uint64_t lba, const void* data);
+  base::Status TxnBegin(mk::Env& env);
+  base::Status TxnCommit(mk::Env& env);
+  base::Status ReplayJournal(mk::Env& env);
+
+  base::Status ReadInode(mk::Env& env, NodeId ino, DiskInode* out);
+  base::Status WriteInode(mk::Env& env, NodeId ino, const DiskInode& inode);
+  base::Result<NodeId> AllocInode(mk::Env& env, uint32_t mode);
+  base::Status FreeInode(mk::Env& env, NodeId ino);
+  base::Result<uint32_t> AllocBlock(mk::Env& env);
+  base::Status FreeBlock(mk::Env& env, uint32_t block);
+  // Block number backing file-block `index` of `inode`; optionally allocates.
+  // `fresh` (optional) reports whether the block was newly allocated — a
+  // fresh block's on-disk content is whatever a previous owner left there
+  // and must be zeroed before partial writes.
+  base::Result<uint32_t> MapBlock(mk::Env& env, DiskInode* inode, NodeId ino, uint32_t index,
+                                  bool allocate, bool* fresh = nullptr);
+  base::Status FreeAllBlocks(mk::Env& env, DiskInode* inode);
+  base::Result<std::pair<NodeId, uint64_t>> FindEntry(mk::Env& env, NodeId dir,
+                                                      const std::string& name);
+  base::Status WriteEntry(mk::Env& env, NodeId dir, uint64_t slot_offset, const Dirent64& e);
+
+  mk::Kernel& kernel_;
+  BlockCache* cache_;
+  uint64_t total_sectors_;
+  InodeFsConfig config_;
+
+  uint32_t inode_table_start_ = 0;
+  uint32_t inode_table_sectors_ = 0;
+  uint32_t bitmap_start_ = 0;
+  uint32_t bitmap_sectors_ = 0;
+  uint32_t journal_start_ = 0;
+  uint32_t data_start_ = 0;
+  uint32_t num_blocks_ = 0;
+  uint64_t free_blocks_ = 0;
+
+  // In-flight transaction (journaled mode).
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> txn_;
+  bool in_txn_ = false;
+  uint64_t next_txn_seq_ = 1;
+  uint32_t journal_head_ = 0;  // sector offset within the journal region
+  uint64_t journal_records_ = 0;
+  uint64_t journal_replays_ = 0;
+  bool crash_before_apply_ = false;
+  bool mounted_ = false;
+};
+
+// Convenience aliases with the paper's file-system mix.
+class HpfsFs : public InodeFs {
+ public:
+  HpfsFs(mk::Kernel& kernel, BlockCache* cache, uint64_t sectors)
+      : InodeFs(kernel, cache, sectors,
+                {.type_name = "hpfs", .case_sensitive = false, .journaled = false}) {}
+};
+
+class JfsFs : public InodeFs {
+ public:
+  JfsFs(mk::Kernel& kernel, BlockCache* cache, uint64_t sectors)
+      : InodeFs(kernel, cache, sectors,
+                {.type_name = "jfs", .case_sensitive = true, .journaled = true}) {}
+};
+
+}  // namespace svc
+
+#endif  // SRC_SVC_FS_INODE_FS_H_

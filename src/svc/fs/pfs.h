@@ -1,0 +1,76 @@
+// Physical-file-system interface: the extended vnode architecture of the
+// WPOS file server. Each PFS implements these operations against a block
+// device; the file server mounts PFS instances into the single rooted tree
+// and layers the union of the personalities' semantics on top.
+#ifndef SRC_SVC_FS_PFS_H_
+#define SRC_SVC_FS_PFS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/mk/kernel.h"
+
+namespace svc {
+
+using NodeId = uint64_t;
+
+struct FileAttr {
+  uint64_t size = 0;
+  bool directory = false;
+  uint64_t mtime_ns = 0;
+};
+
+struct DirEntry {
+  std::string name;
+  NodeId node = 0;
+  bool directory = false;
+};
+
+struct PfsCapabilities {
+  bool long_names = false;       // FAT: false (8.3 only)
+  bool case_sensitive = false;   // JFS: true; FAT/HPFS: false
+  bool case_preserving = false;  // HPFS/JFS: true; FAT: false (uppercases)
+  bool extended_attributes = false;
+  bool journaled = false;
+};
+
+class Pfs {
+ public:
+  virtual ~Pfs() = default;
+
+  virtual std::string type() const = 0;
+  virtual PfsCapabilities capabilities() const = 0;
+
+  virtual base::Status Mount(mk::Env& env) = 0;
+  virtual base::Status Sync(mk::Env& env) = 0;
+
+  virtual NodeId root() const = 0;
+  virtual base::Result<NodeId> Lookup(mk::Env& env, NodeId dir, const std::string& name) = 0;
+  virtual base::Result<NodeId> Create(mk::Env& env, NodeId dir, const std::string& name,
+                                      bool directory) = 0;
+  virtual base::Status Remove(mk::Env& env, NodeId dir, const std::string& name) = 0;
+  virtual base::Status Rename(mk::Env& env, NodeId from_dir, const std::string& from,
+                              NodeId to_dir, const std::string& to) = 0;
+  virtual base::Result<uint32_t> Read(mk::Env& env, NodeId node, uint64_t offset, void* out,
+                                      uint32_t len) = 0;
+  virtual base::Result<uint32_t> Write(mk::Env& env, NodeId node, uint64_t offset,
+                                       const void* data, uint32_t len) = 0;
+  virtual base::Result<FileAttr> GetAttr(mk::Env& env, NodeId node) = 0;
+  virtual base::Status SetSize(mk::Env& env, NodeId node, uint64_t size) = 0;
+  virtual base::Result<std::vector<DirEntry>> ReadDir(mk::Env& env, NodeId dir) = 0;
+
+  // Extended attributes; PFSes without EA support return kNotSupported.
+  virtual base::Status SetEa(mk::Env& env, NodeId node, const std::string& key,
+                             const std::string& value) {
+    return base::Status::kNotSupported;
+  }
+  virtual base::Result<std::string> GetEa(mk::Env& env, NodeId node, const std::string& key) {
+    return base::Status::kNotSupported;
+  }
+};
+
+}  // namespace svc
+
+#endif  // SRC_SVC_FS_PFS_H_

@@ -1,0 +1,93 @@
+// File server wire protocol.
+#ifndef SRC_SVC_FS_PROTOCOL_H_
+#define SRC_SVC_FS_PROTOCOL_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace svc {
+
+inline constexpr uint32_t kFsMaxPath = 160;
+inline constexpr uint32_t kFsMaxIo = 32 * 1024;  // per-request byte limit
+
+enum class FsOp : uint32_t {
+  kOpen = 1,
+  kClose,
+  kRead,
+  kWrite,
+  kGetAttr,
+  kSetSize,
+  kMkdir,
+  kReadDir,
+  kUnlink,
+  kRename,
+  kLock,
+  kUnlock,
+  kSetEa,
+  kGetEa,
+  kSync,
+};
+
+// Open flags: the union of what the personalities need (OS/2 delete-on-close
+// and deny-mode sharing, UNIX append/truncate/exclusive, TalOS-style
+// case-insensitive opens on case-sensitive stores).
+enum FsOpenFlags : uint32_t {
+  kFsCreate = 1u << 0,
+  kFsExclusive = 1u << 1,
+  kFsTruncate = 1u << 2,
+  kFsDeleteOnClose = 1u << 3,  // OS/2 semantics
+  kFsAppend = 1u << 4,         // UNIX semantics
+  kFsCaseInsensitive = 1u << 5,
+  kFsWrite = 1u << 6,
+};
+
+// OS/2 DosOpen-style sharing modes.
+enum class FsShare : uint32_t {
+  kDenyNone = 0,
+  kDenyWrite = 1,
+  kDenyAll = 2,
+};
+
+struct FsRequest {
+  FsOp op = FsOp::kOpen;
+  uint32_t flags = 0;
+  FsShare share = FsShare::kDenyNone;
+  uint64_t handle = 0;
+  uint64_t offset = 0;
+  uint32_t len = 0;
+  uint32_t lock_exclusive = 0;
+  char path[kFsMaxPath] = {};
+  char path2[kFsMaxPath] = {};  // rename target; EA key
+
+  void SetPath(const char* p) {
+    std::strncpy(path, p, kFsMaxPath - 1);
+    path[kFsMaxPath - 1] = '\0';
+  }
+  void SetPath2(const char* p) {
+    std::strncpy(path2, p, kFsMaxPath - 1);
+    path2[kFsMaxPath - 1] = '\0';
+  }
+};
+
+struct FsAttrWire {
+  uint64_t size = 0;
+  uint8_t directory = 0;
+};
+
+struct FsReply {
+  int32_t status = 0;
+  uint64_t handle = 0;
+  uint32_t len = 0;  // bytes read/written, or entry count for kReadDir
+  FsAttrWire attr;
+};
+
+// kReadDir bulk reply entry.
+struct FsDirEntryWire {
+  char name[56] = {};
+  uint8_t directory = 0;
+  uint8_t pad[7] = {};
+};
+
+}  // namespace svc
+
+#endif  // SRC_SVC_FS_PROTOCOL_H_

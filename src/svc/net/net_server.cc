@@ -1,0 +1,199 @@
+#include "src/svc/net/net_server.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace svc {
+
+NetServer::NetServer(mk::Kernel& kernel, mk::Task* task, mk::PortName nic_service,
+                     std::unique_ptr<StackEngine> engine, bool use_wrappers)
+    : kernel_(kernel), task_(task), engine_(std::move(engine)), nic_service_(nic_service) {
+  nic_ = std::make_unique<drv::NicClient>(nic_service);
+  if (use_wrappers) {
+    wrapper_ = std::make_unique<drv::TPortSenderWrapper>(kernel, nic_service);
+  }
+  auto port = kernel_.PortAllocate(*task_);
+  WPOS_CHECK(port.ok());
+  service_port_ = *port;
+  kernel_.CreateThread(task_, "net-rx-pump", [this](mk::Env& env) { RxPump(env); },
+                       mk::Thread::kDefaultPriority + 3);
+  kernel_.CreateThread(task_, "net-server", [this](mk::Env& env) { Serve(env); },
+                       mk::Thread::kDefaultPriority + 2);
+}
+
+mk::PortName NetServer::GrantTo(mk::Task& client) {
+  auto name = kernel_.MakeSendRight(*task_, service_port_, client);
+  WPOS_CHECK(name.ok());
+  return *name;
+}
+
+base::Status NetServer::DriverSend(mk::Env& env, const std::vector<uint8_t>& frame) {
+  if (wrapper_ != nullptr) {
+    // Through the stateful kernel wrapper (Taligent style).
+    drv::NicRequest req{drv::NicOp::kSend, static_cast<uint32_t>(frame.size())};
+    drv::NicReply reply;
+    mk::RpcRef ref;
+    ref.send_data = frame.data();
+    ref.send_len = static_cast<uint32_t>(frame.size());
+    const base::Status st =
+        wrapper_->SendRequest(env, &req, sizeof(req), &reply, sizeof(reply), &ref);
+    return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+  }
+  return nic_->Send(env, frame.data(), static_cast<uint32_t>(frame.size()));
+}
+
+void NetServer::RxPump(mk::Env& env) {
+  std::vector<uint8_t> frame(hw::Nic::kMaxFrame);
+  while (running_) {
+    auto len = nic_->Receive(env, frame.data(), static_cast<uint32_t>(frame.size()));
+    if (!len.ok()) {
+      return;
+    }
+    Datagram dgram;
+    if (!engine_->Decapsulate(env, frame.data(), *len, &dgram)) {
+      continue;
+    }
+    auto it = sockets_.find(dgram.dst_port);
+    if (it == sockets_.end()) {
+      continue;  // no listener: drop
+    }
+    it->second.queue.push_back(std::move(dgram));
+    ++delivered_;
+    // Complete queued receives directly from the pump (deferred RPC reply).
+    Socket& socket = it->second;
+    while (!socket.pending.empty() && !socket.queue.empty()) {
+      const uint64_t token = socket.pending.front();
+      socket.pending.pop_front();
+      Datagram out = std::move(socket.queue.front());
+      socket.queue.pop_front();
+      NetReply reply;
+      reply.len = static_cast<uint32_t>(out.payload.size());
+      reply.from_addr = out.src_addr;
+      reply.from_port = out.src_port;
+      (void)kernel_.RpcReply(token, &reply, sizeof(reply), out.payload.data(), reply.len);
+    }
+  }
+}
+
+void NetServer::Serve(mk::Env& env) {
+  static const hw::CodeRegion kLoop = hw::DefineCode("loop.net", mk::Costs::kRpcServerLoop);
+  NetRequest req;
+  std::vector<uint8_t> payload(hw::Nic::kMaxFrame);
+  while (true) {
+    mk::RpcRef ref;
+    ref.recv_buf = payload.data();
+    ref.recv_cap = static_cast<uint32_t>(payload.size());
+    auto rpc = env.RpcReceive(service_port_, &req, sizeof(req), &ref);
+    if (!rpc.ok()) {
+      return;
+    }
+    kernel_.cpu().Execute(kLoop);
+    NetReply reply;
+    switch (req.op) {
+      case NetOp::kBind: {
+        if (!sockets_.try_emplace(req.port).second) {
+          reply.status = static_cast<int32_t>(base::Status::kAlreadyExists);
+        }
+        env.RpcReply(rpc->token, &reply, sizeof(reply));
+        break;
+      }
+      case NetOp::kSendTo: {
+        Datagram dgram;
+        dgram.dst_addr = req.addr;
+        dgram.dst_port = req.port;
+        dgram.src_port = req.src_port;
+        dgram.src_addr = 0x7f000001;
+        dgram.payload.assign(payload.data(), payload.data() + ref.recv_len);
+        const std::vector<uint8_t> frame = engine_->Encapsulate(env, dgram);
+        reply.status = static_cast<int32_t>(DriverSend(env, frame));
+        if (reply.status == 0) {
+          ++sent_;
+        }
+        env.RpcReply(rpc->token, &reply, sizeof(reply));
+        break;
+      }
+      case NetOp::kRecvFrom: {
+        auto it = sockets_.find(req.port);
+        if (it == sockets_.end()) {
+          reply.status = static_cast<int32_t>(base::Status::kNotFound);
+          env.RpcReply(rpc->token, &reply, sizeof(reply));
+          break;
+        }
+        if (it->second.queue.empty()) {
+          it->second.pending.push_back(rpc->token);  // deferred reply
+          break;
+        }
+        Datagram dgram = std::move(it->second.queue.front());
+        it->second.queue.pop_front();
+        reply.len = static_cast<uint32_t>(dgram.payload.size());
+        reply.from_addr = dgram.src_addr;
+        reply.from_port = dgram.src_port;
+        env.RpcReply(rpc->token, &reply, sizeof(reply), dgram.payload.data(), reply.len);
+        break;
+      }
+      default:
+        reply.status = static_cast<int32_t>(base::Status::kNotSupported);
+        env.RpcReply(rpc->token, &reply, sizeof(reply));
+    }
+  
+    if (!running_) {
+      // Server shutdown: kill the service port so queued and future
+      // callers fail with kPortDead instead of blocking forever.
+      (void)kernel_.PortDestroy(*task_, service_port_);
+      return;
+    }
+  }
+}
+
+base::Status NetClient::Bind(mk::Env& env, uint16_t port) {
+  NetRequest r;
+  r.op = NetOp::kBind;
+  r.port = port;
+  NetReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Status NetClient::SendTo(mk::Env& env, uint32_t addr, uint16_t dst_port, uint16_t src_port,
+                               const void* data, uint32_t len) {
+  NetRequest r;
+  r.op = NetOp::kSendTo;
+  r.addr = addr;
+  r.port = dst_port;
+  r.src_port = src_port;
+  r.len = len;
+  NetReply reply;
+  mk::RpcRef ref;
+  ref.send_data = data;
+  ref.send_len = len;
+  const base::Status st = stub_.Call(env, r, &reply, &ref);
+  return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Result<uint32_t> NetClient::RecvFrom(mk::Env& env, uint16_t port, void* out, uint32_t cap,
+                                           uint32_t* from_addr, uint16_t* from_port) {
+  NetRequest r;
+  r.op = NetOp::kRecvFrom;
+  r.port = port;
+  NetReply reply;
+  mk::RpcRef ref;
+  ref.recv_buf = out;
+  ref.recv_cap = cap;
+  const base::Status st = stub_.Call(env, r, &reply, &ref);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  if (from_addr != nullptr) {
+    *from_addr = reply.from_addr;
+  }
+  if (from_port != nullptr) {
+    *from_port = reply.from_port;
+  }
+  return reply.len;
+}
+
+}  // namespace svc

@@ -1,0 +1,255 @@
+#include "src/svc/net/stack.h"
+
+#include <cstring>
+
+namespace svc {
+
+namespace {
+void Put16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, 2); }
+void Put32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+uint16_t Get16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+uint32_t Get32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+}  // namespace
+
+// --- Coarse ---------------------------------------------------------------------
+
+std::vector<uint8_t> CoarseStack::Encapsulate(mk::Env& env, const Datagram& dgram) {
+  static const hw::CodeRegion kRegion = hw::DefineCode("svc.net.coarse_encap", 170);
+  kernel_.cpu().Execute(kRegion);
+  std::vector<uint8_t> frame(kStackHeaders + dgram.payload.size());
+  uint8_t* p = frame.data();
+  std::memset(p, 0xff, 12);  // mac addresses (loopback: don't care)
+  Put16(p + 12, 0x0800);
+  p += kEthHeader;
+  Put32(p, dgram.src_addr);
+  Put32(p + 4, dgram.dst_addr);
+  p[8] = 17;  // "UDP"
+  Put16(p + 9, static_cast<uint16_t>(kUdpHeader + dgram.payload.size()));
+  p += kIpHeader;
+  Put16(p, dgram.src_port);
+  Put16(p + 2, dgram.dst_port);
+  Put16(p + 4, static_cast<uint16_t>(dgram.payload.size()));
+  p += kUdpHeader;
+  std::memcpy(p, dgram.payload.data(), dgram.payload.size());
+  return frame;
+}
+
+bool CoarseStack::Decapsulate(mk::Env& env, const uint8_t* frame, uint32_t len, Datagram* out) {
+  static const hw::CodeRegion kRegion = hw::DefineCode("svc.net.coarse_decap", 150);
+  kernel_.cpu().Execute(kRegion);
+  if (len < kStackHeaders || Get16(frame + 12) != 0x0800) {
+    return false;
+  }
+  const uint8_t* ip = frame + kEthHeader;
+  if (ip[8] != 17) {
+    return false;
+  }
+  const uint8_t* udp = ip + kIpHeader;
+  out->src_addr = Get32(ip);
+  out->dst_addr = Get32(ip + 4);
+  out->src_port = Get16(udp);
+  out->dst_port = Get16(udp + 2);
+  const uint16_t plen = Get16(udp + 4);
+  if (kStackHeaders + plen > len) {
+    return false;
+  }
+  out->payload.assign(udp + kUdpHeader, udp + kUdpHeader + plen);
+  return true;
+}
+
+// --- Fine-grained ----------------------------------------------------------------
+
+// "Taligent's notion of fine-grained objects involved the use of complex
+// class hierarchies and extensive subclassing to maximize code reuse. This
+// resulted in a very large number of very short virtual methods."
+class FineStack::TBufferChain : public drv::OoObject {
+ public:
+  explicit TBufferChain(mk::Kernel& kernel) : OoObject(kernel, "TBufferChain") {}
+  void Reset(uint32_t size) {
+    Method("Reset", 8);
+    Method("ReserveHeadroom", 10);
+    buffer_.assign(size, 0);
+    offset_ = 0;
+  }
+  void Append(const uint8_t* data, uint32_t len) {
+    Method("Append", 9);
+    Method("CheckBounds", 7);
+    std::memcpy(buffer_.data() + offset_, data, len);
+    offset_ += len;
+  }
+  uint8_t* Reserve(uint32_t len) {
+    Method("Reserve", 8);
+    uint8_t* p = buffer_.data() + offset_;
+    offset_ += len;
+    return p;
+  }
+  std::vector<uint8_t> Take() {
+    Method("Take", 6);
+    return std::move(buffer_);
+  }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  uint32_t offset_ = 0;
+};
+
+class FineStack::THeader : public drv::OoObject {
+ public:
+  THeader(mk::Kernel& kernel, const std::string& cls) : OoObject(kernel, cls) {}
+  virtual uint32_t HeaderLength() = 0;
+  virtual void Validate() { Method("Validate", 9); }
+  virtual void Audit() { Method("Audit", 6); }
+};
+
+class FineStack::TEthernetHeader : public THeader {
+ public:
+  explicit TEthernetHeader(mk::Kernel& kernel) : THeader(kernel, "TEthernetHeader") {}
+  uint32_t HeaderLength() override {
+    Method("HeaderLength", 4);
+    return kEthHeader;
+  }
+  void Emit(TBufferChain& chain) {
+    Method("Emit", 12);
+    Method("FormatAddresses", 10);
+    uint8_t* p = chain.Reserve(kEthHeader);
+    std::memset(p, 0xff, 12);
+    Put16(p + 12, 0x0800);
+    Audit();
+  }
+  bool Parse(const uint8_t*& p, uint32_t& remaining) {
+    Method("Parse", 12);
+    Validate();
+    if (remaining < kEthHeader || Get16(p + 12) != 0x0800) {
+      return false;
+    }
+    p += kEthHeader;
+    remaining -= kEthHeader;
+    return true;
+  }
+};
+
+class FineStack::TIpHeader : public THeader {
+ public:
+  explicit TIpHeader(mk::Kernel& kernel) : THeader(kernel, "TIpHeader") {}
+  uint32_t HeaderLength() override {
+    Method("HeaderLength", 4);
+    return kIpHeader;
+  }
+  void Emit(TBufferChain& chain, const Datagram& d) {
+    Method("Emit", 14);
+    Method("AssignAddresses", 9);
+    Method("ComputeLength", 8);
+    uint8_t* p = chain.Reserve(kIpHeader);
+    Put32(p, d.src_addr);
+    Put32(p + 4, d.dst_addr);
+    p[8] = 17;
+    Put16(p + 9, static_cast<uint16_t>(kUdpHeader + d.payload.size()));
+    Audit();
+  }
+  bool Parse(const uint8_t*& p, uint32_t& remaining, Datagram* out) {
+    Method("Parse", 14);
+    Validate();
+    if (remaining < kIpHeader || p[8] != 17) {
+      return false;
+    }
+    out->src_addr = Get32(p);
+    out->dst_addr = Get32(p + 4);
+    p += kIpHeader;
+    remaining -= kIpHeader;
+    return true;
+  }
+};
+
+class FineStack::TUdpHeader : public THeader {
+ public:
+  explicit TUdpHeader(mk::Kernel& kernel) : THeader(kernel, "TUdpHeader") {}
+  uint32_t HeaderLength() override {
+    Method("HeaderLength", 4);
+    return kUdpHeader;
+  }
+  void Emit(TBufferChain& chain, const Datagram& d) {
+    Method("Emit", 12);
+    Method("AssignPorts", 7);
+    uint8_t* p = chain.Reserve(kUdpHeader);
+    Put16(p, d.src_port);
+    Put16(p + 2, d.dst_port);
+    Put16(p + 4, static_cast<uint16_t>(d.payload.size()));
+    Audit();
+  }
+  bool Parse(const uint8_t*& p, uint32_t& remaining, Datagram* out) {
+    Method("Parse", 12);
+    Validate();
+    if (remaining < kUdpHeader) {
+      return false;
+    }
+    out->src_port = Get16(p);
+    out->dst_port = Get16(p + 2);
+    const uint16_t plen = Get16(p + 4);
+    p += kUdpHeader;
+    remaining -= kUdpHeader;
+    if (plen > remaining) {
+      return false;
+    }
+    out->payload.assign(p, p + plen);
+    return true;
+  }
+};
+
+class FineStack::TChecksumEngine : public drv::OoObject {
+ public:
+  explicit TChecksumEngine(mk::Kernel& kernel) : OoObject(kernel, "TChecksumEngine") {}
+  void Cover(const uint8_t* data, uint32_t len) {
+    Method("Cover", 10);
+    Method("Fold", 8);
+    // 1 instruction per 8 bytes of coverage, through a dedicated region.
+    kernel_.cpu().ExecuteInstructions(hw::DefineCode("oo.TChecksumEngine.loop", 12), len / 8 + 4);
+  }
+};
+
+FineStack::~FineStack() = default;
+
+FineStack::FineStack(mk::Kernel& kernel)
+    : kernel_(kernel),
+      buffers_(std::make_unique<TBufferChain>(kernel)),
+      eth_(std::make_unique<TEthernetHeader>(kernel)),
+      ip_(std::make_unique<TIpHeader>(kernel)),
+      udp_(std::make_unique<TUdpHeader>(kernel)),
+      checksum_(std::make_unique<TChecksumEngine>(kernel)) {}
+
+std::vector<uint8_t> FineStack::Encapsulate(mk::Env& env, const Datagram& dgram) {
+  const uint32_t total = eth_->HeaderLength() + ip_->HeaderLength() + udp_->HeaderLength() +
+                         static_cast<uint32_t>(dgram.payload.size());
+  buffers_->Reset(total);
+  eth_->Emit(*buffers_);
+  ip_->Emit(*buffers_, dgram);
+  udp_->Emit(*buffers_, dgram);
+  buffers_->Append(dgram.payload.data(), static_cast<uint32_t>(dgram.payload.size()));
+  checksum_->Cover(dgram.payload.data(), static_cast<uint32_t>(dgram.payload.size()));
+  return buffers_->Take();
+}
+
+bool FineStack::Decapsulate(mk::Env& env, const uint8_t* frame, uint32_t len, Datagram* out) {
+  const uint8_t* p = frame;
+  uint32_t remaining = len;
+  if (!eth_->Parse(p, remaining)) {
+    return false;
+  }
+  if (!ip_->Parse(p, remaining, out)) {
+    return false;
+  }
+  if (!udp_->Parse(p, remaining, out)) {
+    return false;
+  }
+  checksum_->Cover(out->payload.data(), static_cast<uint32_t>(out->payload.size()));
+  return true;
+}
+
+}  // namespace svc

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "src/drv/disk_driver.h"
+#include "src/drv/nic_driver.h"
+#include "src/drv/oo/ooddm.h"
+#include "src/drv/resource_manager.h"
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace drv {
+namespace {
+
+class ResourceManagerTest : public mk::KernelTest {
+ protected:
+  ResourceManager rm_{kernel_};
+};
+
+TEST_F(ResourceManagerTest, GrantAndOwnership) {
+  const DriverId a = rm_.RegisterDriver("a");
+  const ResourceId irq5{ResourceKind::kIrqLine, 5};
+  ASSERT_EQ(rm_.DeclareResource(irq5, "irq 5"), base::Status::kOk);
+  EXPECT_EQ(rm_.Request(a, irq5), base::Status::kOk);
+  EXPECT_TRUE(rm_.Owns(a, irq5));
+  EXPECT_EQ(*rm_.OwnerOf(irq5), a);
+  // Idempotent re-request.
+  EXPECT_EQ(rm_.Request(a, irq5), base::Status::kOk);
+  EXPECT_EQ(rm_.grants(), 1u);
+}
+
+TEST_F(ResourceManagerTest, RequestUndeclaredFails) {
+  const DriverId a = rm_.RegisterDriver("a");
+  EXPECT_EQ(rm_.Request(a, {ResourceKind::kDmaChannel, 1}), base::Status::kNotFound);
+}
+
+TEST_F(ResourceManagerTest, OwnerDecliningKeepsRequesterPending) {
+  const DriverId a = rm_.RegisterDriver("a");  // no yield handler: declines
+  const DriverId b = rm_.RegisterDriver("b");
+  const ResourceId io{ResourceKind::kIoWindow, 0x1000};
+  ASSERT_EQ(rm_.DeclareResource(io, "regs"), base::Status::kOk);
+  ASSERT_EQ(rm_.Request(a, io), base::Status::kOk);
+  EXPECT_EQ(rm_.Request(b, io), base::Status::kBusy);
+  EXPECT_TRUE(rm_.Owns(a, io));
+  // When the owner yields, the pending request is granted.
+  ASSERT_EQ(rm_.Yield(a, io), base::Status::kOk);
+  EXPECT_TRUE(rm_.Owns(b, io));
+}
+
+TEST_F(ResourceManagerTest, CooperativeOwnerYieldsOnRequest) {
+  int asked = 0;
+  const DriverId a = rm_.RegisterDriver("a", [&](const ResourceId&) {
+    ++asked;
+    return true;  // polite driver: yields immediately
+  });
+  const DriverId b = rm_.RegisterDriver("b");
+  const ResourceId dma{ResourceKind::kDmaChannel, 3};
+  ASSERT_EQ(rm_.DeclareResource(dma, "dma 3"), base::Status::kOk);
+  ASSERT_EQ(rm_.Request(a, dma), base::Status::kOk);
+  EXPECT_EQ(rm_.Request(b, dma), base::Status::kOk);
+  EXPECT_EQ(asked, 1);
+  EXPECT_TRUE(rm_.Owns(b, dma));
+  EXPECT_FALSE(rm_.Owns(a, dma));
+}
+
+TEST_F(ResourceManagerTest, YieldByNonOwnerDenied) {
+  const DriverId a = rm_.RegisterDriver("a");
+  const DriverId b = rm_.RegisterDriver("b");
+  const ResourceId io{ResourceKind::kIoWindow, 0x2000};
+  ASSERT_EQ(rm_.DeclareResource(io, "regs"), base::Status::kOk);
+  ASSERT_EQ(rm_.Request(a, io), base::Status::kOk);
+  EXPECT_EQ(rm_.Yield(b, io), base::Status::kPermissionDenied);
+}
+
+class DiskDriverTest : public mk::KernelTest {
+ protected:
+  DiskDriverTest() {
+    disk_ = static_cast<hw::Disk*>(machine_.AddDevice(std::make_unique<hw::Disk>("disk0", 3)));
+    rm_ = std::make_unique<ResourceManager>(kernel_);
+    driver_task_ = kernel_.CreateTask("disk-driver");
+    driver_ = std::make_unique<DiskDriver>(kernel_, driver_task_, disk_, rm_.get());
+    client_task_ = kernel_.CreateTask("client");
+    service_ = driver_->GrantTo(*client_task_);
+  }
+
+  hw::Disk* disk_;
+  std::unique_ptr<ResourceManager> rm_;
+  mk::Task* driver_task_;
+  std::unique_ptr<DiskDriver> driver_;
+  mk::Task* client_task_;
+  mk::PortName service_;
+};
+
+TEST_F(DiskDriverTest, ReadWriteThroughDriver) {
+  std::vector<uint8_t> persisted(hw::Disk::kSectorSize);
+  kernel_.CreateThread(client_task_, "c", [&](mk::Env& env) {
+    RpcBlockStore store(service_, disk_->num_sectors());
+    std::vector<uint8_t> data(hw::Disk::kSectorSize * 3, 0x42);
+    data[0] = 0x01;
+    data[data.size() - 1] = 0x99;
+    ASSERT_EQ(store.Write(env, 10, 3, data.data()), base::Status::kOk);
+    std::vector<uint8_t> back(data.size());
+    ASSERT_EQ(store.Read(env, 10, 3, back.data()), base::Status::kOk);
+    EXPECT_EQ(back, data);
+    driver_->Stop();
+    (void)store.Read(env, 0, 1, back.data());  // unblock the server loop
+  });
+  kernel_.Run();
+  // Verify the data really reached the platter.
+  disk_->ReadSectors(10, 1, persisted.data());
+  EXPECT_EQ(persisted[0], 0x01);
+  EXPECT_GT(driver_->interrupts_taken(), 0u) << "driver must run interrupt-driven";
+  EXPECT_TRUE(rm_->Owns(1, {ResourceKind::kIrqLine, 3}));
+}
+
+TEST_F(DiskDriverTest, OutOfRangeRejected) {
+  kernel_.CreateThread(client_task_, "c", [&](mk::Env& env) {
+    RpcBlockStore store(service_, disk_->num_sectors());
+    std::vector<uint8_t> buf(hw::Disk::kSectorSize);
+    EXPECT_EQ(store.Read(env, disk_->num_sectors(), 1, buf.data()),
+              base::Status::kInvalidArgument);
+    driver_->Stop();
+    (void)store.Read(env, 0, 1, buf.data());
+  });
+  kernel_.Run();
+}
+
+class NicDriverTest : public mk::KernelTest {
+ protected:
+  NicDriverTest() {
+    nic_ = static_cast<hw::Nic*>(machine_.AddDevice(std::make_unique<hw::Nic>("nic0", 5)));
+    driver_task_ = kernel_.CreateTask("nic-driver");
+    driver_ = std::make_unique<NicDriver>(kernel_, driver_task_, nic_, nullptr);
+    client_task_ = kernel_.CreateTask("client");
+    service_ = driver_->GrantTo(*client_task_);
+  }
+
+  hw::Nic* nic_;
+  mk::Task* driver_task_;
+  std::unique_ptr<NicDriver> driver_;
+  mk::Task* client_task_;
+  mk::PortName service_;
+};
+
+TEST_F(NicDriverTest, LoopbackFrameThroughDriver) {
+  std::vector<uint8_t> got;
+  kernel_.CreateThread(client_task_, "c", [&](mk::Env& env) {
+    NicClient nic(service_);
+    std::vector<uint8_t> frame(128);
+    for (size_t i = 0; i < frame.size(); ++i) {
+      frame[i] = static_cast<uint8_t>(i * 3);
+    }
+    ASSERT_EQ(nic.Send(env, frame.data(), static_cast<uint32_t>(frame.size())),
+              base::Status::kOk);
+    std::vector<uint8_t> buf(2048);
+    auto len = nic.Receive(env, buf.data(), static_cast<uint32_t>(buf.size()));
+    ASSERT_TRUE(len.ok());
+    got.assign(buf.begin(), buf.begin() + *len);
+    EXPECT_EQ(got, frame);
+    driver_->Stop();
+    kernel_.TerminateTask(driver_task_);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(driver_->frames_tx(), 1u);
+  EXPECT_EQ(driver_->frames_rx(), 1u);
+}
+
+class OoddmTest : public mk::KernelTest {};
+
+TEST_F(OoddmTest, FineAndCoarseDriversReadSameData) {
+  auto* disk = static_cast<hw::Disk*>(machine_.AddDevice(std::make_unique<hw::Disk>("d", 3)));
+  std::vector<uint8_t> content(hw::Disk::kSectorSize, 0x7e);
+  disk->WriteSectors(5, 1, content.data());
+  auto dma = machine_.mem().AllocContiguous(1);
+  ASSERT_TRUE(dma.ok());
+  mk::Task* task = kernel_.CreateTask("drv");
+  std::vector<uint8_t> fine_out(hw::Disk::kSectorSize);
+  std::vector<uint8_t> coarse_out(hw::Disk::kSectorSize);
+  uint64_t fine_calls = 0;
+  kernel_.CreateThread(task, "t", [&](mk::Env& env) {
+    TDiskDrive fine(kernel_, disk, *dma);
+    ASSERT_EQ(fine.ReadBlocks(env, 5, 1, fine_out.data()), base::Status::kOk);
+    fine_calls = fine.virtual_calls();
+    CoarseDiskDriver coarse(kernel_, disk, *dma);
+    ASSERT_EQ(coarse.ReadBlocks(env, 5, 1, coarse_out.data()), base::Status::kOk);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(fine_out, content);
+  EXPECT_EQ(coarse_out, content);
+  EXPECT_GT(fine_calls, 10u) << "fine-grained driver must dispatch many short virtuals";
+}
+
+TEST_F(OoddmTest, FineGrainedCostsMoreThanCoarse) {
+  auto* disk = static_cast<hw::Disk*>(machine_.AddDevice(std::make_unique<hw::Disk>("d", 3)));
+  auto dma = machine_.mem().AllocContiguous(1);
+  ASSERT_TRUE(dma.ok());
+  mk::Task* task = kernel_.CreateTask("drv");
+  uint64_t fine_cycles = 0;
+  uint64_t coarse_cycles = 0;
+  kernel_.CreateThread(task, "t", [&](mk::Env& env) {
+    TDiskDrive fine(kernel_, disk, *dma);
+    CoarseDiskDriver coarse(kernel_, disk, *dma);
+    std::vector<uint8_t> buf(hw::Disk::kSectorSize);
+    // Warm both paths, then compare the driver-side overhead. Disk time is
+    // identical for both, so measure with the device time excluded by using
+    // the same request repeatedly and diffing instructions instead.
+    auto measure = [&](auto& driver) {
+      for (int i = 0; i < 3; ++i) {
+        (void)driver.ReadBlocks(env, 1, 1, buf.data());
+      }
+      const uint64_t i0 = kernel_.Counters().instructions;
+      for (int i = 0; i < 10; ++i) {
+        (void)driver.ReadBlocks(env, 1, 1, buf.data());
+      }
+      return kernel_.Counters().instructions - i0;
+    };
+    fine_cycles = measure(fine);
+    coarse_cycles = measure(coarse);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_GT(fine_cycles, coarse_cycles) << "fine-grained objects must execute more instructions";
+}
+
+}  // namespace
+}  // namespace drv

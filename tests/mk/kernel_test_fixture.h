@@ -1,0 +1,23 @@
+// Shared fixture: one machine + kernel per test.
+#ifndef TESTS_MK_KERNEL_TEST_FIXTURE_H_
+#define TESTS_MK_KERNEL_TEST_FIXTURE_H_
+
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+#include "src/mk/kernel.h"
+
+namespace mk {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest()
+      : machine_(hw::MachineConfig{.ram_bytes = 16 * 1024 * 1024}), kernel_(&machine_) {}
+
+  hw::Machine machine_;
+  Kernel kernel_;
+};
+
+}  // namespace mk
+
+#endif  // TESTS_MK_KERNEL_TEST_FIXTURE_H_

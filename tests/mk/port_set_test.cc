@@ -1,0 +1,131 @@
+// Port sets: one receiver, many ports (the Mach mechanism that lets a server
+// own a port per object — e.g. per open file — with a single service loop).
+#include <cstring>
+#include <map>
+
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace mk {
+namespace {
+
+TEST_F(KernelTest, PortSetRpcReceivesFromAnyMember) {
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  auto set = kernel_.PortSetAllocate(*server);
+  ASSERT_TRUE(set.ok());
+  auto p1 = kernel_.PortAllocate(*server);
+  auto p2 = kernel_.PortAllocate(*server);
+  ASSERT_EQ(kernel_.PortSetAdd(*server, *set, *p1), base::Status::kOk);
+  ASSERT_EQ(kernel_.PortSetAdd(*server, *set, *p2), base::Status::kOk);
+  auto s1 = kernel_.MakeSendRight(*server, *p1, *client);
+  auto s2 = kernel_.MakeSendRight(*server, *p2, *client);
+  const uint64_t id1 = (*kernel_.ResolvePort(*server, *p1))->id();
+  const uint64_t id2 = (*kernel_.ResolvePort(*server, *p2))->id();
+
+  std::map<uint64_t, int> served_by_port;
+  kernel_.CreateThread(server, "s", [&, set = *set](Env& env) {
+    char buf[64];
+    for (int i = 0; i < 4; ++i) {
+      auto req = env.RpcReceive(set, buf, sizeof(buf));
+      ASSERT_TRUE(req.ok());
+      ++served_by_port[req->arrived_port];
+      uint32_t v;
+      std::memcpy(&v, buf, 4);
+      v += 1000;
+      env.RpcReply(req->token, &v, sizeof(v));
+    }
+  });
+  kernel_.CreateThread(client, "c", [&, s1 = *s1, s2 = *s2](Env& env) {
+    for (int i = 0; i < 2; ++i) {
+      uint32_t v = static_cast<uint32_t>(i);
+      uint32_t r = 0;
+      ASSERT_EQ(env.RpcCall(s1, &v, 4, &r, 4), base::Status::kOk);
+      ASSERT_EQ(r, v + 1000);
+      ASSERT_EQ(env.RpcCall(s2, &v, 4, &r, 4), base::Status::kOk);
+      ASSERT_EQ(r, v + 1000);
+    }
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(served_by_port[id1], 2);
+  EXPECT_EQ(served_by_port[id2], 2);
+}
+
+TEST_F(KernelTest, PortSetServerParkedBeforeCalls) {
+  // The server blocks on the empty set first; calls on members must wake it.
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  auto set = kernel_.PortSetAllocate(*server);
+  auto p1 = kernel_.PortAllocate(*server);
+  ASSERT_EQ(kernel_.PortSetAdd(*server, *set, *p1), base::Status::kOk);
+  auto s1 = kernel_.MakeSendRight(*server, *p1, *client);
+  bool served = false;
+  kernel_.CreateThread(server, "s", [&, set = *set](Env& env) {
+    char buf[16];
+    auto req = env.RpcReceive(set, buf, sizeof(buf));
+    ASSERT_TRUE(req.ok());
+    served = true;
+    env.RpcReply(req->token, nullptr, 0);
+  });
+  kernel_.CreateThread(client, "c", [&, s1 = *s1](Env& env) {
+    env.Yield();  // let the server park first
+    char reply[8];
+    ASSERT_EQ(env.RpcCall(s1, "x", 1, reply, sizeof(reply)), base::Status::kOk);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_TRUE(served);
+}
+
+TEST_F(KernelTest, PortSetMachMsgReceive) {
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  auto set = kernel_.PortSetAllocate(*server);
+  auto p1 = kernel_.PortAllocate(*server);
+  auto p2 = kernel_.PortAllocate(*server);
+  ASSERT_EQ(kernel_.PortSetAdd(*server, *set, *p1), base::Status::kOk);
+  ASSERT_EQ(kernel_.PortSetAdd(*server, *set, *p2), base::Status::kOk);
+  auto s1 = kernel_.MakeSendRight(*server, *p1, *client);
+  auto s2 = kernel_.MakeSendRight(*server, *p2, *client);
+  std::vector<uint32_t> got;
+  kernel_.CreateThread(client, "c", [&, s1 = *s1, s2 = *s2](Env& env) {
+    MachMessage m1;
+    m1.msg_id = 11;
+    m1.dest = s1;
+    ASSERT_EQ(env.kernel().MachMsgSend(std::move(m1)), base::Status::kOk);
+    MachMessage m2;
+    m2.msg_id = 22;
+    m2.dest = s2;
+    ASSERT_EQ(env.kernel().MachMsgSend(std::move(m2)), base::Status::kOk);
+  });
+  kernel_.CreateThread(server, "s", [&, set = *set](Env& env) {
+    for (int i = 0; i < 2; ++i) {
+      MachMessage msg;
+      ASSERT_EQ(env.kernel().MachMsgReceive(set, &msg), base::Status::kOk);
+      got.push_back(msg.msg_id);
+    }
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0] + got[1], 33u);
+}
+
+TEST_F(KernelTest, PortSetMembershipRules) {
+  Task* server = kernel_.CreateTask("server");
+  auto set1 = kernel_.PortSetAllocate(*server);
+  auto set2 = kernel_.PortSetAllocate(*server);
+  auto port = kernel_.PortAllocate(*server);
+  // Sets do not nest.
+  EXPECT_EQ(kernel_.PortSetAdd(*server, *set1, *set2), base::Status::kInvalidArgument);
+  // A port belongs to at most one set.
+  ASSERT_EQ(kernel_.PortSetAdd(*server, *set1, *port), base::Status::kOk);
+  EXPECT_EQ(kernel_.PortSetAdd(*server, *set2, *port), base::Status::kAlreadyExists);
+  // Remove, then re-add elsewhere.
+  ASSERT_EQ(kernel_.PortSetRemove(*server, *set1, *port), base::Status::kOk);
+  EXPECT_EQ(kernel_.PortSetRemove(*server, *set1, *port), base::Status::kNotFound);
+  EXPECT_EQ(kernel_.PortSetAdd(*server, *set2, *port), base::Status::kOk);
+  // Only a set can be a set.
+  auto plain = kernel_.PortAllocate(*server);
+  EXPECT_EQ(kernel_.PortSetAdd(*server, *plain, *port), base::Status::kInvalidRight);
+}
+
+}  // namespace
+}  // namespace mk

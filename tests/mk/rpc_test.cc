@@ -1,0 +1,289 @@
+#include <cstring>
+#include <string>
+
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace mk {
+namespace {
+
+// Spawns a one-shot echo server on `server_task`; returns the send right the
+// client should use.
+PortName SpawnEchoServer(Kernel& kernel, Task* server_task, Task* client_task, int calls) {
+  auto recv = kernel.PortAllocate(*server_task);
+  EXPECT_TRUE(recv.ok());
+  auto send = kernel.MakeSendRight(*server_task, *recv, *client_task);
+  EXPECT_TRUE(send.ok());
+  kernel.CreateThread(server_task, "echo-server", [&kernel, recv = *recv, calls](Env& env) {
+    char buf[256];
+    for (int i = 0; i < calls; ++i) {
+      auto req = env.RpcReceive(recv, buf, sizeof(buf));
+      if (!req.ok()) {
+        return;
+      }
+      env.RpcReply(req->token, buf, req->req_len);
+    }
+  });
+  return *send;
+}
+
+TEST_F(KernelTest, RpcEchoRoundTrip) {
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  PortName port = SpawnEchoServer(kernel_, server, client, 1);
+  std::string got;
+  kernel_.CreateThread(client, "caller", [&](Env& env) {
+    const char msg[] = "hello wpos";
+    char reply[64] = {};
+    uint32_t reply_len = 0;
+    ASSERT_EQ(env.RpcCall(port, msg, sizeof(msg), reply, sizeof(reply), &reply_len),
+              base::Status::kOk);
+    EXPECT_EQ(reply_len, sizeof(msg));
+    got = reply;
+  });
+  kernel_.Run();
+  EXPECT_EQ(got, "hello wpos");
+}
+
+TEST_F(KernelTest, RpcWorksWhicheverSideArrivesFirst) {
+  for (bool server_first : {true, false}) {
+    hw::Machine machine(hw::MachineConfig{.ram_bytes = 16 * 1024 * 1024});
+    Kernel kernel(&machine);
+    Task* server = kernel.CreateTask("server");
+    Task* client = kernel.CreateTask("client");
+    auto recv = kernel.PortAllocate(*server);
+    auto send = kernel.MakeSendRight(*server, *recv, *client);
+    int replies = 0;
+    auto server_body = [&, recv = *recv](Env& env) {
+      char buf[64];
+      auto req = env.RpcReceive(recv, buf, sizeof(buf));
+      ASSERT_TRUE(req.ok());
+      env.RpcReply(req->token, buf, req->req_len);
+    };
+    auto client_body = [&, send = *send](Env& env) {
+      uint32_t v = 7;
+      uint32_t r = 0;
+      ASSERT_EQ(env.RpcCall(send, &v, sizeof(v), &r, sizeof(r)), base::Status::kOk);
+      EXPECT_EQ(r, 7u);
+      ++replies;
+    };
+    if (server_first) {
+      kernel.CreateThread(server, "s", server_body);
+      kernel.CreateThread(client, "c", client_body);
+    } else {
+      kernel.CreateThread(client, "c", client_body);
+      kernel.CreateThread(server, "s", server_body);
+    }
+    EXPECT_EQ(kernel.Run(), 0u);
+    EXPECT_EQ(replies, 1);
+  }
+}
+
+TEST_F(KernelTest, RpcTooLargeRequestFails) {
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  auto recv = kernel_.PortAllocate(*server);
+  auto send = kernel_.MakeSendRight(*server, *recv, *client);
+  kernel_.CreateThread(server, "s", [&, recv = *recv](Env& env) {
+    char tiny[8];
+    auto req = env.RpcReceive(recv, tiny, sizeof(tiny));
+    // Delivery of the oversized request fails server-side with kTooLarge.
+    EXPECT_FALSE(req.ok());
+  });
+  base::Status st = base::Status::kOk;
+  kernel_.CreateThread(client, "c", [&, send = *send](Env& env) {
+    char big[128] = {};
+    char reply[8];
+    st = env.RpcCall(send, big, sizeof(big), reply, sizeof(reply));
+  });
+  kernel_.Run();
+  EXPECT_EQ(st, base::Status::kTooLarge);
+}
+
+TEST_F(KernelTest, RpcByReferenceBulkData) {
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  auto recv = kernel_.PortAllocate(*server);
+  auto send = kernel_.MakeSendRight(*server, *recv, *client);
+  std::vector<uint8_t> server_seen;
+  kernel_.CreateThread(server, "s", [&, recv = *recv](Env& env) {
+    char buf[64];
+    std::vector<uint8_t> bulk(8192);
+    RpcRef ref;
+    ref.recv_buf = bulk.data();
+    ref.recv_cap = static_cast<uint32_t>(bulk.size());
+    auto req = env.RpcReceive(recv, buf, sizeof(buf), &ref);
+    ASSERT_TRUE(req.ok());
+    ASSERT_EQ(req->ref_len, 4096u);
+    server_seen.assign(bulk.begin(), bulk.begin() + req->ref_len);
+    // Reply with transformed bulk data.
+    for (auto& b : server_seen) {
+      b ^= 0xff;
+    }
+    env.RpcReply(req->token, buf, req->req_len, server_seen.data(),
+                 static_cast<uint32_t>(server_seen.size()));
+  });
+  std::vector<uint8_t> reply_bulk(8192);
+  uint32_t reply_bulk_len = 0;
+  kernel_.CreateThread(client, "c", [&, send = *send](Env& env) {
+    std::vector<uint8_t> data(4096);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(i);
+    }
+    RpcRef ref;
+    ref.send_data = data.data();
+    ref.send_len = static_cast<uint32_t>(data.size());
+    ref.recv_buf = reply_bulk.data();
+    ref.recv_cap = static_cast<uint32_t>(reply_bulk.size());
+    uint32_t hdr = 1;
+    uint32_t rep = 0;
+    ASSERT_EQ(env.RpcCall(send, &hdr, sizeof(hdr), &rep, sizeof(rep), nullptr, &ref),
+              base::Status::kOk);
+    reply_bulk_len = ref.recv_len;
+  });
+  kernel_.Run();
+  ASSERT_EQ(server_seen.size(), 4096u);
+  ASSERT_EQ(reply_bulk_len, 4096u);
+  EXPECT_EQ(reply_bulk[10], static_cast<uint8_t>(10 ^ 0xff));
+}
+
+TEST_F(KernelTest, RpcTransfersRightsBothWays) {
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  auto recv = kernel_.PortAllocate(*server);
+  auto send = kernel_.MakeSendRight(*server, *recv, *client);
+  // The client sends a right to a port it owns; the server grants back a
+  // right to a fresh "session" port.
+  auto client_port = kernel_.PortAllocate(*client);
+  ASSERT_TRUE(client_port.ok());
+  Port* session_port_raw = nullptr;
+  kernel_.CreateThread(server, "s", [&, recv = *recv](Env& env) {
+    char buf[64];
+    auto req = env.RpcReceive(recv, buf, sizeof(buf));
+    ASSERT_TRUE(req.ok());
+    ASSERT_EQ(req->rights.size(), 1u);
+    // The transferred right must reference the client's port.
+    auto p = env.kernel().ResolvePort(env.task(), req->rights[0]);
+    ASSERT_TRUE(p.ok());
+    auto session = env.PortAllocate();
+    ASSERT_TRUE(session.ok());
+    session_port_raw = *env.kernel().ResolvePort(env.task(), *session);
+    env.RpcReply(req->token, buf, req->req_len, nullptr, 0, /*grant=*/*session);
+  });
+  PortName granted = kNullPort;
+  kernel_.CreateThread(client, "c", [&, send = *send](Env& env) {
+    uint32_t hdr = 1;
+    uint32_t rep = 0;
+    RightDescriptor rd{.name = *client_port, .disposition = RightType::kSend};
+    ASSERT_EQ(env.RpcCall(send, &hdr, sizeof(hdr), &rep, sizeof(rep), nullptr, nullptr, &rd, 1,
+                          &granted),
+              base::Status::kOk);
+  });
+  kernel_.Run();
+  ASSERT_NE(granted, kNullPort);
+  auto resolved = kernel_.ResolvePort(*client, granted);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, session_port_raw);
+}
+
+TEST_F(KernelTest, RpcServerServesManyClients) {
+  Task* server = kernel_.CreateTask("server");
+  constexpr int kClients = 5;
+  constexpr int kCallsEach = 4;
+  auto recv = kernel_.PortAllocate(*server);
+  kernel_.CreateThread(server, "s", [&, recv = *recv](Env& env) {
+    char buf[64];
+    for (int i = 0; i < kClients * kCallsEach; ++i) {
+      auto req = env.RpcReceive(recv, buf, sizeof(buf));
+      ASSERT_TRUE(req.ok());
+      uint32_t v;
+      std::memcpy(&v, buf, sizeof(v));
+      v *= 2;
+      env.RpcReply(req->token, &v, sizeof(v));
+    }
+  });
+  int ok_count = 0;
+  for (int c = 0; c < kClients; ++c) {
+    Task* client = kernel_.CreateTask("client" + std::to_string(c));
+    auto send = kernel_.MakeSendRight(*server, *recv, *client);
+    kernel_.CreateThread(client, "c", [&, send = *send, c](Env& env) {
+      for (int i = 0; i < kCallsEach; ++i) {
+        uint32_t v = static_cast<uint32_t>(c * 100 + i);
+        uint32_t r = 0;
+        ASSERT_EQ(env.RpcCall(send, &v, sizeof(v), &r, sizeof(r)), base::Status::kOk);
+        ASSERT_EQ(r, v * 2);
+        ++ok_count;
+      }
+    });
+  }
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(ok_count, kClients * kCallsEach);
+}
+
+TEST_F(KernelTest, RpcCheaperThanLegacyIpcRoundTrip) {
+  // The core claim of the IPC rework: a synchronous RPC round trip costs
+  // less than the equivalent mach_msg request/reply with a reply port.
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  auto recv = kernel_.PortAllocate(*server);
+  auto send = kernel_.MakeSendRight(*server, *recv, *client);
+  uint64_t rpc_cycles = 0;
+  uint64_t ipc_cycles = 0;
+
+  kernel_.CreateThread(server, "s", [&, recv = *recv](Env& env) {
+    char buf[64];
+    for (int i = 0; i < 200; ++i) {
+      auto req = env.RpcReceive(recv, buf, sizeof(buf));
+      ASSERT_TRUE(req.ok());
+      env.RpcReply(req->token, buf, req->req_len);
+    }
+    // Legacy phase: receive + explicit reply message.
+    for (int i = 0; i < 200; ++i) {
+      MachMessage msg;
+      ASSERT_EQ(env.kernel().MachMsgReceive(recv, &msg), base::Status::kOk);
+      MachMessage reply;
+      reply.dest = msg.reply_port;
+      reply.inline_data = msg.inline_data;
+      ASSERT_EQ(env.kernel().MachMsgSend(std::move(reply)), base::Status::kOk);
+    }
+  });
+  kernel_.CreateThread(client, "c", [&, send = *send](Env& env) {
+    char payload[32] = {};
+    char reply[64];
+    // Warm up, then measure 100 RPC round trips.
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_EQ(env.RpcCall(send, payload, sizeof(payload), reply, sizeof(reply)),
+                base::Status::kOk);
+    }
+    uint64_t c0 = env.kernel().cpu().cycles();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_EQ(env.RpcCall(send, payload, sizeof(payload), reply, sizeof(reply)),
+                base::Status::kOk);
+    }
+    rpc_cycles = env.kernel().cpu().cycles() - c0;
+
+    auto reply_port = env.PortAllocate();
+    ASSERT_TRUE(reply_port.ok());
+    auto do_legacy = [&](int iters) {
+      for (int i = 0; i < iters; ++i) {
+        MachMessage msg;
+        msg.dest = send;
+        msg.reply_port = *reply_port;
+        msg.inline_data.assign(payload, payload + sizeof(payload));
+        ASSERT_EQ(env.kernel().MachMsgSend(std::move(msg)), base::Status::kOk);
+        MachMessage rep;
+        ASSERT_EQ(env.kernel().MachMsgReceive(*reply_port, &rep), base::Status::kOk);
+      }
+    };
+    do_legacy(100);
+    c0 = env.kernel().cpu().cycles();
+    do_legacy(100);
+    ipc_cycles = env.kernel().cpu().cycles() - c0;
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_GT(rpc_cycles, 0u);
+  EXPECT_GT(ipc_cycles, rpc_cycles * 3 / 2)
+      << "legacy IPC should cost well over 1.5x the reworked RPC";
+}
+
+}  // namespace
+}  // namespace mk

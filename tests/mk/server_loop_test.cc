@@ -1,0 +1,95 @@
+#include "src/mk/server_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace mk {
+namespace {
+
+struct AddReq {
+  uint32_t op = 1;
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+struct AddRep {
+  uint32_t sum = 0;
+};
+
+TEST_F(KernelTest, ServerLoopDispatchesByOpCode) {
+  Task* server_task = kernel_.CreateTask("server");
+  Task* client_task = kernel_.CreateTask("client");
+  auto recv = kernel_.PortAllocate(*server_task);
+  auto send = kernel_.MakeSendRight(*server_task, *recv, *client_task);
+
+  ServerLoop loop(*recv, "calc");
+  loop.Register(1, [&](Env& env, const RpcRequest& req, const uint8_t* data, const uint8_t*,
+                       uint32_t) {
+    AddReq r;
+    std::memcpy(&r, data, sizeof(r));
+    AddRep rep{r.a + r.b};
+    env.RpcReply(req.token, &rep, sizeof(rep));
+  });
+  kernel_.CreateThread(server_task, "s", [&](Env& env) { loop.Run(env); });
+
+  uint32_t sum = 0;
+  base::Status unknown_status = base::Status::kOk;
+  kernel_.CreateThread(client_task, "c", [&, send = *send](Env& env) {
+    ClientStub stub("calc.client", send);
+    AddReq req{1, 20, 22};
+    AddRep rep;
+    ASSERT_EQ(stub.Call(env, req, &rep), base::Status::kOk);
+    sum = rep.sum;
+    // Unknown op code gets a kNotSupported completion.
+    AddReq bad{999, 0, 0};
+    unknown_status = stub.Call(env, bad, &rep);
+    loop.Stop();
+    (void)stub.Call(env, req, &rep);  // final call lets the loop exit
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(sum, 42u);
+  EXPECT_EQ(unknown_status, base::Status::kNotSupported);
+}
+
+TEST_F(KernelTest, ServerLoopStopKillsPort) {
+  Task* server_task = kernel_.CreateTask("server");
+  Task* client_task = kernel_.CreateTask("client");
+  auto recv = kernel_.PortAllocate(*server_task);
+  auto send = kernel_.MakeSendRight(*server_task, *recv, *client_task);
+  ServerLoop loop(*recv, "oneshot");
+  loop.Register(1, [&](Env& env, const RpcRequest& req, const uint8_t*, const uint8_t*, uint32_t) {
+    env.RpcReply(req.token, nullptr, 0);
+  });
+  kernel_.CreateThread(server_task, "s", [&](Env& env) { loop.Run(env); });
+  base::Status after_stop = base::Status::kOk;
+  kernel_.CreateThread(client_task, "c", [&, send = *send](Env& env) {
+    ClientStub stub("oneshot.client", send);
+    uint32_t op = 1;
+    uint32_t rep;
+    loop.Stop();
+    ASSERT_EQ(stub.Call(env, op, &rep), base::Status::kOk);  // served, then loop exits
+    after_stop = stub.Call(env, op, &rep);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(after_stop, base::Status::kPortDead);
+}
+
+TEST_F(KernelTest, HostInfoAndProcessorSets) {
+  const HostInfo& info = kernel_.host().info();
+  EXPECT_EQ(info.cpu_mhz, 133u);
+  EXPECT_EQ(info.memory_bytes, 16u * 1024 * 1024);
+  EXPECT_EQ(info.page_size, 4096u);
+  ProcessorSet* ps = kernel_.host().CreateProcessorSet("batch");
+  EXPECT_NE(ps->id(), kernel_.host().default_pset()->id());
+  EXPECT_EQ(kernel_.host().FindProcessorSet(ps->id()), ps);
+  EXPECT_EQ(kernel_.host().FindProcessorSet(999), nullptr);
+  Task* t = kernel_.CreateTask("t");
+  EXPECT_EQ(kernel_.host().AssignTask(*t, ps), base::Status::kOk);
+  EXPECT_EQ(t->processor_set(), ps);
+  EXPECT_EQ(ps->tasks_assigned, 1u);
+  ps->set_enabled(false);
+  EXPECT_EQ(kernel_.host().AssignTask(*t, ps), base::Status::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace mk

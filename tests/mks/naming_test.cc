@@ -1,0 +1,181 @@
+#include "src/mks/naming/name_server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mks/naming/lite_name_server.h"
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace mks {
+namespace {
+
+class NamingTest : public mk::KernelTest {
+ protected:
+  NamingTest() {
+    ns_task_ = kernel_.CreateTask("mks-naming");
+    server_ = std::make_unique<NameServer>(kernel_, ns_task_);
+    client_task_ = kernel_.CreateTask("client");
+    service_ = server_->GrantTo(*client_task_);
+  }
+
+  mk::Task* ns_task_;
+  std::unique_ptr<NameServer> server_;
+  mk::Task* client_task_;
+  mk::PortName service_;
+};
+
+TEST_F(NamingTest, RegisterAndResolveGrantsRight) {
+  mk::Port* registered = nullptr;
+  mk::Port* resolved = nullptr;
+  kernel_.CreateThread(client_task_, "c", [&](mk::Env& env) {
+    NameClient nc(service_);
+    auto my_port = env.PortAllocate();
+    ASSERT_TRUE(my_port.ok());
+    registered = *kernel_.ResolvePort(env.task(), *my_port);
+    ASSERT_EQ(nc.Register(env, "/svc/echo", *my_port), base::Status::kOk);
+    auto got = nc.Resolve(env, "/svc/echo");
+    ASSERT_TRUE(got.ok());
+    resolved = *kernel_.ResolvePort(env.task(), *got);
+    server_->Stop();
+    // Unblock the server with one last call.
+    (void)nc.Resolve(env, "/svc/echo");
+  });
+  kernel_.Run();
+  EXPECT_NE(registered, nullptr);
+  EXPECT_EQ(registered, resolved);
+  EXPECT_EQ(server_->registrations(), 1u);
+}
+
+TEST_F(NamingTest, ResolveMissingFails) {
+  base::Status st = base::Status::kOk;
+  kernel_.CreateThread(client_task_, "c", [&](mk::Env& env) {
+    NameClient nc(service_);
+    st = nc.Resolve(env, "/no/such/name").status();
+    server_->Stop();
+    (void)nc.Resolve(env, "/x");
+  });
+  kernel_.Run();
+  EXPECT_EQ(st, base::Status::kNotFound);
+}
+
+TEST_F(NamingTest, DuplicateRegistrationRejected) {
+  base::Status second = base::Status::kOk;
+  kernel_.CreateThread(client_task_, "c", [&](mk::Env& env) {
+    NameClient nc(service_);
+    auto p = env.PortAllocate();
+    ASSERT_EQ(nc.Register(env, "/svc/dup", *p), base::Status::kOk);
+    second = nc.Register(env, "/svc/dup", *p);
+    server_->Stop();
+    (void)nc.Resolve(env, "/x");
+  });
+  kernel_.Run();
+  EXPECT_EQ(second, base::Status::kAlreadyExists);
+}
+
+TEST_F(NamingTest, ListReturnsDirectChildrenOnly) {
+  std::vector<std::string> names;
+  kernel_.CreateThread(client_task_, "c", [&](mk::Env& env) {
+    NameClient nc(service_);
+    auto p = env.PortAllocate();
+    ASSERT_EQ(nc.Register(env, "/dev/disk0", *p), base::Status::kOk);
+    ASSERT_EQ(nc.Register(env, "/dev/tty0", *p), base::Status::kOk);
+    ASSERT_EQ(nc.Register(env, "/dev/net/le0", *p), base::Status::kOk);
+    ASSERT_EQ(nc.Register(env, "/svc/fs", *p), base::Status::kOk);
+    auto got = nc.List(env, "/dev");
+    ASSERT_TRUE(got.ok());
+    names = *got;
+    server_->Stop();
+    (void)nc.Resolve(env, "/x");
+  });
+  kernel_.Run();
+  EXPECT_EQ(names, (std::vector<std::string>{"/dev/disk0", "/dev/tty0"}));
+}
+
+TEST_F(NamingTest, AttributesAndSearch) {
+  std::vector<std::string> found;
+  std::string fetched;
+  kernel_.CreateThread(client_task_, "c", [&](mk::Env& env) {
+    NameClient nc(service_);
+    auto p = env.PortAllocate();
+    Attribute a;
+    std::strncpy(a.key, "class", sizeof(a.key) - 1);
+    std::strncpy(a.value, "block", sizeof(a.value) - 1);
+    ASSERT_EQ(nc.Register(env, "/dev/disk0", *p, {a}), base::Status::kOk);
+    ASSERT_EQ(nc.Register(env, "/dev/tty0", *p), base::Status::kOk);
+    ASSERT_EQ(nc.SetAttr(env, "/dev/tty0", "class", "char"), base::Status::kOk);
+    auto s = nc.Search(env, "class", "block");
+    ASSERT_TRUE(s.ok());
+    found = *s;
+    auto g = nc.GetAttr(env, "/dev/tty0", "class");
+    ASSERT_TRUE(g.ok());
+    fetched = *g;
+    server_->Stop();
+    (void)nc.Resolve(env, "/x");
+  });
+  kernel_.Run();
+  EXPECT_EQ(found, (std::vector<std::string>{"/dev/disk0"}));
+  EXPECT_EQ(fetched, "char");
+}
+
+TEST_F(NamingTest, WatchDeliversNamespaceEvents) {
+  uint32_t event_kind = 0;
+  std::string event_name;
+  kernel_.CreateThread(client_task_, "c", [&](mk::Env& env) {
+    NameClient nc(service_);
+    auto notify = env.PortAllocate();
+    ASSERT_TRUE(notify.ok());
+    ASSERT_EQ(nc.Watch(env, "/svc", *notify), base::Status::kOk);
+    auto p = env.PortAllocate();
+    ASSERT_EQ(nc.Register(env, "/svc/newbie", *p), base::Status::kOk);
+    mk::MachMessage msg;
+    ASSERT_EQ(env.kernel().MachMsgReceive(*notify, &msg), base::Status::kOk);
+    NameEvent ev;
+    std::memcpy(&ev, msg.inline_data.data(), sizeof(ev));
+    event_kind = ev.kind;
+    event_name = ev.name;
+    server_->Stop();
+    (void)nc.Resolve(env, "/x");
+  });
+  kernel_.Run();
+  EXPECT_EQ(event_kind, 1u);
+  EXPECT_EQ(event_name, "/svc/newbie");
+}
+
+TEST_F(NamingTest, LiteServiceResolvesCheaperThanFull) {
+  mk::Task* lite_task = kernel_.CreateTask("mks-naming-lite");
+  LiteNameServer lite(kernel_, lite_task);
+  mk::PortName lite_service = lite.GrantTo(*client_task_);
+  uint64_t full_cycles = 0;
+  uint64_t lite_cycles = 0;
+  kernel_.CreateThread(client_task_, "c", [&](mk::Env& env) {
+    NameClient nc(service_);
+    LiteNameClient lc(lite_service);
+    auto p = env.PortAllocate();
+    ASSERT_EQ(nc.Register(env, "/deeply/nested/service/path/entry", *p), base::Status::kOk);
+    ASSERT_EQ(lc.Register(env, "/deeply/nested/service/path/entry", *p), base::Status::kOk);
+    // Warm.
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(nc.Resolve(env, "/deeply/nested/service/path/entry").ok());
+      ASSERT_TRUE(lc.Resolve(env, "/deeply/nested/service/path/entry").ok());
+    }
+    uint64_t c0 = env.kernel().cpu().cycles();
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(nc.Resolve(env, "/deeply/nested/service/path/entry").ok());
+    }
+    full_cycles = env.kernel().cpu().cycles() - c0;
+    c0 = env.kernel().cpu().cycles();
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(lc.Resolve(env, "/deeply/nested/service/path/entry").ok());
+    }
+    lite_cycles = env.kernel().cpu().cycles() - c0;
+    server_->Stop();
+    lite.Stop();
+    (void)nc.Resolve(env, "/x");
+    (void)lc.Resolve(env, "/x");
+  });
+  kernel_.Run();
+  EXPECT_GT(full_cycles, lite_cycles * 11 / 10)
+      << "the X.500-style service must cost measurably more than the lite one";
+}
+
+}  // namespace
+}  // namespace mks

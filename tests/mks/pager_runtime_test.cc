@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/disk.h"
+#include "src/mks/pager/default_pager.h"
+#include "src/mks/runtime/runtime.h"
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace mks {
+namespace {
+
+class PagerTest : public mk::KernelTest {
+ protected:
+  PagerTest() {
+    disk_ = static_cast<hw::Disk*>(machine_.AddDevice(std::make_unique<hw::Disk>("paging", 3)));
+    pager_task_ = kernel_.CreateTask("default-pager");
+    pager_ = std::make_unique<DefaultPager>(kernel_, pager_task_,
+                                            std::make_unique<BackdoorBlockStore>(disk_));
+  }
+
+  hw::Disk* disk_;
+  mk::Task* pager_task_;
+  std::unique_ptr<DefaultPager> pager_;
+};
+
+TEST_F(PagerTest, UnwrittenPagesPageInAsZeros) {
+  auto object = pager_->CreateBackedObject(2 * hw::kPageSize);
+  mk::Task* user = kernel_.CreateTask("user");
+  auto addr = kernel_.VmMapObject(*user, object, 0, 2 * hw::kPageSize, mk::Prot::kReadWrite, true);
+  ASSERT_TRUE(addr.ok());
+  uint32_t value = 0xffffffff;
+  kernel_.CreateThread(user, "u", [&](mk::Env& env) {
+    ASSERT_EQ(env.CopyIn(*addr, &value, 4), base::Status::kOk);
+    pager_->Stop();
+  });
+  kernel_.Run();
+  EXPECT_EQ(value, 0u);
+  EXPECT_EQ(pager_->pageins_served(), 1u);
+}
+
+TEST_F(PagerTest, PreloadedContentPagesIn) {
+  auto object = pager_->CreateBackedObject(4 * hw::kPageSize);
+  std::vector<uint8_t> page(hw::kPageSize, 0xcd);
+  ASSERT_EQ(pager_->Preload(object->pager_object_id(), 2, page.data()), base::Status::kOk);
+  mk::Task* user = kernel_.CreateTask("user");
+  auto addr = kernel_.VmMapObject(*user, object, 0, 4 * hw::kPageSize, mk::Prot::kReadWrite, true);
+  ASSERT_TRUE(addr.ok());
+  uint8_t b0 = 0xff;
+  uint8_t b2 = 0;
+  kernel_.CreateThread(user, "u", [&](mk::Env& env) {
+    ASSERT_EQ(env.CopyIn(*addr, &b0, 1), base::Status::kOk);
+    ASSERT_EQ(env.CopyIn(*addr + 2 * hw::kPageSize, &b2, 1), base::Status::kOk);
+    pager_->Stop();
+  });
+  kernel_.Run();
+  EXPECT_EQ(b0, 0u);
+  EXPECT_EQ(b2, 0xcd);
+}
+
+class RuntimeTest : public mk::KernelTest {};
+
+TEST_F(RuntimeTest, MutexProvidesMutualExclusion) {
+  mk::Task* task = kernel_.CreateTask("t");
+  SyncArena arena(kernel_, *task);
+  RtMutex mutex(kernel_, arena);
+  CThreads threads(kernel_, task);
+  int counter = 0;
+  int max_seen_inside = 0;
+  int inside = 0;
+  for (int i = 0; i < 4; ++i) {
+    threads.Fork("worker", [&](mk::Env& env) {
+      for (int j = 0; j < 10; ++j) {
+        mutex.Lock(env);
+        ++inside;
+        max_seen_inside = std::max(max_seen_inside, inside);
+        env.Compute(500);
+        env.Yield();  // try hard to interleave inside the critical section
+        ++counter;
+        --inside;
+        mutex.Unlock(env);
+        env.Yield();
+      }
+    });
+  }
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(counter, 40);
+  EXPECT_EQ(max_seen_inside, 1) << "two threads were inside the critical section";
+  EXPECT_GT(mutex.contended_acquires(), 0u) << "test never exercised contention";
+}
+
+TEST_F(RuntimeTest, ConditionWaitSignal) {
+  mk::Task* task = kernel_.CreateTask("t");
+  SyncArena arena(kernel_, *task);
+  RtMutex mutex(kernel_, arena);
+  RtCondition cond(kernel_, arena);
+  CThreads threads(kernel_, task);
+  bool ready = false;
+  bool consumed = false;
+  threads.Fork("consumer", [&](mk::Env& env) {
+    mutex.Lock(env);
+    while (!ready) {
+      cond.Wait(env, mutex);
+    }
+    consumed = true;
+    mutex.Unlock(env);
+  });
+  threads.Fork("producer", [&](mk::Env& env) {
+    env.Yield();  // let the consumer wait first
+    mutex.Lock(env);
+    ready = true;
+    cond.Signal(env);
+    mutex.Unlock(env);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_TRUE(consumed);
+}
+
+TEST_F(RuntimeTest, ConditionBroadcastWakesAll) {
+  mk::Task* task = kernel_.CreateTask("t");
+  SyncArena arena(kernel_, *task);
+  RtMutex mutex(kernel_, arena);
+  RtCondition cond(kernel_, arena);
+  CThreads threads(kernel_, task);
+  bool go = false;
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    threads.Fork("waiter", [&](mk::Env& env) {
+      mutex.Lock(env);
+      while (!go) {
+        cond.Wait(env, mutex);
+      }
+      ++woken;
+      mutex.Unlock(env);
+    });
+  }
+  threads.Fork("broadcaster", [&](mk::Env& env) {
+    for (int i = 0; i < 3; ++i) {
+      env.Yield();
+    }
+    mutex.Lock(env);
+    go = true;
+    cond.Broadcast(env);
+    mutex.Unlock(env);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(woken, 3);
+}
+
+TEST_F(RuntimeTest, HeapMallocFreeCoalesces) {
+  mk::Task* task = kernel_.CreateTask("t");
+  RtHeap heap(kernel_, *task, 64 * 1024);
+  auto a = heap.Malloc(1000);
+  auto b = heap.Malloc(2000);
+  auto c = heap.Malloc(3000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(heap.bytes_in_use(), 6000u);
+  ASSERT_EQ(heap.Free(*b), base::Status::kOk);
+  ASSERT_EQ(heap.Free(*a), base::Status::kOk);  // coalesces with b's block
+  // A request spanning a+b's combined space must now fit in the gap.
+  auto d = heap.Malloc(2900);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LT(*d, *c);
+  EXPECT_EQ(heap.Free(*d), base::Status::kOk);
+  EXPECT_EQ(heap.Free(*c), base::Status::kOk);
+  EXPECT_EQ(heap.bytes_in_use(), 0u);
+  EXPECT_EQ(heap.Free(*c), base::Status::kInvalidAddress) << "double free must fail";
+}
+
+TEST_F(RuntimeTest, HeapExhaustionAndHighWater) {
+  mk::Task* task = kernel_.CreateTask("t");
+  RtHeap heap(kernel_, *task, 16 * 1024);
+  auto a = heap.Malloc(15 * 1024);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(heap.Malloc(8 * 1024).status(), base::Status::kResourceShortage);
+  EXPECT_GE(heap.high_water(), 15u * 1024);
+}
+
+}  // namespace
+}  // namespace mks

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "src/pers/os2/os2.h"
+#include "src/pers/os2/pm.h"
+#include "src/svc/fs/inode_fs.h"
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace pers {
+namespace {
+
+class Os2Test : public mk::KernelTest {
+ protected:
+  Os2Test() {
+    disk_ = static_cast<hw::Disk*>(machine_.AddDevice(
+        std::make_unique<hw::Disk>("d", 3, hw::Disk::Geometry{.sectors = 128 * 1024})));
+    store_ = std::make_unique<mks::BackdoorBlockStore>(disk_, 10'000);
+    cache_ = std::make_unique<svc::BlockCache>(kernel_, store_.get(), 1024);
+    hpfs_ = std::make_unique<svc::HpfsFs>(kernel_, cache_.get(), 65536);
+    fs_task_ = kernel_.CreateTask("file-server");
+    fs_ = std::make_unique<svc::FileServer>(kernel_, fs_task_);
+    EXPECT_EQ(fs_->AddMount("/", hpfs_.get()), base::Status::kOk);
+    os2_task_ = kernel_.CreateTask("os2-server");
+    os2_ = std::make_unique<Os2Server>(kernel_, os2_task_);
+    kernel_.CreateThread(fs_task_, "mkfs",
+                         [this](mk::Env& env) { ASSERT_EQ(hpfs_->Format(env), base::Status::kOk); });
+  }
+
+  void Shutdown(mk::Env& env, Os2Process& proc) {
+    fs_->Stop();
+    os2_->Stop();
+    (void)proc.DosExit(env, 0);
+    svc::FsClient unblock(fs_->GrantTo(*proc.task()));
+    (void)unblock.Sync(env);
+  }
+
+  hw::Disk* disk_;
+  std::unique_ptr<mks::BackdoorBlockStore> store_;
+  std::unique_ptr<svc::BlockCache> cache_;
+  std::unique_ptr<svc::HpfsFs> hpfs_;
+  mk::Task* fs_task_;
+  std::unique_ptr<svc::FileServer> fs_;
+  mk::Task* os2_task_;
+  std::unique_ptr<Os2Server> os2_;
+};
+
+TEST_F(Os2Test, DosFileApiRoundTrip) {
+  Os2Process proc(kernel_, *os2_, *fs_, "works");
+  kernel_.CreateThread(proc.task(), "main", [&](mk::Env& env) {
+    auto h = proc.DosOpen(env, "/REPORT.DOC", svc::kFsCreate | svc::kFsWrite);
+    ASSERT_TRUE(h.ok());
+    const char text[] = "quarterly numbers";
+    ASSERT_TRUE(proc.DosWrite(env, *h, 0, text, sizeof(text)).ok());
+    char buf[64] = {};
+    auto got = proc.DosRead(env, *h, 0, buf, sizeof(buf));
+    ASSERT_TRUE(got.ok());
+    EXPECT_STREQ(buf, text);
+    ASSERT_EQ(proc.DosClose(env, *h), base::Status::kOk);
+    // OS/2 names are case-insensitive even on a case-preserving store.
+    EXPECT_TRUE(proc.DosOpen(env, "/report.doc", 0).ok());
+    Shutdown(env, proc);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_GT(proc.api_calls(), 4u);
+}
+
+TEST_F(Os2Test, DosAllocMemIsEagerAndByteSized) {
+  Os2Process proc(kernel_, *os2_, *fs_, "memhog");
+  kernel_.CreateThread(proc.task(), "main", [&](mk::Env& env) {
+    const uint64_t frames_before = machine_.mem().frames_allocated();
+    auto mem = proc.DosAllocMem(env, 10'000, kPagCommit);  // 3 pages worth
+    ASSERT_TRUE(mem.ok());
+    // Eager commitment: frames exist before any touch.
+    EXPECT_EQ(machine_.mem().frames_allocated() - frames_before, 3u);
+    // Byte-granular size is retained by the OS/2 layer (the microkernel
+    // cannot do this — it rounds to pages and forgets).
+    auto size = proc.memory().QueryMemSize(*mem);
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(*size, 10'000u);
+    // Suballocation within the object.
+    auto a = proc.memory().SubAlloc(env, *mem, 100);
+    auto b = proc.memory().SubAlloc(env, *mem, 200);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NE(*a, *b);
+    ASSERT_EQ(proc.memory().SubFree(env, *mem, *a), base::Status::kOk);
+    ASSERT_EQ(proc.DosFreeMem(env, *mem), base::Status::kOk);
+    EXPECT_EQ(proc.memory().committed_pages(), 0u);
+    Shutdown(env, proc);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+}
+
+TEST_F(Os2Test, DoubleMemoryManagementCostsMoreThanRawKernel) {
+  Os2Process proc(kernel_, *os2_, *fs_, "foot");
+  kernel_.CreateThread(proc.task(), "main", [&](mk::Env& env) {
+    // 20 OS/2 allocations of 5000 bytes, committed: OS/2 semantics.
+    const uint64_t frames_before = machine_.mem().frames_allocated();
+    std::vector<hw::VirtAddr> ptrs;
+    for (int i = 0; i < 20; ++i) {
+      auto mem = proc.DosAllocMem(env, 5000, kPagCommit);
+      ASSERT_TRUE(mem.ok());
+      ptrs.push_back(*mem);
+    }
+    const uint64_t os2_frames = machine_.mem().frames_allocated() - frames_before;
+    // The same program on the raw microkernel (lazy): allocations consume no
+    // frames until touched, and only touched pages materialize.
+    mk::Task* raw = kernel_.CreateTask("raw");
+    const uint64_t raw_before = machine_.mem().frames_allocated();
+    for (int i = 0; i < 20; ++i) {
+      auto addr = kernel_.VmAllocate(*raw, 5000);
+      ASSERT_TRUE(addr.ok());
+      // Program touches only the first page of each object.
+      ASSERT_EQ(kernel_.UserTouch(*raw, *addr, 64, true), base::Status::kOk);
+    }
+    const uint64_t raw_frames = machine_.mem().frames_allocated() - raw_before;
+    EXPECT_EQ(os2_frames, 40u);  // 2 pages per 5000-byte object, all committed
+    EXPECT_EQ(raw_frames, 20u);  // one touched page each
+    EXPECT_GT(proc.memory().metadata_bytes(), 0u);
+    Shutdown(env, proc);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+}
+
+TEST_F(Os2Test, SystemSemaphoresAcrossProcesses) {
+  Os2Process p1(kernel_, *os2_, *fs_, "holder");
+  Os2Process p2(kernel_, *os2_, *fs_, "waiter");
+  std::vector<int> order;
+  uint32_t sem_id = 0;
+  kernel_.CreateThread(p1.task(), "main", [&](mk::Env& env) {
+    auto sem = p1.DosCreateSem(env, "\\SEM32\\PRINTER");
+    ASSERT_TRUE(sem.ok());
+    sem_id = *sem;
+    ASSERT_EQ(p1.DosRequestSem(env, sem_id), base::Status::kOk);
+    order.push_back(1);
+    env.Yield();
+    env.Yield();
+    order.push_back(2);
+    ASSERT_EQ(p1.DosReleaseSem(env, sem_id), base::Status::kOk);
+  });
+  kernel_.CreateThread(p2.task(), "main", [&](mk::Env& env) {
+    while (sem_id == 0) {
+      env.Yield();
+    }
+    ASSERT_EQ(p2.DosRequestSem(env, sem_id), base::Status::kOk);
+    order.push_back(3);
+    ASSERT_EQ(p2.DosReleaseSem(env, sem_id), base::Status::kOk);
+    Shutdown(env, p2);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+class PmTest : public mk::KernelTest {
+ protected:
+  PmTest() {
+    fb_dev_ = new hw::Framebuffer("fb0", &machine_, 640, 480);
+    machine_.AddDevice(std::unique_ptr<hw::Device>(fb_dev_));
+    fb_ = std::make_unique<drv::FbDriver>(kernel_, fb_dev_);
+    desktop_ = std::make_unique<PmDesktop>(kernel_, fb_.get());
+  }
+
+  hw::Framebuffer* fb_dev_;
+  std::unique_ptr<drv::FbDriver> fb_;
+  std::unique_ptr<PmDesktop> desktop_;
+};
+
+TEST_F(PmTest, DrawWritesFramebufferDirectly) {
+  mk::Task* app = kernel_.CreateTask("klondike");
+  auto session_r = desktop_->Attach(*app);
+  ASSERT_TRUE(session_r.ok());
+  PmSession& session = **session_r;
+  kernel_.CreateThread(app, "main", [&](mk::Env& env) {
+    auto hwnd = session.CreateWindow(env, "Game", 100, 50, 200, 100);
+    ASSERT_TRUE(hwnd.ok());
+    ASSERT_EQ(session.FillRect(env, *hwnd, 10, 20, 50, 2, 0x5a), base::Status::kOk);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  // Pixel (100+10, 50+20) must carry the color — straight into VRAM.
+  const hw::PhysAddr pixel = fb_dev_->vram_base() + (50 + 20) * 640 + (100 + 10);
+  EXPECT_EQ(machine_.mem().ReadU8(pixel), 0x5a);
+  EXPECT_EQ(machine_.mem().ReadU8(pixel + 49), 0x5a);
+  EXPECT_NE(machine_.mem().ReadU8(pixel + 50), 0x5a);
+  EXPECT_EQ(session.draw_calls(), 1u);
+}
+
+TEST_F(PmTest, CrossProcessWindowMessages) {
+  mk::Task* a = kernel_.CreateTask("app-a");
+  mk::Task* b = kernel_.CreateTask("app-b");
+  auto sa = desktop_->Attach(*a);
+  auto sb = desktop_->Attach(*b);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  Hwnd wa = 0;
+  int volleys = 0;
+  kernel_.CreateThread(a, "main", [&](mk::Env& env) {
+    auto hwnd = (*sa)->CreateWindow(env, "A", 0, 0, 100, 100);
+    ASSERT_TRUE(hwnd.ok());
+    wa = *hwnd;
+    for (int i = 0; i < 5; ++i) {
+      auto msg = (*sa)->GetMsg(env, wa);  // blocks until B posts
+      ASSERT_TRUE(msg.ok());
+      EXPECT_EQ(msg->msg, 0x100u + i);
+      ++volleys;
+    }
+  });
+  kernel_.CreateThread(b, "main", [&](mk::Env& env) {
+    while (wa == 0) {
+      env.Yield();
+    }
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_EQ((*sb)->PostMsg(env, wa, 0x100 + i, 0, 0), base::Status::kOk);
+      env.Yield();
+    }
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(volleys, 5);
+  EXPECT_EQ(desktop_->messages_posted(), 5u);
+}
+
+TEST_F(PmTest, WindowSwitchRepaints) {
+  mk::Task* app = kernel_.CreateTask("swp32");
+  auto session = desktop_->Attach(*app);
+  ASSERT_TRUE(session.ok());
+  kernel_.CreateThread(app, "main", [&](mk::Env& env) {
+    auto w1 = (*session)->CreateWindow(env, "one", 0, 0, 64, 64);
+    auto w2 = (*session)->CreateWindow(env, "two", 32, 32, 64, 64);
+    ASSERT_TRUE(w1.ok());
+    ASSERT_TRUE(w2.ok());
+    ASSERT_EQ((*session)->SwitchTo(env, *w1), base::Status::kOk);
+    ASSERT_EQ((*session)->SwitchTo(env, *w2), base::Status::kOk);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(desktop_->window_switches(), 2u);
+}
+
+}  // namespace
+}  // namespace pers

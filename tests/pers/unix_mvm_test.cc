@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "src/pers/mvm/mvm.h"
+#include "src/pers/unixp/unix.h"
+#include "src/svc/fs/inode_fs.h"
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace pers {
+namespace {
+
+class PersonalityTest : public mk::KernelTest {
+ protected:
+  PersonalityTest() {
+    disk_ = static_cast<hw::Disk*>(machine_.AddDevice(
+        std::make_unique<hw::Disk>("d", 3, hw::Disk::Geometry{.sectors = 128 * 1024})));
+    store_ = std::make_unique<mks::BackdoorBlockStore>(disk_, 10'000);
+    cache_ = std::make_unique<svc::BlockCache>(kernel_, store_.get(), 1024);
+    jfs_ = std::make_unique<svc::JfsFs>(kernel_, cache_.get(), 65536);
+    fs_task_ = kernel_.CreateTask("file-server");
+    fs_ = std::make_unique<svc::FileServer>(kernel_, fs_task_);
+    EXPECT_EQ(fs_->AddMount("/", jfs_.get()), base::Status::kOk);
+    kernel_.CreateThread(fs_task_, "mkfs",
+                         [this](mk::Env& env) { ASSERT_EQ(jfs_->Format(env), base::Status::kOk); });
+  }
+
+  void StopFs(mk::Env& env, mk::Task& any_client_task) {
+    fs_->Stop();
+    svc::FsClient unblock(fs_->GrantTo(any_client_task));
+    (void)unblock.Sync(env);
+  }
+
+  hw::Disk* disk_;
+  std::unique_ptr<mks::BackdoorBlockStore> store_;
+  std::unique_ptr<svc::BlockCache> cache_;
+  std::unique_ptr<svc::JfsFs> jfs_;
+  mk::Task* fs_task_;
+  std::unique_ptr<svc::FileServer> fs_;
+};
+
+TEST_F(PersonalityTest, UnixOpenReadWriteWithImplicitOffset) {
+  UnixPersonality unix_pers(kernel_, *fs_);
+  UnixProcess* proc = nullptr;
+  proc = unix_pers.Spawn("sh", [&](mk::Env& env) {
+    auto fd = proc->Open(env, "/notes.txt", kOCreat | kORdWr);
+    ASSERT_TRUE(fd.ok());
+    // Sequential writes advance the implicit offset.
+    ASSERT_TRUE(proc->Write(env, *fd, "hello ", 6).ok());
+    ASSERT_TRUE(proc->Write(env, *fd, "world", 5).ok());
+    ASSERT_TRUE(proc->Lseek(env, *fd, 0, 0).ok());
+    char buf[16] = {};
+    auto got = proc->Read(env, *fd, buf, 11);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(std::string(buf, 11), "hello world");
+    // Reads advanced the offset too; next read is empty.
+    auto more = proc->Read(env, *fd, buf, 8);
+    ASSERT_TRUE(more.ok());
+    EXPECT_EQ(*more, 0u);
+    ASSERT_EQ(proc->Close(env, *fd), base::Status::kOk);
+    StopFs(env, *proc->task());
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+}
+
+TEST_F(PersonalityTest, UnixForkIsolatesMemoryAndSharesFiles) {
+  UnixPersonality unix_pers(kernel_, *fs_);
+  UnixProcess* parent = nullptr;
+  uint32_t parent_value = 0;
+  uint32_t child_value = 0;
+  int32_t wait_code = -1;
+  parent = unix_pers.Spawn("parent", [&](mk::Env& env) {
+    auto mem = env.VmAllocate(hw::kPageSize);
+    ASSERT_TRUE(mem.ok());
+    uint32_t v = 42;
+    ASSERT_EQ(env.CopyOut(*mem, &v, 4), base::Status::kOk);
+    auto child = parent->Fork(env, [&, mem = *mem](mk::Env& child_env) {
+      // The child sees the pre-fork value...
+      uint32_t cv = 0;
+      ASSERT_EQ(child_env.CopyIn(mem, &cv, 4), base::Status::kOk);
+      child_value = cv;
+      // ...and its writes stay private.
+      cv = 99;
+      ASSERT_EQ(child_env.CopyOut(mem, &cv, 4), base::Status::kOk);
+    });
+    ASSERT_TRUE(child.ok());
+    (*child)->Exit(env, 7);  // recorded exit status
+    auto code = parent->WaitPid(env, *child);
+    ASSERT_TRUE(code.ok());
+    wait_code = *code;
+    uint32_t pv = 0;
+    ASSERT_EQ(env.CopyIn(*mem, &pv, 4), base::Status::kOk);
+    parent_value = pv;
+    StopFs(env, *parent->task());
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(child_value, 42u);
+  EXPECT_EQ(parent_value, 42u) << "child write must not leak into the parent";
+  EXPECT_EQ(wait_code, 7);
+}
+
+TEST_F(PersonalityTest, UnixPipeCarriesBytes) {
+  UnixPersonality unix_pers(kernel_, *fs_);
+  UnixProcess* proc = nullptr;
+  std::string received;
+  proc = unix_pers.Spawn("piper", [&](mk::Env& env) {
+    auto pipe = proc->Pipe(env);
+    ASSERT_TRUE(pipe.ok());
+    ASSERT_TRUE(proc->Write(env, pipe->second, "through the pipe", 16).ok());
+    char buf[32] = {};
+    auto got = proc->Read(env, pipe->first, buf, sizeof(buf));
+    ASSERT_TRUE(got.ok());
+    received.assign(buf, *got);
+    StopFs(env, *proc->task());
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(received, "through the pipe");
+}
+
+TEST_F(PersonalityTest, DosBoxRunsProgramAndPrints) {
+  DosBox box(kernel_, *fs_, "box0");
+  // Program: print "HI" via INT 21h AH=02, then exit 0 via AH=4C.
+  Vm86Assembler as;
+  as.MovImm(Vm86Reg::kAx, 0x0200)
+      .MovImm(Vm86Reg::kDx, 'H')
+      .Int(0x21)
+      .MovImm(Vm86Reg::kDx, 'I')
+      .Int(0x21)
+      .MovImm(Vm86Reg::kAx, 0x4c00)
+      .Int(0x21);
+  kernel_.CreateThread(box.task(), "dos", [&](mk::Env& env) {
+    ASSERT_EQ(box.LoadProgram(env, as.code()), base::Status::kOk);
+    auto n = box.Run(env, /*translated=*/false);
+    ASSERT_TRUE(n.ok());
+    StopFs(env, *box.task());
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(box.console(), "HI");
+  EXPECT_EQ(box.exit_code(), 0);
+}
+
+TEST_F(PersonalityTest, DosFileIoThroughVirtualDeviceDriver) {
+  DosBox box(kernel_, *fs_, "box1");
+  // Program layout: filename at 0x200, data at 0x210.
+  Vm86Assembler as;
+  as.MovImm(Vm86Reg::kAx, 0x3c00)  // create
+      .MovImm(Vm86Reg::kDx, 0x200)
+      .Int(0x21)
+      .MovReg(Vm86Reg::kBx, Vm86Reg::kAx)  // handle
+      .MovImm(Vm86Reg::kAx, 0x4000)        // write
+      .MovImm(Vm86Reg::kCx, 4)
+      .MovImm(Vm86Reg::kDx, 0x210)
+      .MovImm(Vm86Reg::kSi, 0)  // offset
+      .Int(0x21)
+      .MovImm(Vm86Reg::kAx, 0x3e00)  // close
+      .Int(0x21)
+      .MovImm(Vm86Reg::kAx, 0x4c00)
+      .Int(0x21);
+  std::vector<uint8_t> image = as.code();
+  image.resize(0x220, 0);
+  const char fname[] = "GAME.SAV";
+  std::memcpy(image.data() + 0x200, fname, sizeof(fname));
+  std::memcpy(image.data() + 0x210, "SAVE", 4);
+  std::string content;
+  kernel_.CreateThread(box.task(), "dos", [&](mk::Env& env) {
+    ASSERT_EQ(box.LoadProgram(env, image), base::Status::kOk);
+    ASSERT_TRUE(box.Run(env, /*translated=*/false).ok());
+    // Verify through the file server that the DOS write landed.
+    svc::FsClient fs(fs_->GrantTo(*box.task()));
+    auto h = fs.Open(env, "/GAME.SAV");
+    ASSERT_TRUE(h.ok());
+    char buf[8] = {};
+    auto got = fs.Read(env, *h, 0, buf, sizeof(buf));
+    ASSERT_TRUE(got.ok());
+    content.assign(buf, *got);
+    StopFs(env, *box.task());
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(content, "SAVE");
+  EXPECT_GE(box.dos_calls(), 4u);
+}
+
+TEST_F(PersonalityTest, TranslatorMatchesInterpreterAndIsFaster) {
+  // Sum 1..100 in a loop: CX counts down, BX accumulates.
+  Vm86Assembler as;
+  as.MovImm(Vm86Reg::kCx, 100).MovImm(Vm86Reg::kBx, 0);
+  const uint16_t loop_top = as.here();
+  as.Add(Vm86Reg::kBx, Vm86Reg::kCx).Loop(loop_top).Store(0x500, Vm86Reg::kBx).Hlt();
+
+  auto run = [&](bool translated) {
+    DosBox box(kernel_, *fs_, translated ? "xlate" : "interp");
+    uint64_t cycles = 0;
+    uint16_t result = 0;
+    kernel_.CreateThread(box.task(), "dos", [&](mk::Env& env) {
+      ASSERT_EQ(box.LoadProgram(env, as.code()), base::Status::kOk);
+      const uint64_t c0 = kernel_.cpu().cycles();
+      auto n = box.Run(env, translated);
+      ASSERT_TRUE(n.ok());
+      cycles = kernel_.cpu().cycles() - c0;
+      auto w = box.vm().ReadWord(env, 0x500);
+      ASSERT_TRUE(w.ok());
+      result = *w;
+    });
+    kernel_.Run();
+    EXPECT_EQ(result, 5050u);
+    if (translated) {
+      EXPECT_GE(box.vm().blocks_translated(), 1u);
+      EXPECT_GT(box.vm().translation_cache_hits(), 50u);
+    }
+    return cycles;
+  };
+  const uint64_t interp_cycles = run(false);
+  const uint64_t xlate_cycles = run(true);
+  EXPECT_LT(xlate_cycles, interp_cycles)
+      << "hot loops must run faster under the block translator";
+  // This test never touches the file server; its thread simply stays parked.
+}
+
+}  // namespace
+}  // namespace pers

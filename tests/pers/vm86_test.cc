@@ -1,0 +1,140 @@
+// Instruction-level tests of the Vm86 engine: each opcode's architectural
+// effect, interpreter/translator equivalence on the same programs, and the
+// translation cache.
+#include <gtest/gtest.h>
+
+#include "src/pers/mvm/vm86.h"
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace pers {
+namespace {
+
+class Vm86Test : public mk::KernelTest {
+ protected:
+  Vm86Test() {
+    task_ = kernel_.CreateTask("dos");
+    vm_ = std::make_unique<Vm86>(kernel_, task_, [this](mk::Env&, uint8_t vector,
+                                                        Vm86State& state) {
+      last_int_ = vector;
+      ++int_count_;
+    });
+  }
+
+  // Runs `code` with the chosen engine and returns the final state.
+  Vm86State Run(const Vm86Assembler& as, bool translated) {
+    Vm86State out;
+    kernel_.CreateThread(task_, "run", [&](mk::Env& env) {
+      ASSERT_EQ(vm_->LoadProgram(env, as.code()), base::Status::kOk);
+      auto n = translated ? vm_->RunTranslated(env, 100000) : vm_->RunInterpreted(env, 100000);
+      ASSERT_TRUE(n.ok());
+      out = vm_->state();
+    });
+    EXPECT_EQ(kernel_.Run(), 0u);
+    return out;
+  }
+
+  mk::Task* task_;
+  std::unique_ptr<Vm86> vm_;
+  uint8_t last_int_ = 0;
+  int int_count_ = 0;
+};
+
+TEST_F(Vm86Test, ArithmeticAndFlags) {
+  Vm86Assembler as;
+  as.MovImm(Vm86Reg::kAx, 10)
+      .MovImm(Vm86Reg::kBx, 3)
+      .Sub(Vm86Reg::kAx, Vm86Reg::kBx)  // ax = 7, zf = 0
+      .AddImm(Vm86Reg::kAx, 100)        // ax = 107
+      .MovReg(Vm86Reg::kCx, Vm86Reg::kAx)
+      .Cmp(Vm86Reg::kCx, Vm86Reg::kAx)  // zf = 1
+      .Hlt();
+  const Vm86State s = Run(as, false);
+  EXPECT_EQ(s.reg(Vm86Reg::kAx), 107);
+  EXPECT_EQ(s.reg(Vm86Reg::kCx), 107);
+  EXPECT_TRUE(s.zf);
+  EXPECT_TRUE(s.halted);
+}
+
+TEST_F(Vm86Test, BranchesAndLoop) {
+  // Count down CX from 5, incrementing BX each time.
+  Vm86Assembler as;
+  as.MovImm(Vm86Reg::kCx, 5).MovImm(Vm86Reg::kBx, 0);
+  const uint16_t top = as.here();
+  as.Inc(Vm86Reg::kBx).Loop(top).Hlt();
+  const Vm86State s = Run(as, false);
+  EXPECT_EQ(s.reg(Vm86Reg::kBx), 5);
+  EXPECT_EQ(s.reg(Vm86Reg::kCx), 0);
+}
+
+TEST_F(Vm86Test, ConditionalJumpsTakenAndNotTaken) {
+  Vm86Assembler as;
+  as.MovImm(Vm86Reg::kAx, 1)
+      .MovImm(Vm86Reg::kBx, 1)
+      .Cmp(Vm86Reg::kAx, Vm86Reg::kBx);  // zf=1
+  // jz over a poison instruction.
+  const uint16_t jz_at = as.here();
+  (void)jz_at;
+  as.Jz(static_cast<uint16_t>(as.here() + 3 + 4));  // skip the MovImm below
+  as.MovImm(Vm86Reg::kDx, 0xdead);
+  as.Hlt();
+  const Vm86State s = Run(as, false);
+  EXPECT_NE(s.reg(Vm86Reg::kDx), 0xdead);
+}
+
+TEST_F(Vm86Test, MemoryLoadStoreDirectAndIndexed) {
+  Vm86Assembler as;
+  as.MovImm(Vm86Reg::kAx, 0xbeef)
+      .Store(0x400, Vm86Reg::kAx)
+      .Load(Vm86Reg::kBx, 0x400)
+      .MovImm(Vm86Reg::kSi, 0x400)
+      .LoadIdx(Vm86Reg::kCx)  // cx = [si]
+      .MovImm(Vm86Reg::kDi, 0x500)
+      .StoreIdx(Vm86Reg::kCx)  // [di] = cx
+      .Load(Vm86Reg::kDx, 0x500)
+      .Hlt();
+  const Vm86State s = Run(as, false);
+  EXPECT_EQ(s.reg(Vm86Reg::kBx), 0xbeef);
+  EXPECT_EQ(s.reg(Vm86Reg::kCx), 0xbeef);
+  EXPECT_EQ(s.reg(Vm86Reg::kDx), 0xbeef);
+}
+
+TEST_F(Vm86Test, SoftwareInterruptReachesHandler) {
+  Vm86Assembler as;
+  as.Int(0x42).Hlt();
+  Run(as, false);
+  EXPECT_EQ(last_int_, 0x42);
+  EXPECT_EQ(int_count_, 1);
+}
+
+TEST_F(Vm86Test, IllegalOpcodeStopsExecution) {
+  Vm86Assembler as;
+  as.Bytes({0x7f});  // not a valid opcode
+  kernel_.CreateThread(task_, "run", [&](mk::Env& env) {
+    ASSERT_EQ(vm_->LoadProgram(env, as.code()), base::Status::kOk);
+    EXPECT_EQ(vm_->RunInterpreted(env, 100).status(), base::Status::kNotSupported);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+}
+
+TEST_F(Vm86Test, TranslatorMatchesInterpreterOnMixedProgram) {
+  Vm86Assembler as;
+  as.MovImm(Vm86Reg::kCx, 20).MovImm(Vm86Reg::kBx, 0).MovImm(Vm86Reg::kSi, 0x600);
+  const uint16_t top = as.here();
+  as.Add(Vm86Reg::kBx, Vm86Reg::kCx)
+      .StoreIdx(Vm86Reg::kBx)  // uses DI=0; harmless
+      .Loop(top)
+      .Store(0x700, Vm86Reg::kBx)
+      .Hlt();
+  const Vm86State interp = Run(as, false);
+  // Fresh VM for the translated run.
+  vm_ = std::make_unique<Vm86>(kernel_, task_, [](mk::Env&, uint8_t, Vm86State&) {});
+  const Vm86State xlate = Run(as, true);
+  EXPECT_EQ(interp.reg(Vm86Reg::kBx), xlate.reg(Vm86Reg::kBx));
+  EXPECT_EQ(interp.reg(Vm86Reg::kCx), xlate.reg(Vm86Reg::kCx));
+  EXPECT_EQ(interp.ip, xlate.ip);
+  EXPECT_GE(vm_->blocks_translated(), 2u);
+  EXPECT_GT(vm_->translation_cache_hits(), 15u) << "hot loop must hit the cache";
+}
+
+}  // namespace
+}  // namespace pers

@@ -1,0 +1,194 @@
+// Parameterized property sweeps over the microkernel itself.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/hw/cache.h"
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace mk {
+namespace {
+
+// --- RPC payload sweep: bytes survive verbatim at every size -------------------
+
+class RpcPayloadTest : public KernelTest, public ::testing::WithParamInterface<uint32_t> {};
+
+TEST_P(RpcPayloadTest, EchoPreservesEveryByte) {
+  const uint32_t size = GetParam();
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  auto recv = kernel_.PortAllocate(*server);
+  auto send = kernel_.MakeSendRight(*server, *recv, *client);
+  kernel_.CreateThread(server, "s", [&, recv = *recv](mk::Env& env) {
+    char buf[512];
+    std::vector<uint8_t> bulk(128 * 1024);
+    RpcRef ref;
+    ref.recv_buf = bulk.data();
+    ref.recv_cap = static_cast<uint32_t>(bulk.size());
+    auto req = env.RpcReceive(recv, buf, sizeof(buf), &ref);
+    ASSERT_TRUE(req.ok());
+    // Echo whichever channel the payload came through.
+    if (req->ref_len > 0) {
+      env.RpcReply(req->token, buf, req->req_len, bulk.data(), req->ref_len);
+    } else {
+      env.RpcReply(req->token, buf, req->req_len);
+    }
+  });
+  bool ok = false;
+  kernel_.CreateThread(client, "c", [&, send = *send](mk::Env& env) {
+    base::Rng rng(size + 1);
+    std::vector<uint8_t> payload(size);
+    for (auto& b : payload) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    std::vector<uint8_t> reply_inline(512);
+    std::vector<uint8_t> reply_bulk(128 * 1024);
+    uint32_t reply_len = 0;
+    base::Status st;
+    if (size <= 256) {
+      st = env.RpcCall(send, payload.data(), size, reply_inline.data(),
+                       static_cast<uint32_t>(reply_inline.size()), &reply_len);
+      ASSERT_EQ(st, base::Status::kOk);
+      ASSERT_EQ(reply_len, size);
+      ASSERT_TRUE(std::equal(payload.begin(), payload.end(), reply_inline.begin()));
+    } else {
+      RpcRef ref;
+      ref.send_data = payload.data();
+      ref.send_len = size;
+      ref.recv_buf = reply_bulk.data();
+      ref.recv_cap = static_cast<uint32_t>(reply_bulk.size());
+      st = env.RpcCall(send, nullptr, 0, reply_inline.data(),
+                       static_cast<uint32_t>(reply_inline.size()), &reply_len, &ref);
+      ASSERT_EQ(st, base::Status::kOk);
+      ASSERT_EQ(ref.recv_len, size);
+      ASSERT_TRUE(std::equal(payload.begin(), payload.end(), reply_bulk.begin()));
+    }
+    ok = true;
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_TRUE(ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RpcPayloadTest,
+                         ::testing::Values(0u, 1u, 31u, 32u, 255u, 257u, 4096u, 65536u));
+
+// --- Legacy IPC payload sweep ---------------------------------------------------
+
+class MachMsgPayloadTest : public KernelTest, public ::testing::WithParamInterface<uint32_t> {};
+
+TEST_P(MachMsgPayloadTest, InlineDataSurvivesQueueing) {
+  const uint32_t size = GetParam();
+  Task* a = kernel_.CreateTask("a");
+  Task* b = kernel_.CreateTask("b");
+  auto recv = kernel_.PortAllocate(*b);
+  auto send = kernel_.MakeSendRight(*b, *recv, *a);
+  std::vector<uint8_t> sent(size);
+  base::Rng rng(size * 13 + 1);
+  for (auto& byte : sent) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  kernel_.CreateThread(a, "sender", [&, send = *send](mk::Env& env) {
+    MachMessage msg;
+    msg.msg_id = size;
+    msg.dest = send;
+    msg.inline_data = sent;
+    ASSERT_EQ(env.kernel().MachMsgSend(std::move(msg)), base::Status::kOk);
+  });
+  std::vector<uint8_t> got;
+  kernel_.CreateThread(b, "receiver", [&, recv = *recv](mk::Env& env) {
+    MachMessage msg;
+    ASSERT_EQ(env.kernel().MachMsgReceive(recv, &msg), base::Status::kOk);
+    EXPECT_EQ(msg.msg_id, size);
+    got = msg.inline_data;
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(got, sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MachMsgPayloadTest,
+                         ::testing::Values(0u, 1u, 64u, 1024u, 16384u));
+
+// --- VM fault sweep: touch patterns always resolve to consistent frames ---------
+
+class VmTouchTest : public KernelTest,
+                    public ::testing::WithParamInterface<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(VmTouchTest, RandomReadWritePatternIsCoherent) {
+  const auto [pages, seed] = GetParam();
+  Task* task = kernel_.CreateTask("t");
+  auto base_addr = kernel_.VmAllocate(*task, pages * hw::kPageSize);
+  ASSERT_TRUE(base_addr.ok());
+  kernel_.CreateThread(task, "w", [&, addr = *base_addr](mk::Env& env) {
+    base::Rng rng(seed);
+    std::map<uint64_t, uint32_t> oracle;  // word address -> value
+    for (int i = 0; i < 200; ++i) {
+      const uint64_t offset = (rng.NextBelow(pages * hw::kPageSize / 4)) * 4;
+      if (rng.NextBool(0.5)) {
+        const uint32_t v = static_cast<uint32_t>(rng.Next());
+        ASSERT_EQ(env.CopyOut(addr + offset, &v, 4), base::Status::kOk);
+        oracle[offset] = v;
+      } else {
+        uint32_t v = 1;
+        ASSERT_EQ(env.CopyIn(addr + offset, &v, 4), base::Status::kOk);
+        const uint32_t expected = oracle.contains(offset) ? oracle[offset] : 0;
+        ASSERT_EQ(v, expected) << "offset " << offset;
+      }
+    }
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_LE(task->zero_fills, pages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, VmTouchTest,
+                         ::testing::Values(std::make_pair(1u, 7u), std::make_pair(4u, 11u),
+                                           std::make_pair(16u, 13u),
+                                           std::make_pair(64u, 17u)));
+
+}  // namespace
+}  // namespace mk
+
+// --- Cache geometry sweep (pure hw, no kernel) --------------------------------------
+
+namespace hw {
+namespace {
+
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, uint32_t>> {};
+
+TEST_P(CacheGeometryTest, LruNeverEvictsWithinWaySetCapacity) {
+  const auto [size, line, ways] = GetParam();
+  Cache cache(CacheConfig{size, line, ways});
+  // Touch exactly `ways` distinct lines in one set, then re-touch: all hits.
+  const uint32_t sets = size / (line * ways);
+  for (uint32_t w = 0; w < ways; ++w) {
+    cache.Access(static_cast<PhysAddr>(w) * sets * line, false);
+  }
+  for (uint32_t w = 0; w < ways; ++w) {
+    EXPECT_TRUE(cache.Access(static_cast<PhysAddr>(w) * sets * line, false).hit)
+        << "way " << w;
+  }
+  // One more conflicting line evicts exactly the LRU (way 0).
+  cache.Access(static_cast<PhysAddr>(ways) * sets * line, false);
+  EXPECT_FALSE(cache.Access(0, false).hit);
+}
+
+TEST_P(CacheGeometryTest, SequentialSweepMissesOncePerLine) {
+  const auto [size, line, ways] = GetParam();
+  Cache cache(CacheConfig{size, line, ways});
+  for (PhysAddr a = 0; a < size; a += line) {
+    EXPECT_FALSE(cache.Access(a, false).hit);
+  }
+  EXPECT_EQ(cache.stats().misses, size / line);
+  for (PhysAddr a = 0; a < size; a += line) {
+    EXPECT_TRUE(cache.Access(a, false).hit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometryTest,
+                         ::testing::Values(std::make_tuple(8192u, 32u, 2u),
+                                           std::make_tuple(8192u, 32u, 1u),
+                                           std::make_tuple(16384u, 32u, 4u),
+                                           std::make_tuple(4096u, 16u, 2u),
+                                           std::make_tuple(32768u, 64u, 8u)));
+
+}  // namespace
+}  // namespace hw

@@ -1,0 +1,317 @@
+// Property-style contract tests run against every physical file system
+// (FAT, HPFS, JFS): whatever their on-disk format, the Pfs interface must
+// behave like a file system. A host-side oracle (std::map of name -> bytes)
+// checks every operation's result after randomized op sequences.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/svc/fs/fat.h"
+#include "src/svc/fs/inode_fs.h"
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace svc {
+namespace {
+
+enum class PfsKind { kFat, kHpfs, kJfs };
+
+std::string KindName(PfsKind k) {
+  switch (k) {
+    case PfsKind::kFat:
+      return "fat";
+    case PfsKind::kHpfs:
+      return "hpfs";
+    case PfsKind::kJfs:
+      return "jfs";
+  }
+  return "?";
+}
+
+class PfsContractTest : public mk::KernelTest,
+                        public ::testing::WithParamInterface<PfsKind> {
+ protected:
+  PfsContractTest() {
+    disk_ = static_cast<hw::Disk*>(machine_.AddDevice(
+        std::make_unique<hw::Disk>("d", 3, hw::Disk::Geometry{.sectors = 128 * 1024})));
+    store_ = std::make_unique<mks::BackdoorBlockStore>(disk_, 5'000);
+    cache_ = std::make_unique<BlockCache>(kernel_, store_.get(), 2048);
+    switch (GetParam()) {
+      case PfsKind::kFat:
+        fat_ = std::make_unique<FatFs>(kernel_, cache_.get(), 32768);
+        pfs_ = fat_.get();
+        break;
+      case PfsKind::kHpfs:
+        inode_ = std::make_unique<HpfsFs>(kernel_, cache_.get(), 65536);
+        pfs_ = inode_.get();
+        break;
+      case PfsKind::kJfs:
+        inode_ = std::make_unique<JfsFs>(kernel_, cache_.get(), 65536);
+        pfs_ = inode_.get();
+        break;
+    }
+  }
+
+  void RunInThread(std::function<void(mk::Env&)> body) {
+    mk::Task* task = kernel_.CreateTask("t");
+    kernel_.CreateThread(task, "t", std::move(body));
+    ASSERT_EQ(kernel_.Run(), 0u);
+  }
+
+  base::Status Format(mk::Env& env) {
+    if (fat_ != nullptr) {
+      return fat_->Format(env);
+    }
+    return inode_->Format(env);
+  }
+
+  // A legal file name for every PFS under test (8.3-safe).
+  static std::string Name(int i) { return "F" + std::to_string(i) + ".DAT"; }
+
+  hw::Disk* disk_;
+  std::unique_ptr<mks::BackdoorBlockStore> store_;
+  std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<FatFs> fat_;
+  std::unique_ptr<InodeFs> inode_;
+  Pfs* pfs_ = nullptr;
+};
+
+TEST_P(PfsContractTest, WriteReadRoundTripAcrossSizes) {
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(Format(env), base::Status::kOk);
+    // Sizes chosen to hit sector boundaries, cluster boundaries, and the
+    // indirect-block threshold.
+    const uint32_t sizes[] = {1, 511, 512, 513, 2047, 2048, 4096, 10000, 20000};
+    int i = 0;
+    for (uint32_t size : sizes) {
+      auto node = pfs_->Create(env, pfs_->root(), Name(i), false);
+      ASSERT_TRUE(node.ok()) << KindName(GetParam()) << " size " << size;
+      std::vector<uint8_t> data(size);
+      base::Rng rng(size);
+      for (auto& b : data) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      auto wrote = pfs_->Write(env, *node, 0, data.data(), size);
+      ASSERT_TRUE(wrote.ok());
+      ASSERT_EQ(*wrote, size);
+      std::vector<uint8_t> back(size);
+      auto got = pfs_->Read(env, *node, 0, back.data(), size);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(*got, size);
+      EXPECT_EQ(back, data) << KindName(GetParam()) << " size " << size;
+      auto attr = pfs_->GetAttr(env, *node);
+      ASSERT_TRUE(attr.ok());
+      EXPECT_EQ(attr->size, size);
+      ++i;
+    }
+  });
+}
+
+TEST_P(PfsContractTest, OverwriteInMiddlePreservesRest) {
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(Format(env), base::Status::kOk);
+    auto node = pfs_->Create(env, pfs_->root(), "MID.DAT", false);
+    ASSERT_TRUE(node.ok());
+    std::vector<uint8_t> data(6000, 0x11);
+    ASSERT_TRUE(pfs_->Write(env, *node, 0, data.data(), 6000).ok());
+    std::vector<uint8_t> patch(100, 0x99);
+    ASSERT_TRUE(pfs_->Write(env, *node, 2500, patch.data(), 100).ok());
+    std::vector<uint8_t> back(6000);
+    ASSERT_TRUE(pfs_->Read(env, *node, 0, back.data(), 6000).ok());
+    EXPECT_EQ(back[2499], 0x11);
+    EXPECT_EQ(back[2500], 0x99);
+    EXPECT_EQ(back[2599], 0x99);
+    EXPECT_EQ(back[2600], 0x11);
+    auto attr = pfs_->GetAttr(env, *node);
+    EXPECT_EQ(attr->size, 6000u) << "overwrite must not grow the file";
+  });
+}
+
+TEST_P(PfsContractTest, ReadPastEofTruncates) {
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(Format(env), base::Status::kOk);
+    auto node = pfs_->Create(env, pfs_->root(), "EOF.DAT", false);
+    ASSERT_TRUE(node.ok());
+    ASSERT_TRUE(pfs_->Write(env, *node, 0, "12345", 5).ok());
+    char buf[32];
+    auto got = pfs_->Read(env, *node, 3, buf, sizeof(buf));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, 2u);
+    got = pfs_->Read(env, *node, 5, buf, sizeof(buf));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, 0u);
+    got = pfs_->Read(env, *node, 100, buf, sizeof(buf));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, 0u);
+  });
+}
+
+TEST_P(PfsContractTest, DirectoryListingMatchesOracle) {
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(Format(env), base::Status::kOk);
+    std::map<std::string, bool> oracle;  // name -> is_dir
+    for (int i = 0; i < 12; ++i) {
+      const bool dir = i % 3 == 0;
+      const std::string name = (dir ? "D" : "F") + std::to_string(i);
+      ASSERT_TRUE(pfs_->Create(env, pfs_->root(), name, dir).ok());
+      oracle[name] = dir;
+    }
+    // Remove a few.
+    ASSERT_EQ(pfs_->Remove(env, pfs_->root(), "F1"), base::Status::kOk);
+    ASSERT_EQ(pfs_->Remove(env, pfs_->root(), "D6"), base::Status::kOk);
+    oracle.erase("F1");
+    oracle.erase("D6");
+    auto entries = pfs_->ReadDir(env, pfs_->root());
+    ASSERT_TRUE(entries.ok());
+    std::map<std::string, bool> found;
+    for (const DirEntry& e : *entries) {
+      found[e.name] = e.directory;
+    }
+    EXPECT_EQ(found, oracle) << KindName(GetParam());
+  });
+}
+
+TEST_P(PfsContractTest, RandomOpsAgainstOracle) {
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(Format(env), base::Status::kOk);
+    std::map<std::string, std::vector<uint8_t>> oracle;
+    std::map<std::string, NodeId> nodes;
+    base::Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 17);
+    for (int step = 0; step < 150; ++step) {
+      const int op = static_cast<int>(rng.NextBelow(4));
+      const std::string name = Name(static_cast<int>(rng.NextBelow(8)));
+      switch (op) {
+        case 0: {  // create
+          auto node = pfs_->Create(env, pfs_->root(), name, false);
+          if (oracle.contains(name)) {
+            EXPECT_EQ(node.status(), base::Status::kAlreadyExists);
+          } else {
+            ASSERT_TRUE(node.ok());
+            oracle[name] = {};
+            nodes[name] = *node;
+          }
+          break;
+        }
+        case 1: {  // write at random offset within [0, 6K)
+          if (!oracle.contains(name)) {
+            break;
+          }
+          const uint64_t off = rng.NextBelow(6000);
+          const uint32_t len = static_cast<uint32_t>(rng.NextInRange(1, 700));
+          std::vector<uint8_t> data(len);
+          for (auto& b : data) {
+            b = static_cast<uint8_t>(rng.Next());
+          }
+          ASSERT_TRUE(pfs_->Write(env, nodes[name], off, data.data(), len).ok());
+          auto& file = oracle[name];
+          if (file.size() < off + len) {
+            file.resize(off + len, 0);
+          }
+          std::copy(data.begin(), data.end(), file.begin() + static_cast<long>(off));
+          break;
+        }
+        case 2: {  // read-and-compare a random window
+          if (!oracle.contains(name)) {
+            EXPECT_FALSE(pfs_->Lookup(env, pfs_->root(), name).ok());
+            break;
+          }
+          const auto& file = oracle[name];
+          std::vector<uint8_t> buf(800);
+          const uint64_t off = rng.NextBelow(file.size() + 100);
+          auto got = pfs_->Read(env, nodes[name], off, buf.data(),
+                                static_cast<uint32_t>(buf.size()));
+          ASSERT_TRUE(got.ok());
+          const uint64_t expect =
+              off >= file.size() ? 0 : std::min<uint64_t>(buf.size(), file.size() - off);
+          ASSERT_EQ(*got, expect);
+          for (uint64_t i = 0; i < expect; ++i) {
+            ASSERT_EQ(buf[i], file[off + i]) << name << " offset " << off + i;
+          }
+          break;
+        }
+        case 3: {  // remove
+          const base::Status st = pfs_->Remove(env, pfs_->root(), name);
+          if (oracle.contains(name)) {
+            ASSERT_EQ(st, base::Status::kOk);
+            oracle.erase(name);
+            nodes.erase(name);
+          } else {
+            EXPECT_EQ(st, base::Status::kNotFound);
+          }
+          break;
+        }
+      }
+    }
+    // Everything still readable at the end.
+    for (const auto& [name, file] : oracle) {
+      std::vector<uint8_t> back(file.size());
+      if (!file.empty()) {
+        auto got = pfs_->Read(env, nodes[name], 0, back.data(),
+                              static_cast<uint32_t>(back.size()));
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(back, file) << name;
+      }
+    }
+  });
+}
+
+TEST_P(PfsContractTest, PersistsAcrossRemountWithSameOracle) {
+  std::map<std::string, std::vector<uint8_t>> oracle;
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(Format(env), base::Status::kOk);
+    base::Rng rng(4242);
+    for (int i = 0; i < 5; ++i) {
+      const std::string name = Name(i);
+      auto node = pfs_->Create(env, pfs_->root(), name, false);
+      ASSERT_TRUE(node.ok());
+      std::vector<uint8_t> data(rng.NextInRange(100, 3000));
+      for (auto& b : data) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      ASSERT_TRUE(pfs_->Write(env, *node, 0, data.data(),
+                              static_cast<uint32_t>(data.size())).ok());
+      oracle[name] = std::move(data);
+    }
+    ASSERT_EQ(pfs_->Sync(env), base::Status::kOk);
+  });
+  // Fresh PFS instance over the same cache+disk.
+  std::unique_ptr<FatFs> fat2;
+  std::unique_ptr<InodeFs> inode2;
+  Pfs* remounted = nullptr;
+  switch (GetParam()) {
+    case PfsKind::kFat:
+      fat2 = std::make_unique<FatFs>(kernel_, cache_.get(), 32768);
+      remounted = fat2.get();
+      break;
+    case PfsKind::kHpfs:
+      inode2 = std::make_unique<HpfsFs>(kernel_, cache_.get(), 65536);
+      remounted = inode2.get();
+      break;
+    case PfsKind::kJfs:
+      inode2 = std::make_unique<JfsFs>(kernel_, cache_.get(), 65536);
+      remounted = inode2.get();
+      break;
+  }
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(remounted->Mount(env), base::Status::kOk);
+    for (const auto& [name, data] : oracle) {
+      auto node = remounted->Lookup(env, remounted->root(), name);
+      ASSERT_TRUE(node.ok()) << name;
+      std::vector<uint8_t> back(data.size());
+      auto got = remounted->Read(env, *node, 0, back.data(),
+                                 static_cast<uint32_t>(back.size()));
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(back, data) << name;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFileSystems, PfsContractTest,
+                         ::testing::Values(PfsKind::kFat, PfsKind::kHpfs, PfsKind::kJfs),
+                         [](const ::testing::TestParamInfo<PfsKind>& info) {
+                           return KindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace svc

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "src/svc/fs/fat.h"
+#include "src/svc/fs/file_server.h"
+#include "src/svc/fs/inode_fs.h"
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace svc {
+namespace {
+
+// Full stack fixture: disk -> block cache -> HPFS + FAT -> file server; a
+// separate client task talks to it over RPC.
+class FileServerTest : public mk::KernelTest {
+ protected:
+  FileServerTest() {
+    disk_ = static_cast<hw::Disk*>(machine_.AddDevice(
+        std::make_unique<hw::Disk>("d", 3, hw::Disk::Geometry{.sectors = 256 * 1024})));
+    store_ = std::make_unique<mks::BackdoorBlockStore>(disk_, 10'000);
+    cache_ = std::make_unique<BlockCache>(kernel_, store_.get(), 1024);
+    hpfs_ = std::make_unique<HpfsFs>(kernel_, cache_.get(), 65536);
+    // FAT occupies a second region of the disk via a second cache window; to
+    // keep the fixture simple it gets its own disk.
+    fat_disk_ = static_cast<hw::Disk*>(machine_.AddDevice(std::make_unique<hw::Disk>("d2", 4)));
+    fat_store_ = std::make_unique<mks::BackdoorBlockStore>(fat_disk_, 10'000);
+    fat_cache_ = std::make_unique<BlockCache>(kernel_, fat_store_.get(), 256);
+    fat_ = std::make_unique<FatFs>(kernel_, fat_cache_.get(), 8192);
+
+    fs_task_ = kernel_.CreateTask("file-server");
+    server_ = std::make_unique<FileServer>(kernel_, fs_task_);
+    EXPECT_EQ(server_->AddMount("/", hpfs_.get()), base::Status::kOk);
+    EXPECT_EQ(server_->AddMount("/fat", fat_.get()), base::Status::kOk);
+    client_task_ = kernel_.CreateTask("client");
+    service_ = server_->GrantTo(*client_task_);
+
+    // Format both file systems from a setup thread before the tests run.
+    kernel_.CreateThread(fs_task_, "mkfs", [this](mk::Env& env) {
+      ASSERT_EQ(hpfs_->Format(env), base::Status::kOk);
+      ASSERT_EQ(fat_->Format(env), base::Status::kOk);
+    });
+  }
+
+  // Runs the client body, then stops the server cleanly.
+  void RunClient(std::function<void(mk::Env&, FsClient&)> body) {
+    kernel_.CreateThread(client_task_, "client", [this, body](mk::Env& env) {
+      FsClient fs(service_);
+      body(env, fs);
+      server_->Stop();
+      (void)fs.Sync(env);  // unblock the server loop
+    });
+    ASSERT_EQ(kernel_.Run(), 0u);
+  }
+
+  hw::Disk* disk_;
+  hw::Disk* fat_disk_;
+  std::unique_ptr<mks::BackdoorBlockStore> store_;
+  std::unique_ptr<mks::BackdoorBlockStore> fat_store_;
+  std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<BlockCache> fat_cache_;
+  std::unique_ptr<HpfsFs> hpfs_;
+  std::unique_ptr<FatFs> fat_;
+  mk::Task* fs_task_;
+  std::unique_ptr<FileServer> server_;
+  mk::Task* client_task_;
+  mk::PortName service_;
+};
+
+TEST_F(FileServerTest, CreateWriteReadThroughRpc) {
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    auto handle = fs.Open(env, "/docs.txt", kFsCreate | kFsWrite);
+    ASSERT_TRUE(handle.ok());
+    const char msg[] = "through the file server";
+    auto wrote = fs.Write(env, *handle, 0, msg, sizeof(msg));
+    ASSERT_TRUE(wrote.ok());
+    char out[64] = {};
+    auto got = fs.Read(env, *handle, 0, out, sizeof(out));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+    ASSERT_EQ(fs.Close(env, *handle), base::Status::kOk);
+    auto attr = fs.GetAttr(env, "/docs.txt");
+    ASSERT_TRUE(attr.ok());
+    EXPECT_EQ(attr->size, sizeof(msg));
+  });
+}
+
+TEST_F(FileServerTest, SingleRootedTreeSpansFileSystems) {
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    // HPFS side: long names fine.
+    ASSERT_EQ(fs.Mkdir(env, "/projects"), base::Status::kOk);
+    auto h1 = fs.Open(env, "/projects/A Long Report.doc", kFsCreate | kFsWrite);
+    ASSERT_TRUE(h1.ok());
+    ASSERT_EQ(fs.Close(env, *h1), base::Status::kOk);
+    // FAT side: the same tree, but 8.3 rules apply beneath /fat.
+    auto h2 = fs.Open(env, "/fat/NOTES.TXT", kFsCreate | kFsWrite);
+    ASSERT_TRUE(h2.ok());
+    ASSERT_EQ(fs.Close(env, *h2), base::Status::kOk);
+    EXPECT_EQ(fs.Open(env, "/fat/A Long Report.doc", kFsCreate | kFsWrite).status(),
+              base::Status::kNotSupported)
+        << "the FAT long-name incompatibility must surface through the server";
+    auto entries = fs.ReadDir(env, "/fat");
+    ASSERT_TRUE(entries.ok());
+    ASSERT_EQ(entries->size(), 1u);
+    EXPECT_EQ((*entries)[0].name, "NOTES.TXT");
+  });
+}
+
+TEST_F(FileServerTest, DenyModesEnforceOs2Sharing) {
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    auto writer = fs.Open(env, "/shared.dat", kFsCreate | kFsWrite, FsShare::kDenyWrite);
+    ASSERT_TRUE(writer.ok());
+    // A second writer violates deny-write.
+    EXPECT_EQ(fs.Open(env, "/shared.dat", kFsWrite).status(), base::Status::kBusy);
+    // A reader is fine.
+    auto reader = fs.Open(env, "/shared.dat", 0);
+    ASSERT_TRUE(reader.ok());
+    ASSERT_EQ(fs.Close(env, *reader), base::Status::kOk);
+    // Deny-all blocks even readers.
+    ASSERT_EQ(fs.Close(env, *writer), base::Status::kOk);
+    auto exclusive = fs.Open(env, "/shared.dat", 0, FsShare::kDenyAll);
+    ASSERT_TRUE(exclusive.ok());
+    EXPECT_EQ(fs.Open(env, "/shared.dat", 0).status(), base::Status::kBusy);
+    ASSERT_EQ(fs.Close(env, *exclusive), base::Status::kOk);
+  });
+}
+
+TEST_F(FileServerTest, DeleteOnCloseRemovesFile) {
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    auto h = fs.Open(env, "/temp.$$$", kFsCreate | kFsWrite | kFsDeleteOnClose);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(fs.Write(env, *h, 0, "x", 1).ok());
+    EXPECT_TRUE(fs.GetAttr(env, "/temp.$$$").ok());
+    ASSERT_EQ(fs.Close(env, *h), base::Status::kOk);
+    EXPECT_EQ(fs.GetAttr(env, "/temp.$$$").status(), base::Status::kNotFound);
+  });
+}
+
+TEST_F(FileServerTest, AppendModeWritesAtEof) {
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    auto h = fs.Open(env, "/log.txt", kFsCreate | kFsWrite | kFsAppend);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(fs.Write(env, *h, /*offset=*/0, "aaaa", 4).ok());
+    // Offset is ignored in append mode: this lands at EOF, not at 0.
+    ASSERT_TRUE(fs.Write(env, *h, /*offset=*/0, "bbbb", 4).ok());
+    char out[16] = {};
+    auto got = fs.Read(env, *h, 0, out, sizeof(out));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, 8u);
+    EXPECT_EQ(std::string(out, 8), "aaaabbbb");
+    ASSERT_EQ(fs.Close(env, *h), base::Status::kOk);
+  });
+}
+
+TEST_F(FileServerTest, ByteRangeLocksConflict) {
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    auto h1 = fs.Open(env, "/db.dat", kFsCreate | kFsWrite);
+    auto h2 = fs.Open(env, "/db.dat", kFsWrite);
+    ASSERT_TRUE(h1.ok());
+    ASSERT_TRUE(h2.ok());
+    ASSERT_EQ(fs.Lock(env, *h1, 0, 100, /*exclusive=*/true), base::Status::kOk);
+    EXPECT_EQ(fs.Lock(env, *h2, 50, 100, true), base::Status::kBusy);
+    EXPECT_EQ(fs.Lock(env, *h2, 100, 100, true), base::Status::kOk);  // disjoint
+    // A write into the foreign locked range is refused.
+    EXPECT_EQ(fs.Write(env, *h2, 10, "zz", 2).status(), base::Status::kBusy);
+    // Unlock releases the conflict.
+    ASSERT_EQ(fs.Unlock(env, *h1, 0, 100), base::Status::kOk);
+    EXPECT_TRUE(fs.Write(env, *h2, 10, "zz", 2).ok());
+    ASSERT_EQ(fs.Close(env, *h1), base::Status::kOk);
+    ASSERT_EQ(fs.Close(env, *h2), base::Status::kOk);
+  });
+}
+
+TEST_F(FileServerTest, CaseInsensitiveFlagOverCaseSensitiveStore) {
+  // Mount a JFS (case-sensitive) and open with the OS/2 flag.
+  auto jfs_disk = static_cast<hw::Disk*>(machine_.AddDevice(std::make_unique<hw::Disk>("d3", 5)));
+  auto jfs_store = std::make_unique<mks::BackdoorBlockStore>(jfs_disk, 10'000);
+  auto jfs_cache = std::make_unique<BlockCache>(kernel_, jfs_store.get(), 256);
+  auto jfs = std::make_unique<JfsFs>(kernel_, jfs_cache.get(), 16384);
+  ASSERT_EQ(server_->AddMount("/unix", jfs.get()), base::Status::kOk);
+  bool formatted = false;
+  kernel_.CreateThread(fs_task_, "mkfs2", [&](mk::Env& env) {
+    ASSERT_EQ(jfs->Format(env), base::Status::kOk);
+    formatted = true;
+  });
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    while (!formatted) {
+      env.SleepNs(100'000);  // mkfs blocks on device latency; wait it out
+    }
+    auto h = fs.Open(env, "/unix/ReadMe.MD", kFsCreate | kFsWrite);
+    ASSERT_TRUE(h.ok());
+    ASSERT_EQ(fs.Close(env, *h), base::Status::kOk);
+    // Exact case: plain open works.
+    EXPECT_TRUE(fs.Open(env, "/unix/ReadMe.MD").ok());
+    // Wrong case without the flag: not found (UNIX semantics).
+    EXPECT_EQ(fs.Open(env, "/unix/readme.md").status(), base::Status::kNotFound);
+    // Wrong case with the OS/2 case-insensitive flag: the server's union
+    // semantics scan finds it.
+    auto ci = fs.Open(env, "/unix/readme.md", kFsCaseInsensitive);
+    EXPECT_TRUE(ci.ok());
+  });
+}
+
+TEST_F(FileServerTest, UnlinkOpenFileIsBusy) {
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    auto h = fs.Open(env, "/held.txt", kFsCreate | kFsWrite);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(fs.Unlink(env, "/held.txt"), base::Status::kBusy);
+    ASSERT_EQ(fs.Close(env, *h), base::Status::kOk);
+    EXPECT_EQ(fs.Unlink(env, "/held.txt"), base::Status::kOk);
+  });
+}
+
+TEST_F(FileServerTest, RenameAndEasThroughServer) {
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    auto h = fs.Open(env, "/before.txt", kFsCreate | kFsWrite);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(fs.Write(env, *h, 0, "data", 4).ok());
+    ASSERT_EQ(fs.Close(env, *h), base::Status::kOk);
+    ASSERT_EQ(fs.SetEa(env, "/before.txt", ".TYPE", "Text"), base::Status::kOk);
+    ASSERT_EQ(fs.Rename(env, "/before.txt", "/after.txt"), base::Status::kOk);
+    EXPECT_EQ(fs.GetAttr(env, "/before.txt").status(), base::Status::kNotFound);
+    auto ea = fs.GetEa(env, "/after.txt", ".TYPE");
+    ASSERT_TRUE(ea.ok());
+    EXPECT_EQ(*ea, "Text") << "EAs travel with the file across rename";
+  });
+}
+
+TEST_F(FileServerTest, EaOnFatIsNotSupported) {
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    auto h = fs.Open(env, "/fat/PLAIN.TXT", kFsCreate | kFsWrite);
+    ASSERT_TRUE(h.ok());
+    ASSERT_EQ(fs.Close(env, *h), base::Status::kOk);
+    EXPECT_EQ(fs.SetEa(env, "/fat/PLAIN.TXT", ".TYPE", "Text"),
+              base::Status::kNotSupported)
+        << "the on-disk format limits the logical processing (paper, Semantics)";
+  });
+}
+
+}  // namespace
+}  // namespace svc

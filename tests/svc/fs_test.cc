@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "src/svc/fs/block_cache.h"
+#include "src/svc/fs/fat.h"
+#include "src/svc/fs/inode_fs.h"
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace svc {
+namespace {
+
+// Runs `body` inside a simulated thread with a block cache over a fresh disk.
+class PfsTest : public mk::KernelTest {
+ protected:
+  PfsTest() {
+    disk_ = static_cast<hw::Disk*>(machine_.AddDevice(std::make_unique<hw::Disk>("d", 3)));
+    store_ = std::make_unique<mks::BackdoorBlockStore>(disk_, /*latency_ns=*/10'000);
+    cache_ = std::make_unique<BlockCache>(kernel_, store_.get(), 512);
+    task_ = kernel_.CreateTask("fs");
+  }
+
+  void RunInThread(std::function<void(mk::Env&)> body) {
+    kernel_.CreateThread(task_, "t", std::move(body));
+    ASSERT_EQ(kernel_.Run(), 0u);
+  }
+
+  hw::Disk* disk_;
+  std::unique_ptr<mks::BackdoorBlockStore> store_;
+  std::unique_ptr<BlockCache> cache_;
+  mk::Task* task_;
+};
+
+TEST_F(PfsTest, BlockCacheHitsAndWritebacks) {
+  RunInThread([&](mk::Env& env) {
+    uint8_t buf[512] = {1, 2, 3};
+    ASSERT_EQ(cache_->WriteSector(env, 7, buf), base::Status::kOk);
+    uint8_t out[512];
+    ASSERT_EQ(cache_->ReadSector(env, 7, out), base::Status::kOk);
+    EXPECT_EQ(out[2], 3);
+    EXPECT_GE(cache_->hits(), 1u);
+    // Dirty data is not on the platter until flush.
+    uint8_t platter[512];
+    disk_->ReadSectors(7, 1, platter);
+    EXPECT_NE(platter[2], 3);
+    ASSERT_EQ(cache_->Flush(env), base::Status::kOk);
+    disk_->ReadSectors(7, 1, platter);
+    EXPECT_EQ(platter[2], 3);
+  });
+}
+
+TEST_F(PfsTest, FatFormatCreateReadWrite) {
+  FatFs fat(kernel_, cache_.get(), 8192);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(fat.Format(env), base::Status::kOk);
+    auto file = fat.Create(env, FatFs::kRootNode, "HELLO.TXT", false);
+    ASSERT_TRUE(file.ok());
+    const char msg[] = "fat file system says hi";
+    auto wrote = fat.Write(env, *file, 0, msg, sizeof(msg));
+    ASSERT_TRUE(wrote.ok());
+    EXPECT_EQ(*wrote, sizeof(msg));
+    char out[64] = {};
+    auto got = fat.Read(env, *file, 0, out, sizeof(out));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+    auto attr = fat.GetAttr(env, *file);
+    ASSERT_TRUE(attr.ok());
+    EXPECT_EQ(attr->size, sizeof(msg));
+  });
+}
+
+TEST_F(PfsTest, FatRejectsLongNames) {
+  FatFs fat(kernel_, cache_.get(), 8192);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(fat.Format(env), base::Status::kOk);
+    // The paper's FAT incompatibility: no way to store a long name.
+    EXPECT_EQ(fat.Create(env, FatFs::kRootNode, "longfilename.txt", false).status(),
+              base::Status::kNotSupported);
+    EXPECT_EQ(fat.Create(env, FatFs::kRootNode, "file.longext", false).status(),
+              base::Status::kNotSupported);
+    // 8.3 names are uppercased, not case-preserved.
+    ASSERT_TRUE(fat.Create(env, FatFs::kRootNode, "mixed.txt", false).ok());
+    auto entries = fat.ReadDir(env, FatFs::kRootNode);
+    ASSERT_TRUE(entries.ok());
+    ASSERT_EQ(entries->size(), 1u);
+    EXPECT_EQ((*entries)[0].name, "MIXED.TXT");
+    // Lookup is case-insensitive.
+    EXPECT_TRUE(fat.Lookup(env, FatFs::kRootNode, "MiXeD.TxT").ok());
+  });
+}
+
+TEST_F(PfsTest, FatSubdirectoriesAndRemove) {
+  FatFs fat(kernel_, cache_.get(), 8192);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(fat.Format(env), base::Status::kOk);
+    auto dir = fat.Create(env, FatFs::kRootNode, "SUBDIR", true);
+    ASSERT_TRUE(dir.ok());
+    auto file = fat.Create(env, *dir, "A.DAT", false);
+    ASSERT_TRUE(file.ok());
+    // Non-empty directory cannot be removed.
+    EXPECT_EQ(fat.Remove(env, FatFs::kRootNode, "SUBDIR"), base::Status::kBusy);
+    ASSERT_EQ(fat.Remove(env, *dir, "A.DAT"), base::Status::kOk);
+    EXPECT_EQ(fat.Remove(env, FatFs::kRootNode, "SUBDIR"), base::Status::kOk);
+    EXPECT_EQ(fat.Lookup(env, FatFs::kRootNode, "SUBDIR").status(), base::Status::kNotFound);
+  });
+}
+
+TEST_F(PfsTest, FatClusterReuseAfterDelete) {
+  FatFs fat(kernel_, cache_.get(), 8192);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(fat.Format(env), base::Status::kOk);
+    const uint64_t free0 = fat.free_clusters();
+    auto file = fat.Create(env, FatFs::kRootNode, "BIG.BIN", false);
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> data(5 * FatFs::kClusterBytes, 0xaa);
+    ASSERT_TRUE(fat.Write(env, *file, 0, data.data(), static_cast<uint32_t>(data.size())).ok());
+    EXPECT_EQ(fat.free_clusters(), free0 - 5);
+    ASSERT_EQ(fat.Remove(env, FatFs::kRootNode, "BIG.BIN"), base::Status::kOk);
+    EXPECT_EQ(fat.free_clusters(), free0);
+  });
+}
+
+TEST_F(PfsTest, FatPersistsAcrossRemount) {
+  {
+    FatFs fat(kernel_, cache_.get(), 8192);
+    RunInThread([&](mk::Env& env) {
+      ASSERT_EQ(fat.Format(env), base::Status::kOk);
+      auto file = fat.Create(env, FatFs::kRootNode, "KEEP.ME", false);
+      ASSERT_TRUE(file.ok());
+      ASSERT_TRUE(fat.Write(env, *file, 0, "persist", 8).ok());
+      ASSERT_EQ(fat.Sync(env), base::Status::kOk);
+    });
+  }
+  FatFs fat2(kernel_, cache_.get(), 8192);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(fat2.Mount(env), base::Status::kOk);
+    auto file = fat2.Lookup(env, FatFs::kRootNode, "KEEP.ME");
+    ASSERT_TRUE(file.ok());
+    char out[16] = {};
+    ASSERT_TRUE(fat2.Read(env, *file, 0, out, sizeof(out)).ok());
+    EXPECT_STREQ(out, "persist");
+  });
+}
+
+TEST_F(PfsTest, HpfsLongNamesCasePreservedCaseInsensitive) {
+  HpfsFs hpfs(kernel_, cache_.get(), 16384);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(hpfs.Format(env), base::Status::kOk);
+    auto file = hpfs.Create(env, InodeFs::kRootInode, "My Long Document Name.text", false);
+    ASSERT_TRUE(file.ok());
+    // Case-insensitive lookup finds it...
+    EXPECT_TRUE(hpfs.Lookup(env, InodeFs::kRootInode, "my long document name.TEXT").ok());
+    // ...and the stored case is preserved.
+    auto entries = hpfs.ReadDir(env, InodeFs::kRootInode);
+    ASSERT_TRUE(entries.ok());
+    EXPECT_EQ((*entries)[0].name, "My Long Document Name.text");
+  });
+}
+
+TEST_F(PfsTest, HpfsExtendedAttributes) {
+  HpfsFs hpfs(kernel_, cache_.get(), 16384);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(hpfs.Format(env), base::Status::kOk);
+    auto file = hpfs.Create(env, InodeFs::kRootInode, "doc.txt", false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_EQ(hpfs.SetEa(env, *file, ".TYPE", "Plain Text"), base::Status::kOk);
+    ASSERT_EQ(hpfs.SetEa(env, *file, ".ICON", "doc"), base::Status::kOk);
+    auto type = hpfs.GetEa(env, *file, ".TYPE");
+    ASSERT_TRUE(type.ok());
+    EXPECT_EQ(*type, "Plain Text");
+    // Overwrite in place.
+    ASSERT_EQ(hpfs.SetEa(env, *file, ".TYPE", "Rich Text"), base::Status::kOk);
+    EXPECT_EQ(*hpfs.GetEa(env, *file, ".TYPE"), "Rich Text");
+    // Slots exhausted.
+    EXPECT_EQ(hpfs.SetEa(env, *file, ".THIRD", "x"), base::Status::kNoSpace);
+  });
+}
+
+TEST_F(PfsTest, JfsCaseSensitiveNames) {
+  JfsFs jfs(kernel_, cache_.get(), 16384);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(jfs.Format(env), base::Status::kOk);
+    ASSERT_TRUE(jfs.Create(env, InodeFs::kRootInode, "Makefile", false).ok());
+    ASSERT_TRUE(jfs.Create(env, InodeFs::kRootInode, "makefile", false).ok());
+    EXPECT_TRUE(jfs.Lookup(env, InodeFs::kRootInode, "Makefile").ok());
+    EXPECT_TRUE(jfs.Lookup(env, InodeFs::kRootInode, "makefile").ok());
+    EXPECT_EQ(jfs.Lookup(env, InodeFs::kRootInode, "MAKEFILE").status(),
+              base::Status::kNotFound);
+  });
+}
+
+TEST_F(PfsTest, JfsLargeFileThroughIndirectBlocks) {
+  JfsFs jfs(kernel_, cache_.get(), 32768);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(jfs.Format(env), base::Status::kOk);
+    auto file = jfs.Create(env, InodeFs::kRootInode, "big.bin", false);
+    ASSERT_TRUE(file.ok());
+    // > 12 direct blocks (12 * 512 = 6 KB): forces the indirect path.
+    std::vector<uint8_t> data(20 * 1024);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(i % 251);
+    }
+    auto wrote = jfs.Write(env, *file, 0, data.data(), static_cast<uint32_t>(data.size()));
+    ASSERT_TRUE(wrote.ok());
+    EXPECT_EQ(*wrote, data.size());
+    std::vector<uint8_t> back(data.size());
+    auto got = jfs.Read(env, *file, 0, back.data(), static_cast<uint32_t>(back.size()));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(back, data);
+    // Offset read in the indirect zone.
+    uint8_t b = 0;
+    ASSERT_TRUE(jfs.Read(env, *file, 10'000, &b, 1).ok());
+    EXPECT_EQ(b, static_cast<uint8_t>(10'000 % 251));
+  });
+}
+
+TEST_F(PfsTest, JfsJournalReplayAfterCrash) {
+  JfsFs jfs(kernel_, cache_.get(), 32768);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(jfs.Format(env), base::Status::kOk);
+    ASSERT_TRUE(jfs.Create(env, InodeFs::kRootInode, "survivor", false).ok());
+    ASSERT_EQ(jfs.Sync(env), base::Status::kOk);
+    // Crash in the middle of the next create: the journal is written but the
+    // main metadata area is not.
+    jfs.CrashBeforeApply();
+    ASSERT_TRUE(jfs.Create(env, InodeFs::kRootInode, "committed-by-log", false).ok());
+    ASSERT_EQ(jfs.Sync(env), base::Status::kOk);
+  });
+  // Remount: replay must make the logged create visible.
+  JfsFs recovered(kernel_, cache_.get(), 32768);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(recovered.Mount(env), base::Status::kOk);
+    EXPECT_EQ(recovered.journal_replays(), 1u);
+    EXPECT_TRUE(recovered.Lookup(env, InodeFs::kRootInode, "survivor").ok());
+    EXPECT_TRUE(recovered.Lookup(env, InodeFs::kRootInode, "committed-by-log").ok());
+  });
+}
+
+TEST_F(PfsTest, JfsRenamePreservesInode) {
+  JfsFs jfs(kernel_, cache_.get(), 16384);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(jfs.Format(env), base::Status::kOk);
+    auto dir = jfs.Create(env, InodeFs::kRootInode, "dir", true);
+    ASSERT_TRUE(dir.ok());
+    auto file = jfs.Create(env, InodeFs::kRootInode, "old-name", false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(jfs.Write(env, *file, 0, "payload", 8).ok());
+    ASSERT_EQ(jfs.Rename(env, InodeFs::kRootInode, "old-name", *dir, "new-name"),
+              base::Status::kOk);
+    EXPECT_EQ(jfs.Lookup(env, InodeFs::kRootInode, "old-name").status(),
+              base::Status::kNotFound);
+    auto moved = jfs.Lookup(env, *dir, "new-name");
+    ASSERT_TRUE(moved.ok());
+    EXPECT_EQ(*moved, *file) << "rename must not change the inode";
+    char out[8] = {};
+    ASSERT_TRUE(jfs.Read(env, *moved, 0, out, 8).ok());
+    EXPECT_STREQ(out, "payload");
+  });
+}
+
+TEST_F(PfsTest, InodeFsBlockAccountingOnRemove) {
+  HpfsFs hpfs(kernel_, cache_.get(), 16384);
+  RunInThread([&](mk::Env& env) {
+    ASSERT_EQ(hpfs.Format(env), base::Status::kOk);
+    const uint64_t free0 = hpfs.free_blocks();
+    auto file = hpfs.Create(env, InodeFs::kRootInode, "temp", false);
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> data(8 * 1024, 1);
+    ASSERT_TRUE(hpfs.Write(env, *file, 0, data.data(), static_cast<uint32_t>(data.size())).ok());
+    EXPECT_LT(hpfs.free_blocks(), free0);
+    ASSERT_EQ(hpfs.Remove(env, InodeFs::kRootInode, "temp"), base::Status::kOk);
+    // The root directory keeps one block for its entries; everything the
+    // file held must come back.
+    EXPECT_GE(hpfs.free_blocks() + 1, free0);
+  });
+}
+
+}  // namespace
+}  // namespace svc
