@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fine_objects.dir/bench_fine_objects.cc.o"
+  "CMakeFiles/bench_fine_objects.dir/bench_fine_objects.cc.o.d"
+  "bench_fine_objects"
+  "bench_fine_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fine_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_naming.cc" "bench/CMakeFiles/bench_naming.dir/bench_naming.cc.o" "gcc" "bench/CMakeFiles/bench_naming.dir/bench_naming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/wpos_bench_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/pers/CMakeFiles/wpos_pers.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/wpos_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/wpos_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/drv/CMakeFiles/wpos_drv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mks/CMakeFiles/wpos_mks.dir/DependInfo.cmake"
+  "/root/repo/build/src/mk/CMakeFiles/wpos_mk.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wpos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/wpos_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

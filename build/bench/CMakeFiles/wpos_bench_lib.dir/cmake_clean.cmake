@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libwpos_bench_lib.a"
+  "../lib/libwpos_bench_lib.pdb"
+  "CMakeFiles/wpos_bench_lib.dir/lib/systems.cc.o"
+  "CMakeFiles/wpos_bench_lib.dir/lib/systems.cc.o.d"
+  "CMakeFiles/wpos_bench_lib.dir/lib/workloads.cc.o"
+  "CMakeFiles/wpos_bench_lib.dir/lib/workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpos_bench_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

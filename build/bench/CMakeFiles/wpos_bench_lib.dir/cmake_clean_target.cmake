@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libwpos_bench_lib.a"
+)

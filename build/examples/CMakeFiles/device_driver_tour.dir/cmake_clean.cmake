@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_driver_tour.dir/device_driver_tour.cpp.o"
+  "CMakeFiles/device_driver_tour.dir/device_driver_tour.cpp.o.d"
+  "device_driver_tour"
+  "device_driver_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_driver_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

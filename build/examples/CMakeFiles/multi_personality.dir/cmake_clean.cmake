@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_personality.dir/multi_personality.cpp.o"
+  "CMakeFiles/multi_personality.dir/multi_personality.cpp.o.d"
+  "multi_personality"
+  "multi_personality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_personality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

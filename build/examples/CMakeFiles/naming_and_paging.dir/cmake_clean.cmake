@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naming_and_paging.dir/naming_and_paging.cpp.o"
+  "CMakeFiles/naming_and_paging.dir/naming_and_paging.cpp.o.d"
+  "naming_and_paging"
+  "naming_and_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naming_and_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpos_base.dir/log.cc.o"
+  "CMakeFiles/wpos_base.dir/log.cc.o.d"
+  "CMakeFiles/wpos_base.dir/status.cc.o"
+  "CMakeFiles/wpos_base.dir/status.cc.o.d"
+  "libwpos_base.a"
+  "libwpos_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpos_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

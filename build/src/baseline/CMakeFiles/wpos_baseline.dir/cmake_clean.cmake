@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpos_baseline.dir/monolithic.cc.o"
+  "CMakeFiles/wpos_baseline.dir/monolithic.cc.o.d"
+  "libwpos_baseline.a"
+  "libwpos_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpos_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwpos_baseline.a"
+)

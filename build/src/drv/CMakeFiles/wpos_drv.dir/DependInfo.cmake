@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drv/disk_driver.cc" "src/drv/CMakeFiles/wpos_drv.dir/disk_driver.cc.o" "gcc" "src/drv/CMakeFiles/wpos_drv.dir/disk_driver.cc.o.d"
+  "/root/repo/src/drv/kernel_nic.cc" "src/drv/CMakeFiles/wpos_drv.dir/kernel_nic.cc.o" "gcc" "src/drv/CMakeFiles/wpos_drv.dir/kernel_nic.cc.o.d"
+  "/root/repo/src/drv/nic_driver.cc" "src/drv/CMakeFiles/wpos_drv.dir/nic_driver.cc.o" "gcc" "src/drv/CMakeFiles/wpos_drv.dir/nic_driver.cc.o.d"
+  "/root/repo/src/drv/resource_manager.cc" "src/drv/CMakeFiles/wpos_drv.dir/resource_manager.cc.o" "gcc" "src/drv/CMakeFiles/wpos_drv.dir/resource_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mks/CMakeFiles/wpos_mks.dir/DependInfo.cmake"
+  "/root/repo/build/src/mk/CMakeFiles/wpos_mk.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wpos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/wpos_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpos_drv.dir/disk_driver.cc.o"
+  "CMakeFiles/wpos_drv.dir/disk_driver.cc.o.d"
+  "CMakeFiles/wpos_drv.dir/kernel_nic.cc.o"
+  "CMakeFiles/wpos_drv.dir/kernel_nic.cc.o.d"
+  "CMakeFiles/wpos_drv.dir/nic_driver.cc.o"
+  "CMakeFiles/wpos_drv.dir/nic_driver.cc.o.d"
+  "CMakeFiles/wpos_drv.dir/resource_manager.cc.o"
+  "CMakeFiles/wpos_drv.dir/resource_manager.cc.o.d"
+  "libwpos_drv.a"
+  "libwpos_drv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpos_drv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cache.cc" "src/hw/CMakeFiles/wpos_hw.dir/cache.cc.o" "gcc" "src/hw/CMakeFiles/wpos_hw.dir/cache.cc.o.d"
+  "/root/repo/src/hw/code_layout.cc" "src/hw/CMakeFiles/wpos_hw.dir/code_layout.cc.o" "gcc" "src/hw/CMakeFiles/wpos_hw.dir/code_layout.cc.o.d"
+  "/root/repo/src/hw/cpu.cc" "src/hw/CMakeFiles/wpos_hw.dir/cpu.cc.o" "gcc" "src/hw/CMakeFiles/wpos_hw.dir/cpu.cc.o.d"
+  "/root/repo/src/hw/disk.cc" "src/hw/CMakeFiles/wpos_hw.dir/disk.cc.o" "gcc" "src/hw/CMakeFiles/wpos_hw.dir/disk.cc.o.d"
+  "/root/repo/src/hw/dma.cc" "src/hw/CMakeFiles/wpos_hw.dir/dma.cc.o" "gcc" "src/hw/CMakeFiles/wpos_hw.dir/dma.cc.o.d"
+  "/root/repo/src/hw/framebuffer.cc" "src/hw/CMakeFiles/wpos_hw.dir/framebuffer.cc.o" "gcc" "src/hw/CMakeFiles/wpos_hw.dir/framebuffer.cc.o.d"
+  "/root/repo/src/hw/interrupt_controller.cc" "src/hw/CMakeFiles/wpos_hw.dir/interrupt_controller.cc.o" "gcc" "src/hw/CMakeFiles/wpos_hw.dir/interrupt_controller.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/wpos_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/wpos_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/nic.cc" "src/hw/CMakeFiles/wpos_hw.dir/nic.cc.o" "gcc" "src/hw/CMakeFiles/wpos_hw.dir/nic.cc.o.d"
+  "/root/repo/src/hw/phys_mem.cc" "src/hw/CMakeFiles/wpos_hw.dir/phys_mem.cc.o" "gcc" "src/hw/CMakeFiles/wpos_hw.dir/phys_mem.cc.o.d"
+  "/root/repo/src/hw/timer_device.cc" "src/hw/CMakeFiles/wpos_hw.dir/timer_device.cc.o" "gcc" "src/hw/CMakeFiles/wpos_hw.dir/timer_device.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/hw/CMakeFiles/wpos_hw.dir/tlb.cc.o" "gcc" "src/hw/CMakeFiles/wpos_hw.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/wpos_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpos_hw.dir/cache.cc.o"
+  "CMakeFiles/wpos_hw.dir/cache.cc.o.d"
+  "CMakeFiles/wpos_hw.dir/code_layout.cc.o"
+  "CMakeFiles/wpos_hw.dir/code_layout.cc.o.d"
+  "CMakeFiles/wpos_hw.dir/cpu.cc.o"
+  "CMakeFiles/wpos_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/wpos_hw.dir/disk.cc.o"
+  "CMakeFiles/wpos_hw.dir/disk.cc.o.d"
+  "CMakeFiles/wpos_hw.dir/dma.cc.o"
+  "CMakeFiles/wpos_hw.dir/dma.cc.o.d"
+  "CMakeFiles/wpos_hw.dir/framebuffer.cc.o"
+  "CMakeFiles/wpos_hw.dir/framebuffer.cc.o.d"
+  "CMakeFiles/wpos_hw.dir/interrupt_controller.cc.o"
+  "CMakeFiles/wpos_hw.dir/interrupt_controller.cc.o.d"
+  "CMakeFiles/wpos_hw.dir/machine.cc.o"
+  "CMakeFiles/wpos_hw.dir/machine.cc.o.d"
+  "CMakeFiles/wpos_hw.dir/nic.cc.o"
+  "CMakeFiles/wpos_hw.dir/nic.cc.o.d"
+  "CMakeFiles/wpos_hw.dir/phys_mem.cc.o"
+  "CMakeFiles/wpos_hw.dir/phys_mem.cc.o.d"
+  "CMakeFiles/wpos_hw.dir/timer_device.cc.o"
+  "CMakeFiles/wpos_hw.dir/timer_device.cc.o.d"
+  "CMakeFiles/wpos_hw.dir/tlb.cc.o"
+  "CMakeFiles/wpos_hw.dir/tlb.cc.o.d"
+  "libwpos_hw.a"
+  "libwpos_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpos_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwpos_hw.a"
+)

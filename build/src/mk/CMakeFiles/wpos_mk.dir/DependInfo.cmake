@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mk/context.cc" "src/mk/CMakeFiles/wpos_mk.dir/context.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/context.cc.o.d"
+  "/root/repo/src/mk/host.cc" "src/mk/CMakeFiles/wpos_mk.dir/host.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/host.cc.o.d"
+  "/root/repo/src/mk/kernel.cc" "src/mk/CMakeFiles/wpos_mk.dir/kernel.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/kernel.cc.o.d"
+  "/root/repo/src/mk/kernel_ipc.cc" "src/mk/CMakeFiles/wpos_mk.dir/kernel_ipc.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/kernel_ipc.cc.o.d"
+  "/root/repo/src/mk/kernel_rpc.cc" "src/mk/CMakeFiles/wpos_mk.dir/kernel_rpc.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/kernel_rpc.cc.o.d"
+  "/root/repo/src/mk/kernel_sync.cc" "src/mk/CMakeFiles/wpos_mk.dir/kernel_sync.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/kernel_sync.cc.o.d"
+  "/root/repo/src/mk/kernel_vm.cc" "src/mk/CMakeFiles/wpos_mk.dir/kernel_vm.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/kernel_vm.cc.o.d"
+  "/root/repo/src/mk/port.cc" "src/mk/CMakeFiles/wpos_mk.dir/port.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/port.cc.o.d"
+  "/root/repo/src/mk/scheduler.cc" "src/mk/CMakeFiles/wpos_mk.dir/scheduler.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/scheduler.cc.o.d"
+  "/root/repo/src/mk/task.cc" "src/mk/CMakeFiles/wpos_mk.dir/task.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/task.cc.o.d"
+  "/root/repo/src/mk/thread.cc" "src/mk/CMakeFiles/wpos_mk.dir/thread.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/thread.cc.o.d"
+  "/root/repo/src/mk/vm_map.cc" "src/mk/CMakeFiles/wpos_mk.dir/vm_map.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/vm_map.cc.o.d"
+  "/root/repo/src/mk/vm_object.cc" "src/mk/CMakeFiles/wpos_mk.dir/vm_object.cc.o" "gcc" "src/mk/CMakeFiles/wpos_mk.dir/vm_object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/wpos_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wpos_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

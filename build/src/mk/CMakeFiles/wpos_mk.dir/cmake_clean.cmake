@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpos_mk.dir/context.cc.o"
+  "CMakeFiles/wpos_mk.dir/context.cc.o.d"
+  "CMakeFiles/wpos_mk.dir/host.cc.o"
+  "CMakeFiles/wpos_mk.dir/host.cc.o.d"
+  "CMakeFiles/wpos_mk.dir/kernel.cc.o"
+  "CMakeFiles/wpos_mk.dir/kernel.cc.o.d"
+  "CMakeFiles/wpos_mk.dir/kernel_ipc.cc.o"
+  "CMakeFiles/wpos_mk.dir/kernel_ipc.cc.o.d"
+  "CMakeFiles/wpos_mk.dir/kernel_rpc.cc.o"
+  "CMakeFiles/wpos_mk.dir/kernel_rpc.cc.o.d"
+  "CMakeFiles/wpos_mk.dir/kernel_sync.cc.o"
+  "CMakeFiles/wpos_mk.dir/kernel_sync.cc.o.d"
+  "CMakeFiles/wpos_mk.dir/kernel_vm.cc.o"
+  "CMakeFiles/wpos_mk.dir/kernel_vm.cc.o.d"
+  "CMakeFiles/wpos_mk.dir/port.cc.o"
+  "CMakeFiles/wpos_mk.dir/port.cc.o.d"
+  "CMakeFiles/wpos_mk.dir/scheduler.cc.o"
+  "CMakeFiles/wpos_mk.dir/scheduler.cc.o.d"
+  "CMakeFiles/wpos_mk.dir/task.cc.o"
+  "CMakeFiles/wpos_mk.dir/task.cc.o.d"
+  "CMakeFiles/wpos_mk.dir/thread.cc.o"
+  "CMakeFiles/wpos_mk.dir/thread.cc.o.d"
+  "CMakeFiles/wpos_mk.dir/vm_map.cc.o"
+  "CMakeFiles/wpos_mk.dir/vm_map.cc.o.d"
+  "CMakeFiles/wpos_mk.dir/vm_object.cc.o"
+  "CMakeFiles/wpos_mk.dir/vm_object.cc.o.d"
+  "libwpos_mk.a"
+  "libwpos_mk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpos_mk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wpos_mk.
+# This may be replaced when dependencies are built.

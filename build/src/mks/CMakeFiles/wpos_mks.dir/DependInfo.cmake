@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mks/loader/loader.cc" "src/mks/CMakeFiles/wpos_mks.dir/loader/loader.cc.o" "gcc" "src/mks/CMakeFiles/wpos_mks.dir/loader/loader.cc.o.d"
+  "/root/repo/src/mks/loader/module.cc" "src/mks/CMakeFiles/wpos_mks.dir/loader/module.cc.o" "gcc" "src/mks/CMakeFiles/wpos_mks.dir/loader/module.cc.o.d"
+  "/root/repo/src/mks/naming/lite_name_server.cc" "src/mks/CMakeFiles/wpos_mks.dir/naming/lite_name_server.cc.o" "gcc" "src/mks/CMakeFiles/wpos_mks.dir/naming/lite_name_server.cc.o.d"
+  "/root/repo/src/mks/naming/name_server.cc" "src/mks/CMakeFiles/wpos_mks.dir/naming/name_server.cc.o" "gcc" "src/mks/CMakeFiles/wpos_mks.dir/naming/name_server.cc.o.d"
+  "/root/repo/src/mks/pager/default_pager.cc" "src/mks/CMakeFiles/wpos_mks.dir/pager/default_pager.cc.o" "gcc" "src/mks/CMakeFiles/wpos_mks.dir/pager/default_pager.cc.o.d"
+  "/root/repo/src/mks/runtime/runtime.cc" "src/mks/CMakeFiles/wpos_mks.dir/runtime/runtime.cc.o" "gcc" "src/mks/CMakeFiles/wpos_mks.dir/runtime/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mk/CMakeFiles/wpos_mk.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wpos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/wpos_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

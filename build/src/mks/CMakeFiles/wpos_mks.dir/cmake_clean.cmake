@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpos_mks.dir/loader/loader.cc.o"
+  "CMakeFiles/wpos_mks.dir/loader/loader.cc.o.d"
+  "CMakeFiles/wpos_mks.dir/loader/module.cc.o"
+  "CMakeFiles/wpos_mks.dir/loader/module.cc.o.d"
+  "CMakeFiles/wpos_mks.dir/naming/lite_name_server.cc.o"
+  "CMakeFiles/wpos_mks.dir/naming/lite_name_server.cc.o.d"
+  "CMakeFiles/wpos_mks.dir/naming/name_server.cc.o"
+  "CMakeFiles/wpos_mks.dir/naming/name_server.cc.o.d"
+  "CMakeFiles/wpos_mks.dir/pager/default_pager.cc.o"
+  "CMakeFiles/wpos_mks.dir/pager/default_pager.cc.o.d"
+  "CMakeFiles/wpos_mks.dir/runtime/runtime.cc.o"
+  "CMakeFiles/wpos_mks.dir/runtime/runtime.cc.o.d"
+  "libwpos_mks.a"
+  "libwpos_mks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpos_mks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

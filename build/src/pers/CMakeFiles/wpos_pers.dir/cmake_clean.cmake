@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpos_pers.dir/mvm/mvm.cc.o"
+  "CMakeFiles/wpos_pers.dir/mvm/mvm.cc.o.d"
+  "CMakeFiles/wpos_pers.dir/mvm/vm86.cc.o"
+  "CMakeFiles/wpos_pers.dir/mvm/vm86.cc.o.d"
+  "CMakeFiles/wpos_pers.dir/os2/os2.cc.o"
+  "CMakeFiles/wpos_pers.dir/os2/os2.cc.o.d"
+  "CMakeFiles/wpos_pers.dir/os2/os2_memory.cc.o"
+  "CMakeFiles/wpos_pers.dir/os2/os2_memory.cc.o.d"
+  "CMakeFiles/wpos_pers.dir/os2/pm.cc.o"
+  "CMakeFiles/wpos_pers.dir/os2/pm.cc.o.d"
+  "CMakeFiles/wpos_pers.dir/unixp/unix.cc.o"
+  "CMakeFiles/wpos_pers.dir/unixp/unix.cc.o.d"
+  "libwpos_pers.a"
+  "libwpos_pers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpos_pers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wpos_pers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svc/fs/block_cache.cc" "src/svc/CMakeFiles/wpos_svc.dir/fs/block_cache.cc.o" "gcc" "src/svc/CMakeFiles/wpos_svc.dir/fs/block_cache.cc.o.d"
+  "/root/repo/src/svc/fs/fat.cc" "src/svc/CMakeFiles/wpos_svc.dir/fs/fat.cc.o" "gcc" "src/svc/CMakeFiles/wpos_svc.dir/fs/fat.cc.o.d"
+  "/root/repo/src/svc/fs/file_server.cc" "src/svc/CMakeFiles/wpos_svc.dir/fs/file_server.cc.o" "gcc" "src/svc/CMakeFiles/wpos_svc.dir/fs/file_server.cc.o.d"
+  "/root/repo/src/svc/fs/inode_fs.cc" "src/svc/CMakeFiles/wpos_svc.dir/fs/inode_fs.cc.o" "gcc" "src/svc/CMakeFiles/wpos_svc.dir/fs/inode_fs.cc.o.d"
+  "/root/repo/src/svc/net/net_server.cc" "src/svc/CMakeFiles/wpos_svc.dir/net/net_server.cc.o" "gcc" "src/svc/CMakeFiles/wpos_svc.dir/net/net_server.cc.o.d"
+  "/root/repo/src/svc/net/stack.cc" "src/svc/CMakeFiles/wpos_svc.dir/net/stack.cc.o" "gcc" "src/svc/CMakeFiles/wpos_svc.dir/net/stack.cc.o.d"
+  "/root/repo/src/svc/registry.cc" "src/svc/CMakeFiles/wpos_svc.dir/registry.cc.o" "gcc" "src/svc/CMakeFiles/wpos_svc.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drv/CMakeFiles/wpos_drv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mks/CMakeFiles/wpos_mks.dir/DependInfo.cmake"
+  "/root/repo/build/src/mk/CMakeFiles/wpos_mk.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wpos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/wpos_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

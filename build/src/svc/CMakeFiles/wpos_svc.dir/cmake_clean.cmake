@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpos_svc.dir/fs/block_cache.cc.o"
+  "CMakeFiles/wpos_svc.dir/fs/block_cache.cc.o.d"
+  "CMakeFiles/wpos_svc.dir/fs/fat.cc.o"
+  "CMakeFiles/wpos_svc.dir/fs/fat.cc.o.d"
+  "CMakeFiles/wpos_svc.dir/fs/file_server.cc.o"
+  "CMakeFiles/wpos_svc.dir/fs/file_server.cc.o.d"
+  "CMakeFiles/wpos_svc.dir/fs/inode_fs.cc.o"
+  "CMakeFiles/wpos_svc.dir/fs/inode_fs.cc.o.d"
+  "CMakeFiles/wpos_svc.dir/net/net_server.cc.o"
+  "CMakeFiles/wpos_svc.dir/net/net_server.cc.o.d"
+  "CMakeFiles/wpos_svc.dir/net/stack.cc.o"
+  "CMakeFiles/wpos_svc.dir/net/stack.cc.o.d"
+  "CMakeFiles/wpos_svc.dir/registry.cc.o"
+  "CMakeFiles/wpos_svc.dir/registry.cc.o.d"
+  "libwpos_svc.a"
+  "libwpos_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpos_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drv_tests.dir/drv/drivers_test.cc.o"
+  "CMakeFiles/drv_tests.dir/drv/drivers_test.cc.o.d"
+  "drv_tests"
+  "drv_tests.pdb"
+  "drv_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drv_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

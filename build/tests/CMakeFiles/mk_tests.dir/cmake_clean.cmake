@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_tests.dir/mk/context_test.cc.o"
+  "CMakeFiles/mk_tests.dir/mk/context_test.cc.o.d"
+  "CMakeFiles/mk_tests.dir/mk/ipc_test.cc.o"
+  "CMakeFiles/mk_tests.dir/mk/ipc_test.cc.o.d"
+  "CMakeFiles/mk_tests.dir/mk/port_set_test.cc.o"
+  "CMakeFiles/mk_tests.dir/mk/port_set_test.cc.o.d"
+  "CMakeFiles/mk_tests.dir/mk/port_test.cc.o"
+  "CMakeFiles/mk_tests.dir/mk/port_test.cc.o.d"
+  "CMakeFiles/mk_tests.dir/mk/reply_and_receive_test.cc.o"
+  "CMakeFiles/mk_tests.dir/mk/reply_and_receive_test.cc.o.d"
+  "CMakeFiles/mk_tests.dir/mk/rpc_test.cc.o"
+  "CMakeFiles/mk_tests.dir/mk/rpc_test.cc.o.d"
+  "CMakeFiles/mk_tests.dir/mk/sched_test.cc.o"
+  "CMakeFiles/mk_tests.dir/mk/sched_test.cc.o.d"
+  "CMakeFiles/mk_tests.dir/mk/server_loop_test.cc.o"
+  "CMakeFiles/mk_tests.dir/mk/server_loop_test.cc.o.d"
+  "CMakeFiles/mk_tests.dir/mk/sync_test.cc.o"
+  "CMakeFiles/mk_tests.dir/mk/sync_test.cc.o.d"
+  "CMakeFiles/mk_tests.dir/mk/vm_test.cc.o"
+  "CMakeFiles/mk_tests.dir/mk/vm_test.cc.o.d"
+  "mk_tests"
+  "mk_tests.pdb"
+  "mk_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

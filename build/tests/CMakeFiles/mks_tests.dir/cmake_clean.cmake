@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mks_tests.dir/mks/loader_test.cc.o"
+  "CMakeFiles/mks_tests.dir/mks/loader_test.cc.o.d"
+  "CMakeFiles/mks_tests.dir/mks/naming_test.cc.o"
+  "CMakeFiles/mks_tests.dir/mks/naming_test.cc.o.d"
+  "CMakeFiles/mks_tests.dir/mks/pager_runtime_test.cc.o"
+  "CMakeFiles/mks_tests.dir/mks/pager_runtime_test.cc.o.d"
+  "mks_tests"
+  "mks_tests.pdb"
+  "mks_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mks_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pers_tests.dir/pers/os2_test.cc.o"
+  "CMakeFiles/pers_tests.dir/pers/os2_test.cc.o.d"
+  "CMakeFiles/pers_tests.dir/pers/unix_mvm_test.cc.o"
+  "CMakeFiles/pers_tests.dir/pers/unix_mvm_test.cc.o.d"
+  "CMakeFiles/pers_tests.dir/pers/vm86_test.cc.o"
+  "CMakeFiles/pers_tests.dir/pers/vm86_test.cc.o.d"
+  "pers_tests"
+  "pers_tests.pdb"
+  "pers_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pers_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pers_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/props_tests.dir/props/kernel_props_test.cc.o"
+  "CMakeFiles/props_tests.dir/props/kernel_props_test.cc.o.d"
+  "CMakeFiles/props_tests.dir/props/pfs_contract_test.cc.o"
+  "CMakeFiles/props_tests.dir/props/pfs_contract_test.cc.o.d"
+  "props_tests"
+  "props_tests.pdb"
+  "props_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/props_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_tests.dir/svc/file_server_test.cc.o"
+  "CMakeFiles/svc_tests.dir/svc/file_server_test.cc.o.d"
+  "CMakeFiles/svc_tests.dir/svc/fs_test.cc.o"
+  "CMakeFiles/svc_tests.dir/svc/fs_test.cc.o.d"
+  "CMakeFiles/svc_tests.dir/svc/net_test.cc.o"
+  "CMakeFiles/svc_tests.dir/svc/net_test.cc.o.d"
+  "svc_tests"
+  "svc_tests.pdb"
+  "svc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hw_tests[1]_include.cmake")
+include("/root/repo/build/tests/mk_tests[1]_include.cmake")
+include("/root/repo/build/tests/mks_tests[1]_include.cmake")
+include("/root/repo/build/tests/drv_tests[1]_include.cmake")
+include("/root/repo/build/tests/svc_tests[1]_include.cmake")
+include("/root/repo/build/tests/pers_tests[1]_include.cmake")
+include("/root/repo/build/tests/baseline_tests[1]_include.cmake")
+include("/root/repo/build/tests/props_tests[1]_include.cmake")
