@@ -52,4 +52,19 @@ struct Voidify {
                                               __FILE__, __LINE__)           \
                    .stream() << "Check failed: " #cond " "
 
+// Debug-only check for hot paths (per-message IPC/RPC and scheduler
+// dispatch): identical to WPOS_CHECK in debug builds, compiles to nothing in
+// NDEBUG builds. The `true || (cond)` keeps the condition odr-used (no
+// unused-variable warnings) without evaluating it.
+#ifdef NDEBUG
+#define WPOS_DCHECK(cond)                                                    \
+  (true || (cond)) ? (void)0                                                \
+                   : base::log_internal::Voidify() &                        \
+                         base::log_internal::LogMessage(                    \
+                             base::LogLevel::kFatal, __FILE__, __LINE__)    \
+                             .stream()
+#else
+#define WPOS_DCHECK(cond) WPOS_CHECK(cond)
+#endif
+
 #endif  // SRC_BASE_LOG_H_

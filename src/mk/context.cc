@@ -2,6 +2,24 @@
 
 #include "src/base/log.h"
 
+// ASan cannot follow a hand-rolled stack switch on its own: it tracks one
+// shadow/fake stack per OS thread, so swapping %rsp under it produces false
+// stack-buffer-overflow and use-after-return reports. The
+// __sanitizer_*_switch_fiber hooks tell it when execution migrates between
+// the scheduler stack and a green-thread stack (build with -DWPOS_ASAN=ON).
+#if defined(__SANITIZE_ADDRESS__)
+#define WPOS_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define WPOS_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef WPOS_ASAN_FIBERS
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 // x86-64 SysV: rbx, rbp, r12-r15 are callee-saved; everything else is dead
 // across an ordinary function call, which is exactly what WposCtxSwitch is.
 asm(R"(
@@ -50,5 +68,54 @@ void* WposCtxMake(void* stack_top, void (*entry)()) {
   }
   return sp;
 }
+
+#ifdef WPOS_ASAN_FIBERS
+namespace {
+// Bounds of the scheduler (host) stack, learned from ASan the first time a
+// fiber completes a switch away from it. The simulation is single-OS-threaded
+// but keep these thread_local in case two machines run on different threads.
+thread_local const void* g_main_stack_bottom = nullptr;
+thread_local size_t g_main_stack_size = 0;
+}  // namespace
+
+void WposCtxSwitchToFiber(void** save_sp, void* load_sp, const void* stack_bottom,
+                          size_t stack_size) {
+  void* fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&fake_stack, stack_bottom, stack_size);
+  WposCtxSwitch(save_sp, load_sp);
+  // Resumed on the scheduler stack, arriving from some fiber.
+  __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
+}
+
+void WposCtxSwitchToMain(void** save_sp, void* load_sp, bool abandon) {
+  void* fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(abandon ? nullptr : &fake_stack, g_main_stack_bottom,
+                                 g_main_stack_size);
+  WposCtxSwitch(save_sp, load_sp);
+  // Resumed on this fiber's stack; the switch into us always comes from the
+  // scheduler, so the reported old stack refreshes the main-stack bounds.
+  __sanitizer_finish_switch_fiber(fake_stack, &g_main_stack_bottom, &g_main_stack_size);
+}
+
+void WposCtxFiberEntry() {
+  __sanitizer_finish_switch_fiber(nullptr, &g_main_stack_bottom, &g_main_stack_size);
+}
+
+void WposCtxReleaseStack(const void* stack_bottom, size_t stack_size) {
+  __asan_unpoison_memory_region(stack_bottom, stack_size);
+}
+#else
+void WposCtxSwitchToFiber(void** save_sp, void* load_sp, const void*, size_t) {
+  WposCtxSwitch(save_sp, load_sp);
+}
+
+void WposCtxSwitchToMain(void** save_sp, void* load_sp, bool) {
+  WposCtxSwitch(save_sp, load_sp);
+}
+
+void WposCtxFiberEntry() {}
+
+void WposCtxReleaseStack(const void*, size_t) {}
+#endif
 
 }  // namespace mk

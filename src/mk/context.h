@@ -8,6 +8,7 @@
 #ifndef SRC_MK_CONTEXT_H_
 #define SRC_MK_CONTEXT_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace mk {
@@ -22,6 +23,28 @@ void WposCtxSwitch(void** save_sp, void* load_sp);
 // `entry` with a 16-byte-aligned stack. `stack_top` is the high end of the
 // stack region (exclusive). Returns the initial saved stack pointer.
 void* WposCtxMake(void* stack_top, void (*entry)());
+
+// Fiber-aware switch wrappers for the scheduler. Under AddressSanitizer
+// these bracket the raw switch with __sanitizer_start_switch_fiber /
+// __sanitizer_finish_switch_fiber so ASan's shadow-stack bookkeeping follows
+// the green threads; in other builds they are exactly WposCtxSwitch.
+//
+// Switch from the scheduler (host) stack into a green thread whose stack is
+// [stack_bottom, stack_bottom + stack_size).
+void WposCtxSwitchToFiber(void** save_sp, void* load_sp, const void* stack_bottom,
+                          size_t stack_size);
+// Switch from a green thread back to the scheduler (host) stack. `abandon`
+// marks the current fiber as never resuming (thread exit) so ASan releases
+// its fake-stack state instead of keeping it for a resume.
+void WposCtxSwitchToMain(void** save_sp, void* load_sp, bool abandon = false);
+// Must be the first thing a fresh fiber runs: completes the ASan switch that
+// entered it (and records the scheduler stack for later switches back).
+void WposCtxFiberEntry();
+// Clears ASan shadow for a fiber stack about to be released. Frame redzones
+// poisoned by instrumented code on the fiber survive munmap (ASan does not
+// intercept it), so without this a later stack mapped at the same address
+// starts life poisoned. No-op in non-ASan builds.
+void WposCtxReleaseStack(const void* stack_bottom, size_t stack_size);
 
 }  // namespace mk
 

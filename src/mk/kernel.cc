@@ -6,6 +6,8 @@
 #include <algorithm>
 
 #include "src/base/log.h"
+#include "src/mk/analysis/invariants.h"
+#include "src/mk/analysis/wait_for_graph.h"
 #include "src/mk/vm_object.h"
 
 namespace mk {
@@ -85,17 +87,43 @@ Kernel::~Kernel() = default;
 
 size_t Kernel::Run() {
   scheduler_.Run();
+  return Halt();
+}
+
+size_t Kernel::Halt() {
+  const size_t violations = CheckInvariants();
+  if (violations != 0) {
+    WPOS_LOG(kError) << "halt: " << violations << " kernel invariant violation(s)";
+  }
+  analysis::WaitForGraph graph = analysis::WaitForGraph::Build(*this);
   size_t blocked = 0;
   for (const auto& t : threads_) {
     if (t->state() == Thread::State::kBlocked) {
       ++blocked;
-      WPOS_LOG(kWarn) << "thread still blocked at halt: " << t->name();
+      WPOS_LOG(kWarn) << "thread still blocked at halt: " << graph.DescribeBlocked(t.get());
     }
+  }
+  for (const std::string& cycle : graph.FindCycleReports()) {
+    WPOS_LOG(kError) << "deadlock cycle: " << cycle;
   }
   return blocked;
 }
 
+size_t Kernel::CheckInvariants() const {
+  const std::vector<std::string> violations = analysis::CollectViolations(*this);
+  for (const std::string& v : violations) {
+    WPOS_LOG(kError) << "invariant violation: " << v;
+  }
+  return violations.size();
+}
+
 void Kernel::EnterKernel(const hw::CodeRegion& trap_entry_region) {
+  ++kernel_entries_;
+  if (config_.invariant_check_interval != 0 &&
+      kernel_entries_ % config_.invariant_check_interval == 0) {
+    WPOS_CHECK(CheckInvariants() == 0)
+        << "kernel invariants violated at entry " << kernel_entries_;
+  }
   PollHardware();
   cpu().Stall(Costs::kTrapStallCycles);
   cpu().BusTransactions(Costs::kTrapEntryBus);
@@ -257,6 +285,18 @@ Port* Kernel::NewPort() {
 
 void Kernel::DestroyPort(Port* port) {
   port->MarkDead();
+  // A dead port keeps no messages and no set linkage; drop them now so the
+  // object graph stays consistent (checked by CheckInvariants).
+  port->queue.clear();
+  if (port->member_of != nullptr) {
+    auto& members = port->member_of->set_members;
+    members.erase(std::remove(members.begin(), members.end(), port), members.end());
+    port->member_of = nullptr;
+  }
+  for (Port* member : port->set_members) {
+    member->member_of = nullptr;
+  }
+  port->set_members.clear();
   while (Thread* t = port->blocked_receivers.DequeueFront()) {
     t->waiting_on = nullptr;
     scheduler_.Wake(t, base::Status::kPortDead);
@@ -368,7 +408,7 @@ base::Result<Port*> Kernel::ResolvePort(Task& task, PortName name) {
 
 PortName Kernel::TrapThreadSelf() {
   Thread* t = scheduler_.current();
-  WPOS_CHECK(t != nullptr) << "TrapThreadSelf outside thread context";
+  WPOS_DCHECK(t != nullptr) << "TrapThreadSelf outside thread context";
   EnterKernel(TrapEntryRegion());
   cpu().Execute(ThreadSelfRegion());
   cpu().AccessData(t->sim_addr(), 32, /*write=*/false);
@@ -391,7 +431,7 @@ PortName Kernel::TrapThreadSelf() {
 
 TaskId Kernel::TrapTaskSelf() {
   Thread* t = scheduler_.current();
-  WPOS_CHECK(t != nullptr);
+  WPOS_DCHECK(t != nullptr);
   EnterKernel(TrapEntryRegion());
   cpu().Execute(TaskSelfRegion());
   cpu().AccessData(t->task()->sim_addr(), 16, /*write=*/false);

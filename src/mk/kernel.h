@@ -39,6 +39,10 @@ namespace mk {
 
 class Env;
 
+namespace analysis {
+class Introspector;  // read-only access for the kernel state analyzer
+}
+
 using ThreadBody = std::function<void(Env&)>;
 
 struct KernelConfig {
@@ -47,6 +51,11 @@ struct KernelConfig {
   // Instruction-footprint of the generic application region used when a task
   // doesn't specify one.
   uint32_t default_app_footprint = 2048;
+  // Debug aid: when non-zero, CheckInvariants() runs on every N-th kernel
+  // entry and aborts on the first violation. The analyzer charges no
+  // simulated cycles, so enabling it does not perturb measurements — it only
+  // costs host time.
+  uint64_t invariant_check_interval = 0;
 };
 
 // Result of a server-side RpcReceive.
@@ -80,6 +89,18 @@ class Kernel {
   // Runs the machine until no thread is runnable and no device event is
   // pending. Returns the number of threads still blocked (0 = clean halt).
   size_t Run();
+
+  // Final accounting once the scheduler is idle (called by Run): checks the
+  // kernel object-graph invariants, and if threads are still blocked builds
+  // a wait-for graph to report *why* each one is blocked — and any deadlock
+  // cycle — instead of just how many. Returns the blocked count.
+  size_t Halt();
+
+  // Walks the kernel object graph (port rights, queues and wait queues,
+  // port-set back-pointers, thread states, in-flight RPCs, counters)
+  // checking structural invariants; logs each violation at kError and
+  // returns the number found (0 = consistent). See src/mk/analysis/.
+  size_t CheckInvariants() const;
 
   // --- Tasks and threads -------------------------------------------------------
   Task* CreateTask(const std::string& name, uint32_t app_footprint_instr = 0);
@@ -237,6 +258,7 @@ class Kernel {
 
  private:
   friend class Scheduler;
+  friend class analysis::Introspector;
 
   struct Semaphore {
     uint32_t count = 0;
@@ -298,8 +320,14 @@ class Kernel {
   uint64_t next_port_id_ = 1;
   uint64_t next_rpc_token_ = 1;
   // In-flight RPCs by token; lets any thread of the server task reply
-  // (deferred replies, e.g. a driver ISR completing a queued receive).
-  std::unordered_map<uint64_t, Thread*> rpc_waiters_;
+  // (deferred replies, e.g. a driver ISR completing a queued receive). The
+  // thread that received the request is recorded so the wait-for-graph
+  // analyzer can resolve client -> server edges exactly.
+  struct RpcInFlight {
+    Thread* client = nullptr;
+    Thread* server = nullptr;
+  };
+  std::unordered_map<uint64_t, RpcInFlight> rpc_waiters_;
 
   std::unordered_map<uint32_t, Semaphore> semaphores_;
   uint32_t next_sem_id_ = 1;
@@ -330,6 +358,14 @@ class Kernel {
   uint64_t rpc_calls_ = 0;
   uint64_t mach_msgs_ = 0;
   uint64_t interrupts_delivered_ = 0;
+
+  // Kernel entries since boot; drives the invariant-check cadence.
+  uint64_t kernel_entries_ = 0;
+  // Monotonicity snapshot for CheckInvariants: counters must never regress
+  // between two successive checks. Mutable because checking is const.
+  mutable uint64_t last_rpc_calls_ = 0;
+  mutable uint64_t last_mach_msgs_ = 0;
+  mutable std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> last_port_counters_;
 };
 
 // Per-thread user-level view of the system: what "user code" (workloads,

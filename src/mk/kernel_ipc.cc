@@ -47,7 +47,7 @@ const hw::CodeRegion& TrapEntry() {
 
 base::Status Kernel::MachMsgSend(MachMessage&& msg, uint64_t timeout_ns) {
   Thread* sender = scheduler_.current();
-  WPOS_CHECK(sender != nullptr) << "MachMsgSend outside thread context";
+  WPOS_DCHECK(sender != nullptr) << "MachMsgSend outside thread context";
   Task& task = *sender->task();
   cpu().Execute(UserStubRegion());
   EnterKernel(TrapEntry());
@@ -136,7 +136,7 @@ base::Status Kernel::MachMsgSend(MachMessage&& msg, uint64_t timeout_ns) {
 
 base::Status Kernel::MachMsgReceive(PortName name, MachMessage* out, uint64_t timeout_ns) {
   Thread* receiver = scheduler_.current();
-  WPOS_CHECK(receiver != nullptr) << "MachMsgReceive outside thread context";
+  WPOS_DCHECK(receiver != nullptr) << "MachMsgReceive outside thread context";
   Task& task = *receiver->task();
   cpu().Execute(UserStubRegion());
   EnterKernel(TrapEntry());

@@ -110,7 +110,7 @@ void Kernel::DeliverRpcToServer(Thread* client, Thread* server) {
   s.client = client;
   s.token = next_rpc_token_++;
   c.token = s.token;
-  rpc_waiters_[s.token] = client;
+  rpc_waiters_[s.token] = RpcInFlight{client, server};
   s.srv_client_task = client->task()->id();
   c.completion = base::Status::kOk;
 }
@@ -120,7 +120,7 @@ base::Status Kernel::RpcCall(PortName port_name, const void* req, uint32_t req_l
                              const RightDescriptor* rights, uint32_t rights_count,
                              PortName* granted) {
   Thread* client = scheduler_.current();
-  WPOS_CHECK(client != nullptr) << "RpcCall outside thread context";
+  WPOS_DCHECK(client != nullptr) << "RpcCall outside thread context";
   cpu().Execute(ClientStubRegion());
   EnterKernel(TrapEntry());
   cpu().Execute(SendPathRegion());
@@ -142,7 +142,7 @@ base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len
                                    const RightDescriptor* rights, uint32_t rights_count,
                                    PortName* granted) {
   Thread* client = scheduler_.current();
-  WPOS_CHECK(client != nullptr);
+  WPOS_DCHECK(client != nullptr);
   if (port->dead()) {
     return base::Status::kPortDead;
   }
@@ -216,7 +216,7 @@ base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len
 base::Result<RpcRequest> Kernel::RpcReceive(PortName receive_name, void* buf, uint32_t cap,
                                             RpcRef* ref) {
   Thread* server = scheduler_.current();
-  WPOS_CHECK(server != nullptr) << "RpcReceive outside thread context";
+  WPOS_DCHECK(server != nullptr) << "RpcReceive outside thread context";
   EnterKernel(TrapEntry());
   cpu().Execute(ReceivePathRegion());
   cpu().AccessData(server->task()->port_space().sim_addr(), 32, /*write=*/false);
@@ -330,7 +330,7 @@ base::Result<RpcRequest> Kernel::RpcReplyAndReceive(uint64_t token, const void* 
                                                     const void* reply_ref_data,
                                                     uint32_t reply_ref_len, PortName grant) {
   Thread* server = scheduler_.current();
-  WPOS_CHECK(server != nullptr) << "RpcReplyAndReceive outside thread context";
+  WPOS_DCHECK(server != nullptr) << "RpcReplyAndReceive outside thread context";
   EnterKernel(TrapEntry());
   cpu().Execute(ReplyPathRegion());
   cpu().Execute(ReceivePathRegion());
@@ -347,7 +347,7 @@ base::Result<RpcRequest> Kernel::RpcReplyAndReceive(uint64_t token, const void* 
     LeaveKernel();
     return base::Status::kInvalidArgument;
   }
-  Thread* client = waiter->second;
+  Thread* client = waiter->second.client;
   rpc_waiters_.erase(waiter);
   if (client->rpc.token != token || client->state() != Thread::State::kBlocked) {
     LeaveKernel();
@@ -424,7 +424,7 @@ base::Status Kernel::RpcReply(uint64_t token, const void* reply, uint32_t len,
                               const void* ref_data, uint32_t ref_len, PortName grant,
                               base::Status completion) {
   Thread* server = scheduler_.current();
-  WPOS_CHECK(server != nullptr) << "RpcReply outside thread context";
+  WPOS_DCHECK(server != nullptr) << "RpcReply outside thread context";
   EnterKernel(TrapEntry());
   cpu().Execute(ReplyPathRegion());
   auto waiter = rpc_waiters_.find(token);
@@ -432,7 +432,7 @@ base::Status Kernel::RpcReply(uint64_t token, const void* reply, uint32_t len,
     LeaveKernel();
     return base::Status::kInvalidArgument;
   }
-  Thread* client = waiter->second;
+  Thread* client = waiter->second.client;
   rpc_waiters_.erase(waiter);
   if (client->rpc.token != token || client->state() != Thread::State::kBlocked) {
     LeaveKernel();

@@ -79,4 +79,10 @@ PortName PortSpace::SendNameOf(Port* port) const {
   return it == send_names_.end() ? kNullPort : it->second;
 }
 
+void PortSpace::ForEachRight(const std::function<void(PortName, const PortRight&)>& fn) const {
+  for (const auto& [name, right] : rights_) {
+    fn(name, right);
+  }
+}
+
 }  // namespace mk

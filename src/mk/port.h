@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -97,6 +98,9 @@ class PortSpace {
 
   // The name by which this space holds a send right to `port`, or kNullPort.
   PortName SendNameOf(Port* port) const;
+
+  // Iterates every right in the space (kernel state analyzer, diagnostics).
+  void ForEachRight(const std::function<void(PortName, const PortRight&)>& fn) const;
 
  private:
   hw::PhysAddr sim_addr_;

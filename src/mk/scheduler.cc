@@ -34,7 +34,7 @@ Task* Scheduler::current_task() const {
 }
 
 void Scheduler::MakeReady(Thread* t) {
-  WPOS_CHECK(t != nullptr);
+  WPOS_DCHECK(t != nullptr);
   if (t->state() == Thread::State::kReady || t->state() == Thread::State::kRunning) {
     return;
   }
@@ -96,6 +96,7 @@ Thread* Scheduler::PickNext() {
 }
 
 void Scheduler::Trampoline() {
+  WposCtxFiberEntry();
   Scheduler* sched = g_active_scheduler;
   Thread* self = sched->current_;
   self->entry_();
@@ -132,17 +133,17 @@ void Scheduler::SwitchInto(Thread* t) {
     t->started_ = true;
     t->ctx_sp_ = WposCtxMake(t->stack_ + t->stack_bytes_, &Scheduler::Trampoline);
   }
-  WposCtxSwitch(&main_ctx_sp_, t->ctx_sp_);
+  WposCtxSwitchToFiber(&main_ctx_sp_, t->ctx_sp_, t->stack_, t->stack_bytes_);
   // Back in the scheduler: account the slice.
   Thread* was = current_;
   current_ = nullptr;
   was->cpu_cycles_used += cpu.cycles() - was->dispatch_cycle;
 }
 
-void Scheduler::SwapOut() {
+void Scheduler::SwapOut(bool final) {
   Thread* self = current_;
   WPOS_CHECK(self != nullptr) << "SwapOut outside thread context";
-  WposCtxSwitch(&self->ctx_sp_, main_ctx_sp_);
+  WposCtxSwitchToMain(&self->ctx_sp_, main_ctx_sp_, final);
   WPOS_CHECK(current_ == self) << "context resumed under wrong current thread";
 }
 
@@ -179,7 +180,7 @@ void Scheduler::Yield() {
 
 base::Status Scheduler::Block(Thread::State, WaitQueue* queue) {
   Thread* self = current_;
-  WPOS_CHECK(self != nullptr) << "Block outside thread context";
+  WPOS_DCHECK(self != nullptr) << "Block outside thread context";
   self->set_state(Thread::State::kBlocked);
   self->wait_status = base::Status::kOk;
   if (queue != nullptr) {
@@ -191,7 +192,7 @@ base::Status Scheduler::Block(Thread::State, WaitQueue* queue) {
 }
 
 base::Status Scheduler::BlockAndHandoff(WaitQueue* queue, Thread* next) {
-  WPOS_CHECK(next == nullptr || next->state() == Thread::State::kReady);
+  WPOS_DCHECK(next == nullptr || next->state() == Thread::State::kReady);
   if (handoff_enabled) {
     handoff_hint_ = next;
     handoff_was_hint_ = next != nullptr;
@@ -221,7 +222,7 @@ void Scheduler::ExitCurrent() {
     waiter->waiting_on = nullptr;
     Wake(waiter, base::Status::kOk);
   }
-  SwapOut();
+  SwapOut(/*final=*/true);
   WPOS_CHECK(false) << "terminated thread resumed";
   __builtin_unreachable();
 }

@@ -71,8 +71,9 @@ class Scheduler {
   void DispatchLoop();
   // Switch from the scheduler context into `t`.
   void SwitchInto(Thread* t);
-  // Called in thread context: swap back to the scheduler context.
-  void SwapOut();
+  // Called in thread context: swap back to the scheduler context. `final`
+  // marks the thread as never resuming (termination path).
+  void SwapOut(bool final = false);
   static void Trampoline();
 
   Kernel* kernel_;

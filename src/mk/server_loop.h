@@ -34,22 +34,38 @@ class ServerLoop {
 
   void Register(uint32_t op, Handler handler) { handlers_[op] = std::move(handler); }
 
-  void Stop() { running_ = false; }
+  // Shuts the loop down deterministically: the receive port is destroyed
+  // immediately, so a server parked between receives wakes with kPortDead
+  // and exits, and every caller — queued or future — observes kPortDead
+  // rather than a request that may or may not still be served. Callable from
+  // any thread (including a handler) once Run() has started; calling it
+  // before Run() makes Run() destroy the port and return at once.
+  void Stop() {
+    stop_requested_ = true;
+    running_ = false;
+    if (env_ != nullptr) {
+      DestroyReceivePort(*env_);
+    }
+  }
   bool running() const { return running_; }
 
   // Runs until Stop() or the port dies. Unknown ops get an empty error reply.
-  // On shutdown the receive port is destroyed so queued callers fail with
-  // kPortDead rather than blocking forever.
   void Run(Env& env) {
+    env_ = &env;
+    if (stop_requested_) {
+      DestroyReceivePort(env);
+      env_ = nullptr;
+      return;
+    }
     running_ = true;
-    while (true) {
+    while (running_) {
       RpcRef ref;
       ref.recv_buf = ref_buf_.data();
       ref.recv_cap = static_cast<uint32_t>(ref_buf_.size());
       auto request = env.RpcReceive(port_, request_buf_.data(),
                                     static_cast<uint32_t>(request_buf_.size()), &ref);
       if (!request.ok()) {
-        return;  // port destroyed or task aborted
+        break;  // port destroyed or task aborted
       }
       env.kernel().cpu().Execute(loop_region_);
       env.kernel().cpu().Execute(stub_region_);
@@ -64,21 +80,30 @@ class ServerLoop {
       } else {
         it->second(env, *request, request_buf_.data(), ref_buf_.data(), ref.recv_len);
       }
-      if (!running_) {
-        (void)env.kernel().PortDestroy(env.task(), port_);
-        return;
-      }
     }
+    DestroyReceivePort(env);
+    running_ = false;
+    env_ = nullptr;
   }
 
  private:
+  void DestroyReceivePort(Env& env) {
+    if (!port_destroyed_) {
+      port_destroyed_ = true;
+      (void)env.kernel().PortDestroy(env.task(), port_);
+    }
+  }
+
   PortName port_;
   hw::CodeRegion stub_region_;
   hw::CodeRegion loop_region_;
   std::vector<uint8_t> request_buf_;
   std::vector<uint8_t> ref_buf_;
   std::unordered_map<uint32_t, Handler> handlers_;
+  Env* env_ = nullptr;  // set while Run() is active; lets Stop() act at once
   bool running_ = false;
+  bool stop_requested_ = false;
+  bool port_destroyed_ = false;
 };
 
 // Client-side stub helper: charges a per-interface stub region around a

@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 
 #include "src/base/log.h"
+#include "src/mk/context.h"
 #include "src/mk/task.h"
 
 namespace mk {
@@ -31,6 +32,7 @@ Thread::Thread(ThreadId id, Task* task, std::string name, int priority, hw::Phys
 
 Thread::~Thread() {
   if (stack_ != nullptr) {
+    WposCtxReleaseStack(stack_, stack_bytes_);
     munmap(stack_ - kGuardBytes, kGuardBytes + stack_bytes_);
   }
 }

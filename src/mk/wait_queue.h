@@ -13,6 +13,8 @@ class WaitQueue {
  public:
   bool empty() const { return waiters_.empty(); }
   size_t size() const { return waiters_.size(); }
+  // Read-only view for the kernel state analyzer and diagnostics.
+  const std::deque<Thread*>& waiters() const { return waiters_; }
 
   void Enqueue(Thread* t) { waiters_.push_back(t); }
   Thread* DequeueFront() {

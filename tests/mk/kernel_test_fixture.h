@@ -1,10 +1,13 @@
-// Shared fixture: one machine + kernel per test.
+// Shared fixture: one machine + kernel per test. Teardown runs the kernel
+// state analyzer: every test ends with a consistent object graph, and any
+// thread left in a wait-for cycle fails the test with the rendered cycle.
 #ifndef TESTS_MK_KERNEL_TEST_FIXTURE_H_
 #define TESTS_MK_KERNEL_TEST_FIXTURE_H_
 
 #include <gtest/gtest.h>
 
 #include "src/hw/machine.h"
+#include "src/mk/analysis/wait_for_graph.h"
 #include "src/mk/kernel.h"
 
 namespace mk {
@@ -14,8 +17,21 @@ class KernelTest : public ::testing::Test {
   KernelTest()
       : machine_(hw::MachineConfig{.ram_bytes = 16 * 1024 * 1024}), kernel_(&machine_) {}
 
+  void TearDown() override {
+    EXPECT_EQ(kernel_.CheckInvariants(), 0u)
+        << "kernel object graph inconsistent at test end (details logged above)";
+    if (check_deadlocks_on_teardown_) {
+      analysis::WaitForGraph graph = analysis::WaitForGraph::Build(kernel_);
+      for (const std::string& cycle : graph.FindCycleReports()) {
+        ADD_FAILURE() << "deadlock cycle left behind: " << cycle;
+      }
+    }
+  }
+
   hw::Machine machine_;
   Kernel kernel_;
+  // Tests that deliberately construct a deadlock opt out of the teardown scan.
+  bool check_deadlocks_on_teardown_ = true;
 };
 
 }  // namespace mk

@@ -51,6 +51,9 @@ TEST_F(KernelTest, ServerLoopDispatchesByOpCode) {
   EXPECT_EQ(unknown_status, base::Status::kNotSupported);
 }
 
+// Stop() between receives takes effect immediately: the receive port dies,
+// the parked server wakes and exits, and every later call observes kPortDead
+// instead of racing against one more served request.
 TEST_F(KernelTest, ServerLoopStopKillsPort) {
   Task* server_task = kernel_.CreateTask("server");
   Task* client_task = kernel_.CreateTask("client");
@@ -62,16 +65,53 @@ TEST_F(KernelTest, ServerLoopStopKillsPort) {
   });
   kernel_.CreateThread(server_task, "s", [&](Env& env) { loop.Run(env); });
   base::Status after_stop = base::Status::kOk;
+  base::Status after_stop2 = base::Status::kOk;
   kernel_.CreateThread(client_task, "c", [&, send = *send](Env& env) {
     ClientStub stub("oneshot.client", send);
     uint32_t op = 1;
     uint32_t rep;
-    loop.Stop();
-    ASSERT_EQ(stub.Call(env, op, &rep), base::Status::kOk);  // served, then loop exits
+    ASSERT_EQ(stub.Call(env, op, &rep), base::Status::kOk);  // loop is serving
+    loop.Stop();  // between receives: the port dies right now
     after_stop = stub.Call(env, op, &rep);
+    after_stop2 = stub.Call(env, op, &rep);
   });
   EXPECT_EQ(kernel_.Run(), 0u);
   EXPECT_EQ(after_stop, base::Status::kPortDead);
+  EXPECT_EQ(after_stop2, base::Status::kPortDead);
+  EXPECT_FALSE(loop.running());
+}
+
+// A caller queued behind a busy server observes kPortDead when a handler
+// stops the loop; the in-progress request still completes by token.
+TEST_F(KernelTest, ServerLoopStopFailsQueuedCallers) {
+  Task* server_task = kernel_.CreateTask("server");
+  Task* client_task = kernel_.CreateTask("client");
+  auto recv = kernel_.PortAllocate(*server_task);
+  auto send = kernel_.MakeSendRight(*server_task, *recv, *client_task);
+  ServerLoop loop(*recv, "shutdown");
+  loop.Register(2, [&](Env& env, const RpcRequest& req, const uint8_t*, const uint8_t*, uint32_t) {
+    env.Yield();  // let the second caller queue up behind us
+    loop.Stop();
+    env.RpcReply(req.token, nullptr, 0);
+  });
+  kernel_.CreateThread(server_task, "s", [&](Env& env) { loop.Run(env); });
+  base::Status first = base::Status::kInternal;
+  base::Status queued = base::Status::kInternal;
+  kernel_.CreateThread(client_task, "c1", [&, send = *send](Env& env) {
+    ClientStub stub("shutdown.c1", send);
+    uint32_t op = 2;
+    uint32_t rep;
+    first = stub.Call(env, op, &rep);
+  });
+  kernel_.CreateThread(client_task, "c2", [&, send = *send](Env& env) {
+    ClientStub stub("shutdown.c2", send);
+    uint32_t op = 2;
+    uint32_t rep;
+    queued = stub.Call(env, op, &rep);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(first, base::Status::kOk);
+  EXPECT_EQ(queued, base::Status::kPortDead);
 }
 
 TEST_F(KernelTest, HostInfoAndProcessorSets) {

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Repository lint checks, run in CI before the build.
+
+Checks, over every header and source file under src/ and tests/:
+
+  1. Headers carry an include guard derived from the repo-relative path
+     (src/mk/kernel.h -> SRC_MK_KERNEL_H_) with matching #ifndef/#define
+     at the top and a trailing #endif comment.
+  2. No `using namespace` at file scope in headers: it leaks into every
+     includer and has caused real ODR-adjacent confusion in stub code.
+  3. Modelled cost constants live only in src/mk/costs.h. Scattering
+     `struct Costs` members across files makes the calibration knobs of
+     the reproduction impossible to audit against the paper's tables.
+
+Exit status is the number of files with violations (0 = clean).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "tests", "bench")
+COSTS_HEADER = Path("src") / "mk" / "costs.h"
+
+GUARD_RE = re.compile(r"^#ifndef\s+([A-Z0-9_]+)\s*$", re.MULTILINE)
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;", re.MULTILINE)
+COSTS_DEF_RE = re.compile(r"^\s*struct\s+Costs\b(?!\s*;)", re.MULTILINE)
+
+
+def expected_guard(rel_path: Path) -> str:
+    return re.sub(r"[^A-Za-z0-9]", "_", str(rel_path)).upper() + "_"
+
+
+def check_header_guard(rel_path: Path, text: str, errors: list) -> None:
+    want = expected_guard(rel_path)
+    match = GUARD_RE.search(text)
+    if match is None:
+        errors.append(f"{rel_path}: missing include guard (expected {want})")
+        return
+    got = match.group(1)
+    if got != want:
+        errors.append(f"{rel_path}: include guard {got} should be {want}")
+        return
+    if f"#define {want}" not in text:
+        errors.append(f"{rel_path}: #ifndef {want} without matching #define")
+    if not re.search(rf"#endif\s*//\s*{re.escape(want)}\s*$", text.rstrip()):
+        errors.append(f"{rel_path}: missing trailing '#endif  // {want}'")
+
+
+def check_using_namespace(rel_path: Path, text: str, errors: list) -> None:
+    for match in USING_NAMESPACE_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        errors.append(f"{rel_path}:{line}: 'using namespace' in a header")
+
+
+def check_costs_definition(rel_path: Path, text: str, errors: list) -> None:
+    if rel_path == COSTS_HEADER:
+        return
+    for match in COSTS_DEF_RE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        errors.append(
+            f"{rel_path}:{line}: 'struct Costs' defined outside {COSTS_HEADER}"
+        )
+
+
+def lint_file(path: Path) -> list:
+    rel_path = path.relative_to(REPO_ROOT)
+    text = path.read_text(encoding="utf-8", errors="replace")
+    errors = []
+    if path.suffix == ".h":
+        check_header_guard(rel_path, text, errors)
+        check_using_namespace(rel_path, text, errors)
+    check_costs_definition(rel_path, text, errors)
+    return errors
+
+
+def main() -> int:
+    bad_files = 0
+    total_errors = 0
+    scanned = 0
+    for scan_dir in SCAN_DIRS:
+        root = REPO_ROOT / scan_dir
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            scanned += 1
+            errors = lint_file(path)
+            if errors:
+                bad_files += 1
+                total_errors += len(errors)
+                for error in errors:
+                    print(f"lint: {error}", file=sys.stderr)
+    if total_errors:
+        print(f"lint: {total_errors} issue(s) in {bad_files} file(s)", file=sys.stderr)
+    else:
+        print(f"lint: {scanned} files clean")
+    return min(bad_files, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
