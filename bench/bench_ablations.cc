@@ -9,7 +9,9 @@
 #include "src/base/log.h"
 
 #include <cstdio>
+#include <string>
 
+#include "bench/lib/json_report.h"
 #include "src/drv/kernel_nic.h"
 #include "src/drv/nic_driver.h"
 #include "src/hw/machine.h"
@@ -121,7 +123,7 @@ double FrameEchoCycles(bool user_level) {
   return cycles;
 }
 
-void PrintAblations() {
+void PrintAblations(bench::JsonReport* report) {
   std::printf("\n=== Ablation 1: direct handoff in the RPC rendezvous ===\n");
   std::printf("%22s %14s %14s %8s\n", "", "handoff", "ready-queue", "ratio");
   for (int bg : {0, 2, 4}) {
@@ -129,6 +131,10 @@ void PrintAblations() {
     const double without = RpcCyclesPerOp(false, 8, bg);
     std::printf("%2d background threads %14.0f %14.0f %8.2f\n", bg, with_handoff, without,
                 without / with_handoff);
+    const std::string prefix = "handoff.bg" + std::to_string(bg);
+    report->Add(prefix + ".handoff_cycles", with_handoff);
+    report->Add(prefix + ".ready_queue_cycles", without);
+    report->Add(prefix + ".ratio", without / with_handoff);
   }
   std::printf("under load, the woken peer queues behind ready threads unless the\n"
               "rendezvous hands the CPU over directly — the rework's latency win.\n");
@@ -136,7 +142,9 @@ void PrintAblations() {
   std::printf("\n=== Ablation 2: RPC cost vs cache size ===\n");
   std::printf("%10s %16s\n", "cache", "RPC cycles/op");
   for (uint32_t kb : {4u, 8u, 16u, 32u}) {
-    std::printf("%8u KB %16.0f\n", kb, RpcCyclesPerOp(true, kb));
+    const double cycles = RpcCyclesPerOp(true, kb);
+    std::printf("%8u KB %16.0f\n", kb, cycles);
+    report->Add("cache" + std::to_string(kb) + "kb.rpc_cycles", cycles);
   }
   std::printf("larger caches absorb the RPC path's footprint; on the small split\n"
               "caches of the paper's era the multi-server structure pays full price.\n");
@@ -147,6 +155,9 @@ void PrintAblations() {
   std::printf("256-byte frame echo: user-level %0.f cycles, in-kernel %0.f cycles (%.2fx)\n",
               user, in_kernel, user / in_kernel);
   std::printf("why WPOS kept BSD-like in-kernel drivers for networking.\n\n");
+  report->Add("nic_echo.user_level_cycles", user);
+  report->Add("nic_echo.in_kernel_cycles", in_kernel);
+  report->Add("nic_echo.ratio", user / in_kernel);
 }
 
 void BM_Handoff(benchmark::State& state) {
@@ -172,8 +183,13 @@ BENCHMARK(BM_CacheSize)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->UseManualTime()->Iter
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = bench::ExtractJsonPath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);
-  PrintAblations();
+  bench::JsonReport report;
+  PrintAblations(&report);
+  if (!json_path.empty()) {
+    WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

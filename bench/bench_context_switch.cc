@@ -13,7 +13,9 @@
 #include "src/base/log.h"
 
 #include <cstdio>
+#include <string>
 
+#include "bench/lib/json_report.h"
 #include "src/hw/machine.h"
 #include "src/mk/kernel.h"
 
@@ -85,7 +87,7 @@ Cost Measure(bool separate_tasks, uint64_t working_set) {
   return cost;
 }
 
-void PrintTable() {
+void PrintTable(bench::JsonReport* report) {
   std::printf("\n=== Context/address-space switch cost vs working set ===\n");
   std::printf("%12s | %12s %8s %8s | %12s %8s %8s | %7s\n", "working set", "same-task cyc",
               "tlb", "cache", "cross-task cyc", "tlb", "cache", "penalty");
@@ -97,6 +99,11 @@ void PrintTable() {
                 same.tlb_misses_per_switch, same.cache_misses_per_switch,
                 cross.cycles_per_switch, cross.tlb_misses_per_switch,
                 cross.cache_misses_per_switch,
+                cross.cycles_per_switch / same.cycles_per_switch);
+    const std::string prefix = "ws" + std::to_string(ws);
+    report->Add(prefix + ".same_task_cycles", same.cycles_per_switch);
+    report->Add(prefix + ".cross_task_cycles", cross.cycles_per_switch);
+    report->Add(prefix + ".cross_task_penalty",
                 cross.cycles_per_switch / same.cycles_per_switch);
   }
   std::printf("paper: address-space switching discards the state modern processors build\n"
@@ -123,8 +130,13 @@ BENCHMARK(BM_Switch)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = bench::ExtractJsonPath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
-  PrintTable();
+  bench::JsonReport report;
+  PrintTable(&report);
+  if (!json_path.empty()) {
+    WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

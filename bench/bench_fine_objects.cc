@@ -10,7 +10,9 @@
 #include "src/base/log.h"
 
 #include <cstdio>
+#include <string>
 
+#include "bench/lib/json_report.h"
 #include "src/drv/oo/ooddm.h"
 #include "src/hw/machine.h"
 #include "src/svc/net/stack.h"
@@ -77,11 +79,16 @@ void RunStackAblation(Cost* fine, Cost* coarse) {
   kernel.Run();
 }
 
-void PrintAblation() {
+void PrintAblation(bench::JsonReport* report) {
   Cost fine_drv, coarse_drv, fine_net, coarse_net;
   double fine_virtuals = 0;
   RunDriverAblation(&fine_drv, &coarse_drv, &fine_virtuals);
   RunStackAblation(&fine_net, &coarse_net);
+  report->Add("disk.instr_ratio", fine_drv.instructions / coarse_drv.instructions);
+  report->Add("disk.cycle_ratio", fine_drv.cycles / coarse_drv.cycles);
+  report->Add("disk.virtual_calls_per_op", fine_virtuals);
+  report->Add("net.instr_ratio", fine_net.instructions / coarse_net.instructions);
+  report->Add("net.cycle_ratio", fine_net.cycles / coarse_net.cycles);
   std::printf("\n=== Fine-grained objects vs coarse objects ===\n");
   std::printf("%-28s %14s %14s %10s\n", "(per operation)", "fine-grained", "coarse", "ratio");
   std::printf("%-28s %14.0f %14.0f %10.2f\n", "disk driver: instructions", fine_drv.instructions,
@@ -126,8 +133,13 @@ BENCHMARK(BM_FineStack)->UseManualTime()->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = bench::ExtractJsonPath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
-  PrintAblation();
+  bench::JsonReport report;
+  PrintAblation(&report);
+  if (!json_path.empty()) {
+    WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

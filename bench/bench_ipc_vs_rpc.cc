@@ -11,8 +11,10 @@
 #include "src/base/log.h"
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/lib/json_report.h"
 #include "src/hw/machine.h"
 #include "src/mk/kernel.h"
 
@@ -147,13 +149,18 @@ Pair MeasureSize(uint32_t size) {
   return out;
 }
 
-void PrintSweep() {
+void PrintSweep(bench::JsonReport* report) {
   std::printf("\n=== IPC rework: mach_msg vs RPC round trip (cycles/op) ===\n");
   std::printf("%10s %14s %14s %14s\n", "bytes", "mach_msg", "RPC", "improvement");
   for (uint32_t size : kSizes) {
     const Pair p = MeasureSize(size);
     std::printf("%10u %14.0f %14.0f %13.1fx\n", size, p.ipc_cycles, p.rpc_cycles,
                 p.ipc_cycles / p.rpc_cycles);
+    const std::string prefix = "bytes" + std::to_string(size);
+    report->Add(prefix + ".machmsg_cycles", p.ipc_cycles);
+    report->Add(prefix + ".rpc_cycles", p.rpc_cycles);
+    // Paper: "a two to ten times improvement"; compare against the low bound.
+    report->Add(prefix + ".improvement", p.ipc_cycles / p.rpc_cycles, 2.0);
   }
   std::printf("paper: \"a two to ten times improvement ... depending primarily on the\n"
               "number of bytes transmitted\"\n\n");
@@ -175,8 +182,13 @@ BENCHMARK(BM_Sweep)->Arg(0)->Arg(32)->Arg(512)->Arg(8192)->Arg(32768)->UseManual
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = bench::ExtractJsonPath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
-  PrintSweep();
+  bench::JsonReport report;
+  PrintSweep(&report);
+  if (!json_path.empty()) {
+    WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

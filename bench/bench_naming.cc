@@ -8,7 +8,9 @@
 #include "src/base/log.h"
 
 #include <cstdio>
+#include <string>
 
+#include "bench/lib/json_report.h"
 #include "src/hw/machine.h"
 #include "src/mks/naming/lite_name_server.h"
 #include "src/mks/naming/name_server.h"
@@ -87,7 +89,15 @@ Numbers MeasureAll() {
   return out;
 }
 
-void PrintNaming(const Numbers& n) {
+void PrintNaming(const Numbers& n, bench::JsonReport* report) {
+  report->Add("full.resolve_cycles", n.full_resolve);
+  report->Add("full.register_cycles", n.full_register);
+  report->Add("full.search_cycles", n.full_search);
+  report->Add("full.list_cycles", n.full_list);
+  report->Add("lite.resolve_cycles", n.lite_resolve);
+  report->Add("lite.register_cycles", n.lite_register);
+  report->Add("resolve.full_over_lite", n.full_resolve / n.lite_resolve);
+  report->Add("register.full_over_lite", n.full_register / n.lite_register);
   std::printf("\n=== Name service: X.500-style vs Release-2 lite (cycles/op) ===\n");
   std::printf("%-14s %14s %14s %10s\n", "operation", "full (X.500)", "lite", "full/lite");
   std::printf("%-14s %14.0f %14.0f %10.2f\n", "resolve", n.full_resolve, n.lite_resolve,
@@ -113,8 +123,13 @@ BENCHMARK(BM_Naming)->UseManualTime()->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = bench::ExtractJsonPath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
-  PrintNaming(MeasureAll());
+  bench::JsonReport report;
+  PrintNaming(MeasureAll(), &report);
+  if (!json_path.empty()) {
+    WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -11,7 +11,9 @@
 #include "src/base/log.h"
 
 #include <cstdio>
+#include <string>
 
+#include "bench/lib/json_report.h"
 #include "src/hw/machine.h"
 #include "src/pers/os2/os2_memory.h"
 
@@ -75,7 +77,13 @@ Footprint RunRawKernel() {
   return fp;
 }
 
-void PrintFootprint(const Footprint& os2, const Footprint& raw) {
+void PrintFootprint(const Footprint& os2, const Footprint& raw, bench::JsonReport* report) {
+  report->Add("os2.frames", static_cast<double>(os2.frames));
+  report->Add("raw.frames", static_cast<double>(raw.frames));
+  report->Add("os2.metadata_bytes", static_cast<double>(os2.metadata_bytes));
+  report->Add("os2.alloc_cycles", static_cast<double>(os2.cycles));
+  report->Add("raw.alloc_cycles", static_cast<double>(raw.cycles));
+  report->Add("footprint.ratio", static_cast<double>(os2.frames) / static_cast<double>(raw.frames));
   std::printf("\n=== OS/2 double memory management: footprint ===\n");
   std::printf("(%d objects of %llu bytes, %llu bytes touched each)\n", kObjects,
               static_cast<unsigned long long>(kObjectBytes),
@@ -112,8 +120,13 @@ BENCHMARK(BM_Os2Memory)->UseManualTime()->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = bench::ExtractJsonPath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
-  PrintFootprint(RunOs2Layer(), RunRawKernel());
+  bench::JsonReport report;
+  PrintFootprint(RunOs2Layer(), RunRawKernel(), &report);
+  if (!json_path.empty()) {
+    WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

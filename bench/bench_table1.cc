@@ -12,12 +12,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
+#include "bench/lib/json_report.h"
 #include "bench/lib/workloads.h"
 
 namespace {
 
-void PrintTable1() {
+void PrintTable1(bench::JsonReport* report) {
   std::printf("\n=== Table 1: OS/2 Performance Comparisons ===\n");
   std::printf("%-20s %-24s %14s %14s %10s %10s\n", "Test", "Application Content",
               "WPOS (ms)", "OS/2 (ms)", "ratio", "paper");
@@ -31,11 +33,14 @@ void PrintTable1() {
     paper_log_sum += std::log(w.paper_ratio);
     std::printf("%-20s %-24s %14.2f %14.2f %10.2f %10.2f\n", w.name, w.content,
                 wpos.seconds * 1e3, mono.seconds * 1e3, ratio, w.paper_ratio);
+    report->Add(std::string(w.name) + ".ratio", ratio, w.paper_ratio);
   }
   const size_t n = bench::Table1Workloads().size();
+  const double geomean = std::exp(log_sum / static_cast<double>(n));
+  const double paper_geomean = std::exp(paper_log_sum / static_cast<double>(n));
   std::printf("%-20s %-24s %14s %14s %10.2f %10.2f\n", "Overall", "(geometric mean)", "", "",
-              std::exp(log_sum / static_cast<double>(n)),
-              std::exp(paper_log_sum / static_cast<double>(n)));
+              geomean, paper_geomean);
+  report->Add("overall.geomean_ratio", geomean, paper_geomean);
   std::printf("ratio = WPOS elapsed / monolithic elapsed; >1 means the multi-server system"
               " is slower\n\n");
 }
@@ -52,8 +57,13 @@ void BM_Workload(benchmark::State& state, bench::Workload fn, bool wpos) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = bench::ExtractJsonPath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
-  PrintTable1();
+  bench::JsonReport report;
+  PrintTable1(&report);
+  if (!json_path.empty()) {
+    WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
+  }
   for (const bench::NamedWorkload& w : bench::Table1Workloads()) {
     benchmark::RegisterBenchmark((std::string("wpos/") + w.name).c_str(), &BM_Workload, w.fn,
                                  true)

@@ -6,14 +6,26 @@
 // Paper shape to reproduce: RPC ≈ 2.8x the instructions, ≈ 5x the cycles,
 // ≈ 8x the bus cycles, and roughly double the CPI — with the extra stall
 // coming largely from I-cache misses, which the miss columns break out.
+//
+// A second, traced run re-derives the same table purely from the tracer's
+// span data and checks it for exact equality against the counter windows —
+// both that spans lose nothing (the observability claim) and that tracing
+// charges nothing (the zero-perturbation claim). `--trace <path>` exports
+// the traced RPC run as a Chrome trace-event file; `--json <path>` writes
+// the machine-readable paper-vs-measured report.
 #include <benchmark/benchmark.h>
 
 #include "src/base/log.h"
 
+#include <array>
 #include <cstdio>
+#include <fstream>
+#include <string>
 
+#include "bench/lib/json_report.h"
 #include "src/hw/machine.h"
 #include "src/mk/kernel.h"
+#include "src/mk/trace/exporters.h"
 
 namespace {
 
@@ -24,34 +36,71 @@ struct Window {
   }
 };
 
+// Span-side view of the same measurement window: the delta of the tracer's
+// per-kind aggregates over the measured loop.
+struct SpanDelta {
+  uint64_t count = 0;
+  hw::CpuCounters total;
+  std::array<hw::CpuCounters, mk::trace::kMaxSpanPhases> phases{};
+  double per_op(uint64_t hw::CpuCounters::*field, int ops) const {
+    return static_cast<double>(total.*field) / ops;
+  }
+};
+
+SpanDelta Diff(const mk::trace::Tracer::SpanStats& after,
+               const mk::trace::Tracer::SpanStats& before) {
+  SpanDelta d;
+  d.count = after.count - before.count;
+  d.total = after.total - before.total;
+  for (int i = 0; i < mk::trace::kMaxSpanPhases; ++i) {
+    d.phases[i] = after.phases[i] - before.phases[i];
+  }
+  return d;
+}
+
 constexpr int kWarmup = 200;
 constexpr int kOps = 1000;
 
-// Measures `kOps` thread_self() traps in a steady-state loop.
-Window MeasureTrap() {
+// Measures `kOps` thread_self() traps in a steady-state loop. With `traced`
+// the kernel tracer runs during the measurement and `spans` receives the
+// trap-span aggregate delta over the measured loop.
+Window MeasureTrap(bool traced = false, SpanDelta* spans = nullptr) {
   hw::Machine machine(hw::MachineConfig{.ram_bytes = 16 * 1024 * 1024});
   mk::Kernel kernel(&machine);
+  if (traced) {
+    kernel.tracer().Enable();
+  }
   mk::Task* task = kernel.CreateTask("app");
   Window window;
   kernel.CreateThread(task, "main", [&](mk::Env& env) {
     for (int i = 0; i < kWarmup; ++i) {
       benchmark::DoNotOptimize(env.ThreadSelf());
     }
+    const mk::trace::Tracer::SpanStats s0 = kernel.tracer().stats(mk::trace::SpanKind::kTrap);
     const hw::CpuCounters c0 = kernel.Counters();
     for (int i = 0; i < kOps; ++i) {
       benchmark::DoNotOptimize(env.ThreadSelf());
     }
     window.counters = kernel.Counters() - c0;
+    if (spans != nullptr) {
+      *spans = Diff(kernel.tracer().stats(mk::trace::SpanKind::kTrap), s0);
+    }
   });
   kernel.Run();
   return window;
 }
 
 // Measures `kOps` 32-byte RPCs to a server that does nothing but receive and
-// reply (the paper's null server).
-Window MeasureRpc32() {
+// reply (the paper's null server). With `traced`, `spans` receives the
+// RPC-span delta and `trace_path` (if non-empty) gets a Chrome trace of the
+// whole run.
+Window MeasureRpc32(bool traced = false, SpanDelta* spans = nullptr,
+                    const std::string& trace_path = std::string()) {
   hw::Machine machine(hw::MachineConfig{.ram_bytes = 16 * 1024 * 1024});
   mk::Kernel kernel(&machine);
+  if (traced) {
+    kernel.tracer().Enable();
+  }
   mk::Task* server_task = kernel.CreateTask("server");
   mk::Task* client_task = kernel.CreateTask("client");
   auto recv = kernel.PortAllocate(*server_task);
@@ -72,36 +121,49 @@ Window MeasureRpc32() {
     for (int i = 0; i < kWarmup; ++i) {
       (void)env.RpcCall(send, payload, sizeof(payload), reply, sizeof(reply));
     }
+    const mk::trace::Tracer::SpanStats s0 = kernel.tracer().stats(mk::trace::SpanKind::kRpc);
     const hw::CpuCounters c0 = kernel.Counters();
     for (int i = 0; i < kOps; ++i) {
       (void)env.RpcCall(send, payload, sizeof(payload), reply, sizeof(reply));
     }
     window.counters = kernel.Counters() - c0;
+    if (spans != nullptr) {
+      *spans = Diff(kernel.tracer().stats(mk::trace::SpanKind::kRpc), s0);
+    }
     kernel.PortDestroy(*server_task, *recv);
   });
   kernel.Run();
+  if (!trace_path.empty()) {
+    std::ofstream f(trace_path);
+    WPOS_CHECK(static_cast<bool>(f)) << "cannot write " << trace_path;
+    mk::trace::WriteChromeTrace(f, kernel);
+  }
   return window;
 }
 
-void PrintTable2(const Window& trap, const Window& rpc) {
-  auto row = [&](const char* name, uint64_t hw::CpuCounters::*field, double paper_trap,
-                 double paper_rpc) {
+void PrintTable2(const Window& trap, const Window& rpc, bench::JsonReport* report) {
+  auto row = [&](const char* name, const char* key, uint64_t hw::CpuCounters::*field,
+                 double paper_trap, double paper_rpc) {
     const double t = trap.per_op(field, kOps);
     const double r = rpc.per_op(field, kOps);
     std::printf("%-14s %12.0f %12.0f %8.2f   (paper: %5.0f %5.0f %5.2f)\n", name, t, r, r / t,
                 paper_trap, paper_rpc, paper_rpc / paper_trap);
+    report->Add(std::string("trap.") + key, t, paper_trap);
+    report->Add(std::string("rpc32.") + key, r, paper_rpc);
   };
   std::printf("\n=== Table 2: Trap Versus RPC (per operation) ===\n");
   std::printf("%-14s %12s %12s %8s\n", "", "thread_self", "32-byte RPC", "ratio");
-  row("Instructions", &hw::CpuCounters::instructions, 465, 1317);
-  row("Cycles", &hw::CpuCounters::cycles, 970, 5163);
-  row("Bus Cycles", &hw::CpuCounters::bus_cycles, 218, 1849);
+  row("Instructions", "instructions", &hw::CpuCounters::instructions, 465, 1317);
+  row("Cycles", "cycles", &hw::CpuCounters::cycles, 970, 5163);
+  row("Bus Cycles", "bus_cycles", &hw::CpuCounters::bus_cycles, 218, 1849);
   const double trap_cpi = static_cast<double>(trap.counters.cycles) /
                           static_cast<double>(trap.counters.instructions);
   const double rpc_cpi = static_cast<double>(rpc.counters.cycles) /
                          static_cast<double>(rpc.counters.instructions);
   std::printf("%-14s %12.1f %12.1f %8.2f   (paper: %5.1f %5.1f %5.2f)\n", "CPI", trap_cpi,
               rpc_cpi, rpc_cpi / trap_cpi, 2.0, 3.9, 1.95);
+  report->Add("trap.cpi", trap_cpi, 2.0);
+  report->Add("rpc32.cpi", rpc_cpi, 3.9);
   std::printf("--- stall analysis (per operation; the paper reports no breakdown) ---\n");
   auto miss_row = [&](const char* name, uint64_t hw::CpuCounters::*field) {
     std::printf("%-14s %12.1f %12.1f\n", name, trap.per_op(field, kOps),
@@ -115,6 +177,60 @@ void PrintTable2(const Window& trap, const Window& rpc) {
               "penalty (%u cycles each, %u bus transactions) charged at pmap activation,\n"
               "because the steady-state microbenchmark loop itself stays cache-resident.\n\n",
               mk::Costs::kSpaceSwitchRefillCycles, mk::Costs::kSpaceSwitchRefillBus);
+}
+
+// The observability acceptance check: the traced run's span aggregates must
+// reproduce the counter windows of the same run EXACTLY (the single global
+// cycle clock means a client-side span brackets every cycle charged on the
+// operation's behalf), and tracing must not have perturbed the untraced
+// numbers by a single count.
+void PrintSpanTable(const Window& untraced_trap, const Window& untraced_rpc,
+                    const Window& trap_w, const SpanDelta& trap, const Window& rpc_w,
+                    const SpanDelta& rpc, bench::JsonReport* report) {
+  WPOS_CHECK(trap.count == kOps) << "trap spans: " << trap.count;
+  WPOS_CHECK(rpc.count == kOps) << "rpc spans: " << rpc.count;
+  auto exact = [](const char* what, const hw::CpuCounters& spans, const hw::CpuCounters& window) {
+    WPOS_CHECK(spans.instructions == window.instructions)
+        << what << " instructions: spans " << spans.instructions << " window "
+        << window.instructions;
+    WPOS_CHECK(spans.cycles == window.cycles)
+        << what << " cycles: spans " << spans.cycles << " window " << window.cycles;
+    WPOS_CHECK(spans.bus_cycles == window.bus_cycles)
+        << what << " bus cycles: spans " << spans.bus_cycles << " window " << window.bus_cycles;
+  };
+  exact("trap", trap.total, trap_w.counters);
+  exact("rpc32", rpc.total, rpc_w.counters);
+  // Zero perturbation: the traced run's windows equal the untraced run's.
+  exact("trap traced-vs-untraced", trap_w.counters, untraced_trap.counters);
+  exact("rpc32 traced-vs-untraced", rpc_w.counters, untraced_rpc.counters);
+
+  std::printf("=== Table 2 rederived from tracer spans (traced run) ===\n");
+  auto row = [&](const char* name, uint64_t hw::CpuCounters::*field) {
+    std::printf("%-14s %12.0f %12.0f   == counter windows exactly\n", name,
+                trap.per_op(field, kOps), rpc.per_op(field, kOps));
+  };
+  std::printf("%-14s %12s %12s\n", "(from spans)", "thread_self", "32-byte RPC");
+  row("Instructions", &hw::CpuCounters::instructions);
+  row("Cycles", &hw::CpuCounters::cycles);
+  row("Bus Cycles", &hw::CpuCounters::bus_cycles);
+  const double trap_cpi =
+      static_cast<double>(trap.total.cycles) / static_cast<double>(trap.total.instructions);
+  const double rpc_cpi =
+      static_cast<double>(rpc.total.cycles) / static_cast<double>(rpc.total.instructions);
+  std::printf("%-14s %12.1f %12.1f\n", "CPI", trap_cpi, rpc_cpi);
+  std::printf("--- RPC phase breakdown (cycles per op, from span phases) ---\n");
+  const char* phase_names[] = {"client_entry", "server", "reply_return"};
+  for (int i = 0; i < mk::trace::kMaxSpanPhases; ++i) {
+    const double cycles = static_cast<double>(rpc.phases[i].cycles) / kOps;
+    std::printf("%-14s %12.1f\n", phase_names[i], cycles);
+    report->Add(std::string("rpc32.span.") + phase_names[i] + "_cycles", cycles);
+  }
+  report->Add("rpc32.span.count", static_cast<double>(rpc.count));
+  report->Add("trap.span.count", static_cast<double>(trap.count));
+  // 1.0 means every exact-equality check above passed (WPOS_CHECK aborts
+  // otherwise, so a written report always says 1).
+  report->Add("span_window_exact_match", 1.0);
+  std::printf("\n");
 }
 
 void BM_Trap(benchmark::State& state) {
@@ -142,8 +258,20 @@ BENCHMARK(BM_Rpc32)->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = bench::ExtractJsonPath(&argc, argv);
+  const std::string trace_path = bench::ExtractFlag(&argc, argv, "--trace");
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
-  PrintTable2(MeasureTrap(), MeasureRpc32());
+  bench::JsonReport report;
+  const Window trap = MeasureTrap();
+  const Window rpc = MeasureRpc32();
+  PrintTable2(trap, rpc, &report);
+  SpanDelta trap_spans, rpc_spans;
+  const Window trap_traced = MeasureTrap(true, &trap_spans);
+  const Window rpc_traced = MeasureRpc32(true, &rpc_spans, trace_path);
+  PrintSpanTable(trap, rpc, trap_traced, trap_spans, rpc_traced, rpc_spans, &report);
+  if (!json_path.empty()) {
+    WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

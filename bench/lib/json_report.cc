@@ -1,0 +1,68 @@
+#include "bench/lib/json_report.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace bench {
+
+namespace {
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+}  // namespace
+
+void JsonReport::Add(const std::string& name, double measured, double paper) {
+  rows_[name] = Row{measured, paper};
+}
+
+std::string JsonReport::ToJson() const {
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [name, row] : rows_) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "  \"" + name + "\": {\"paper\": " + Num(row.paper) +
+           ", \"measured\": " + Num(row.measured);
+    if (row.paper != 0.0) {
+      out += ", \"ratio\": " + Num(row.measured / row.paper);
+    }
+    out += "}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool JsonReport::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  f << ToJson();
+  return static_cast<bool>(f);
+}
+
+std::string ExtractFlag(int* argc, char** argv, const std::string& flag) {
+  std::string value;
+  int out = 0;
+  for (int i = 0; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < *argc) {
+      value = argv[++i];
+      continue;
+    }
+    if (arg.rfind(flag + "=", 0) == 0) {
+      value = arg.substr(flag.size() + 1);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return value;
+}
+
+}  // namespace bench

@@ -7,6 +7,8 @@ namespace base {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+LogCycleSource g_cycle_source;
+ScopedLogCapture* g_capture = nullptr;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -28,6 +30,16 @@ const char* LevelTag(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 
+LogCycleSource SetLogCycleSource(LogCycleSource source) {
+  LogCycleSource prev = std::move(g_cycle_source);
+  g_cycle_source = std::move(source);
+  return prev;
+}
+
+ScopedLogCapture::ScopedLogCapture() : prev_(g_capture) { g_capture = this; }
+
+ScopedLogCapture::~ScopedLogCapture() { g_capture = prev_; }
+
 namespace log_internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
@@ -37,12 +49,21 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
       slash = p;
     }
   }
-  stream_ << "[" << LevelTag(level) << " " << (slash != nullptr ? slash + 1 : file) << ":" << line
-          << "] ";
+  stream_ << "[" << LevelTag(level) << " " << (slash != nullptr ? slash + 1 : file) << ":" << line;
+  if (g_cycle_source) {
+    stream_ << " @" << g_cycle_source();
+  }
+  stream_ << "] ";
 }
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
+  if (g_capture != nullptr) {
+    g_capture->Append(stream_.str());
+    if (level_ != LogLevel::kFatal) {
+      return;
+    }
+  }
   std::fputs(stream_.str().c_str(), stderr);
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -4,6 +4,8 @@
 #ifndef SRC_BASE_LOG_H_
 #define SRC_BASE_LOG_H_
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,6 +17,41 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal
 // tests and benches stay quiet.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// When a source is registered, every log line carries the simulated cycle
+// count in its prefix ("[W kernel.cc:103 @12345] ..."), correlating log
+// output with traces. A live kernel registers its cycle clock on
+// construction and restores the previous source on destruction (exchange
+// semantics), so nested simulations stamp with the innermost active clock.
+// Returns the previously registered source (empty if none).
+using LogCycleSource = std::function<uint64_t()>;
+LogCycleSource SetLogCycleSource(LogCycleSource source);
+
+// Captures log output emitted while in scope instead of writing it to
+// stderr; scopes nest (the innermost capture wins) and restore the previous
+// sink on destruction. Fatal messages are still written to stderr before
+// aborting. Lets tests exercise warning paths silently and assert on the
+// messages.
+class ScopedLogCapture {
+ public:
+  ScopedLogCapture();
+  ~ScopedLogCapture();
+
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  const std::string& text() const { return text_; }
+  bool Contains(const std::string& needle) const {
+    return text_.find(needle) != std::string::npos;
+  }
+  void Clear() { text_.clear(); }
+
+  void Append(const std::string& line) { text_ += line; }
+
+ private:
+  std::string text_;
+  ScopedLogCapture* prev_;
+};
 
 namespace log_internal {
 

@@ -104,6 +104,14 @@ void DiskDriver::Serve(mk::Env& env) {
       return;
     }
     ++requests_served_;
+    mk::trace::Tracer& tracer = kernel_.tracer();
+    mk::trace::ScopedSpan op_span(tracer, mk::trace::SpanKind::kServerOp,
+                                  mk::trace::EventType::kServerDispatch,
+                                  mk::trace::EventType::kServerDone,
+                                  static_cast<uint64_t>(req.op));
+    op_span.set_end_payload(static_cast<uint64_t>(req.op));
+    tracer.LabelSpan(op_span.id(), "disk");
+    ++tracer.metrics().Counter("server.disk.ops");
     DiskReply reply;
     switch (req.op) {
       case DiskOp::kInfo:

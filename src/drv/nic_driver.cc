@@ -97,6 +97,14 @@ void NicDriver::Serve(mk::Env& env) {
     if (!r.ok()) {
       return;
     }
+    mk::trace::Tracer& tracer = kernel_.tracer();
+    mk::trace::ScopedSpan op_span(tracer, mk::trace::SpanKind::kServerOp,
+                                  mk::trace::EventType::kServerDispatch,
+                                  mk::trace::EventType::kServerDone,
+                                  static_cast<uint64_t>(req.op));
+    op_span.set_end_payload(static_cast<uint64_t>(req.op));
+    tracer.LabelSpan(op_span.id(), "nic");
+    ++tracer.metrics().Counter("server.nic.ops");
     NicReply reply;
     if (req.op == NicOp::kSend) {
       if (ref.recv_len == 0 || ref.recv_len > hw::Nic::kMaxFrame) {

@@ -1,5 +1,7 @@
 #include "src/hw/code_layout.h"
 
+#include <cstdio>
+
 #include "src/base/log.h"
 
 namespace hw {
@@ -36,7 +38,18 @@ CodeRegion CodeLayout::Register(const std::string& name, uint32_t instructions,
   comp.next += bytes;
   comp.bytes += bytes;
   regions_.emplace(name, region);
+  names_by_base_.emplace(region.base, name);
   return region;
+}
+
+std::string CodeLayout::NameOf(PhysAddr base) const {
+  auto it = names_by_base_.find(base);
+  if (it != names_by_base_.end()) {
+    return it->second;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "?0x%llx", static_cast<unsigned long long>(base));
+  return buf;
 }
 
 uint64_t CodeLayout::ComponentTextBytes(const std::string& component) const {
@@ -46,6 +59,7 @@ uint64_t CodeLayout::ComponentTextBytes(const std::string& component) const {
 
 void CodeLayout::Clear() {
   regions_.clear();
+  names_by_base_.clear();
   components_.clear();
   next_image_base_ = kImageSpaceBase;
   image_count_ = 0;

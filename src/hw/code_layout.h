@@ -57,6 +57,10 @@ class CodeLayout {
   // Total simulated text bytes registered for a component ("mk", "svc", ...).
   uint64_t ComponentTextBytes(const std::string& component) const;
 
+  // Reverse lookup: the registered name of the region starting at `base`
+  // ("?0x..." if unknown). Used by profilers to label per-region totals.
+  std::string NameOf(PhysAddr base) const;
+
   void Clear();  // test-only
 
  private:
@@ -66,6 +70,7 @@ class CodeLayout {
   };
 
   std::unordered_map<std::string, CodeRegion> regions_;
+  std::unordered_map<PhysAddr, std::string> names_by_base_;
   std::unordered_map<std::string, Component> components_;
   PhysAddr next_image_base_ = kImageSpaceBase;
   uint64_t image_count_ = 0;

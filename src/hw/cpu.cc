@@ -17,6 +17,8 @@ void Cpu::ExecuteInstructions(const CodeRegion& region, uint64_t instructions) {
   if (instructions == 0) {
     return;
   }
+  const Cycles cycles_before = cycles_;
+  const uint64_t imiss_before = icache_.stats().misses;
   instructions_ += instructions;
   // Base pipeline cost with fractional accumulation so that repeated short
   // paths do not round the CPI away.
@@ -38,6 +40,10 @@ void Cpu::ExecuteInstructions(const CodeRegion& region, uint64_t instructions) {
   PhysAddr a = region.base & ~static_cast<PhysAddr>(line - 1);
   for (uint64_t i = 0; i < fetches; ++i) {
     ChargeFetch(a + i * stride);
+  }
+  if (execute_observer_) {
+    execute_observer_(region, instructions, cycles_ - cycles_before,
+                      icache_.stats().misses - imiss_before);
   }
 }
 

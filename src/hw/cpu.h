@@ -13,6 +13,8 @@
 #define SRC_HW_CPU_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "src/hw/cache.h"
 #include "src/hw/code_layout.h"
@@ -48,6 +50,18 @@ struct CpuCounters {
   uint64_t tlb_misses = 0;
   uint64_t data_accesses = 0;
   uint64_t uncached_accesses = 0;
+
+  CpuCounters& operator+=(const CpuCounters& rhs) {
+    instructions += rhs.instructions;
+    cycles += rhs.cycles;
+    bus_cycles += rhs.bus_cycles;
+    icache_misses += rhs.icache_misses;
+    dcache_misses += rhs.dcache_misses;
+    tlb_misses += rhs.tlb_misses;
+    data_accesses += rhs.data_accesses;
+    uncached_accesses += rhs.uncached_accesses;
+    return *this;
+  }
 
   CpuCounters operator-(const CpuCounters& rhs) const {
     CpuCounters d;
@@ -118,6 +132,13 @@ class Cpu {
   uint64_t CyclesToNs(Cycles c) const { return c * 1000ull / config_.mhz; }
   Cycles NsToCycles(uint64_t ns) const { return ns * config_.mhz / 1000ull; }
 
+  // Host-side observer called after each ExecuteInstructions with the
+  // per-call deltas; used by the tracer's flat profiler. The observer must
+  // not call back into the Cpu — it observes costs, it does not add any.
+  using ExecuteObserver = std::function<void(const CodeRegion& region, uint64_t instructions,
+                                             uint64_t cycles, uint64_t icache_misses)>;
+  void set_execute_observer(ExecuteObserver observer) { execute_observer_ = std::move(observer); }
+
  private:
   void ChargeFetch(PhysAddr addr);
 
@@ -132,6 +153,8 @@ class Cpu {
   uint64_t data_accesses_ = 0;
   uint64_t uncached_accesses_ = 0;
   double cycle_frac_ = 0.0;  // fractional-CPI accumulator
+
+  ExecuteObserver execute_observer_;
 };
 
 }  // namespace hw

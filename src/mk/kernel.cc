@@ -4,10 +4,12 @@
 #include "src/mk/kernel.h"
 
 #include <algorithm>
+#include <iostream>
 
 #include "src/base/log.h"
 #include "src/mk/analysis/invariants.h"
 #include "src/mk/analysis/wait_for_graph.h"
+#include "src/mk/trace/exporters.h"
 #include "src/mk/vm_object.h"
 
 namespace mk {
@@ -76,6 +78,8 @@ Kernel::Kernel(hw::Machine* machine, const KernelConfig& config)
     : machine_(machine), config_(config), scheduler_(this) {
   heap_ = std::make_unique<KernelHeap>(kKernelHeapBase, config.kernel_heap_bytes);
   scheduler_.quantum_cycles = config.quantum_cycles;
+  tracer_ = std::make_unique<trace::Tracer>(&machine->cpu(), &scheduler_, config.trace_capacity);
+  prev_log_cycle_source_ = base::SetLogCycleSource([this] { return cpu().cycles(); });
   HostInfo info;
   info.name = "wpos-sim";
   info.cpu_mhz = machine->cpu().config().mhz;
@@ -83,7 +87,7 @@ Kernel::Kernel(hw::Machine* machine, const KernelConfig& config)
   host_.set_info(info);
 }
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() { base::SetLogCycleSource(std::move(prev_log_cycle_source_)); }
 
 size_t Kernel::Run() {
   scheduler_.Run();
@@ -106,6 +110,9 @@ size_t Kernel::Halt() {
   for (const std::string& cycle : graph.FindCycleReports()) {
     WPOS_LOG(kError) << "deadlock cycle: " << cycle;
   }
+  if (config_.profile_at_halt && tracer_->enabled()) {
+    trace::WriteFlatProfile(std::cerr, *this);
+  }
   return blocked;
 }
 
@@ -125,6 +132,7 @@ void Kernel::EnterKernel(const hw::CodeRegion& trap_entry_region) {
         << "kernel invariants violated at entry " << kernel_entries_;
   }
   PollHardware();
+  tracer_->Emit(trace::EventType::kTrapEnter, kernel_entries_);
   cpu().Stall(Costs::kTrapStallCycles);
   cpu().BusTransactions(Costs::kTrapEntryBus);
   cpu().Execute(trap_entry_region);
@@ -133,6 +141,7 @@ void Kernel::EnterKernel(const hw::CodeRegion& trap_entry_region) {
 void Kernel::LeaveKernel() {
   cpu().Execute(TrapExitRegion());
   cpu().BusTransactions(Costs::kTrapExitBus);
+  tracer_->Emit(trace::EventType::kTrapExit);
   Thread* t = scheduler_.current();
   if (t != nullptr && cpu().cycles() - t->dispatch_cycle > scheduler_.quantum_cycles) {
     scheduler_.Yield();
@@ -151,6 +160,8 @@ void Kernel::PollHardware() {
 
 void Kernel::DispatchInterrupt(uint32_t line) {
   ++interrupts_delivered_;
+  tracer_->Emit(trace::EventType::kInterrupt, line);
+  ++tracer_->metrics().Counter("mk.interrupts");
   cpu().Stall(Costs::kContextSwitchStallCycles);  // pipeline drain
   cpu().Execute(InterruptRegion());
   auto it = interrupt_bindings_.find(line);
@@ -465,8 +476,15 @@ void Env::Compute(uint64_t instructions) {
 PortName Env::ThreadSelf() {
   static const hw::CodeRegion kStub =
       hw::DefineKernelCode("ustub.thread_self", Costs::kUserTrapStub);
+  // The span opens before the user-level stub so its counter delta covers
+  // the complete trap as the paper measured it: stub, kernel entry, body,
+  // kernel exit.
+  const uint64_t span = kernel_.tracer().BeginSpan(trace::SpanKind::kTrap,
+                                                   trace::EventType::kTrapCall);
   kernel_.cpu().Execute(kStub);
-  return kernel_.TrapThreadSelf();
+  const PortName name = kernel_.TrapThreadSelf();
+  kernel_.tracer().EndSpan(span, trace::EventType::kTrapReturn);
+  return name;
 }
 
 }  // namespace mk

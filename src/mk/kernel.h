@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/log.h"
 #include "src/base/status.h"
 #include "src/hw/machine.h"
 #include "src/mk/costs.h"
@@ -32,6 +33,7 @@
 #include "src/mk/scheduler.h"
 #include "src/mk/task.h"
 #include "src/mk/thread.h"
+#include "src/mk/trace/tracer.h"
 #include "src/mk/vm_map.h"
 #include "src/mk/vm_object.h"
 
@@ -56,6 +58,12 @@ struct KernelConfig {
   // simulated cycles, so enabling it does not perturb measurements — it only
   // costs host time.
   uint64_t invariant_check_interval = 0;
+  // Event-ring capacity of the tracer (events kept once tracing is enabled
+  // via Kernel::tracer().Enable(); older events drop on overflow). The
+  // tracer is host-side bookkeeping and charges no simulated cycles.
+  size_t trace_capacity = 64 * 1024;
+  // When tracing is enabled, Halt() prints the flat profile to stderr.
+  bool profile_at_halt = false;
 };
 
 // Result of a server-side RpcReceive.
@@ -83,6 +91,7 @@ class Kernel {
   Scheduler& scheduler() { return scheduler_; }
   KernelHeap& heap() { return *heap_; }
   Host& host() { return host_; }
+  trace::Tracer& tracer() { return *tracer_; }
   Thread* current() const { return scheduler_.current(); }
   Task* current_task() const { return scheduler_.current_task(); }
 
@@ -310,6 +319,7 @@ class Kernel {
   KernelConfig config_;
   std::unique_ptr<KernelHeap> heap_;
   Scheduler scheduler_;
+  std::unique_ptr<trace::Tracer> tracer_;
   Host host_;
 
   std::vector<std::unique_ptr<Task>> tasks_;
@@ -361,6 +371,9 @@ class Kernel {
 
   // Kernel entries since boot; drives the invariant-check cadence.
   uint64_t kernel_entries_ = 0;
+  // Cycle source active before this kernel registered its clock with the
+  // logger; restored on destruction.
+  base::LogCycleSource prev_log_cycle_source_;
   // Monotonicity snapshot for CheckInvariants: counters must never regress
   // between two successive checks. Mutable because checking is const.
   mutable uint64_t last_rpc_calls_ = 0;

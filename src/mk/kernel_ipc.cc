@@ -49,6 +49,9 @@ base::Status Kernel::MachMsgSend(MachMessage&& msg, uint64_t timeout_ns) {
   Thread* sender = scheduler_.current();
   WPOS_DCHECK(sender != nullptr) << "MachMsgSend outside thread context";
   Task& task = *sender->task();
+  trace::ScopedSpan span(*tracer_, trace::SpanKind::kIpcSend, trace::EventType::kIpcSend,
+                         trace::EventType::kIpcSendDone, msg.msg_id);
+  ++tracer_->metrics().Counter("mk.ipc.sends");
   cpu().Execute(UserStubRegion());
   EnterKernel(TrapEntry());
   cpu().Execute(SendPathRegion());
@@ -129,6 +132,7 @@ base::Status Kernel::MachMsgSend(MachMessage&& msg, uint64_t timeout_ns) {
     return base::Status::kPortDead;
   }
   port->queue.push_back(std::move(qm));
+  tracer_->metrics().GaugeMax("mk.ipc.queue_depth_hwm", port->queue.size());
   WakeOneReceiver(port);
   LeaveKernel();
   return base::Status::kOk;
@@ -138,6 +142,9 @@ base::Status Kernel::MachMsgReceive(PortName name, MachMessage* out, uint64_t ti
   Thread* receiver = scheduler_.current();
   WPOS_DCHECK(receiver != nullptr) << "MachMsgReceive outside thread context";
   Task& task = *receiver->task();
+  trace::ScopedSpan span(*tracer_, trace::SpanKind::kIpcReceive, trace::EventType::kIpcReceive,
+                         trace::EventType::kIpcReceiveDone);
+  ++tracer_->metrics().Counter("mk.ipc.receives");
   cpu().Execute(UserStubRegion());
   EnterKernel(TrapEntry());
   cpu().Execute(ReceivePathRegion());
@@ -177,6 +184,7 @@ base::Status Kernel::MachMsgReceive(PortName name, MachMessage* out, uint64_t ti
   }
   std::unique_ptr<QueuedMessage> qm = std::move(source->queue.front());
   source->queue.pop_front();
+  span.set_end_payload(qm->msg_id);
   cpu().Execute(KmsgRegion());
   cpu().AccessData(source->sim_addr(), 64, /*write=*/true);
 

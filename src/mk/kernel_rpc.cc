@@ -113,6 +113,10 @@ void Kernel::DeliverRpcToServer(Thread* client, Thread* server) {
   rpc_waiters_[s.token] = RpcInFlight{client, server};
   s.srv_client_task = client->task()->id();
   c.completion = base::Status::kOk;
+  // The client's call span enters its server phase; label it with the server
+  // task so per-server latency histograms separate.
+  tracer_->MarkPhase(c.span_id, trace::EventType::kRpcDispatch, server->id());
+  tracer_->LabelSpan(c.span_id, server->task()->name());
 }
 
 base::Status Kernel::RpcCall(PortName port_name, const void* req, uint32_t req_len, void* reply,
@@ -121,6 +125,10 @@ base::Status Kernel::RpcCall(PortName port_name, const void* req, uint32_t req_l
                              PortName* granted) {
   Thread* client = scheduler_.current();
   WPOS_DCHECK(client != nullptr) << "RpcCall outside thread context";
+  // The span opens before the client stub executes so its counter delta
+  // covers the complete call: stub, kernel entry, server work, reply return.
+  client->rpc.span_id =
+      tracer_->BeginSpan(trace::SpanKind::kRpc, trace::EventType::kRpcCall, port_name);
   cpu().Execute(ClientStubRegion());
   EnterKernel(TrapEntry());
   cpu().Execute(SendPathRegion());
@@ -128,12 +136,15 @@ base::Status Kernel::RpcCall(PortName port_name, const void* req, uint32_t req_l
   auto port_r = client->task()->port_space().LookupSendable(port_name);
   if (!port_r.ok()) {
     LeaveKernel();
+    tracer_->EndSpan(client->rpc.span_id, trace::EventType::kRpcReturn,
+                     static_cast<uint64_t>(port_r.status()));
     return port_r.status();
   }
   LeaveKernel();  // cost bracketing only; the call continues below
   const base::Status st =
       RpcCallOnPort(*port_r, req, req_len, reply, reply_cap, reply_len, ref, rights, rights_count,
                     granted);
+  tracer_->EndSpan(client->rpc.span_id, trace::EventType::kRpcReturn, static_cast<uint64_t>(st));
   return st;
 }
 
@@ -148,6 +159,7 @@ base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len
   }
   ++rpc_calls_;
   ++port->rpc_count;
+  ++tracer_->metrics().Counter("mk.rpc.calls");
   cpu().AccessData(port->sim_addr(), 64, /*write=*/true);
 
   Thread::RpcState& c = client->rpc;
@@ -188,6 +200,7 @@ base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len
     }
   } else {
     port->waiting_clients.push_back(client);
+    tracer_->metrics().GaugeMax("mk.rpc.waiting_clients_hwm", port->waiting_clients.size());
     const base::Status block_status = scheduler_.Block(Thread::State::kBlocked, nullptr);
     if (block_status != base::Status::kOk) {
       // Aborted or port died while queued; make sure we are off the list.
@@ -291,6 +304,9 @@ base::Status Kernel::DeliverReply(Thread* server, Thread* client, const void* re
                                   uint32_t len, const void* ref_data, uint32_t ref_len,
                                   PortName grant, base::Status completion) {
   Thread::RpcState& c = client->rpc;
+  // Server phase of the client's span ends here: what follows is reply copy
+  // and the return to user mode on the client side.
+  tracer_->MarkPhase(c.span_id, trace::EventType::kRpcReply, len);
   c.completion = completion;
   if (len > c.reply_cap) {
     c.completion = base::Status::kTooLarge;

@@ -257,6 +257,10 @@ base::Status Kernel::PagerFill(Task& task, VmObject* object, uint64_t page_index
 
 base::Status Kernel::FaultIn(Task& task, VmMapEntry* entry, hw::VirtAddr vaddr, bool write,
                              hw::PhysAddr* out_pa) {
+  trace::ScopedSpan span(*tracer_, trace::SpanKind::kVmFault, trace::EventType::kVmFault,
+                         trace::EventType::kVmFaultDone, vaddr);
+  span.set_end_payload(write ? 1 : 0);
+  ++tracer_->metrics().Counter("mk.vm.faults");
   cpu().Execute(FaultEntryRegion());
   cpu().Execute(FaultResolveRegion());
   cpu().AccessData(task.sim_addr(), 64, /*write=*/false);

@@ -128,6 +128,9 @@ void Scheduler::SwitchInto(Thread* t) {
   current_ = t;
   t->set_state(Thread::State::kRunning);
   t->dispatch_cycle = cpu.cycles();
+  // Emitted with current_ already switched so the event carries the incoming
+  // thread's identity.
+  kernel_->tracer().Emit(trace::EventType::kThreadSwitch, t->id(), handoff ? 1 : 0);
 
   if (!t->started_) {
     t->started_ = true;
@@ -217,6 +220,7 @@ void Scheduler::HandoffTo(Thread* next) {
 void Scheduler::ExitCurrent() {
   Thread* self = current_;
   WPOS_CHECK(self != nullptr);
+  kernel_->tracer().Emit(trace::EventType::kThreadExit, self->id());
   self->set_state(Thread::State::kTerminated);
   while (Thread* waiter = self->exit_waiters.DequeueFront()) {
     waiter->waiting_on = nullptr;

@@ -27,6 +27,7 @@ class ServerLoop {
   ServerLoop(PortName receive_port, const std::string& interface, uint32_t max_request = 512,
              uint32_t max_ref = 64 * 1024)
       : port_(receive_port),
+        interface_(interface),
         stub_region_(hw::DefineKernelCode("stub." + interface, Costs::kRpcServerStub)),
         loop_region_(hw::DefineKernelCode("loop." + interface, Costs::kRpcServerLoop)),
         request_buf_(max_request),
@@ -73,6 +74,13 @@ class ServerLoop {
       if (request->req_len >= sizeof(uint32_t)) {
         std::memcpy(&op, request_buf_.data(), sizeof(uint32_t));
       }
+      trace::Tracer& tracer = env.kernel().tracer();
+      trace::ScopedSpan op_span(tracer, trace::SpanKind::kServerOp,
+                                trace::EventType::kServerDispatch, trace::EventType::kServerDone,
+                                op);
+      op_span.set_end_payload(op);
+      tracer.LabelSpan(op_span.id(), interface_);
+      ++tracer.metrics().Counter("server." + interface_ + ".ops");
       auto it = handlers_.find(op);
       if (it == handlers_.end()) {
         env.RpcReply(request->token, nullptr, 0, nullptr, 0, kNullPort,
@@ -95,6 +103,7 @@ class ServerLoop {
   }
 
   PortName port_;
+  std::string interface_;
   hw::CodeRegion stub_region_;
   hw::CodeRegion loop_region_;
   std::vector<uint8_t> request_buf_;

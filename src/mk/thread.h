@@ -93,6 +93,9 @@ class Thread {
     PortName granted_right = kNullPort;  // right received with the reply
     base::Status completion = base::Status::kOk;
     Port* port = nullptr;
+    // Tracer span covering this call (0 when tracing is disabled). Server-
+    // side delivery/reply code marks phase boundaries on the client's span.
+    uint64_t span_id = 0;
 
     // Server side (valid between RpcReceive and RpcReply):
     Thread* client = nullptr;

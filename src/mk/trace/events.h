@@ -1,0 +1,67 @@
+// Central registry of kernel trace events and span kinds.
+//
+// Every event the tracer can record is declared here, once, with its
+// exported name. Emit sites refer to events only through these enums —
+// tools/lint.py rejects string-literal event names at emit sites — so the
+// set of event names in a trace is auditable in one place and traces from
+// different builds stay comparable.
+#ifndef SRC_MK_TRACE_EVENTS_H_
+#define SRC_MK_TRACE_EVENTS_H_
+
+#include <cstdint>
+
+namespace mk {
+namespace trace {
+
+// Instant events recorded into the ring buffer. The `a`/`b` payload fields
+// are event-specific (documented per entry).
+enum class EventType : uint8_t {
+  kThreadSwitch = 0,   // a = incoming thread id, b = 1 if direct handoff
+  kThreadExit,         // a = thread id
+  kTrapEnter,          // instant at every kernel entry; a = entry ordinal
+  kTrapExit,           // instant at every kernel exit
+  kTrapCall,           // trap span begin (user stub onward); a = span id
+  kTrapReturn,         // trap span end; a = span id
+  kRpcCall,            // RPC span begin; a = span id, b = port id
+  kRpcDispatch,        // RPC span phase; a = span id, b = server thread id
+  kRpcReply,           // RPC span phase; a = span id, b = reply length
+  kRpcReturn,          // RPC span end; a = span id, b = completion status
+  kIpcSend,            // legacy-send span begin; a = span id, b = msg id
+  kIpcSendDone,        // legacy-send span end; a = span id
+  kIpcReceive,         // legacy-receive span begin; a = span id
+  kIpcReceiveDone,     // legacy-receive span end; a = span id, b = msg id
+  kVmFault,            // fault span begin; a = span id, b = faulting vaddr
+  kVmFaultDone,        // fault span end; a = span id, b = 1 if write fault
+  kInterrupt,          // a = interrupt line
+  kServerDispatch,     // server-op span begin; a = span id, b = op code
+  kServerDone,         // server-op span end; a = span id, b = op code
+  kCount,
+};
+
+const char* EventName(EventType type);
+
+// Span kinds: operations the span profiler attributes CpuCounters deltas to,
+// phase by phase. Phase boundaries are marked by the events noted above.
+enum class SpanKind : uint8_t {
+  kTrap = 0,    // one phase: kernel
+  kRpc,         // three phases: client entry, server, reply return
+  kIpcSend,     // one phase
+  kIpcReceive,  // one phase
+  kVmFault,     // one phase
+  kServerOp,    // one phase: server-loop handler body
+  kCount,
+};
+
+// Upper bound on phases any span kind uses (the RPC span's three).
+inline constexpr int kMaxSpanPhases = 3;
+
+const char* SpanName(SpanKind kind);
+// Name of phase `phase` (0-based) of `kind`; nullptr past the last phase.
+const char* SpanPhaseName(SpanKind kind, int phase);
+// How many phases `kind` has.
+int SpanPhaseCount(SpanKind kind);
+
+}  // namespace trace
+}  // namespace mk
+
+#endif  // SRC_MK_TRACE_EVENTS_H_

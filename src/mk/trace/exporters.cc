@@ -1,0 +1,282 @@
+#include "src/mk/trace/exporters.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/mk/kernel.h"
+#include "src/mk/trace/tracer.h"
+
+namespace mk {
+namespace trace {
+
+namespace {
+
+// Microseconds (the trace-event "ts" unit) from simulated cycles, printed
+// with fixed precision so exports are byte-stable.
+std::string TsUs(uint64_t cycles, uint64_t mhz) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(cycles) / static_cast<double>(mhz));
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Classification of ring events into span roles for slice reconstruction.
+bool SpanBeginKind(EventType t, SpanKind* kind) {
+  switch (t) {
+    case EventType::kTrapCall:
+      *kind = SpanKind::kTrap;
+      return true;
+    case EventType::kRpcCall:
+      *kind = SpanKind::kRpc;
+      return true;
+    case EventType::kIpcSend:
+      *kind = SpanKind::kIpcSend;
+      return true;
+    case EventType::kIpcReceive:
+      *kind = SpanKind::kIpcReceive;
+      return true;
+    case EventType::kVmFault:
+      *kind = SpanKind::kVmFault;
+      return true;
+    case EventType::kServerDispatch:
+      *kind = SpanKind::kServerOp;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSpanPhase(EventType t) { return t == EventType::kRpcDispatch || t == EventType::kRpcReply; }
+
+bool IsSpanEnd(EventType t) {
+  switch (t) {
+    case EventType::kTrapReturn:
+    case EventType::kRpcReturn:
+    case EventType::kIpcSendDone:
+    case EventType::kIpcReceiveDone:
+    case EventType::kVmFaultDone:
+    case EventType::kServerDone:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void WriteCounters(std::ostream& os, const hw::CpuCounters& c) {
+  os << "{\"instructions\":" << c.instructions << ",\"cycles\":" << c.cycles
+     << ",\"bus_cycles\":" << c.bus_cycles << ",\"icache_misses\":" << c.icache_misses
+     << ",\"dcache_misses\":" << c.dcache_misses << ",\"tlb_misses\":" << c.tlb_misses
+     << ",\"data_accesses\":" << c.data_accesses << ",\"uncached_accesses\":" << c.uncached_accesses
+     << "}";
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& os, Kernel& kernel) {
+  Tracer& tracer = kernel.tracer();
+  const uint64_t mhz = kernel.cpu().config().mhz;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& json) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\n" << json;
+  };
+
+  // Process/thread naming metadata so Perfetto shows task and thread names.
+  for (const auto& task : kernel.tasks()) {
+    emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(task->id()) +
+         ",\"args\":{\"name\":\"" + JsonEscape(task->name()) + "\"}}");
+    for (const Thread* t : task->threads()) {
+      emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(task->id()) +
+           ",\"tid\":" + std::to_string(t->id()) + ",\"args\":{\"name\":\"" +
+           JsonEscape(t->name()) + "\"}}");
+    }
+  }
+
+  struct OpenSpan {
+    SpanKind kind;
+    uint64_t begin_cycle = 0;
+    ThreadId tid = 0;
+    TaskId pid = 0;
+    uint64_t b = 0;
+    // Phase boundary cycles (phase i spans boundary[i] .. boundary[i+1]).
+    std::vector<uint64_t> boundaries;
+  };
+  std::map<uint64_t, OpenSpan> open;
+
+  for (const TraceEvent& e : tracer.Events()) {
+    SpanKind kind;
+    if (SpanBeginKind(e.type, &kind)) {
+      OpenSpan span;
+      span.kind = kind;
+      span.begin_cycle = e.cycle;
+      span.tid = e.thread;
+      span.pid = e.task;
+      span.b = e.b;
+      span.boundaries.push_back(e.cycle);
+      open[e.a] = span;
+    } else if (IsSpanPhase(e.type)) {
+      auto it = open.find(e.a);
+      if (it != open.end()) {
+        it->second.boundaries.push_back(e.cycle);
+      }
+    } else if (IsSpanEnd(e.type)) {
+      auto it = open.find(e.a);
+      if (it == open.end()) {
+        continue;  // begin fell off the ring
+      }
+      OpenSpan& span = it->second;
+      span.boundaries.push_back(e.cycle);
+      const std::string ids =
+          ",\"pid\":" + std::to_string(span.pid) + ",\"tid\":" + std::to_string(span.tid);
+      emit("{\"ph\":\"X\",\"cat\":\"span\",\"name\":\"" + std::string(SpanName(span.kind)) +
+           "\",\"ts\":" + TsUs(span.begin_cycle, mhz) +
+           ",\"dur\":" + TsUs(e.cycle - span.begin_cycle, mhz) + ids +
+           ",\"args\":{\"span\":" + std::to_string(e.a) + ",\"arg\":" + std::to_string(span.b) +
+           "}}");
+      for (size_t i = 0; i + 1 < span.boundaries.size(); ++i) {
+        const char* phase = SpanPhaseName(span.kind, static_cast<int>(i));
+        if (phase == nullptr || span.boundaries.size() <= 2) {
+          break;  // single-phase spans need no sub-slice
+        }
+        emit("{\"ph\":\"X\",\"cat\":\"phase\",\"name\":\"" + std::string(phase) +
+             "\",\"ts\":" + TsUs(span.boundaries[i], mhz) +
+             ",\"dur\":" + TsUs(span.boundaries[i + 1] - span.boundaries[i], mhz) + ids +
+             ",\"args\":{\"span\":" + std::to_string(e.a) + "}}");
+      }
+      open.erase(it);
+    } else {
+      // Instant event.
+      emit("{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"event\",\"name\":\"" +
+           std::string(EventName(e.type)) + "\",\"ts\":" + TsUs(e.cycle, mhz) +
+           ",\"pid\":" + std::to_string(e.task) + ",\"tid\":" + std::to_string(e.thread) +
+           ",\"args\":{\"a\":" + std::to_string(e.a) + ",\"b\":" + std::to_string(e.b) + "}}");
+    }
+  }
+  os << "\n]}\n";
+}
+
+void WriteFlatProfile(std::ostream& os, Kernel& kernel, size_t top_n) {
+  Tracer& tracer = kernel.tracer();
+  char line[256];
+  os << "=== span profile (CpuCounters deltas per operation phase) ===\n";
+  std::snprintf(line, sizeof(line), "%-12s %10s %-14s %12s %12s %10s %8s %8s %8s\n", "kind",
+                "count", "phase", "instr", "cycles", "bus", "icache", "dcache", "tlb");
+  os << line;
+  for (int k = 0; k < static_cast<int>(SpanKind::kCount); ++k) {
+    const SpanKind kind = static_cast<SpanKind>(k);
+    const Tracer::SpanStats& st = tracer.stats(kind);
+    if (st.count == 0) {
+      continue;
+    }
+    for (int p = 0; p < SpanPhaseCount(kind); ++p) {
+      const hw::CpuCounters& c = st.phases[p];
+      std::snprintf(line, sizeof(line),
+                    "%-12s %10" PRIu64 " %-14s %12" PRIu64 " %12" PRIu64 " %10" PRIu64
+                    " %8" PRIu64 " %8" PRIu64 " %8" PRIu64 "\n",
+                    p == 0 ? SpanName(kind) : "", p == 0 ? st.count : 0, SpanPhaseName(kind, p),
+                    c.instructions, c.cycles, c.bus_cycles, c.icache_misses, c.dcache_misses,
+                    c.tlb_misses);
+      os << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-12s %10s %-14s %12" PRIu64 " %12" PRIu64 " %10" PRIu64 " %8" PRIu64
+                  " %8" PRIu64 " %8" PRIu64 "\n",
+                  "", "", "total", st.total.instructions, st.total.cycles, st.total.bus_cycles,
+                  st.total.icache_misses, st.total.dcache_misses, st.total.tlb_misses);
+    os << line;
+  }
+  os << "=== top code regions by cycles ===\n";
+  std::snprintf(line, sizeof(line), "%-28s %10s %14s %14s %10s\n", "region", "calls", "instr",
+                "cycles", "imiss");
+  os << line;
+  size_t shown = 0;
+  for (const Tracer::RegionProfile& r : tracer.FlatProfile()) {
+    if (shown++ >= top_n) {
+      break;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-28s %10" PRIu64 " %14" PRIu64 " %14" PRIu64 " %10" PRIu64 "\n",
+                  r.name.c_str(), r.calls, r.instructions, r.cycles, r.icache_misses);
+    os << line;
+  }
+}
+
+void WriteMetricsJson(std::ostream& os, Kernel& kernel) {
+  Tracer& tracer = kernel.tracer();
+  const MetricRegistry& m = tracer.metrics();
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : m.counters()) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": " << value;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : m.gauges()) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": " << value;
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : m.hists()) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\": %" PRIu64 ", \"sum\": %" PRIu64 ", \"min\": %" PRIu64
+                  ", \"max\": %" PRIu64 ", \"mean\": %.2f, \"p50\": %" PRIu64 ", \"p99\": %" PRIu64
+                  "}",
+                  hist.count(), hist.sum(), hist.min(), hist.max(), hist.mean(),
+                  hist.PercentileBound(50), hist.PercentileBound(99));
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": " << buf;
+    first = false;
+  }
+  os << "\n  },\n  \"spans\": {";
+  first = true;
+  for (int k = 0; k < static_cast<int>(SpanKind::kCount); ++k) {
+    const SpanKind kind = static_cast<SpanKind>(k);
+    const Tracer::SpanStats& st = tracer.stats(kind);
+    if (st.count == 0) {
+      continue;
+    }
+    os << (first ? "" : ",") << "\n    \"" << SpanName(kind) << "\": {\"count\": " << st.count
+       << ", \"total\": ";
+    WriteCounters(os, st.total);
+    os << ", \"phases\": {";
+    for (int p = 0; p < SpanPhaseCount(kind); ++p) {
+      os << (p == 0 ? "" : ", ") << "\"" << SpanPhaseName(kind, p) << "\": ";
+      WriteCounters(os, st.phases[p]);
+    }
+    os << "}}";
+    first = false;
+  }
+  os << "\n  },\n  \"cpu\": ";
+  WriteCounters(os, kernel.Counters());
+  os << ",\n  \"trace\": {\"emitted\": " << tracer.total_emitted()
+     << ", \"dropped\": " << tracer.dropped() << "}\n}\n";
+}
+
+}  // namespace trace
+}  // namespace mk

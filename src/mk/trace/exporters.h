@@ -1,0 +1,29 @@
+// Sinks for the tracer's three data sets:
+//   WriteChromeTrace  — Chrome trace-event JSON (chrome://tracing, Perfetto):
+//                       span slices with per-phase sub-slices, instant
+//                       events, and thread-name metadata.
+//   WriteFlatProfile  — human-readable top-N code regions by cycles plus the
+//                       per-span-kind phase breakdown (the Table 2 shape).
+//   WriteMetricsJson  — machine-readable dump of counters, gauges,
+//                       histograms, span aggregates and the CPU counters.
+// All sinks are read-only over the kernel and charge no simulated cycles.
+#ifndef SRC_MK_TRACE_EXPORTERS_H_
+#define SRC_MK_TRACE_EXPORTERS_H_
+
+#include <cstddef>
+#include <ostream>
+
+namespace mk {
+
+class Kernel;
+
+namespace trace {
+
+void WriteChromeTrace(std::ostream& os, Kernel& kernel);
+void WriteFlatProfile(std::ostream& os, Kernel& kernel, size_t top_n = 25);
+void WriteMetricsJson(std::ostream& os, Kernel& kernel);
+
+}  // namespace trace
+}  // namespace mk
+
+#endif  // SRC_MK_TRACE_EXPORTERS_H_

@@ -39,6 +39,14 @@ void LiteNameServer::Serve(mk::Env& env) {
     if (!req.ok()) {
       return;
     }
+    mk::trace::Tracer& tracer = kernel_.tracer();
+    mk::trace::ScopedSpan op_span(tracer, mk::trace::SpanKind::kServerOp,
+                                  mk::trace::EventType::kServerDispatch,
+                                  mk::trace::EventType::kServerDone,
+                                  static_cast<uint64_t>(r.op));
+    op_span.set_end_payload(static_cast<uint64_t>(r.op));
+    tracer.LabelSpan(op_span.id(), "naming_lite");
+    ++tracer.metrics().Counter("server.naming_lite.ops");
     kernel_.cpu().Execute(kLoop);
     kernel_.cpu().Execute(LookupRegion());
     const uint64_t bucket = std::hash<std::string_view>{}(r.name) % 64;

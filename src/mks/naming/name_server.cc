@@ -94,6 +94,14 @@ void NameServer::Serve(mk::Env& env) {
     kernel_.cpu().Execute(kStub);
     NameRequest r;
     std::memcpy(&r, buf.data(), std::min<size_t>(req->req_len, sizeof(r)));
+    mk::trace::Tracer& tracer = kernel_.tracer();
+    mk::trace::ScopedSpan op_span(tracer, mk::trace::SpanKind::kServerOp,
+                                  mk::trace::EventType::kServerDispatch,
+                                  mk::trace::EventType::kServerDone,
+                                  static_cast<uint64_t>(r.op));
+    op_span.set_end_payload(static_cast<uint64_t>(r.op));
+    tracer.LabelSpan(op_span.id(), "naming");
+    ++tracer.metrics().Counter("server.naming.ops");
     switch (r.op) {
       case NameOp::kRegister:
         HandleRegister(env, *req, r, ref.data(), rref.recv_len);

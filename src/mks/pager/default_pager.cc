@@ -69,10 +69,19 @@ void DefaultPager::Serve(mk::Env& env) {
     if (!req.ok()) {
       return;
     }
+    mk::trace::Tracer& tracer = kernel_.tracer();
+    mk::trace::ScopedSpan op_span(tracer, mk::trace::SpanKind::kServerOp,
+                                  mk::trace::EventType::kServerDispatch,
+                                  mk::trace::EventType::kServerDone,
+                                  static_cast<uint64_t>(b.req.op));
+    op_span.set_end_payload(static_cast<uint64_t>(b.req.op));
+    tracer.LabelSpan(op_span.id(), "pager");
+    ++tracer.metrics().Counter("server.pager.ops");
     kernel_.cpu().Execute(ServeRegion());
     mk::PagerReply reply{};
     if (b.req.op == mk::PagerOp::kDataRequest) {
       ++pageins_served_;
+      ++tracer.metrics().Counter("server.pager.pageins");
       const auto key = std::make_pair(b.req.object_id, b.req.page_index);
       std::vector<uint8_t> out(hw::kPageSize, 0);
       if (auto pre = preloaded_.find(key); pre != preloaded_.end()) {
@@ -91,6 +100,7 @@ void DefaultPager::Serve(mk::Env& env) {
                    static_cast<uint32_t>(out.size()));
     } else if (b.req.op == mk::PagerOp::kDataWrite) {
       ++pageouts_served_;
+      ++tracer.metrics().Counter("server.pager.pageouts");
       if (ref.recv_len != hw::kPageSize) {
         reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
       } else {

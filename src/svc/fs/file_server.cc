@@ -548,6 +548,14 @@ void FileServer::Serve(mk::Env& env) {
     if (!rpc.ok()) {
       return;
     }
+    mk::trace::Tracer& tracer = kernel_.tracer();
+    mk::trace::ScopedSpan op_span(tracer, mk::trace::SpanKind::kServerOp,
+                                  mk::trace::EventType::kServerDispatch,
+                                  mk::trace::EventType::kServerDone,
+                                  static_cast<uint64_t>(r.op));
+    op_span.set_end_payload(static_cast<uint64_t>(r.op));
+    tracer.LabelSpan(op_span.id(), "fs");
+    ++tracer.metrics().Counter("server.fs.ops");
     kernel_.cpu().Execute(kLoop);
     kernel_.cpu().Execute(kStub);
     switch (r.op) {

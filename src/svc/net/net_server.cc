@@ -88,6 +88,14 @@ void NetServer::Serve(mk::Env& env) {
     if (!rpc.ok()) {
       return;
     }
+    mk::trace::Tracer& tracer = kernel_.tracer();
+    mk::trace::ScopedSpan op_span(tracer, mk::trace::SpanKind::kServerOp,
+                                  mk::trace::EventType::kServerDispatch,
+                                  mk::trace::EventType::kServerDone,
+                                  static_cast<uint64_t>(req.op));
+    op_span.set_end_payload(static_cast<uint64_t>(req.op));
+    tracer.LabelSpan(op_span.id(), "net");
+    ++tracer.metrics().Counter("server.net.ops");
     kernel_.cpu().Execute(kLoop);
     NetReply reply;
     switch (req.op) {

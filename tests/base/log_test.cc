@@ -1,0 +1,73 @@
+// ScopedLogCapture and simulated-cycle log stamping.
+#include <gtest/gtest.h>
+
+#include "src/base/log.h"
+#include "src/hw/machine.h"
+#include "src/mk/kernel.h"
+
+namespace base {
+namespace {
+
+// Tests force-log at kError so they pass regardless of the ambient level.
+TEST(LogCapture, CapturesInsteadOfStderr) {
+  ScopedLogCapture capture;
+  WPOS_LOG(kError) << "captured message one";
+  WPOS_LOG(kError) << "captured message two";
+  EXPECT_TRUE(capture.Contains("captured message one"));
+  EXPECT_TRUE(capture.Contains("captured message two"));
+  EXPECT_TRUE(capture.Contains("log_test.cc"));
+  capture.Clear();
+  EXPECT_FALSE(capture.Contains("captured message one"));
+}
+
+TEST(LogCapture, InnermostScopeWins) {
+  ScopedLogCapture outer;
+  WPOS_LOG(kError) << "goes to outer";
+  {
+    ScopedLogCapture inner;
+    WPOS_LOG(kError) << "goes to inner";
+    EXPECT_TRUE(inner.Contains("goes to inner"));
+    EXPECT_FALSE(outer.Contains("goes to inner"));
+  }
+  WPOS_LOG(kError) << "outer again";
+  EXPECT_TRUE(outer.Contains("goes to outer"));
+  EXPECT_TRUE(outer.Contains("outer again"));
+}
+
+TEST(LogCycleStamp, LiveKernelStampsCycleCount) {
+  ScopedLogCapture capture;
+  WPOS_LOG(kError) << "before kernel";
+  EXPECT_EQ(capture.text().find(" @"), std::string::npos)
+      << "no cycle stamp without a registered source";
+  {
+    hw::Machine machine(hw::MachineConfig{.ram_bytes = 16 * 1024 * 1024});
+    mk::Kernel kernel(&machine);
+    capture.Clear();
+    WPOS_LOG(kError) << "during kernel";
+    EXPECT_NE(capture.text().find(" @"), std::string::npos)
+        << "log line missing cycle stamp: " << capture.text();
+  }
+  // The kernel restores the previous (empty) source on destruction.
+  capture.Clear();
+  WPOS_LOG(kError) << "after kernel";
+  EXPECT_EQ(capture.text().find(" @"), std::string::npos);
+}
+
+TEST(LogCycleStamp, NestedKernelsRestoreOuterClock) {
+  hw::Machine outer_machine(hw::MachineConfig{.ram_bytes = 16 * 1024 * 1024});
+  mk::Kernel outer(&outer_machine);
+  {
+    hw::Machine inner_machine(hw::MachineConfig{.ram_bytes = 16 * 1024 * 1024});
+    mk::Kernel inner(&inner_machine);
+    ScopedLogCapture capture;
+    WPOS_LOG(kError) << "inner active";
+    EXPECT_NE(capture.text().find(" @"), std::string::npos);
+  }
+  // Outer kernel's clock is back in effect — the stamp is still present.
+  ScopedLogCapture capture;
+  WPOS_LOG(kError) << "outer restored";
+  EXPECT_NE(capture.text().find(" @"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace base

@@ -11,6 +11,12 @@ Checks, over every header and source file under src/ and tests/:
   3. Modelled cost constants live only in src/mk/costs.h. Scattering
      `struct Costs` members across files makes the calibration knobs of
      the reproduction impossible to audit against the paper's tables.
+  4. Trace events come from the central registry: every EventType:: /
+     SpanKind:: reference must name a member of the enums declared in
+     src/mk/trace/events.h, and emit sites (Emit, BeginSpan, MarkPhase,
+     EndSpan, ScopedSpan) must not smuggle in ad-hoc string literals as
+     event names. Keeping the event vocabulary in one header is what lets
+     the exporters classify events with static tables.
 
 Exit status is the number of files with violations (0 = clean).
 """
@@ -22,10 +28,69 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SCAN_DIRS = ("src", "tests", "bench")
 COSTS_HEADER = Path("src") / "mk" / "costs.h"
+TRACE_EVENTS_HEADER = Path("src") / "mk" / "trace" / "events.h"
 
 GUARD_RE = re.compile(r"^#ifndef\s+([A-Z0-9_]+)\s*$", re.MULTILINE)
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;", re.MULTILINE)
 COSTS_DEF_RE = re.compile(r"^\s*struct\s+Costs\b(?!\s*;)", re.MULTILINE)
+TRACE_ENUM_REF_RE = re.compile(r"\b(EventType|SpanKind)::(\w+)")
+TRACE_EMIT_CALL_RE = re.compile(r"\b(Emit|BeginSpan|MarkPhase|EndSpan|ScopedSpan)\s*\(")
+
+
+def load_trace_registry() -> dict:
+    """Parses the EventType and SpanKind enums out of the events header."""
+    path = REPO_ROOT / TRACE_EVENTS_HEADER
+    if not path.is_file():
+        return {}
+    text = path.read_text(encoding="utf-8", errors="replace")
+    registry = {}
+    for enum_name in ("EventType", "SpanKind"):
+        match = re.search(
+            rf"enum\s+class\s+{enum_name}\b[^{{]*{{(.*?)}};", text, re.DOTALL
+        )
+        if match:
+            registry[enum_name] = set(re.findall(r"\bk\w+", match.group(1)))
+    return registry
+
+
+def call_argument_span(text: str, open_paren: int, limit: int = 2000) -> str:
+    """Returns the text of a balanced argument list starting at `open_paren`."""
+    depth = 0
+    end = min(len(text), open_paren + limit)
+    for i in range(open_paren, end):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren : i + 1]
+    return text[open_paren:end]
+
+
+def check_trace_events(rel_path: Path, text: str, errors: list, registry: dict) -> None:
+    if rel_path == TRACE_EVENTS_HEADER or not registry:
+        return
+    for match in TRACE_ENUM_REF_RE.finditer(text):
+        enum_name, member = match.groups()
+        if member not in registry.get(enum_name, set()):
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(
+                f"{rel_path}:{line}: {enum_name}::{member} is not declared in "
+                f"{TRACE_EVENTS_HEADER}"
+            )
+    in_trace_impl = rel_path.parts[:3] == ("src", "mk", "trace")
+    for match in TRACE_EMIT_CALL_RE.finditer(text):
+        # The tracer's own implementation may mention these names in
+        # declarations and comments; emit *sites* live outside src/mk/trace.
+        if in_trace_impl:
+            continue
+        args = call_argument_span(text, match.end() - 1)
+        if '"' in args:
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(
+                f"{rel_path}:{line}: string literal in {match.group(1)}() — trace "
+                f"event names come from {TRACE_EVENTS_HEADER}, not ad-hoc strings"
+            )
 
 
 def expected_guard(rel_path: Path) -> str:
@@ -64,7 +129,7 @@ def check_costs_definition(rel_path: Path, text: str, errors: list) -> None:
         )
 
 
-def lint_file(path: Path) -> list:
+def lint_file(path: Path, trace_registry: dict) -> list:
     rel_path = path.relative_to(REPO_ROOT)
     text = path.read_text(encoding="utf-8", errors="replace")
     errors = []
@@ -72,6 +137,7 @@ def lint_file(path: Path) -> list:
         check_header_guard(rel_path, text, errors)
         check_using_namespace(rel_path, text, errors)
     check_costs_definition(rel_path, text, errors)
+    check_trace_events(rel_path, text, errors, trace_registry)
     return errors
 
 
@@ -79,6 +145,7 @@ def main() -> int:
     bad_files = 0
     total_errors = 0
     scanned = 0
+    trace_registry = load_trace_registry()
     for scan_dir in SCAN_DIRS:
         root = REPO_ROOT / scan_dir
         if not root.is_dir():
@@ -87,7 +154,7 @@ def main() -> int:
             if path.suffix not in (".h", ".cc"):
                 continue
             scanned += 1
-            errors = lint_file(path)
+            errors = lint_file(path, trace_registry)
             if errors:
                 bad_files += 1
                 total_errors += len(errors)
