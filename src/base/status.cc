@@ -48,6 +48,8 @@ std::string_view StatusName(Status s) {
       return "CORRUPT";
     case Status::kWouldBlock:
       return "WOULD_BLOCK";
+    case Status::kUnavailable:
+      return "UNAVAILABLE";
     case Status::kInternal:
       return "INTERNAL";
   }

@@ -36,6 +36,7 @@ enum class Status : int32_t {
   kIoError,
   kCorrupt,            // on-disk structure failed validation
   kWouldBlock,
+  kUnavailable,        // service degraded: restart budget exhausted / gave up
   kInternal,
 };
 

@@ -79,6 +79,7 @@ Kernel::Kernel(hw::Machine* machine, const KernelConfig& config)
   heap_ = std::make_unique<KernelHeap>(kKernelHeapBase, config.kernel_heap_bytes);
   scheduler_.quantum_cycles = config.quantum_cycles;
   tracer_ = std::make_unique<trace::Tracer>(&machine->cpu(), &scheduler_, config.trace_capacity);
+  faults_ = std::make_unique<fault::Injector>(tracer_.get());
   prev_log_cycle_source_ = base::SetLogCycleSource([this] { return cpu().cycles(); });
   HostInfo info;
   info.name = "wpos-sim";
@@ -264,11 +265,120 @@ base::Status Kernel::ThreadJoin(Thread* target) {
 }
 
 void Kernel::TerminateTask(Task* task) {
+  if (task->terminated()) {
+    return;
+  }
   task->set_terminated();
+  // Notify watchers before tearing the task down so the TaskDeathNotice is
+  // first in their queue, ahead of the PortDeathNotices the teardown emits
+  // (watcher queues are bounded; the task notice is the one that must land).
+  size_t owned_ports = 0;
+  for (const auto& port : ports_) {
+    if (!port->dead() && port->receiver() == task) {
+      ++owned_ports;
+    }
+  }
+  tracer_->Emit(trace::EventType::kTaskDeath, task->id(), owned_ports);
+  ++tracer_->metrics().Counter("mk.task_deaths");
+  TaskDeathNotice notice{task->id()};
+  NotifyDeathWatchers(kTaskDeathMsgId, &notice, sizeof(notice));
+  // Destroy every port the task holds the receive right for: queued legacy
+  // messages drop, queued RPC callers wake with kPortDead — the same
+  // semantics ServerLoop::Stop gives a clean shutdown.
+  for (const auto& port : ports_) {
+    if (!port->dead() && port->receiver() == task) {
+      DestroyPort(port.get());
+    }
+  }
+  // In-flight RPCs served by this task's threads can never be replied to;
+  // fail their clients with kPortDead now. Entries whose client belongs to
+  // the dying task are dropped — a late reply finds no waiter and returns
+  // kInvalidArgument to the server, which is the safe outcome.
+  for (auto it = rpc_waiters_.begin(); it != rpc_waiters_.end();) {
+    Thread* client = it->second.client;
+    Thread* server = it->second.server;
+    const bool server_dying = server != nullptr && server->task() == task;
+    const bool client_dying = client != nullptr && client->task() == task;
+    if (server_dying || client_dying) {
+      it = rpc_waiters_.erase(it);
+      if (server_dying && !client_dying && client != nullptr &&
+          client->state() == Thread::State::kBlocked) {
+        client->rpc.completion = base::Status::kPortDead;
+        scheduler_.Wake(client, base::Status::kPortDead);
+      }
+    } else {
+      ++it;
+    }
+  }
+  // The task's own threads: pull them out of any rendezvous deque they are
+  // parked in (a foreign server's waiting_clients/waiting_servers are raw
+  // deques Wake() doesn't know about — left in place, a later rendezvous
+  // would hand work to a terminated thread and trip the scheduler's
+  // "waking dead thread" check), then abort them. None are kTerminated yet,
+  // and Wake() only acts on kBlocked threads, so threads already woken by
+  // the port teardown above are skipped safely.
   for (Thread* t : task->threads()) {
+    for (const auto& port : ports_) {
+      auto& wc = port->waiting_clients;
+      wc.erase(std::remove(wc.begin(), wc.end(), t), wc.end());
+      auto& ws = port->waiting_servers;
+      ws.erase(std::remove(ws.begin(), ws.end(), t), ws.end());
+    }
     if (t->state() == Thread::State::kBlocked) {
       scheduler_.Wake(t, base::Status::kAborted);
     }
+  }
+}
+
+// --- Death notifications ---------------------------------------------------------
+
+base::Status Kernel::RegisterDeathWatcher(Task& task, PortName receive_name) {
+  auto port = task.port_space().LookupReceive(receive_name);
+  if (!port.ok()) {
+    return port.status();
+  }
+  if (std::find(death_watchers_.begin(), death_watchers_.end(), *port) !=
+      death_watchers_.end()) {
+    return base::Status::kAlreadyExists;
+  }
+  death_watchers_.push_back(*port);
+  return base::Status::kOk;
+}
+
+base::Status Kernel::UnregisterDeathWatcher(Task& task, PortName receive_name) {
+  auto port = task.port_space().LookupReceive(receive_name);
+  if (!port.ok()) {
+    return port.status();
+  }
+  auto it = std::find(death_watchers_.begin(), death_watchers_.end(), *port);
+  if (it == death_watchers_.end()) {
+    return base::Status::kNotFound;
+  }
+  death_watchers_.erase(it);
+  return base::Status::kOk;
+}
+
+void Kernel::NotifyDeathWatchers(uint32_t msg_id, const void* notice, uint32_t len) {
+  if (death_watchers_.empty()) {
+    return;
+  }
+  death_watchers_.erase(std::remove_if(death_watchers_.begin(), death_watchers_.end(),
+                                       [](Port* p) { return p->dead(); }),
+                        death_watchers_.end());
+  for (Port* watcher : death_watchers_) {
+    if (watcher->queue.size() >= watcher->queue_limit) {
+      WPOS_LOG(kDebug) << "dropping death notice " << msg_id << ", watcher queue full (port "
+                       << watcher->id() << ")";
+      continue;
+    }
+    auto qm = std::make_unique<QueuedMessage>();
+    qm->msg_id = msg_id;
+    qm->inline_data.assign(static_cast<const uint8_t*>(notice),
+                           static_cast<const uint8_t*>(notice) + len);
+    qm->kernel_buffer = heap_->Allocate(64);
+    qm->send_cycle = cpu().cycles();
+    watcher->queue.push_back(std::move(qm));
+    WakeOneReceiver(watcher);
   }
 }
 
@@ -325,6 +435,10 @@ void Kernel::DestroyPort(Port* port) {
     scheduler_.Wake(t, base::Status::kPortDead);
   }
   port->waiting_clients.clear();
+  if (!death_watchers_.empty()) {
+    PortDeathNotice notice{port->id()};
+    NotifyDeathWatchers(kPortDeathMsgId, &notice, sizeof(notice));
+  }
 }
 
 base::Result<PortName> Kernel::PortAllocate(Task& task) {

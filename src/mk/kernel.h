@@ -25,6 +25,7 @@
 #include "src/base/status.h"
 #include "src/hw/machine.h"
 #include "src/mk/costs.h"
+#include "src/mk/fault/injector.h"
 #include "src/mk/host.h"
 #include "src/mk/ids.h"
 #include "src/mk/kernel_heap.h"
@@ -78,6 +79,20 @@ struct RpcRequest {
 
 constexpr uint64_t kForever = ~0ull;
 
+// Kernel-generated legacy messages delivered to death watchers (the Mach
+// dead-name notification flavour, broadcast instead of per-name). The
+// notice struct is the message's inline data.
+constexpr uint32_t kTaskDeathMsgId = 0x4D00;
+constexpr uint32_t kPortDeathMsgId = 0x4D01;
+
+struct TaskDeathNotice {
+  TaskId task = 0;
+};
+
+struct PortDeathNotice {
+  uint64_t port_id = 0;  // Port::id() of the port that died
+};
+
 class Kernel {
  public:
   explicit Kernel(hw::Machine* machine, const KernelConfig& config = KernelConfig());
@@ -92,6 +107,7 @@ class Kernel {
   KernelHeap& heap() { return *heap_; }
   Host& host() { return host_; }
   trace::Tracer& tracer() { return *tracer_; }
+  fault::Injector& faults() { return *faults_; }
   Thread* current() const { return scheduler_.current(); }
   Task* current_task() const { return scheduler_.current_task(); }
 
@@ -117,7 +133,11 @@ class Kernel {
                        int priority = Thread::kDefaultPriority);
   // Waits (current thread) until `target` terminates.
   base::Status ThreadJoin(Thread* target);
-  // Marks a task terminated and aborts its blocked threads.
+  // Terminates a task: destroys the ports it holds the receive right for
+  // (queued and in-flight callers get kPortDead, as with ServerLoop::Stop),
+  // fails RPCs the task's threads were serving, aborts its blocked threads,
+  // and enqueues a TaskDeathNotice to every registered death watcher.
+  // Idempotent.
   void TerminateTask(Task* task);
   const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
 
@@ -129,6 +149,15 @@ class Kernel {
   base::Result<PortName> MakeSendRight(Task& from, PortName receive_name, Task& to);
   // Test/diagnostic access.
   base::Result<Port*> ResolvePort(Task& task, PortName name);
+
+  // --- Death notifications --------------------------------------------------------
+  // Registers a receive right held by `task` as a death-notification port:
+  // every subsequent task death (TerminateTask) enqueues a TaskDeathNotice
+  // legacy message to it, and every port death (DestroyPort / MarkDead) a
+  // PortDeathNotice. Watchers with full queues drop notices (logged), like
+  // interrupt reflection. A watcher port that itself dies is pruned.
+  base::Status RegisterDeathWatcher(Task& task, PortName receive_name);
+  base::Status UnregisterDeathWatcher(Task& task, PortName receive_name);
 
   // --- Port sets -----------------------------------------------------------------
   // A port set groups receive rights so one thread can serve many ports
@@ -147,10 +176,13 @@ class Kernel {
   // Synchronous call on the current thread. Blocks until the server replies.
   // Rights in `rights` are transferred to the server; a right granted back by
   // the server (e.g. an open-file port) is returned in `*granted`.
+  // `timeout_ns` bounds the whole call in simulated time (kForever = no
+  // deadline, the default — no timer event is scheduled). On expiry the call
+  // returns kTimedOut; a reply the server delivers later is dropped safely.
   base::Status RpcCall(PortName port, const void* req, uint32_t req_len, void* reply,
                        uint32_t reply_cap, uint32_t* reply_len = nullptr, RpcRef* ref = nullptr,
                        const RightDescriptor* rights = nullptr, uint32_t rights_count = 0,
-                       PortName* granted = nullptr);
+                       PortName* granted = nullptr, uint64_t timeout_ns = kForever);
   // Server side: blocks until a request arrives. Request bytes are copied into
   // `buf`; bulk by-reference data into `ref->recv_buf` if posted.
   base::Result<RpcRequest> RpcReceive(PortName receive_name, void* buf, uint32_t cap,
@@ -290,7 +322,7 @@ class Kernel {
   base::Status RpcCallOnPort(Port* port, const void* req, uint32_t req_len, void* reply,
                              uint32_t reply_cap, uint32_t* reply_len, RpcRef* ref,
                              const RightDescriptor* rights, uint32_t rights_count,
-                             PortName* granted);
+                             PortName* granted, uint64_t timeout_ns);
   // Charge a translated user-memory access (TLB + D-cache) for `task`.
   void AccessUser(Task& task, hw::VirtAddr vaddr, hw::PhysAddr pa, uint32_t size, bool write);
   // Virtual-copy snapshot of [addr, addr+size) for legacy OOL transfer:
@@ -314,12 +346,16 @@ class Kernel {
   void StartTimedWake(Thread* t, uint64_t timeout_ns);
   void ClearTimedWake(Thread* t);
   void DispatchInterrupt(uint32_t line);
+  // Enqueues a death notice (msg_id + notice payload bytes) to every live
+  // registered watcher port; prunes watchers whose port has died.
+  void NotifyDeathWatchers(uint32_t msg_id, const void* notice, uint32_t len);
 
   hw::Machine* machine_;
   KernelConfig config_;
   std::unique_ptr<KernelHeap> heap_;
   Scheduler scheduler_;
   std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<fault::Injector> faults_;
   Host host_;
 
   std::vector<std::unique_ptr<Task>> tasks_;
@@ -338,6 +374,9 @@ class Kernel {
     Thread* server = nullptr;
   };
   std::unordered_map<uint64_t, RpcInFlight> rpc_waiters_;
+
+  // Ports registered via RegisterDeathWatcher, in registration order.
+  std::vector<Port*> death_watchers_;
 
   std::unordered_map<uint32_t, Semaphore> semaphores_;
   uint32_t next_sem_id_ = 1;
@@ -402,9 +441,9 @@ class Env {
   base::Status RpcCall(PortName port, const void* req, uint32_t req_len, void* reply,
                        uint32_t reply_cap, uint32_t* reply_len = nullptr, RpcRef* ref = nullptr,
                        const RightDescriptor* rights = nullptr, uint32_t rights_count = 0,
-                       PortName* granted = nullptr) {
+                       PortName* granted = nullptr, uint64_t timeout_ns = kForever) {
     return kernel_.RpcCall(port, req, req_len, reply, reply_cap, reply_len, ref, rights,
-                           rights_count, granted);
+                           rights_count, granted, timeout_ns);
   }
   base::Result<RpcRequest> RpcReceive(PortName port, void* buf, uint32_t cap,
                                       RpcRef* ref = nullptr) {
@@ -415,6 +454,9 @@ class Env {
                         PortName grant = kNullPort,
                         base::Status completion = base::Status::kOk) {
     return kernel_.RpcReply(token, reply, len, ref_data, ref_len, grant, completion);
+  }
+  base::Status MachMsgReceive(PortName port, MachMessage* out, uint64_t timeout_ns = kForever) {
+    return kernel_.MachMsgReceive(port, out, timeout_ns);
   }
   base::Result<hw::VirtAddr> VmAllocate(uint64_t size) { return kernel_.VmAllocate(task(), size); }
   base::Status CopyOut(hw::VirtAddr dst, const void* src, uint64_t len) {

@@ -122,7 +122,7 @@ void Kernel::DeliverRpcToServer(Thread* client, Thread* server) {
 base::Status Kernel::RpcCall(PortName port_name, const void* req, uint32_t req_len, void* reply,
                              uint32_t reply_cap, uint32_t* reply_len, RpcRef* ref,
                              const RightDescriptor* rights, uint32_t rights_count,
-                             PortName* granted) {
+                             PortName* granted, uint64_t timeout_ns) {
   Thread* client = scheduler_.current();
   WPOS_DCHECK(client != nullptr) << "RpcCall outside thread context";
   // The span opens before the client stub executes so its counter delta
@@ -143,7 +143,7 @@ base::Status Kernel::RpcCall(PortName port_name, const void* req, uint32_t req_l
   LeaveKernel();  // cost bracketing only; the call continues below
   const base::Status st =
       RpcCallOnPort(*port_r, req, req_len, reply, reply_cap, reply_len, ref, rights, rights_count,
-                    granted);
+                    granted, timeout_ns);
   tracer_->EndSpan(client->rpc.span_id, trace::EventType::kRpcReturn, static_cast<uint64_t>(st));
   return st;
 }
@@ -151,11 +151,16 @@ base::Status Kernel::RpcCall(PortName port_name, const void* req, uint32_t req_l
 base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len, void* reply,
                                    uint32_t reply_cap, uint32_t* reply_len, RpcRef* ref,
                                    const RightDescriptor* rights, uint32_t rights_count,
-                                   PortName* granted) {
+                                   PortName* granted, uint64_t timeout_ns) {
   Thread* client = scheduler_.current();
   WPOS_DCHECK(client != nullptr);
   if (port->dead()) {
     return base::Status::kPortDead;
+  }
+  // Fault point: the request copy. Fails the call before any state transfer,
+  // so the server (parked or not) is untouched.
+  if (faults_->Fire(fault::FaultPoint::kMessageCopy) != fault::FaultMode::kNone) {
+    return base::Status::kBusy;
   }
   ++rpc_calls_;
   ++port->rpc_count;
@@ -193,14 +198,18 @@ base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len
       return c.completion;
     }
     scheduler_.Wake(server, base::Status::kOk);
+    StartTimedWake(client, timeout_ns);
     const base::Status block_status = scheduler_.BlockAndHandoff(nullptr, server);
     if (block_status != base::Status::kOk) {
+      // Timed out or aborted while in flight: drop the waiter entry so a
+      // late reply by the server finds nothing and returns kInvalidArgument.
       rpc_waiters_.erase(c.token);
       return block_status;
     }
   } else {
     port->waiting_clients.push_back(client);
     tracer_->metrics().GaugeMax("mk.rpc.waiting_clients_hwm", port->waiting_clients.size());
+    StartTimedWake(client, timeout_ns);
     const base::Status block_status = scheduler_.Block(Thread::State::kBlocked, nullptr);
     if (block_status != base::Status::kOk) {
       // Aborted or port died while queued; make sure we are off the list.
@@ -274,6 +283,13 @@ base::Result<RpcRequest> Kernel::RpcReceive(PortName receive_name, void* buf, ui
       return base::Status::kTooLarge;
     }
   } else {
+    // Never park on a dead port (TerminateTask already failed its callers) or
+    // from a terminated task: a READY thread of a dying task can reach here
+    // after the teardown ran, and parking would wedge it forever.
+    if (port->dead() || server->task()->terminated()) {
+      LeaveKernel();
+      return port->dead() ? base::Status::kPortDead : base::Status::kAborted;
+    }
     port->waiting_servers.push_back(server);
     const base::Status st = scheduler_.Block(Thread::State::kBlocked, nullptr);
     if (st != base::Status::kOk) {
@@ -370,8 +386,38 @@ base::Result<RpcRequest> Kernel::RpcReplyAndReceive(uint64_t token, const void* 
     return base::Status::kInvalidArgument;
   }
   server->rpc.client = nullptr;
-  (void)DeliverReply(server, client, reply, len, reply_ref_data, reply_ref_len, grant,
-                     base::Status::kOk);
+  // Fault point: the reply (see RpcReply). kDropReply swallows the reply but
+  // still enters the receive, so the server keeps serving.
+  switch (faults_->Fire(fault::FaultPoint::kRpcReply)) {
+    case fault::FaultMode::kNone:
+      (void)DeliverReply(server, client, reply, len, reply_ref_data, reply_ref_len, grant,
+                         base::Status::kOk);
+      break;
+    case fault::FaultMode::kDropReply:
+      client = nullptr;  // stays blocked until its deadline
+      break;
+    case fault::FaultMode::kCrashTask:
+      client->rpc.completion = base::Status::kPortDead;
+      scheduler_.Wake(client, base::Status::kPortDead);
+      LeaveKernel();
+      TerminateTask(server->task());
+      return base::Status::kAborted;
+    case fault::FaultMode::kKillPort: {
+      Port* request_port = client->rpc.port;
+      client->rpc.completion = base::Status::kPortDead;
+      scheduler_.Wake(client, base::Status::kPortDead);
+      LeaveKernel();
+      if (request_port != nullptr && !request_port->dead()) {
+        DestroyPort(request_port);
+      }
+      return base::Status::kPortDead;
+    }
+    case fault::FaultMode::kTransientError:
+      (void)DeliverReply(server, client, reply, 0, nullptr, 0, kNullPort, base::Status::kBusy);
+      break;
+    case fault::FaultMode::kCount:
+      break;
+  }
 
   // Post the receive buffers BEFORE resuming the replied client, so its next
   // call finds this server already parked (reply_and_wait).
@@ -400,7 +446,9 @@ base::Result<RpcRequest> Kernel::RpcReplyAndReceive(uint64_t token, const void* 
     source->waiting_clients.pop_front();
     server->rpc.arrived_port = source->id();
     DeliverRpcToServer(next_client, server);
-    scheduler_.Wake(client, base::Status::kOk);
+    if (client != nullptr) {
+      scheduler_.Wake(client, base::Status::kOk);
+    }
     RpcRequest out;
     out.token = s.token;
     out.arrived_port = s.arrived_port;
@@ -412,9 +460,23 @@ base::Result<RpcRequest> Kernel::RpcReplyAndReceive(uint64_t token, const void* 
     return out;
   }
 
+  // Same guard as RpcReceive: the reply above still lands, but a dead port
+  // or terminated task must not park.
+  if (port->dead() || server->task()->terminated()) {
+    if (client != nullptr) {
+      scheduler_.Wake(client, base::Status::kOk);
+    }
+    LeaveKernel();
+    return port->dead() ? base::Status::kPortDead : base::Status::kAborted;
+  }
   port->waiting_servers.push_back(server);
-  scheduler_.Wake(client, base::Status::kOk);
-  const base::Status st = scheduler_.BlockAndHandoff(nullptr, client);
+  base::Status st;
+  if (client != nullptr) {
+    scheduler_.Wake(client, base::Status::kOk);
+    st = scheduler_.BlockAndHandoff(nullptr, client);
+  } else {
+    st = scheduler_.Block(Thread::State::kBlocked, nullptr);
+  }
   if (st != base::Status::kOk) {
     for (auto it = port->waiting_servers.begin(); it != port->waiting_servers.end(); ++it) {
       if (*it == server) {
@@ -455,6 +517,41 @@ base::Status Kernel::RpcReply(uint64_t token, const void* reply, uint32_t len,
     return base::Status::kInvalidArgument;
   }
   server->rpc.client = nullptr;
+  // Fault point: the reply. The waiter is already erased, so every mode
+  // leaves the token unreplayable — exactly once per request.
+  switch (faults_->Fire(fault::FaultPoint::kRpcReply)) {
+    case fault::FaultMode::kNone:
+      break;
+    case fault::FaultMode::kDropReply:
+      // Swallow the reply; the client stays blocked until its deadline.
+      LeaveKernel();
+      return base::Status::kOk;
+    case fault::FaultMode::kCrashTask:
+      client->rpc.completion = base::Status::kPortDead;
+      scheduler_.Wake(client, base::Status::kPortDead);
+      LeaveKernel();
+      TerminateTask(server->task());
+      return base::Status::kAborted;
+    case fault::FaultMode::kKillPort: {
+      Port* request_port = client->rpc.port;
+      client->rpc.completion = base::Status::kPortDead;
+      scheduler_.Wake(client, base::Status::kPortDead);
+      LeaveKernel();
+      if (request_port != nullptr && !request_port->dead()) {
+        DestroyPort(request_port);
+      }
+      return base::Status::kPortDead;
+    }
+    case fault::FaultMode::kTransientError:
+      completion = base::Status::kBusy;
+      len = 0;
+      ref_data = nullptr;
+      ref_len = 0;
+      grant = kNullPort;
+      break;
+    case fault::FaultMode::kCount:
+      break;
+  }
   (void)DeliverReply(server, client, reply, len, ref_data, ref_len, grant, completion);
   scheduler_.Wake(client, base::Status::kOk);
   // Direct handoff back to the client: the paper's synchronous reply path.

@@ -243,7 +243,7 @@ base::Status Kernel::PagerFill(Task& task, VmObject* object, uint64_t page_index
   ref.recv_cap = static_cast<uint32_t>(page.size());
   uint32_t reply_len = 0;
   const base::Status st = RpcCallOnPort(pager, &req, sizeof(req), &reply, sizeof(reply),
-                                        &reply_len, &ref, nullptr, 0, nullptr);
+                                        &reply_len, &ref, nullptr, 0, nullptr, kForever);
   if (st != base::Status::kOk) {
     return st;
   }

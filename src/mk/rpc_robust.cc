@@ -1,0 +1,60 @@
+#include "src/mk/rpc_robust.h"
+
+#include "src/base/log.h"
+
+namespace mk {
+
+base::Status RpcCallRobust(Env& env, const PortResolver& resolve, PortName* cached_port,
+                           const void* req, uint32_t req_len, void* reply, uint32_t reply_cap,
+                           const RobustCallOptions& opts, uint32_t* reply_len, RpcRef* ref,
+                           PortName* granted) {
+  base::Status last = base::Status::kUnavailable;
+  uint64_t backoff = opts.retry_backoff_ns;
+  for (uint32_t attempt = 0; attempt < opts.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      (void)env.SleepNs(backoff);
+      backoff *= 2;
+    }
+    if (*cached_port == kNullPort) {
+      auto resolved = resolve(env);
+      if (!resolved.ok()) {
+        // Name not (re-)registered yet: the server may still be restarting,
+        // or the restart manager gave up and unregistered it.
+        last = resolved.status();
+        continue;
+      }
+      *cached_port = *resolved;
+    }
+    const base::Status st = env.RpcCall(*cached_port, req, req_len, reply, reply_cap, reply_len,
+                                        ref, nullptr, 0, granted, opts.attempt_timeout_ns);
+    switch (st) {
+      case base::Status::kPortDead:
+      case base::Status::kInvalidName:
+        // The server died (or our cached right went stale); look it up again.
+        *cached_port = kNullPort;
+        last = st;
+        continue;
+      case base::Status::kTimedOut:
+        // A dropped reply is indistinguishable from a dead server; the old
+        // right may still name a wedged instance, so re-resolve too.
+        *cached_port = kNullPort;
+        last = st;
+        continue;
+      case base::Status::kBusy:
+        last = st;
+        continue;
+      default:
+        return st;
+    }
+  }
+  // Exhausted. A dead/unresolvable destination means the service is gone or
+  // degraded; report that uniformly as kUnavailable. Timeouts keep their
+  // own status so callers can distinguish "slow" from "gone".
+  if (last == base::Status::kPortDead || last == base::Status::kInvalidName ||
+      last == base::Status::kNotFound) {
+    return base::Status::kUnavailable;
+  }
+  return last;
+}
+
+}  // namespace mk

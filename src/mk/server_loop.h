@@ -74,6 +74,33 @@ class ServerLoop {
       if (request->req_len >= sizeof(uint32_t)) {
         std::memcpy(&op, request_buf_.data(), sizeof(uint32_t));
       }
+      // Fault point: the handler entry, after demultiplexing and before any
+      // handler state changes — the injected failure is indistinguishable
+      // from the server crashing at the top of the operation.
+      switch (env.kernel().faults().Fire(fault::FaultPoint::kServerHandlerEntry)) {
+        case fault::FaultMode::kNone:
+          break;
+        case fault::FaultMode::kCrashTask:
+          // The task teardown destroys the receive port and fails this
+          // request's client (and every queued one) with kPortDead.
+          port_destroyed_ = true;
+          running_ = false;
+          env_ = nullptr;
+          env.kernel().TerminateTask(&env.task());
+          return;
+        case fault::FaultMode::kDropReply:
+          continue;  // swallow: the client waits out its deadline
+        case fault::FaultMode::kKillPort:
+          DestroyReceivePort(env);
+          running_ = false;
+          env_ = nullptr;
+          return;
+        case fault::FaultMode::kTransientError:
+          env.RpcReply(request->token, nullptr, 0, nullptr, 0, kNullPort, base::Status::kBusy);
+          continue;
+        case fault::FaultMode::kCount:
+          break;
+      }
       trace::Tracer& tracer = env.kernel().tracer();
       trace::ScopedSpan op_span(tracer, trace::SpanKind::kServerOp,
                                 trace::EventType::kServerDispatch, trace::EventType::kServerDone,
@@ -127,11 +154,11 @@ class ClientStub {
   template <typename Req, typename Rep>
   base::Status Call(Env& env, const Req& req, Rep* rep, RpcRef* ref = nullptr,
                     const RightDescriptor* rights = nullptr, uint32_t rights_count = 0,
-                    PortName* granted = nullptr) {
+                    PortName* granted = nullptr, uint64_t timeout_ns = kForever) {
     env.kernel().cpu().Execute(region_);
     uint32_t reply_len = 0;
     return env.RpcCall(port_, &req, sizeof(Req), rep, sizeof(Rep), &reply_len, ref, rights,
-                       rights_count, granted);
+                       rights_count, granted, timeout_ns);
   }
 
  private:

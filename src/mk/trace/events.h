@@ -35,6 +35,9 @@ enum class EventType : uint8_t {
   kInterrupt,          // a = interrupt line
   kServerDispatch,     // server-op span begin; a = span id, b = op code
   kServerDone,         // server-op span end; a = span id, b = op code
+  kFaultInjected,      // a = fault point ordinal, b = fault mode ordinal
+  kTaskDeath,          // a = task id, b = number of ports destroyed with it
+  kServerRestart,      // a = respawned task id, b = restart count for name
   kCount,
 };
 

@@ -50,6 +50,12 @@ const char* EventName(EventType type) {
       return "server_dispatch";
     case EventType::kServerDone:
       return "server_done";
+    case EventType::kFaultInjected:
+      return "fault_injected";
+    case EventType::kTaskDeath:
+      return "task_death";
+    case EventType::kServerRestart:
+      return "server_restart";
     case EventType::kCount:
       break;
   }

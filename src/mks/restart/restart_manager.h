@@ -1,0 +1,93 @@
+// The restart manager: the microkernel-services supervisor that turns the
+// paper's isolation promise into recovery. User-level servers are separate
+// failure domains; when one dies, the machine should degrade, restart the
+// server, and carry on — not assert.
+//
+// The manager registers a death-notification port with the kernel
+// (Kernel::RegisterDeathWatcher) and supervises servers by name: each
+// Supervise() call pairs a server task with a factory that can build a fresh
+// instance. On a TaskDeathNotice for a supervised task it waits out an
+// exponential backoff (in simulated time), runs the factory, and re-registers
+// the new instance's service port in the name service under the same name —
+// so a client retrying through RpcCallRobust + name re-resolution lands on
+// the respawn without ever knowing the server died. A per-server restart
+// budget bounds the loop: once exhausted the manager unregisters the name
+// and marks the server degraded, and clients see kUnavailable.
+//
+// Restart activity is exported through the metrics registry
+// ("restart.<name>.restarts", "restart.<name>.gave_up", "restart.total")
+// and the trace (EventType::kServerRestart), so a fault-injection campaign's
+// recovery behaviour shows up in the same metrics JSON as everything else.
+#ifndef SRC_MKS_RESTART_RESTART_MANAGER_H_
+#define SRC_MKS_RESTART_RESTART_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/mk/kernel.h"
+#include "src/mks/naming/name_server.h"
+
+namespace mks {
+
+struct RestartPolicy {
+  // Restarts allowed per supervised server before it is declared degraded.
+  uint32_t max_restarts = 3;
+  // Backoff slept before the first restart; doubles each consecutive one.
+  uint64_t backoff_initial_ns = 200'000;
+};
+
+class RestartManager {
+ public:
+  // What a factory hands back: the respawned server's task plus a send
+  // right (in the *manager's* port space) for its service port, which the
+  // manager re-registers under the supervised name.
+  struct Respawned {
+    mk::Task* task = nullptr;
+    mk::PortName service_right = mk::kNullPort;
+  };
+  using Factory = std::function<Respawned(mk::Env&)>;
+
+  // `name_service` is a send right to the name service held by `task`
+  // (kNullPort for configurations without naming: respawn only, no
+  // re-registration).
+  RestartManager(mk::Kernel& kernel, mk::Task* task, mk::PortName name_service,
+                 const RestartPolicy& policy = RestartPolicy());
+
+  // Starts supervising `server_task` under `name`. The factory is invoked on
+  // the manager's thread after each death.
+  void Supervise(const std::string& name, mk::Task* server_task, Factory factory);
+  void Stop();
+
+  uint64_t restarts(const std::string& name) const;
+  bool degraded(const std::string& name) const;
+  uint64_t total_restarts() const { return total_restarts_; }
+  mk::PortName notify_port() const { return notify_port_; }
+
+ private:
+  struct Entry {
+    mk::Task* task = nullptr;
+    Factory factory;
+    uint32_t restarts = 0;
+    bool degraded = false;
+  };
+
+  void Serve(mk::Env& env);
+  void HandleTaskDeath(mk::Env& env, mk::TaskId dead);
+
+  mk::Kernel& kernel_;
+  mk::Task* task_;
+  RestartPolicy policy_;
+  mk::PortName notify_port_ = mk::kNullPort;
+  std::unique_ptr<NameClient> names_;  // null when name_service == kNullPort
+  std::map<std::string, Entry> entries_;
+  std::map<mk::TaskId, std::string> by_task_;
+  uint64_t total_restarts_ = 0;
+  bool running_ = true;
+};
+
+}  // namespace mks
+
+#endif  // SRC_MKS_RESTART_RESTART_MANAGER_H_

@@ -32,7 +32,8 @@ std::string LowerCase(const std::string& s) {
 }
 }  // namespace
 
-FileServer::FileServer(mk::Kernel& kernel, mk::Task* task) : kernel_(kernel), task_(task) {
+FileServer::FileServer(mk::Kernel& kernel, mk::Task* task, uint64_t handle_base)
+    : kernel_(kernel), task_(task), next_handle_(handle_base == 0 ? 1 : handle_base) {
   auto port = kernel_.PortAllocate(*task_);
   WPOS_CHECK(port.ok());
   receive_port_ = *port;
@@ -547,6 +548,26 @@ void FileServer::Serve(mk::Env& env) {
     auto rpc = env.RpcReceive(receive_port_, &r, sizeof(r), &ref);
     if (!rpc.ok()) {
       return;
+    }
+    // Fault point: handler entry, matching mk::ServerLoop's placement.
+    switch (kernel_.faults().Fire(mk::fault::FaultPoint::kServerHandlerEntry)) {
+      case mk::fault::FaultMode::kNone:
+        break;
+      case mk::fault::FaultMode::kCrashTask:
+        // Teardown destroys the receive port; queued and in-flight callers
+        // observe kPortDead and the restart manager (if any) takes over.
+        kernel_.TerminateTask(task_);
+        return;
+      case mk::fault::FaultMode::kDropReply:
+        continue;  // the client waits out its deadline
+      case mk::fault::FaultMode::kKillPort:
+        (void)kernel_.PortDestroy(*task_, receive_port_);
+        return;
+      case mk::fault::FaultMode::kTransientError:
+        env.RpcReply(rpc->token, nullptr, 0, nullptr, 0, mk::kNullPort, base::Status::kBusy);
+        continue;
+      case mk::fault::FaultMode::kCount:
+        break;
     }
     mk::trace::Tracer& tracer = kernel_.tracer();
     mk::trace::ScopedSpan op_span(tracer, mk::trace::SpanKind::kServerOp,

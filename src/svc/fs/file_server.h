@@ -27,7 +27,11 @@ namespace svc {
 
 class FileServer {
  public:
-  FileServer(mk::Kernel& kernel, mk::Task* task);
+  // `handle_base` is where handle numbering starts. A restart factory passes
+  // a per-generation base so a client's stale handle from the crashed
+  // instance can never alias a live handle on the respawn — it fails with
+  // kInvalidArgument and the robust session re-opens.
+  FileServer(mk::Kernel& kernel, mk::Task* task, uint64_t handle_base = 1);
 
   // Mounts `pfs` at `prefix` (e.g. "/os2"). Must happen before Run serves
   // requests that touch the prefix. The PFS must already be formatted.

@@ -1,0 +1,154 @@
+#include "src/svc/fs/fs_robust.h"
+
+#include <utility>
+
+namespace svc {
+
+RobustFsSession::RobustFsSession(mk::PortName name_service, std::string fs_name,
+                                 const mk::RobustCallOptions& opts)
+    : names_(name_service), fs_name_(std::move(fs_name)), opts_(opts) {}
+
+base::Status RobustFsSession::Transport(mk::Env& env, const FsRequest& req, FsReply* reply,
+                                        mk::RpcRef* ref) {
+  const auto resolver = [this](mk::Env& e) { return names_.Resolve(e, fs_name_); };
+  return mk::RpcCallRobust(env, resolver, &cached_port_, &req, sizeof(req), reply, sizeof(*reply),
+                           opts_, nullptr, ref);
+}
+
+base::Status RobustFsSession::Reopen(mk::Env& env, OpenState& state) {
+  FsRequest r;
+  r.op = FsOp::kOpen;
+  // The file exists and holds data we must keep.
+  r.flags = state.flags & ~(kFsExclusive | kFsTruncate);
+  r.share = state.share;
+  r.SetPath(state.path.c_str());
+  FsReply reply;
+  const base::Status st = Transport(env, r, &reply, nullptr);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  const auto app = static_cast<base::Status>(reply.status);
+  if (app != base::Status::kOk) {
+    return app;
+  }
+  state.server_handle = reply.handle;
+  ++reopens_;
+  return base::Status::kOk;
+}
+
+base::Result<uint64_t> RobustFsSession::Open(mk::Env& env, const std::string& path,
+                                             uint32_t flags, FsShare share) {
+  FsRequest r;
+  r.op = FsOp::kOpen;
+  r.flags = flags;
+  r.share = share;
+  r.SetPath(path.c_str());
+  FsReply reply;
+  const base::Status st = Transport(env, r, &reply, nullptr);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  const uint64_t local = next_local_++;
+  handles_[local] = OpenState{path, flags, share, reply.handle};
+  return local;
+}
+
+base::Result<uint32_t> RobustFsSession::Read(mk::Env& env, uint64_t handle, uint64_t offset,
+                                             void* out, uint32_t len) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return base::Status::kInvalidArgument;
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    FsRequest r;
+    r.op = FsOp::kRead;
+    r.handle = it->second.server_handle;
+    r.offset = offset;
+    r.len = len;
+    FsReply reply;
+    mk::RpcRef ref;
+    ref.recv_buf = out;
+    ref.recv_cap = len;
+    const base::Status st = Transport(env, r, &reply, &ref);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    const auto app = static_cast<base::Status>(reply.status);
+    if (app == base::Status::kOk) {
+      return reply.len;
+    }
+    // A respawned server doesn't know our handle: re-open by path and retry.
+    if (attempt == 0 && app == base::Status::kInvalidArgument) {
+      const base::Status ro = Reopen(env, it->second);
+      if (ro != base::Status::kOk) {
+        return ro;
+      }
+      continue;
+    }
+    return app;
+  }
+  return base::Status::kInternal;
+}
+
+base::Result<uint32_t> RobustFsSession::Write(mk::Env& env, uint64_t handle, uint64_t offset,
+                                              const void* data, uint32_t len) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return base::Status::kInvalidArgument;
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    FsRequest r;
+    r.op = FsOp::kWrite;
+    r.handle = it->second.server_handle;
+    r.offset = offset;
+    r.len = len;
+    FsReply reply;
+    mk::RpcRef ref;
+    ref.send_data = data;
+    ref.send_len = len;
+    const base::Status st = Transport(env, r, &reply, &ref);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    const auto app = static_cast<base::Status>(reply.status);
+    if (app == base::Status::kOk) {
+      return reply.len;
+    }
+    if (attempt == 0 && app == base::Status::kInvalidArgument) {
+      const base::Status ro = Reopen(env, it->second);
+      if (ro != base::Status::kOk) {
+        return ro;
+      }
+      continue;
+    }
+    return app;
+  }
+  return base::Status::kInternal;
+}
+
+base::Status RobustFsSession::Close(mk::Env& env, uint64_t handle) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return base::Status::kNotFound;
+  }
+  FsRequest r;
+  r.op = FsOp::kClose;
+  r.handle = it->second.server_handle;
+  FsReply reply;
+  const base::Status st = Transport(env, r, &reply, nullptr);
+  handles_.erase(it);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  const auto app = static_cast<base::Status>(reply.status);
+  if (app == base::Status::kNotFound) {
+    // The respawned server never saw this open; nothing to close.
+    return base::Status::kOk;
+  }
+  return app;
+}
+
+}  // namespace svc

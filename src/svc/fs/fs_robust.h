@@ -1,0 +1,77 @@
+// Crash-transparent file client: FsClient semantics over RpcCallRobust.
+//
+// A RobustFsSession keeps everything it needs to survive a file-server crash
+// and restart on the client side: the service port is resolved through the
+// name service and re-resolved when it dies, and every open file remembers
+// its path/flags/share so a stale server handle (the respawned instance
+// never saw our open) is re-opened transparently. The file server keeps its
+// state on the simulated disk, so after restart-manager respawn + re-open a
+// mid-workload crash is invisible to the caller — reads return the data that
+// was written.
+//
+// Semantics notes:
+//   - Calls are at-least-once: a reply lost to a crash is retried, so an
+//     Open may occasionally leave an orphaned open on a server that executed
+//     the first attempt. Restrictive deny-modes can therefore refuse a
+//     retried open; kDenyNone sessions are unaffected.
+//   - Re-opens strip kFsExclusive and kFsTruncate — the file already exists
+//     and its contents must be preserved.
+//   - When the restart manager has given up on the server (degraded mode),
+//     calls return kUnavailable.
+#ifndef SRC_SVC_FS_FS_ROBUST_H_
+#define SRC_SVC_FS_FS_ROBUST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/mk/kernel.h"
+#include "src/mk/rpc_robust.h"
+#include "src/mks/naming/name_server.h"
+#include "src/svc/fs/protocol.h"
+
+namespace svc {
+
+class RobustFsSession {
+ public:
+  // `name_service` is a send right to the name service in the caller's task;
+  // `fs_name` is the name the file server (and its respawns) register under.
+  RobustFsSession(mk::PortName name_service, std::string fs_name,
+                  const mk::RobustCallOptions& opts = mk::RobustCallOptions());
+
+  // Handles returned here are session-local; the server-side handle behind
+  // each may change across a crash without the caller noticing.
+  base::Result<uint64_t> Open(mk::Env& env, const std::string& path, uint32_t flags = 0,
+                              FsShare share = FsShare::kDenyNone);
+  base::Result<uint32_t> Read(mk::Env& env, uint64_t handle, uint64_t offset, void* out,
+                              uint32_t len);
+  base::Result<uint32_t> Write(mk::Env& env, uint64_t handle, uint64_t offset, const void* data,
+                               uint32_t len);
+  base::Status Close(mk::Env& env, uint64_t handle);
+
+  // Recovery observability for tests and campaigns.
+  uint64_t reopens() const { return reopens_; }
+
+ private:
+  struct OpenState {
+    std::string path;
+    uint32_t flags = 0;
+    FsShare share = FsShare::kDenyNone;
+    uint64_t server_handle = 0;
+  };
+
+  base::Status Transport(mk::Env& env, const FsRequest& req, FsReply* reply, mk::RpcRef* ref);
+  base::Status Reopen(mk::Env& env, OpenState& state);
+
+  mks::NameClient names_;
+  std::string fs_name_;
+  mk::PortName cached_port_ = mk::kNullPort;
+  mk::RobustCallOptions opts_;
+  std::map<uint64_t, OpenState> handles_;
+  uint64_t next_local_ = 1;
+  uint64_t reopens_ = 0;
+};
+
+}  // namespace svc
+
+#endif  // SRC_SVC_FS_FS_ROBUST_H_

@@ -22,6 +22,20 @@ NetServer::NetServer(mk::Kernel& kernel, mk::Task* task, mk::PortName nic_servic
                        mk::Thread::kDefaultPriority + 2);
 }
 
+void NetServer::ResetConnections() {
+  for (auto& [port, socket] : sockets_) {
+    (void)port;
+    while (!socket.pending.empty()) {
+      const uint64_t token = socket.pending.front();
+      socket.pending.pop_front();
+      NetReply reply;
+      reply.status = static_cast<int32_t>(base::Status::kUnavailable);
+      (void)kernel_.RpcReply(token, &reply, sizeof(reply));
+    }
+    socket.queue.clear();
+  }
+}
+
 mk::PortName NetServer::GrantTo(mk::Task& client) {
   auto name = kernel_.MakeSendRight(*task_, service_port_, client);
   WPOS_CHECK(name.ok());
@@ -88,6 +102,24 @@ void NetServer::Serve(mk::Env& env) {
     if (!rpc.ok()) {
       return;
     }
+    // Fault point: handler entry, matching mk::ServerLoop's placement.
+    switch (kernel_.faults().Fire(mk::fault::FaultPoint::kServerHandlerEntry)) {
+      case mk::fault::FaultMode::kNone:
+        break;
+      case mk::fault::FaultMode::kCrashTask:
+        kernel_.TerminateTask(task_);
+        return;
+      case mk::fault::FaultMode::kDropReply:
+        continue;  // the client waits out its deadline
+      case mk::fault::FaultMode::kKillPort:
+        (void)kernel_.PortDestroy(*task_, service_port_);
+        return;
+      case mk::fault::FaultMode::kTransientError:
+        env.RpcReply(rpc->token, nullptr, 0, nullptr, 0, mk::kNullPort, base::Status::kBusy);
+        continue;
+      case mk::fault::FaultMode::kCount:
+        break;
+    }
     mk::trace::Tracer& tracer = kernel_.tracer();
     mk::trace::ScopedSpan op_span(tracer, mk::trace::SpanKind::kServerOp,
                                   mk::trace::EventType::kServerDispatch,
@@ -146,8 +178,10 @@ void NetServer::Serve(mk::Env& env) {
     }
   
     if (!running_) {
-      // Server shutdown: kill the service port so queued and future
-      // callers fail with kPortDead instead of blocking forever.
+      // Server shutdown: complete deferred receives with a clean error,
+      // then kill the service port so queued and future callers fail with
+      // kPortDead instead of blocking forever.
+      ResetConnections();
       (void)kernel_.PortDestroy(*task_, service_port_);
       return;
     }

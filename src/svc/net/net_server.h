@@ -51,6 +51,13 @@ class NetServer {
   mk::PortName GrantTo(mk::Task& client);
   void Stop() { running_ = false; }
 
+  // Resets every socket with clean errors: receivers blocked in a deferred
+  // RecvFrom complete with kUnavailable and queued datagrams are dropped.
+  // Bindings stay, so clients can retry. Used on shutdown and by restart
+  // factories — after a crash the connection state is gone and clients must
+  // see a definite error, not a hang.
+  void ResetConnections();
+
   uint64_t datagrams_sent() const { return sent_; }
   uint64_t datagrams_delivered() const { return delivered_; }
 

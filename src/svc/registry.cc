@@ -11,6 +11,14 @@ const hw::CodeRegion& RegRegion() {
   static const hw::CodeRegion r = hw::DefineCode("svc.registry.op", 130);
   return r;
 }
+
+RegRequest ParseRequest(const uint8_t* req, uint32_t req_len) {
+  RegRequest r;
+  std::memcpy(&r, req, req_len < sizeof(r) ? req_len : sizeof(r));
+  r.key[sizeof(r.key) - 1] = '\0';
+  r.value[sizeof(r.value) - 1] = '\0';
+  return r;
+}
 }  // namespace
 
 RegistryServer::RegistryServer(mk::Kernel& kernel, mk::Task* task)
@@ -18,7 +26,21 @@ RegistryServer::RegistryServer(mk::Kernel& kernel, mk::Task* task)
   auto port = kernel_.PortAllocate(*task_);
   WPOS_CHECK(port.ok());
   receive_port_ = *port;
-  kernel_.CreateThread(task_, "registry", [this](mk::Env& env) { Serve(env); },
+  loop_ = std::make_unique<mk::ServerLoop>(receive_port_, "svc.registry",
+                                           sizeof(RegRequest));
+  const auto with = [this](void (RegistryServer::*handler)(mk::Env&, const mk::RpcRequest&,
+                                                           const RegRequest&)) {
+    return [this, handler](mk::Env& env, const mk::RpcRequest& rpc, const uint8_t* req,
+                           const uint8_t* /*ref_data*/, uint32_t /*ref_len*/) {
+      kernel_.cpu().Execute(RegRegion());
+      (this->*handler)(env, rpc, ParseRequest(req, rpc.req_len));
+    };
+  };
+  loop_->Register(static_cast<uint32_t>(RegOp::kSet), with(&RegistryServer::HandleSet));
+  loop_->Register(static_cast<uint32_t>(RegOp::kGet), with(&RegistryServer::HandleGet));
+  loop_->Register(static_cast<uint32_t>(RegOp::kDelete), with(&RegistryServer::HandleDelete));
+  loop_->Register(static_cast<uint32_t>(RegOp::kList), with(&RegistryServer::HandleList));
+  kernel_.CreateThread(task_, "registry", [this](mk::Env& env) { loop_->Run(env); },
                        mk::Thread::kDefaultPriority + 1);
 }
 
@@ -28,65 +50,49 @@ mk::PortName RegistryServer::GrantTo(mk::Task& client) {
   return *name;
 }
 
-void RegistryServer::Serve(mk::Env& env) {
-  RegRequest r;
-  while (true) {
-    auto rpc = env.RpcReceive(receive_port_, &r, sizeof(r));
-    if (!rpc.ok()) {
-      return;
-    }
-    kernel_.cpu().Execute(RegRegion());
-    RegReply reply;
-    switch (r.op) {
-      case RegOp::kSet:
-        entries_[r.key] = r.value;
-        env.RpcReply(rpc->token, &reply, sizeof(reply));
-        break;
-      case RegOp::kGet: {
-        auto it = entries_.find(r.key);
-        if (it == entries_.end()) {
-          reply.status = static_cast<int32_t>(base::Status::kNotFound);
-        } else {
-          std::strncpy(reply.value, it->second.c_str(), sizeof(reply.value) - 1);
-        }
-        env.RpcReply(rpc->token, &reply, sizeof(reply));
-        break;
-      }
-      case RegOp::kDelete:
-        if (entries_.erase(r.key) == 0) {
-          reply.status = static_cast<int32_t>(base::Status::kNotFound);
-        }
-        env.RpcReply(rpc->token, &reply, sizeof(reply));
-        break;
-      case RegOp::kList: {
-        std::string bulk;
-        const std::string prefix = std::string(r.key) + "/";
-        uint32_t count = 0;
-        for (const auto& [key, value] : entries_) {
-          if (key.compare(0, prefix.size(), prefix) == 0 &&
-              key.find('/', prefix.size()) == std::string::npos) {
-            bulk += key;
-            bulk.push_back('\0');
-            ++count;
-          }
-        }
-        reply.count = count;
-        env.RpcReply(rpc->token, &reply, sizeof(reply), bulk.data(),
-                     static_cast<uint32_t>(bulk.size()));
-        break;
-      }
-      default:
-        reply.status = static_cast<int32_t>(base::Status::kNotSupported);
-        env.RpcReply(rpc->token, &reply, sizeof(reply));
-    }
-  
-    if (!running_) {
-      // Server shutdown: kill the service port so queued and future
-      // callers fail with kPortDead instead of blocking forever.
-      (void)kernel_.PortDestroy(*task_, receive_port_);
-      return;
+void RegistryServer::HandleSet(mk::Env& env, const mk::RpcRequest& rpc, const RegRequest& r) {
+  entries_[r.key] = r.value;
+  RegReply reply;
+  reply.status = static_cast<int32_t>(base::Status::kOk);
+  env.RpcReply(rpc.token, &reply, sizeof(reply));
+}
+
+void RegistryServer::HandleGet(mk::Env& env, const mk::RpcRequest& rpc, const RegRequest& r) {
+  RegReply reply;
+  auto it = entries_.find(r.key);
+  if (it == entries_.end()) {
+    reply.status = static_cast<int32_t>(base::Status::kNotFound);
+  } else {
+    reply.status = static_cast<int32_t>(base::Status::kOk);
+    std::strncpy(reply.value, it->second.c_str(), sizeof(reply.value) - 1);
+  }
+  env.RpcReply(rpc.token, &reply, sizeof(reply));
+}
+
+void RegistryServer::HandleDelete(mk::Env& env, const mk::RpcRequest& rpc, const RegRequest& r) {
+  RegReply reply;
+  reply.status = static_cast<int32_t>(entries_.erase(r.key) == 0 ? base::Status::kNotFound
+                                                                 : base::Status::kOk);
+  env.RpcReply(rpc.token, &reply, sizeof(reply));
+}
+
+void RegistryServer::HandleList(mk::Env& env, const mk::RpcRequest& rpc, const RegRequest& r) {
+  std::string bulk;
+  const std::string prefix = std::string(r.key) + "/";
+  uint32_t count = 0;
+  for (const auto& [key, value] : entries_) {
+    if (key.compare(0, prefix.size(), prefix) == 0 &&
+        key.find('/', prefix.size()) == std::string::npos) {
+      bulk += key;
+      bulk.push_back('\0');
+      ++count;
     }
   }
+  RegReply reply;
+  reply.status = static_cast<int32_t>(base::Status::kOk);
+  reply.count = count;
+  env.RpcReply(rpc.token, &reply, sizeof(reply), bulk.data(),
+               static_cast<uint32_t>(bulk.size()));
 }
 
 base::Status RegistryClient::Set(mk::Env& env, const std::string& key, const std::string& value) {

@@ -5,6 +5,7 @@
 #define SRC_SVC_REGISTRY_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,18 +37,25 @@ class RegistryServer {
  public:
   RegistryServer(mk::Kernel& kernel, mk::Task* task);
 
+  mk::Task* task() const { return task_; }
+  mk::PortName receive_port() const { return receive_port_; }
   mk::PortName GrantTo(mk::Task& client);
-  void Stop() { running_ = false; }
+  // ServerLoop shutdown semantics: the port dies immediately, queued and
+  // future callers get kPortDead.
+  void Stop() { loop_->Stop(); }
   size_t size() const { return entries_.size(); }
 
  private:
-  void Serve(mk::Env& env);
+  void HandleSet(mk::Env& env, const mk::RpcRequest& rpc, const RegRequest& r);
+  void HandleGet(mk::Env& env, const mk::RpcRequest& rpc, const RegRequest& r);
+  void HandleDelete(mk::Env& env, const mk::RpcRequest& rpc, const RegRequest& r);
+  void HandleList(mk::Env& env, const mk::RpcRequest& rpc, const RegRequest& r);
 
   mk::Kernel& kernel_;
   mk::Task* task_;
   mk::PortName receive_port_ = mk::kNullPort;
+  std::unique_ptr<mk::ServerLoop> loop_;
   std::map<std::string, std::string> entries_;
-  bool running_ = true;
 };
 
 class RegistryClient {

@@ -1,0 +1,246 @@
+// Fault injector contract tests. The two load-bearing properties:
+//   1. Determinism — the same seed replays the same campaign byte for byte:
+//      same fire schedule, same trace events, same cycle counters, same
+//      client-visible statuses.
+//   2. Zero cost when idle — with the injector disabled (or enabled but
+//      never firing) the simulation's counters are byte-identical to a build
+//      that never heard of fault injection.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/mk/kernel.h"
+#include "src/mk/rpc_robust.h"
+#include "src/mk/server_loop.h"
+
+namespace mk {
+namespace {
+
+constexpr uint32_t kEchoOp = 1;
+constexpr uint64_t kDeadlineNs = 5'000'000;  // 5 simulated ms per call
+
+struct EchoRun {
+  std::vector<fault::FiredFault> log;
+  std::vector<trace::TraceEvent> events;
+  hw::CpuCounters counters{};
+  std::vector<base::Status> statuses;
+  uint32_t invariant_violations = 0;
+};
+
+// Runs `ops` echo RPCs against a ServerLoop server, with `configure` applied
+// to the fresh kernel before any thread runs (arm the injector there).
+EchoRun RunEchoWorkload(int ops, const std::function<void(Kernel&)>& configure) {
+  hw::Machine machine(hw::MachineConfig{.ram_bytes = 16 * 1024 * 1024});
+  Kernel kernel(&machine);
+  kernel.tracer().Enable();
+  if (configure) {
+    configure(kernel);
+  }
+  Task* server_task = kernel.CreateTask("server");
+  Task* client_task = kernel.CreateTask("client");
+  auto recv = kernel.PortAllocate(*server_task);
+  auto send = kernel.MakeSendRight(*server_task, *recv, *client_task);
+  auto loop = std::make_shared<ServerLoop>(*recv, "echo", 64);
+  loop->Register(kEchoOp, [](Env& env, const RpcRequest& request, const uint8_t* req,
+                             const uint8_t*, uint32_t) {
+    env.RpcReply(request.token, req, request.req_len);
+  });
+  kernel.CreateThread(server_task, "echo", [loop](Env& env) { loop->Run(env); });
+  EchoRun out;
+  kernel.CreateThread(client_task, "client", [&, send = *send, loop](Env& env) {
+    for (int i = 0; i < ops; ++i) {
+      uint32_t req[2] = {kEchoOp, static_cast<uint32_t>(i)};
+      uint32_t reply[2] = {};
+      out.statuses.push_back(env.RpcCall(send, req, sizeof(req), reply, sizeof(reply), nullptr,
+                                         nullptr, nullptr, 0, nullptr, kDeadlineNs));
+    }
+    loop->Stop();
+  });
+  kernel.Run();
+  out.log = kernel.faults().log();
+  out.events = kernel.tracer().Events();
+  out.counters = kernel.Counters();
+  out.invariant_violations = kernel.CheckInvariants();
+  return out;
+}
+
+void ExpectIdenticalCounters(const hw::CpuCounters& a, const hw::CpuCounters& b) {
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.bus_cycles, b.bus_cycles);
+  EXPECT_EQ(a.icache_misses, b.icache_misses);
+  EXPECT_EQ(a.dcache_misses, b.dcache_misses);
+  EXPECT_EQ(a.tlb_misses, b.tlb_misses);
+  EXPECT_EQ(a.data_accesses, b.data_accesses);
+  EXPECT_EQ(a.uncached_accesses, b.uncached_accesses);
+}
+
+void ExpectIdenticalEvents(const std::vector<trace::TraceEvent>& a,
+                           const std::vector<trace::TraceEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type) << "event " << i;
+    EXPECT_EQ(a[i].cycle, b[i].cycle) << "event " << i;
+    EXPECT_EQ(a[i].thread, b[i].thread) << "event " << i;
+    EXPECT_EQ(a[i].task, b[i].task) << "event " << i;
+    EXPECT_EQ(a[i].a, b[i].a) << "event " << i;
+    EXPECT_EQ(a[i].b, b[i].b) << "event " << i;
+  }
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysIdenticalCampaign) {
+  const auto configure = [](Kernel& kernel) {
+    kernel.faults().Enable(7);
+    kernel.faults().Arm(fault::FaultPoint::kServerHandlerEntry, fault::FaultMode::kTransientError,
+                        30);
+  };
+  const EchoRun a = RunEchoWorkload(40, configure);
+  const EchoRun b = RunEchoWorkload(40, configure);
+  EXPECT_EQ(a.invariant_violations, 0u);
+  EXPECT_GT(a.log.size(), 0u) << "a 30% arming over 40 ops should fire";
+  ASSERT_EQ(a.log.size(), b.log.size());
+  for (size_t i = 0; i < a.log.size(); ++i) {
+    EXPECT_EQ(a.log[i].point, b.log[i].point);
+    EXPECT_EQ(a.log[i].mode, b.log[i].mode);
+    EXPECT_EQ(a.log[i].seq, b.log[i].seq);
+  }
+  EXPECT_EQ(a.statuses, b.statuses);
+  ExpectIdenticalCounters(a.counters, b.counters);
+  ExpectIdenticalEvents(a.events, b.events);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  const EchoRun a = RunEchoWorkload(40, [](Kernel& kernel) {
+    kernel.faults().Enable(7);
+    kernel.faults().Arm(fault::FaultPoint::kServerHandlerEntry, fault::FaultMode::kTransientError,
+                        50);
+  });
+  const EchoRun b = RunEchoWorkload(40, [](Kernel& kernel) {
+    kernel.faults().Enable(8);
+    kernel.faults().Arm(fault::FaultPoint::kServerHandlerEntry, fault::FaultMode::kTransientError,
+                        50);
+  });
+  // 40 independent 50% draws from two different streams: the probability of
+  // an identical outcome pattern is 2^-40.
+  EXPECT_NE(a.statuses, b.statuses);
+}
+
+TEST(FaultInjectorTest, IdleInjectorPerturbsNothing) {
+  // Run A never touches the injector. Run B enables it and arms a point at
+  // 0% — the full decision machinery runs (including RNG draws) but nothing
+  // fires. Counters and trace must be byte-identical: the injector is
+  // host-side only and charges zero simulated cycles.
+  const EchoRun a = RunEchoWorkload(40, nullptr);
+  const EchoRun b = RunEchoWorkload(40, [](Kernel& kernel) {
+    kernel.faults().Enable(5);
+    kernel.faults().Arm(fault::FaultPoint::kServerHandlerEntry, fault::FaultMode::kTransientError,
+                        0);
+    kernel.faults().Arm(fault::FaultPoint::kRpcReply, fault::FaultMode::kDropReply, 0);
+    kernel.faults().Arm(fault::FaultPoint::kMessageCopy, fault::FaultMode::kTransientError, 0);
+  });
+  EXPECT_TRUE(b.log.empty());
+  for (const base::Status st : b.statuses) {
+    EXPECT_EQ(st, base::Status::kOk);
+  }
+  ExpectIdenticalCounters(a.counters, b.counters);
+  ExpectIdenticalEvents(a.events, b.events);
+}
+
+TEST(FaultInjectorTest, TransientErrorSurfacesAsBusy) {
+  const EchoRun run = RunEchoWorkload(5, [](Kernel& kernel) {
+    kernel.faults().Enable(3);
+    kernel.faults().Arm(fault::FaultPoint::kServerHandlerEntry, fault::FaultMode::kTransientError,
+                        100, /*max_fires=*/2);
+  });
+  ASSERT_EQ(run.statuses.size(), 5u);
+  EXPECT_EQ(run.statuses[0], base::Status::kBusy);
+  EXPECT_EQ(run.statuses[1], base::Status::kBusy);
+  EXPECT_EQ(run.statuses[2], base::Status::kOk);
+  EXPECT_EQ(run.statuses[3], base::Status::kOk);
+  EXPECT_EQ(run.statuses[4], base::Status::kOk);
+  EXPECT_EQ(run.log.size(), 2u);
+  EXPECT_EQ(run.invariant_violations, 0u);
+}
+
+TEST(FaultInjectorTest, MessageCopyFaultFailsBeforeDelivery) {
+  const EchoRun run = RunEchoWorkload(3, [](Kernel& kernel) {
+    kernel.faults().Enable(3);
+    kernel.faults().Arm(fault::FaultPoint::kMessageCopy, fault::FaultMode::kTransientError, 100,
+                        /*max_fires=*/1);
+  });
+  ASSERT_EQ(run.statuses.size(), 3u);
+  EXPECT_EQ(run.statuses[0], base::Status::kBusy);
+  EXPECT_EQ(run.statuses[1], base::Status::kOk);
+  EXPECT_EQ(run.statuses[2], base::Status::kOk);
+  EXPECT_EQ(run.invariant_violations, 0u);
+}
+
+TEST(FaultInjectorTest, DroppedReplyTimesOutThenRecovers) {
+  const EchoRun run = RunEchoWorkload(3, [](Kernel& kernel) {
+    kernel.faults().Enable(3);
+    kernel.faults().Arm(fault::FaultPoint::kRpcReply, fault::FaultMode::kDropReply, 100,
+                        /*max_fires=*/1);
+  });
+  ASSERT_EQ(run.statuses.size(), 3u);
+  EXPECT_EQ(run.statuses[0], base::Status::kTimedOut);
+  EXPECT_EQ(run.statuses[1], base::Status::kOk);
+  EXPECT_EQ(run.statuses[2], base::Status::kOk);
+  EXPECT_EQ(run.invariant_violations, 0u);
+}
+
+TEST(FaultInjectorTest, CrashAtHandlerEntryFailsEveryCaller) {
+  const EchoRun run = RunEchoWorkload(3, [](Kernel& kernel) {
+    kernel.faults().Enable(3);
+    kernel.faults().Arm(fault::FaultPoint::kServerHandlerEntry, fault::FaultMode::kCrashTask, 100,
+                        /*max_fires=*/1);
+  });
+  ASSERT_EQ(run.statuses.size(), 3u);
+  // The in-flight caller fails when the task dies; later callers hit the
+  // dead port directly.
+  EXPECT_EQ(run.statuses[0], base::Status::kPortDead);
+  EXPECT_EQ(run.statuses[1], base::Status::kPortDead);
+  EXPECT_EQ(run.statuses[2], base::Status::kPortDead);
+  EXPECT_EQ(run.invariant_violations, 0u);
+}
+
+// RpcCallRobust turns a dropped reply into a transparent retry: the first
+// attempt times out, the resolver re-supplies the port, the retry succeeds.
+TEST(FaultInjectorTest, RobustCallRidesThroughDroppedReply) {
+  hw::Machine machine(hw::MachineConfig{.ram_bytes = 16 * 1024 * 1024});
+  Kernel kernel(&machine);
+  kernel.faults().Enable(3);
+  kernel.faults().Arm(fault::FaultPoint::kRpcReply, fault::FaultMode::kDropReply, 100,
+                      /*max_fires=*/1);
+  Task* server_task = kernel.CreateTask("server");
+  Task* client_task = kernel.CreateTask("client");
+  auto recv = kernel.PortAllocate(*server_task);
+  auto send = kernel.MakeSendRight(*server_task, *recv, *client_task);
+  auto loop = std::make_shared<ServerLoop>(*recv, "echo", 64);
+  loop->Register(kEchoOp, [](Env& env, const RpcRequest& request, const uint8_t* req,
+                             const uint8_t*, uint32_t) {
+    env.RpcReply(request.token, req, request.req_len);
+  });
+  kernel.CreateThread(server_task, "echo", [loop](Env& env) { loop->Run(env); });
+  kernel.CreateThread(client_task, "client", [&, send = *send, loop](Env& env) {
+    PortName cached = send;
+    const PortResolver resolver = [send](Env&) -> base::Result<PortName> { return send; };
+    RobustCallOptions opts;
+    opts.attempt_timeout_ns = kDeadlineNs;
+    uint32_t req[2] = {kEchoOp, 99};
+    uint32_t reply[2] = {};
+    EXPECT_EQ(RpcCallRobust(env, resolver, &cached, req, sizeof(req), reply, sizeof(reply), opts),
+              base::Status::kOk);
+    EXPECT_EQ(reply[1], 99u);
+    loop->Stop();
+  });
+  EXPECT_EQ(kernel.Run(), 0u);
+  EXPECT_EQ(kernel.faults().total_fires(), 1u);
+  EXPECT_EQ(kernel.CheckInvariants(), 0u);
+}
+
+}  // namespace
+}  // namespace mk

@@ -1,0 +1,197 @@
+// Restart manager tests: death notice -> backoff -> factory respawn ->
+// re-registration under the same name, and the restart budget's degraded
+// mode once the budget is spent.
+#include "src/mks/restart/restart_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mk/rpc_robust.h"
+#include "src/mk/server_loop.h"
+#include "src/mks/naming/name_server.h"
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace mks {
+namespace {
+
+constexpr uint32_t kEchoOp = 1;
+constexpr char kName[] = "/svc/echo";
+
+class RestartTest : public mk::KernelTest {
+ protected:
+  RestartTest() {
+    ns_task_ = kernel_.CreateTask("mks-naming");
+    ns_ = std::make_unique<NameServer>(kernel_, ns_task_);
+    mgr_task_ = kernel_.CreateTask("mks-restart");
+    client_task_ = kernel_.CreateTask("client");
+    ns_for_client_ = ns_->GrantTo(*client_task_);
+  }
+
+  void MakeManager(const RestartPolicy& policy) {
+    mgr_ = std::make_unique<RestartManager>(kernel_, mgr_task_, ns_->GrantTo(*mgr_task_), policy);
+  }
+
+  // Spawns the next echo-server generation: fresh task, port, ServerLoop.
+  mk::Task* SpawnEcho() {
+    const int gen = static_cast<int>(tasks_.size());
+    mk::Task* task = kernel_.CreateTask("echo-g" + std::to_string(gen));
+    auto recv = kernel_.PortAllocate(*task);
+    EXPECT_TRUE(recv.ok());
+    auto loop = std::make_shared<mk::ServerLoop>(*recv, "echo", 64);
+    loop->Register(kEchoOp, [](mk::Env& env, const mk::RpcRequest& request, const uint8_t* req,
+                               const uint8_t*, uint32_t) {
+      env.RpcReply(request.token, req, request.req_len);
+    });
+    kernel_.CreateThread(task, "echo", [loop](mk::Env& env) { loop->Run(env); });
+    tasks_.push_back(task);
+    recvs_.push_back(*recv);
+    loops_.push_back(loop);
+    return task;
+  }
+
+  RestartManager::Factory EchoFactory() {
+    return [this](mk::Env&) {
+      mk::Task* task = SpawnEcho();
+      auto right = kernel_.MakeSendRight(*task, recvs_.back(), *mgr_task_);
+      EXPECT_TRUE(right.ok());
+      return RestartManager::Respawned{task, right.ok() ? *right : mk::kNullPort};
+    };
+  }
+
+  void StopAll(mk::Env& env, NameClient& nc) {
+    loops_.back()->Stop();
+    mgr_->Stop();
+    ns_->Stop();
+    (void)nc.Resolve(env, "/x");  // unblock the name server loop
+  }
+
+  mk::Task* ns_task_;
+  std::unique_ptr<NameServer> ns_;
+  mk::Task* mgr_task_;
+  std::unique_ptr<RestartManager> mgr_;
+  mk::Task* client_task_;
+  mk::PortName ns_for_client_ = mk::kNullPort;
+  std::vector<mk::Task*> tasks_;
+  std::vector<mk::PortName> recvs_;
+  std::vector<std::shared_ptr<mk::ServerLoop>> loops_;
+};
+
+TEST_F(RestartTest, CrashRespawnsAndReRegistersUnderSameName) {
+  kernel_.tracer().Enable();
+  MakeManager(RestartPolicy());
+  mk::Task* gen0 = SpawnEcho();
+  mgr_->Supervise(kName, gen0, EchoFactory());
+
+  kernel_.CreateThread(client_task_, "client", [&](mk::Env& env) {
+    NameClient nc(ns_for_client_);
+    auto right = kernel_.MakeSendRight(*tasks_[0], recvs_[0], *client_task_);
+    ASSERT_TRUE(right.ok());
+    ASSERT_EQ(nc.Register(env, kName, *right), base::Status::kOk);
+    const mk::PortResolver resolver = [&nc](mk::Env& e) { return nc.Resolve(e, kName); };
+    mk::PortName cached = mk::kNullPort;
+    uint32_t req[2] = {kEchoOp, 1};
+    uint32_t reply[2] = {};
+    ASSERT_EQ(mk::RpcCallRobust(env, resolver, &cached, req, sizeof(req), reply, sizeof(reply)),
+              base::Status::kOk);
+    EXPECT_EQ(reply[1], 1u);
+
+    // Crash the server out from under the client.
+    env.kernel().TerminateTask(tasks_[0]);
+    req[1] = 2;
+    ASSERT_EQ(mk::RpcCallRobust(env, resolver, &cached, req, sizeof(req), reply, sizeof(reply)),
+              base::Status::kOk)
+        << "the respawned server must answer under the same name";
+    EXPECT_EQ(reply[1], 2u);
+    EXPECT_EQ(mgr_->restarts(kName), 1u);
+    EXPECT_FALSE(mgr_->degraded(kName));
+    StopAll(env, nc);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(mgr_->total_restarts(), 1u);
+  EXPECT_EQ(kernel_.tracer().metrics().Counter("restart.total"), 1u);
+  EXPECT_EQ(kernel_.tracer().metrics().Counter(std::string("restart.") + kName + ".restarts"), 1u);
+  bool saw_restart_event = false;
+  for (const auto& event : kernel_.tracer().Events()) {
+    if (event.type == mk::trace::EventType::kServerRestart) {
+      saw_restart_event = true;
+      EXPECT_EQ(event.a, tasks_.back()->id());
+      EXPECT_EQ(event.b, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_restart_event);
+  EXPECT_EQ(kernel_.CheckInvariants(), 0u);
+}
+
+TEST_F(RestartTest, BudgetExhaustionDegradesCleanly) {
+  RestartPolicy policy;
+  policy.max_restarts = 1;
+  MakeManager(policy);
+  mk::Task* gen0 = SpawnEcho();
+  mgr_->Supervise(kName, gen0, EchoFactory());
+
+  kernel_.CreateThread(client_task_, "client", [&](mk::Env& env) {
+    NameClient nc(ns_for_client_);
+    auto right = kernel_.MakeSendRight(*tasks_[0], recvs_[0], *client_task_);
+    ASSERT_TRUE(right.ok());
+    ASSERT_EQ(nc.Register(env, kName, *right), base::Status::kOk);
+    const mk::PortResolver resolver = [&nc](mk::Env& e) { return nc.Resolve(e, kName); };
+    mk::PortName cached = mk::kNullPort;
+    uint32_t req[2] = {kEchoOp, 1};
+    uint32_t reply[2] = {};
+
+    // First crash: within budget, the respawn answers.
+    env.kernel().TerminateTask(tasks_[0]);
+    ASSERT_EQ(mk::RpcCallRobust(env, resolver, &cached, req, sizeof(req), reply, sizeof(reply)),
+              base::Status::kOk);
+    EXPECT_EQ(mgr_->restarts(kName), 1u);
+
+    // Second crash: budget spent, name unregistered, service degraded.
+    env.kernel().TerminateTask(tasks_.back());
+    EXPECT_EQ(mk::RpcCallRobust(env, resolver, &cached, req, sizeof(req), reply, sizeof(reply)),
+              base::Status::kUnavailable);
+    EXPECT_TRUE(mgr_->degraded(kName));
+    EXPECT_EQ(mgr_->restarts(kName), 1u);
+
+    mgr_->Stop();
+    ns_->Stop();
+    (void)nc.Resolve(env, "/x");
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(kernel_.tracer().metrics().Counter(std::string("restart.") + kName + ".gave_up"), 1u);
+  EXPECT_EQ(kernel_.CheckInvariants(), 0u);
+}
+
+// Without a name service (kNullPort) the manager still respawns; clients
+// with a direct factory-published right recover without naming.
+TEST_F(RestartTest, RespawnsWithoutNameService) {
+  mgr_ = std::make_unique<RestartManager>(kernel_, mgr_task_, mk::kNullPort, RestartPolicy());
+  mk::Task* gen0 = SpawnEcho();
+  mgr_->Supervise(kName, gen0, EchoFactory());
+
+  kernel_.CreateThread(client_task_, "client", [&](mk::Env& env) {
+    env.kernel().TerminateTask(tasks_[0]);
+    // Give the manager's backoff window time to pass.
+    (void)env.SleepNs(5'000'000);
+    EXPECT_EQ(mgr_->restarts(kName), 1u);
+    // Call the respawned generation directly.
+    auto right = kernel_.MakeSendRight(*tasks_.back(), recvs_.back(), *client_task_);
+    ASSERT_TRUE(right.ok());
+    uint32_t req[2] = {kEchoOp, 7};
+    uint32_t reply[2] = {};
+    EXPECT_EQ(env.RpcCall(*right, req, sizeof(req), reply, sizeof(reply)), base::Status::kOk);
+    EXPECT_EQ(reply[1], 7u);
+    loops_.back()->Stop();
+    mgr_->Stop();
+    ns_->Stop();
+    NameClient nc(ns_for_client_);
+    (void)nc.Resolve(env, "/x");
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(kernel_.CheckInvariants(), 0u);
+}
+
+}  // namespace
+}  // namespace mks

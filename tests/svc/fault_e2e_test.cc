@@ -1,0 +1,166 @@
+// End-to-end fault-injection campaign: the file server is crashed by the
+// injector mid-workload, the restart manager respawns it, and a client
+// going through RobustFsSession never notices — every open/write/read/close
+// in the workload succeeds, for ANY seed.
+//
+// The seed comes from WPOS_FAULT_SEED (default 1) so CI can soak many
+// campaigns over the same binary; the invariants asserted here are
+// seed-independent: zero client-visible failures, and the restart metrics
+// equal to the injected crash count.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/mk/trace/exporters.h"
+#include "src/mks/restart/restart_manager.h"
+#include "src/svc/fs/block_cache.h"
+#include "src/svc/fs/file_server.h"
+#include "src/svc/fs/fs_robust.h"
+#include "src/svc/fs/inode_fs.h"
+#include "tests/mk/kernel_test_fixture.h"
+
+namespace svc {
+namespace {
+
+constexpr char kFsName[] = "/svc/fs";
+
+uint64_t CampaignSeed() {
+  const char* env = std::getenv("WPOS_FAULT_SEED");
+  if (env == nullptr || *env == '\0') {
+    return 1;
+  }
+  return std::strtoull(env, nullptr, 10);
+}
+
+class FaultE2eTest : public mk::KernelTest {
+ protected:
+  FaultE2eTest() {
+    disk_ = static_cast<hw::Disk*>(machine_.AddDevice(
+        std::make_unique<hw::Disk>("d", 3, hw::Disk::Geometry{.sectors = 256 * 1024})));
+    store_ = std::make_unique<mks::BackdoorBlockStore>(disk_, 10'000);
+    cache_ = std::make_unique<BlockCache>(kernel_, store_.get(), 1024);
+    fs_ = std::make_unique<HpfsFs>(kernel_, cache_.get(), 65536);
+
+    ns_task_ = kernel_.CreateTask("mks-naming");
+    ns_ = std::make_unique<mks::NameServer>(kernel_, ns_task_);
+    mgr_task_ = kernel_.CreateTask("mks-restart");
+    mks::RestartPolicy policy;
+    policy.max_restarts = 8;  // well above the armed max_fires
+    mgr_ = std::make_unique<mks::RestartManager>(kernel_, mgr_task_, ns_->GrantTo(*mgr_task_),
+                                                 policy);
+    client_task_ = kernel_.CreateTask("client");
+    ns_for_client_ = ns_->GrantTo(*client_task_);
+
+    // Generation 0, formatted from its own task before the workload runs.
+    mk::Task* gen0 = SpawnFs();
+    kernel_.CreateThread(gen0, "mkfs", [this](mk::Env& env) {
+      ASSERT_EQ(fs_->Format(env), base::Status::kOk);
+    });
+    mgr_->Supervise(kFsName, gen0, [this](mk::Env&) {
+      mk::Task* task = SpawnFs();
+      auto right =
+          kernel_.MakeSendRight(*task, servers_.back()->receive_port(), *mgr_task_);
+      EXPECT_TRUE(right.ok());
+      return mks::RestartManager::Respawned{task, right.ok() ? *right : mk::kNullPort};
+    });
+  }
+
+  // The physical file system and its cache live OUTSIDE the server task: the
+  // simulated disk is the durable state a respawned server recovers from.
+  mk::Task* SpawnFs() {
+    const uint64_t gen = static_cast<uint64_t>(servers_.size());
+    mk::Task* task = kernel_.CreateTask("file-server-g" + std::to_string(gen));
+    // A fresh handle base per generation: stale handles from the crashed
+    // instance can never alias a live one.
+    auto server = std::make_unique<FileServer>(kernel_, task, gen * 1'000'000 + 1);
+    EXPECT_EQ(server->AddMount("/", fs_.get()), base::Status::kOk);
+    servers_.push_back(std::move(server));
+    return task;
+  }
+
+  hw::Disk* disk_;
+  std::unique_ptr<mks::BackdoorBlockStore> store_;
+  std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<InodeFs> fs_;
+  mk::Task* ns_task_;
+  std::unique_ptr<mks::NameServer> ns_;
+  mk::Task* mgr_task_;
+  std::unique_ptr<mks::RestartManager> mgr_;
+  mk::Task* client_task_;
+  mk::PortName ns_for_client_ = mk::kNullPort;
+  std::vector<std::unique_ptr<FileServer>> servers_;
+};
+
+TEST_F(FaultE2eTest, InjectedCrashesAreInvisibleToRobustClient) {
+  const uint64_t seed = CampaignSeed();
+  kernel_.faults().Enable(seed);
+  // ~120 handler entries at 10% with a cap of 2 crashes: virtually every
+  // seed fires at least once, no seed can exceed the restart budget.
+  kernel_.faults().Arm(mk::fault::FaultPoint::kServerHandlerEntry,
+                       mk::fault::FaultMode::kCrashTask, 10, /*max_fires=*/2);
+
+  kernel_.CreateThread(client_task_, "client", [&](mk::Env& env) {
+    mks::NameClient nc(ns_for_client_);
+    auto right =
+        kernel_.MakeSendRight(*servers_[0]->task(), servers_[0]->receive_port(), *client_task_);
+    ASSERT_TRUE(right.ok());
+    ASSERT_EQ(nc.Register(env, kFsName, *right), base::Status::kOk);
+
+    RobustFsSession session(ns_for_client_, kFsName);
+    auto handle = session.Open(env, "/campaign.dat", kFsCreate | kFsWrite);
+    ASSERT_TRUE(handle.ok()) << base::StatusName(handle.status());
+    for (uint32_t i = 0; i < 40; ++i) {
+      char block[64];
+      std::memset(block, 0, sizeof(block));
+      std::snprintf(block, sizeof(block), "record %u of the campaign", i);
+      auto wrote = session.Write(env, *handle, i * sizeof(block), block, sizeof(block));
+      ASSERT_TRUE(wrote.ok()) << "write " << i << ": " << base::StatusName(wrote.status());
+      ASSERT_EQ(*wrote, sizeof(block));
+      char back[64] = {};
+      auto got = session.Read(env, *handle, i * sizeof(block), back, sizeof(back));
+      ASSERT_TRUE(got.ok()) << "read " << i << ": " << base::StatusName(got.status());
+      ASSERT_EQ(*got, sizeof(block));
+      EXPECT_STREQ(back, block) << "data must survive server crashes (it lives on the disk)";
+    }
+    ASSERT_EQ(session.Close(env, *handle), base::Status::kOk);
+
+    // Orderly shutdown of whatever generation is serving now.
+    kernel_.faults().DisarmAll();
+    servers_.back()->Stop();
+    RobustFsSession fin(ns_for_client_, kFsName);
+    (void)fin.Open(env, "/campaign.dat", 0);  // unblock the serve loop
+    mgr_->Stop();
+    ns_->Stop();
+    (void)nc.Resolve(env, "/x");
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+
+  // The recovery bookkeeping must line up exactly: one restart per injected
+  // crash, all of them visible in the exported metrics.
+  const uint64_t crashes =
+      kernel_.faults().fires(mk::fault::FaultPoint::kServerHandlerEntry);
+  EXPECT_EQ(kernel_.faults().total_fires(), crashes);
+  EXPECT_EQ(mgr_->total_restarts(), crashes);
+  EXPECT_EQ(kernel_.tracer().metrics().Counter("restart.total"), crashes);
+  EXPECT_EQ(kernel_.tracer().metrics().Counter("mk.task_deaths"), crashes);
+  EXPECT_EQ(servers_.size(), 1 + crashes);
+  EXPECT_FALSE(mgr_->degraded(kFsName));
+  if (seed == 1) {
+    EXPECT_GT(crashes, 0u) << "the default campaign must actually crash the server";
+  }
+  std::ostringstream metrics;
+  mk::trace::WriteMetricsJson(metrics, kernel_);
+  if (crashes > 0) {
+    EXPECT_NE(metrics.str().find("restart.total"), std::string::npos);
+    EXPECT_NE(metrics.str().find("fault.fired"), std::string::npos);
+  }
+  EXPECT_EQ(kernel_.CheckInvariants(), 0u);
+}
+
+}  // namespace
+}  // namespace svc

@@ -17,6 +17,11 @@ Checks, over every header and source file under src/ and tests/:
      EndSpan, ScopedSpan) must not smuggle in ad-hoc string literals as
      event names. Keeping the event vocabulary in one header is what lets
      the exporters classify events with static tables.
+  5. Fault points come from the central registry: every FaultPoint:: /
+     FaultMode:: reference must name a member of the enums declared in
+     src/mk/fault/points.h. A fault campaign is replayed from a seed plus
+     the visit sequence of named points; an unregistered point would be
+     invisible to campaign tooling and to the replay documentation.
 
 Exit status is the number of files with violations (0 = clean).
 """
@@ -29,22 +34,24 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SCAN_DIRS = ("src", "tests", "bench")
 COSTS_HEADER = Path("src") / "mk" / "costs.h"
 TRACE_EVENTS_HEADER = Path("src") / "mk" / "trace" / "events.h"
+FAULT_POINTS_HEADER = Path("src") / "mk" / "fault" / "points.h"
 
 GUARD_RE = re.compile(r"^#ifndef\s+([A-Z0-9_]+)\s*$", re.MULTILINE)
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;", re.MULTILINE)
 COSTS_DEF_RE = re.compile(r"^\s*struct\s+Costs\b(?!\s*;)", re.MULTILINE)
 TRACE_ENUM_REF_RE = re.compile(r"\b(EventType|SpanKind)::(\w+)")
+FAULT_ENUM_REF_RE = re.compile(r"\b(FaultPoint|FaultMode)::(\w+)")
 TRACE_EMIT_CALL_RE = re.compile(r"\b(Emit|BeginSpan|MarkPhase|EndSpan|ScopedSpan)\s*\(")
 
 
-def load_trace_registry() -> dict:
-    """Parses the EventType and SpanKind enums out of the events header."""
-    path = REPO_ROOT / TRACE_EVENTS_HEADER
+def load_enum_registry(header: Path, enum_names: tuple) -> dict:
+    """Parses `enum class` member lists out of a registry header."""
+    path = REPO_ROOT / header
     if not path.is_file():
         return {}
     text = path.read_text(encoding="utf-8", errors="replace")
     registry = {}
-    for enum_name in ("EventType", "SpanKind"):
+    for enum_name in enum_names:
         match = re.search(
             rf"enum\s+class\s+{enum_name}\b[^{{]*{{(.*?)}};", text, re.DOTALL
         )
@@ -93,6 +100,19 @@ def check_trace_events(rel_path: Path, text: str, errors: list, registry: dict) 
             )
 
 
+def check_fault_points(rel_path: Path, text: str, errors: list, registry: dict) -> None:
+    if rel_path == FAULT_POINTS_HEADER or not registry:
+        return
+    for match in FAULT_ENUM_REF_RE.finditer(text):
+        enum_name, member = match.groups()
+        if member not in registry.get(enum_name, set()):
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(
+                f"{rel_path}:{line}: {enum_name}::{member} is not declared in "
+                f"{FAULT_POINTS_HEADER}"
+            )
+
+
 def expected_guard(rel_path: Path) -> str:
     return re.sub(r"[^A-Za-z0-9]", "_", str(rel_path)).upper() + "_"
 
@@ -129,7 +149,7 @@ def check_costs_definition(rel_path: Path, text: str, errors: list) -> None:
         )
 
 
-def lint_file(path: Path, trace_registry: dict) -> list:
+def lint_file(path: Path, trace_registry: dict, fault_registry: dict) -> list:
     rel_path = path.relative_to(REPO_ROOT)
     text = path.read_text(encoding="utf-8", errors="replace")
     errors = []
@@ -138,6 +158,7 @@ def lint_file(path: Path, trace_registry: dict) -> list:
         check_using_namespace(rel_path, text, errors)
     check_costs_definition(rel_path, text, errors)
     check_trace_events(rel_path, text, errors, trace_registry)
+    check_fault_points(rel_path, text, errors, fault_registry)
     return errors
 
 
@@ -145,7 +166,8 @@ def main() -> int:
     bad_files = 0
     total_errors = 0
     scanned = 0
-    trace_registry = load_trace_registry()
+    trace_registry = load_enum_registry(TRACE_EVENTS_HEADER, ("EventType", "SpanKind"))
+    fault_registry = load_enum_registry(FAULT_POINTS_HEADER, ("FaultPoint", "FaultMode"))
     for scan_dir in SCAN_DIRS:
         root = REPO_ROOT / scan_dir
         if not root.is_dir():
@@ -154,7 +176,7 @@ def main() -> int:
             if path.suffix not in (".h", ".cc"):
                 continue
             scanned += 1
-            errors = lint_file(path, trace_registry)
+            errors = lint_file(path, trace_registry, fault_registry)
             if errors:
                 bad_files += 1
                 total_errors += len(errors)
