@@ -41,6 +41,15 @@ struct Costs {
   // Copy loop: modelled instructions per 8 copied bytes.
   static constexpr uint32_t kCopyBytesPerInstr = 8;
   static constexpr uint32_t kCopyLoopOverhead = 30;
+  // By-reference bulk data above this size moves as whole pages (remap into
+  // the receiver's window) instead of through the per-byte copy loop — the
+  // paper's "large data passed by reference". Per-page costs are far below
+  // the legacy vm_map_copyin/copyout pair because the rework carries no
+  // shadow-object churn: the sender's pages are referenced and mapped
+  // read-only into the receiver for the duration of the call.
+  static constexpr uint32_t kRpcOolThresholdBytes = 2048;
+  static constexpr uint32_t kRpcOolPreparePerPage = 220;  // reference + wire-down
+  static constexpr uint32_t kRpcOolMapPerPage = 180;      // PTE setup in receiver
 
   // --- Legacy Mach 3.0 IPC (mach_msg) ----------------------------------------
   static constexpr uint32_t kMachMsgUserStub = 210;    // MIG stub, header setup

@@ -333,6 +333,10 @@ class Kernel {
   // Copies `len` bytes between host buffers while charging simulated costs
   // against the two threads' message windows.
   void CopyMessageBytes(const void* src, void* dst, uint64_t len, Thread* from, Thread* to);
+  // Charges the out-of-line transfer of `len` bulk bytes from `from` to
+  // `to`: per-page reference/map work plus page-table traffic, no per-byte
+  // copy loop. Used by the RPC ref paths above the OOL threshold.
+  void ChargeOolTransfer(Thread* from, Thread* to, uint64_t len);
   base::Status TransferRights(Task& from, Task& to, const RightDescriptor* rights, uint32_t count,
                               std::vector<PortName>* out_names);
   void DeliverRpcToServer(Thread* client, Thread* server);

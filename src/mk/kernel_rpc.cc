@@ -34,10 +34,51 @@ const hw::CodeRegion& RightsRegion() {
   static const hw::CodeRegion r = hw::DefineKernelCode("mk.rpc.rights", Costs::kPortRightTransfer);
   return r;
 }
+const hw::CodeRegion& OolPrepareRegion() {
+  static const hw::CodeRegion r =
+      hw::DefineKernelCode("mk.rpc.ool_prepare", Costs::kRpcOolPreparePerPage);
+  return r;
+}
+const hw::CodeRegion& OolMapRegion() {
+  static const hw::CodeRegion r = hw::DefineKernelCode("mk.rpc.ool_map", Costs::kRpcOolMapPerPage);
+  return r;
+}
 // Offset within a thread's message window where by-reference bulk data is
 // modelled (separate from the inline request/reply area).
 constexpr uint64_t kRefWindowOffset = 16 * 1024;
+
+// Whether a bulk transfer of `len` bytes goes out-of-line under `mode`.
+bool UseOol(RpcBulkMode mode, uint64_t len) {
+  switch (mode) {
+    case RpcBulkMode::kCopy:
+      return false;
+    case RpcBulkMode::kOol:
+      return true;
+    case RpcBulkMode::kAuto:
+      break;
+  }
+  return len >= Costs::kRpcOolThresholdBytes;
+}
 }  // namespace
+
+void Kernel::ChargeOolTransfer(Thread* from, Thread* to, uint64_t len) {
+  const uint64_t pages = hw::PageRound(len) >> hw::kPageShift;
+  // Sender side: reference and wire the source pages; receiver side: enter
+  // them into the receiver's window. The data bytes themselves are never
+  // touched — that is the whole point.
+  cpu().ExecuteInstructions(OolPrepareRegion(), pages * Costs::kRpcOolPreparePerPage);
+  cpu().ExecuteInstructions(OolMapRegion(), pages * Costs::kRpcOolMapPerPage);
+  // Page-table traffic: one descriptor read on the sender's side and one PTE
+  // write on the receiver's side per page.
+  const hw::PhysAddr src = from != nullptr ? from->msg_window() + kRefWindowOffset : heap_->base();
+  const hw::PhysAddr dst = to != nullptr ? to->msg_window() + kRefWindowOffset : heap_->base();
+  for (uint64_t i = 0; i < pages; ++i) {
+    cpu().AccessData(src + i * 64, 8, /*write=*/false);
+    cpu().AccessData(dst + i * 64, 8, /*write=*/true);
+  }
+  ++tracer_->metrics().Counter("mk.rpc.ool_transfers");
+  tracer_->metrics().Counter("mk.rpc.ool_bytes") += len;
+}
 
 void Kernel::CopyMessageBytes(const void* src, void* dst, uint64_t len, Thread* from, Thread* to) {
   if (len == 0) {
@@ -90,11 +131,18 @@ void Kernel::DeliverRpcToServer(Thread* client, Thread* server) {
       return;
     }
     std::memcpy(s.srv_ref->recv_buf, c.ref->send_data, c.ref->send_len);
-    const uint64_t span = c.ref->send_len < Thread::kMsgWindowSize - kRefWindowOffset
-                              ? c.ref->send_len
-                              : Thread::kMsgWindowSize - kRefWindowOffset;
-    ChargeCopy(client->msg_window() + kRefWindowOffset, server->msg_window() + kRefWindowOffset,
-               span);
+    const bool ool = UseOol(c.ref->send_mode, c.ref->send_len);
+    if (ool) {
+      ChargeOolTransfer(client, server, c.ref->send_len);
+    } else {
+      const uint64_t span = c.ref->send_len < Thread::kMsgWindowSize - kRefWindowOffset
+                                ? c.ref->send_len
+                                : Thread::kMsgWindowSize - kRefWindowOffset;
+      ChargeCopy(client->msg_window() + kRefWindowOffset, server->msg_window() + kRefWindowOffset,
+                 span);
+    }
+    c.ref->sent_ool = ool;
+    s.srv_ref->recv_ool = ool;
     s.srv_ref->recv_len = c.ref->send_len;
     s.srv_ref_len = c.ref->send_len;
   }
@@ -174,6 +222,13 @@ base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len
   c.reply_cap = reply_cap;
   c.reply_len = 0;
   c.ref = ref;
+  if (ref != nullptr) {
+    // Stale results from a previous attempt on the same descriptor (robust
+    // retries) must not survive into this call's outcome.
+    ref->recv_len = 0;
+    ref->sent_ool = false;
+    ref->recv_ool = false;
+  }
   c.req_rights = rights;
   c.req_rights_count = rights_count;
   c.granted_right = kNullPort;
@@ -254,6 +309,7 @@ base::Result<RpcRequest> Kernel::RpcReceive(PortName receive_name, void* buf, ui
   s.srv_ref = ref;
   if (ref != nullptr) {
     ref->recv_len = 0;
+    ref->recv_ool = false;
   }
 
   // Receiving on a port set services whichever member has a caller waiting.
@@ -335,11 +391,17 @@ base::Status Kernel::DeliverReply(Thread* server, Thread* client, const void* re
       c.completion = base::Status::kTooLarge;
     } else {
       std::memcpy(c.ref->recv_buf, ref_data, ref_len);
-      const uint64_t span = ref_len < Thread::kMsgWindowSize - kRefWindowOffset
-                                ? ref_len
-                                : Thread::kMsgWindowSize - kRefWindowOffset;
-      ChargeCopy(server->msg_window() + kRefWindowOffset, client->msg_window() + kRefWindowOffset,
-                 span);
+      const bool ool = UseOol(c.ref->recv_mode, ref_len);
+      if (ool) {
+        ChargeOolTransfer(server, client, ref_len);
+      } else {
+        const uint64_t span = ref_len < Thread::kMsgWindowSize - kRefWindowOffset
+                                  ? ref_len
+                                  : Thread::kMsgWindowSize - kRefWindowOffset;
+        ChargeCopy(server->msg_window() + kRefWindowOffset,
+                   client->msg_window() + kRefWindowOffset, span);
+      }
+      c.ref->recv_ool = ool;
       c.ref->recv_len = ref_len;
     }
   }
@@ -427,6 +489,7 @@ base::Result<RpcRequest> Kernel::RpcReplyAndReceive(uint64_t token, const void* 
   s.srv_ref = ref;
   if (ref != nullptr) {
     ref->recv_len = 0;
+    ref->recv_ool = false;
   }
 
   // Serve any caller already queued on a member/port.

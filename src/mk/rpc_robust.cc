@@ -15,6 +15,14 @@ base::Status RpcCallRobust(Env& env, const PortResolver& resolve, PortName* cach
       (void)env.SleepNs(backoff);
       backoff *= 2;
     }
+    if (ref != nullptr) {
+      // A failed attempt (kBusy, timeout, dead port) must not leave partial
+      // transfer results behind: the next attempt — possibly against a
+      // respawned instance — starts from a clean bulk descriptor.
+      ref->recv_len = 0;
+      ref->sent_ool = false;
+      ref->recv_ool = false;
+    }
     if (*cached_port == kNullPort) {
       auto resolved = resolve(env);
       if (!resolved.ok()) {

@@ -9,6 +9,11 @@
 // manager registered under the same name. When the name cannot be resolved
 // or the attempts are exhausted on a dead port, the call returns
 // kUnavailable: the service is in degraded mode.
+//
+// Bulk data rides along unchanged: the RpcRef descriptor (including the
+// out-of-line transfer the kernel picks for large payloads) is reset at the
+// start of every attempt, so retries never observe a previous attempt's
+// partial results.
 #ifndef SRC_MK_RPC_ROBUST_H_
 #define SRC_MK_RPC_ROBUST_H_
 

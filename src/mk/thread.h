@@ -19,15 +19,34 @@ namespace mk {
 
 class Task;
 
+// How by-reference bulk data crosses address spaces at rendezvous time.
+// kAuto lets the kernel pick: transfers of at least
+// Costs::kRpcOolThresholdBytes move out-of-line (page reference + remap, no
+// per-byte copy loop); smaller ones go through the physical copy loop whose
+// constant cost beats page bookkeeping. kCopy / kOol force one path — the
+// benches use kCopy to measure what zero-copy saves.
+enum class RpcBulkMode : uint8_t {
+  kAuto = 0,
+  kCopy,
+  kOol,
+};
+
 // Bulk-data descriptor for the reworked RPC: data too large for the message
-// body is passed by reference and physically copied across address spaces by
-// the kernel at rendezvous time.
+// body is passed by reference and either physically copied or remapped
+// out-of-line across address spaces by the kernel at rendezvous time.
 struct RpcRef {
   const void* send_data = nullptr;  // client -> server bulk data
   uint32_t send_len = 0;
   void* recv_buf = nullptr;  // buffer for server -> client bulk data
   uint32_t recv_cap = 0;
   uint32_t recv_len = 0;  // filled by the kernel on reply
+  RpcBulkMode send_mode = RpcBulkMode::kAuto;  // request-direction transfer
+  RpcBulkMode recv_mode = RpcBulkMode::kAuto;  // reply-direction transfer
+  // Filled by the kernel: whether the last transfer in each direction went
+  // out-of-line. On a server-posted ref, recv_ool describes the request
+  // data; on a client ref, sent_ool the request and recv_ool the reply.
+  bool sent_ool = false;
+  bool recv_ool = false;
 };
 
 struct RightDescriptor;  // message.h

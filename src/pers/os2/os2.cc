@@ -1,5 +1,6 @@
 #include "src/pers/os2/os2.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/log.h"
@@ -141,13 +142,40 @@ base::Result<uint64_t> Os2Process::DosOpen(mk::Env& env, const std::string& path
 base::Result<uint32_t> Os2Process::DosRead(mk::Env& env, uint64_t handle, uint64_t offset,
                                            void* out, uint32_t len) {
   ChargeStub();
-  return fs_.Read(env, handle, offset, out, len);
+  // DosRead has no size limit; loop in server-sized chunks (each chunk large
+  // enough to move out-of-line) and stop at EOF.
+  uint32_t total = 0;
+  while (total < len) {
+    const uint32_t chunk = std::min(len - total, svc::kFsMaxIo);
+    auto got = fs_.Read(env, handle, offset + total, static_cast<uint8_t*>(out) + total, chunk);
+    if (!got.ok()) {
+      return total > 0 ? base::Result<uint32_t>(total) : got;
+    }
+    total += *got;
+    if (*got < chunk) {
+      break;  // EOF
+    }
+  }
+  return total;
 }
 
 base::Result<uint32_t> Os2Process::DosWrite(mk::Env& env, uint64_t handle, uint64_t offset,
                                             const void* data, uint32_t len) {
   ChargeStub();
-  return fs_.Write(env, handle, offset, data, len);
+  uint32_t total = 0;
+  while (total < len) {
+    const uint32_t chunk = std::min(len - total, svc::kFsMaxIo);
+    auto wrote =
+        fs_.Write(env, handle, offset + total, static_cast<const uint8_t*>(data) + total, chunk);
+    if (!wrote.ok()) {
+      return total > 0 ? base::Result<uint32_t>(total) : wrote;
+    }
+    total += *wrote;
+    if (*wrote < chunk) {
+      break;  // short write (e.g. lock conflict mid-stream)
+    }
+  }
+  return total;
 }
 
 base::Status Os2Process::DosClose(mk::Env& env, uint64_t handle) {

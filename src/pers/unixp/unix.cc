@@ -117,6 +117,63 @@ base::Result<uint32_t> UnixProcess::Write(mk::Env& env, int fd, const void* buf,
   return wrote;
 }
 
+base::Result<uint32_t> UnixProcess::Readv(mk::Env& env, int fd, const UnixIoVec* iov,
+                                          uint32_t iovcnt) {
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return base::Status::kInvalidArgument;
+  }
+  FileDesc& desc = it->second;
+  if (desc.kind != FileDesc::Kind::kFile) {
+    return base::Status::kNotSupported;  // pipes have no scatter path
+  }
+  if (iovcnt == 0 || iovcnt > svc::kFsMaxExtents) {
+    return base::Status::kInvalidArgument;
+  }
+  // iovecs map to consecutive file extents from the implicit offset.
+  svc::FsReadExtent extents[svc::kFsMaxExtents];
+  uint64_t pos = desc.offset;
+  for (uint32_t i = 0; i < iovcnt; ++i) {
+    extents[i] = svc::FsReadExtent{pos, iov[i].base, iov[i].len};
+    pos += iov[i].len;
+  }
+  auto got = fs_->ReadV(env, desc.handle, extents, iovcnt);
+  if (!got.ok()) {
+    return got;
+  }
+  desc.offset += *got;
+  return got;
+}
+
+base::Result<uint32_t> UnixProcess::Writev(mk::Env& env, int fd, const UnixIoVec* iov,
+                                           uint32_t iovcnt) {
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return base::Status::kInvalidArgument;
+  }
+  FileDesc& desc = it->second;
+  if (desc.kind != FileDesc::Kind::kFile) {
+    return base::Status::kNotSupported;
+  }
+  if (iovcnt == 0 || iovcnt > svc::kFsMaxExtents) {
+    return base::Status::kInvalidArgument;
+  }
+  svc::FsWriteExtent extents[svc::kFsMaxExtents];
+  uint64_t pos = desc.offset;
+  for (uint32_t i = 0; i < iovcnt; ++i) {
+    extents[i] = svc::FsWriteExtent{pos, iov[i].base, iov[i].len};
+    pos += iov[i].len;
+  }
+  auto wrote = fs_->WriteV(env, desc.handle, extents, iovcnt);
+  if (!wrote.ok()) {
+    return wrote;
+  }
+  desc.offset += *wrote;
+  return wrote;
+}
+
 base::Result<uint64_t> UnixProcess::Lseek(mk::Env& env, int fd, int64_t offset, int whence) {
   pers_->kernel_.cpu().Execute(LibcRegion());
   auto it = fds_.find(fd);

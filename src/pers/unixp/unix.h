@@ -25,6 +25,12 @@ enum UnixOpenFlags : uint32_t {
   kOExcl = 1u << 5,
 };
 
+// readv/writev scatter-gather element (struct iovec).
+struct UnixIoVec {
+  void* base = nullptr;
+  uint32_t len = 0;
+};
+
 class UnixPersonality;
 
 class UnixProcess {
@@ -38,6 +44,10 @@ class UnixProcess {
   base::Result<int> Open(mk::Env& env, const std::string& path, uint32_t flags);
   base::Result<uint32_t> Read(mk::Env& env, int fd, void* buf, uint32_t len);
   base::Result<uint32_t> Write(mk::Env& env, int fd, const void* buf, uint32_t len);
+  // readv/writev: one file-server RPC moves every iovec (consecutive file
+  // positions starting at the fd's offset). Pipes are not supported.
+  base::Result<uint32_t> Readv(mk::Env& env, int fd, const UnixIoVec* iov, uint32_t iovcnt);
+  base::Result<uint32_t> Writev(mk::Env& env, int fd, const UnixIoVec* iov, uint32_t iovcnt);
   base::Result<uint64_t> Lseek(mk::Env& env, int fd, int64_t offset, int whence);
   base::Status Close(mk::Env& env, int fd);
   base::Status Unlink(mk::Env& env, const std::string& path);

@@ -32,6 +32,7 @@ base::Status BlockCache::Evict(mk::Env& env) {
     }
   }
   lru_.pop_back();
+  free_sim_addrs_.push_back(e.sim_addr);  // recycle: the heap can't free
   entries_.erase(victim);
   return base::Status::kOk;
 }
@@ -40,8 +41,10 @@ base::Result<BlockCache::Entry*> BlockCache::GetSector(mk::Env& env, uint64_t lb
   auto it = entries_.find(lba);
   if (it != entries_.end()) {
     ++hits_;
+    // Lookup cost only. The data traffic is charged once by the caller
+    // (ReadSector/WriteSector) for the full sector; charging a partial
+    // touch here too double-counted the D-cache on every hit.
     kernel_.cpu().Execute(HitRegion());
-    kernel_.cpu().AccessData(it->second.sim_addr, 64, /*write=*/false);
     lru_.erase(it->second.lru_pos);
     lru_.push_front(lba);
     it->second.lru_pos = lru_.begin();
@@ -57,7 +60,12 @@ base::Result<BlockCache::Entry*> BlockCache::GetSector(mk::Env& env, uint64_t lb
   }
   Entry e;
   e.data.resize(kSectorSize);
-  e.sim_addr = kernel_.heap().Allocate(kSectorSize);
+  if (!free_sim_addrs_.empty()) {
+    e.sim_addr = free_sim_addrs_.back();
+    free_sim_addrs_.pop_back();
+  } else {
+    e.sim_addr = kernel_.heap().Allocate(kSectorSize);
+  }
   if (load) {
     const base::Status st = store_->Read(env, lba, 1, e.data.data());
     if (st != base::Status::kOk) {

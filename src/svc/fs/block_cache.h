@@ -32,6 +32,7 @@ class BlockCache {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t writebacks() const { return writebacks_; }
+  size_t free_list_size() const { return free_sim_addrs_.size(); }
 
  private:
   struct Entry {
@@ -49,6 +50,11 @@ class BlockCache {
   uint32_t capacity_;
   std::unordered_map<uint64_t, Entry> entries_;
   std::list<uint64_t> lru_;  // front = most recent
+  // Simulated buffer addresses recycled from evicted entries. KernelHeap is
+  // a bump allocator with no Free(); without recycling, every eviction
+  // leaked its sector buffer and a long-running cache crawled through the
+  // whole kernel heap.
+  std::vector<hw::PhysAddr> free_sim_addrs_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t writebacks_ = 0;

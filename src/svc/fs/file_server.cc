@@ -346,6 +346,103 @@ void FileServer::HandleWrite(mk::Env& env, const mk::RpcRequest& rpc, const FsRe
   env.RpcReply(rpc.token, &reply, sizeof(reply));
 }
 
+void FileServer::HandleReadV(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r,
+                             const uint8_t* ref_data, uint32_t ref_len) {
+  FsReply reply;
+  static std::vector<uint8_t> buffer(kFsMaxIo);
+  auto it = open_files_.find(r.handle);
+  const uint32_t count = r.extent_count;
+  if (it == open_files_.end() || count == 0 || count > kFsMaxExtents ||
+      ref_len < count * sizeof(FsExtent)) {
+    reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  FsExtent extents[kFsMaxExtents];
+  std::memcpy(extents, ref_data, count * sizeof(FsExtent));
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    total += extents[i].len;
+  }
+  if (total > kFsMaxIo) {
+    reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  OpenFile& of = it->second;
+  kernel_.cpu().AccessData(of.sim_addr, 48, /*write=*/true);
+  uint32_t filled = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    auto got = of.mount->pfs->Read(env, of.node, extents[i].offset, buffer.data() + filled,
+                                   extents[i].len);
+    if (!got.ok()) {
+      reply.status = static_cast<int32_t>(got.status());
+      env.RpcReply(rpc.token, &reply, sizeof(reply));
+      return;
+    }
+    ++reads_;
+    filled += *got;
+    if (*got < extents[i].len) {
+      break;  // short extent (EOF): later extents are not attempted
+    }
+  }
+  reply.len = filled;
+  env.RpcReply(rpc.token, &reply, sizeof(reply), buffer.data(), filled);
+}
+
+void FileServer::HandleWriteV(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r,
+                              const uint8_t* ref_data, uint32_t ref_len) {
+  FsReply reply;
+  auto it = open_files_.find(r.handle);
+  const uint32_t count = r.extent_count;
+  if (it == open_files_.end() || count == 0 || count > kFsMaxExtents ||
+      ref_len < count * sizeof(FsExtent)) {
+    reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  FsExtent extents[kFsMaxExtents];
+  std::memcpy(extents, ref_data, count * sizeof(FsExtent));
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    total += extents[i].len;
+  }
+  const uint64_t table_bytes = count * sizeof(FsExtent);
+  if (total > kFsMaxIo || total != r.len || ref_len != table_bytes + total) {
+    reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  OpenFile& of = it->second;
+  kernel_.cpu().AccessData(of.sim_addr, 48, /*write=*/true);
+  NodeState& state = node_states_[NodeKey(of.mount, of.node)];
+  for (uint32_t i = 0; i < count; ++i) {
+    if (LockConflicts(state, extents[i].offset, extents[i].len, /*exclusive=*/true, r.handle)) {
+      reply.status = static_cast<int32_t>(base::Status::kBusy);
+      env.RpcReply(rpc.token, &reply, sizeof(reply));
+      return;
+    }
+  }
+  const uint8_t* data = ref_data + table_bytes;
+  uint32_t written = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    auto wrote = of.mount->pfs->Write(env, of.node, extents[i].offset, data + written,
+                                      extents[i].len);
+    if (!wrote.ok()) {
+      reply.status = static_cast<int32_t>(wrote.status());
+      env.RpcReply(rpc.token, &reply, sizeof(reply));
+      return;
+    }
+    ++writes_;
+    written += *wrote;
+    if (*wrote < extents[i].len) {
+      break;
+    }
+  }
+  reply.len = written;
+  env.RpcReply(rpc.token, &reply, sizeof(reply));
+}
+
 void FileServer::HandleLock(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r) {
   FsReply reply;
   kernel_.cpu().Execute(UnionSemRegion());
@@ -492,9 +589,22 @@ void FileServer::HandlePathOp(mk::Env& env, const mk::RpcRequest& rpc, const FsR
         reply.status = static_cast<int32_t>(node.status());
         break;
       }
-      // Value travels in path2 after the key's NUL: "key\0value".
+      // Value travels in path2 after the key's NUL: "key\0value\0". A raw
+      // request is untrusted: both strings must terminate inside the fixed
+      // buffer or the parse would run off the end of the request struct.
+      const void* key_nul = std::memchr(r.path2, '\0', kFsMaxPath);
+      if (key_nul == nullptr) {
+        reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+        break;
+      }
       const std::string key(r.path2);
-      const char* value = r.path2 + key.size() + 1;
+      const size_t value_off = key.size() + 1;
+      if (value_off >= kFsMaxPath ||
+          std::memchr(r.path2 + value_off, '\0', kFsMaxPath - value_off) == nullptr) {
+        reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+        break;
+      }
+      const char* value = r.path2 + value_off;
       reply.status = static_cast<int32_t>(mount->pfs->SetEa(env, *node, key, value));
       break;
     }
@@ -540,7 +650,8 @@ void FileServer::Serve(mk::Env& env) {
   static const hw::CodeRegion kLoop = hw::DefineCode("loop.fs", mk::Costs::kRpcServerLoop);
   static const hw::CodeRegion kStub = hw::DefineCode("stub.fs", mk::Costs::kRpcServerStub);
   FsRequest r;
-  std::vector<uint8_t> ref_buf(kFsMaxIo);
+  // kWriteV carries its extent table in front of the payload bytes.
+  std::vector<uint8_t> ref_buf(kFsMaxIo + kFsMaxExtents * sizeof(FsExtent));
   while (true) {
     mk::RpcRef ref;
     ref.recv_buf = ref_buf.data();
@@ -591,6 +702,12 @@ void FileServer::Serve(mk::Env& env) {
         break;
       case FsOp::kWrite:
         HandleWrite(env, *rpc, r, ref_buf.data(), ref.recv_len);
+        break;
+      case FsOp::kReadV:
+        HandleReadV(env, *rpc, r, ref_buf.data(), ref.recv_len);
+        break;
+      case FsOp::kWriteV:
+        HandleWriteV(env, *rpc, r, ref_buf.data(), ref.recv_len);
         break;
       case FsOp::kLock:
       case FsOp::kUnlock:
@@ -666,11 +783,98 @@ base::Result<uint32_t> FsClient::Write(mk::Env& env, uint64_t handle, uint64_t o
   r.op = FsOp::kWrite;
   r.handle = handle;
   r.offset = offset;
-  r.len = len;
+  r.len = std::min(len, kFsMaxIo);  // short write past the cap, like Read
   FsReply reply;
   mk::RpcRef ref;
   ref.send_data = data;
-  ref.send_len = len;
+  ref.send_len = r.len;
+  const base::Status st = stub_.Call(env, r, &reply, &ref);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return reply.len;
+}
+
+base::Result<uint32_t> FsClient::ReadV(mk::Env& env, uint64_t handle,
+                                       const FsReadExtent* extents, uint32_t count) {
+  if (count == 0 || count > kFsMaxExtents) {
+    return base::Status::kInvalidArgument;
+  }
+  FsExtent wire[kFsMaxExtents];
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    wire[i].offset = extents[i].offset;
+    wire[i].len = extents[i].len;
+    total += extents[i].len;
+  }
+  if (total > kFsMaxIo) {
+    return base::Status::kInvalidArgument;
+  }
+  FsRequest r;
+  r.op = FsOp::kReadV;
+  r.handle = handle;
+  r.extent_count = count;
+  r.len = static_cast<uint32_t>(total);
+  // The extent table rides out in the ref's send direction; the concatenated
+  // extent data comes back in its receive direction — one RPC each way.
+  std::vector<uint8_t> data(total);
+  FsReply reply;
+  mk::RpcRef ref;
+  ref.send_data = wire;
+  ref.send_len = static_cast<uint32_t>(count * sizeof(FsExtent));
+  ref.recv_buf = data.data();
+  ref.recv_cap = static_cast<uint32_t>(data.size());
+  const base::Status st = stub_.Call(env, r, &reply, &ref);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  // Scatter the concatenated payload back into the caller's buffers.
+  uint32_t consumed = 0;
+  for (uint32_t i = 0; i < count && consumed < reply.len; ++i) {
+    const uint32_t n = std::min(extents[i].len, reply.len - consumed);
+    std::memcpy(extents[i].buf, data.data() + consumed, n);
+    consumed += n;
+  }
+  return reply.len;
+}
+
+base::Result<uint32_t> FsClient::WriteV(mk::Env& env, uint64_t handle,
+                                        const FsWriteExtent* extents, uint32_t count) {
+  if (count == 0 || count > kFsMaxExtents) {
+    return base::Status::kInvalidArgument;
+  }
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    total += extents[i].len;
+  }
+  if (total > kFsMaxIo) {
+    return base::Status::kInvalidArgument;
+  }
+  // Gather [extent table][payload bytes] into one bulk buffer.
+  const uint32_t table_bytes = static_cast<uint32_t>(count * sizeof(FsExtent));
+  std::vector<uint8_t> bulk(table_bytes + total);
+  FsExtent* wire = reinterpret_cast<FsExtent*>(bulk.data());
+  uint32_t filled = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    wire[i] = FsExtent{extents[i].offset, extents[i].len, 0};
+    std::memcpy(bulk.data() + table_bytes + filled, extents[i].buf, extents[i].len);
+    filled += extents[i].len;
+  }
+  FsRequest r;
+  r.op = FsOp::kWriteV;
+  r.handle = handle;
+  r.extent_count = count;
+  r.len = static_cast<uint32_t>(total);
+  FsReply reply;
+  mk::RpcRef ref;
+  ref.send_data = bulk.data();
+  ref.send_len = static_cast<uint32_t>(bulk.size());
   const base::Status st = stub_.Call(env, r, &reply, &ref);
   if (st != base::Status::kOk) {
     return st;
@@ -786,8 +990,10 @@ base::Status FsClient::SetEa(mk::Env& env, const std::string& path, const std::s
   FsRequest r;
   r.op = FsOp::kSetEa;
   r.SetPath(path.c_str());
+  // Key + value + both NULs must fit the fixed path2 buffer; anything larger
+  // would overflow the request struct.
   if (key.size() + value.size() + 2 > kFsMaxPath) {
-    return base::Status::kTooLarge;
+    return base::Status::kInvalidArgument;
   }
   std::memcpy(r.path2, key.c_str(), key.size() + 1);
   std::memcpy(r.path2 + key.size() + 1, value.c_str(), value.size() + 1);

@@ -97,6 +97,10 @@ class FileServer {
   void HandleRead(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
   void HandleWrite(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r,
                    const uint8_t* data, uint32_t data_len);
+  void HandleReadV(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r,
+                   const uint8_t* ref_data, uint32_t ref_len);
+  void HandleWriteV(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r,
+                    const uint8_t* ref_data, uint32_t ref_len);
   void HandlePathOp(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
   void HandleLock(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
 
@@ -120,6 +124,19 @@ class FileServer {
   bool running_ = true;
 };
 
+// Client-side scatter/gather descriptors for FsClient::ReadV/WriteV. Each
+// extent names its own file offset and buffer; one RPC moves all of them.
+struct FsReadExtent {
+  uint64_t offset = 0;
+  void* buf = nullptr;
+  uint32_t len = 0;
+};
+struct FsWriteExtent {
+  uint64_t offset = 0;
+  const void* buf = nullptr;
+  uint32_t len = 0;
+};
+
 // Client library: the RPC stubs a personality links against.
 class FsClient {
  public:
@@ -132,6 +149,13 @@ class FsClient {
                               uint32_t len);
   base::Result<uint32_t> Write(mk::Env& env, uint64_t handle, uint64_t offset, const void* data,
                                uint32_t len);
+  // Scatter read / gather write: up to kFsMaxExtents extents (total bytes
+  // capped at kFsMaxIo) served by a single RPC. Returns total bytes moved;
+  // a short count fills extents in order and stops at the first short one.
+  base::Result<uint32_t> ReadV(mk::Env& env, uint64_t handle, const FsReadExtent* extents,
+                               uint32_t count);
+  base::Result<uint32_t> WriteV(mk::Env& env, uint64_t handle, const FsWriteExtent* extents,
+                                uint32_t count);
   base::Result<FileAttr> GetAttr(mk::Env& env, const std::string& path);
   base::Status SetSize(mk::Env& env, uint64_t handle, uint64_t size);
   base::Status Mkdir(mk::Env& env, const std::string& path);

@@ -8,7 +8,14 @@
 namespace svc {
 
 inline constexpr uint32_t kFsMaxPath = 160;
-inline constexpr uint32_t kFsMaxIo = 32 * 1024;  // per-request byte limit
+// Per-request byte limit. Payloads at or above the kernel's OOL threshold
+// (mk::Costs::kRpcOolThresholdBytes) move as page references instead of the
+// per-byte copy loop, so the cap is sized for bulk I/O rather than for what
+// a copy loop can stomach.
+inline constexpr uint32_t kFsMaxIo = 128 * 1024;
+// Scatter/gather: one kReadV/kWriteV request carries up to this many
+// extents, amortizing one RPC's trap cost across all of them.
+inline constexpr uint32_t kFsMaxExtents = 16;
 
 enum class FsOp : uint32_t {
   kOpen = 1,
@@ -26,6 +33,18 @@ enum class FsOp : uint32_t {
   kSetEa,
   kGetEa,
   kSync,
+  kReadV,   // multi-extent read; extents travel in the ref data
+  kWriteV,  // multi-extent write; ref data = extents then payload
+};
+
+// One extent of a kReadV/kWriteV request. The extent table travels at the
+// front of the request's by-reference data: for kReadV the ref carries just
+// the table (data comes back in the reply ref); for kWriteV the payload
+// bytes for all extents follow the table back to back.
+struct FsExtent {
+  uint64_t offset = 0;
+  uint32_t len = 0;
+  uint32_t pad = 0;
 };
 
 // Open flags: the union of what the personalities need (OS/2 delete-on-close
@@ -56,6 +75,8 @@ struct FsRequest {
   uint64_t offset = 0;
   uint32_t len = 0;
   uint32_t lock_exclusive = 0;
+  uint32_t extent_count = 0;  // kReadV/kWriteV: extents at the ref data front
+  uint32_t pad = 0;
   char path[kFsMaxPath] = {};
   char path2[kFsMaxPath] = {};  // rename target; EA key
 

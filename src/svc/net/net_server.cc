@@ -93,7 +93,8 @@ void NetServer::RxPump(mk::Env& env) {
 void NetServer::Serve(mk::Env& env) {
   static const hw::CodeRegion kLoop = hw::DefineCode("loop.net", mk::Costs::kRpcServerLoop);
   NetRequest req;
-  std::vector<uint8_t> payload(hw::Nic::kMaxFrame);
+  // Sized for a full kSendToV batch: headers up front, then every payload.
+  std::vector<uint8_t> payload(kNetMaxBatch * (sizeof(NetDgram) + hw::Nic::kMaxFrame));
   while (true) {
     mk::RpcRef ref;
     ref.recv_buf = payload.data();
@@ -150,6 +151,55 @@ void NetServer::Serve(mk::Env& env) {
         if (reply.status == 0) {
           ++sent_;
         }
+        env.RpcReply(rpc->token, &reply, sizeof(reply));
+        break;
+      }
+      case NetOp::kSendToV: {
+        // Ref payload layout: [NetDgram x count][payload bytes back to back].
+        const uint32_t count = req.len;
+        const uint32_t table_bytes = count * static_cast<uint32_t>(sizeof(NetDgram));
+        if (count == 0 || count > kNetMaxBatch || ref.recv_len < table_bytes) {
+          reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+          env.RpcReply(rpc->token, &reply, sizeof(reply));
+          break;
+        }
+        NetDgram headers[kNetMaxBatch];
+        std::memcpy(headers, payload.data(), table_bytes);
+        uint64_t total = 0;
+        bool valid = true;
+        for (uint32_t i = 0; i < count; ++i) {
+          if (headers[i].len > hw::Nic::kMaxFrame) {
+            valid = false;
+            break;
+          }
+          total += headers[i].len;
+        }
+        if (!valid || table_bytes + total != ref.recv_len) {
+          reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+          env.RpcReply(rpc->token, &reply, sizeof(reply));
+          break;
+        }
+        uint32_t consumed = table_bytes;
+        uint32_t dispatched = 0;
+        for (uint32_t i = 0; i < count; ++i) {
+          Datagram dgram;
+          dgram.dst_addr = headers[i].addr;
+          dgram.dst_port = headers[i].port;
+          dgram.src_port = headers[i].src_port;
+          dgram.src_addr = 0x7f000001;
+          dgram.payload.assign(payload.data() + consumed,
+                               payload.data() + consumed + headers[i].len);
+          consumed += headers[i].len;
+          const std::vector<uint8_t> frame = engine_->Encapsulate(env, dgram);
+          const base::Status st = DriverSend(env, frame);
+          if (st != base::Status::kOk) {
+            reply.status = static_cast<int32_t>(st);  // short batch
+            break;
+          }
+          ++sent_;
+          ++dispatched;
+        }
+        reply.len = dispatched;
         env.RpcReply(rpc->token, &reply, sizeof(reply));
         break;
       }
@@ -211,6 +261,45 @@ base::Status NetClient::SendTo(mk::Env& env, uint32_t addr, uint16_t dst_port, u
   ref.send_len = len;
   const base::Status st = stub_.Call(env, r, &reply, &ref);
   return st != base::Status::kOk ? st : static_cast<base::Status>(reply.status);
+}
+
+base::Result<uint32_t> NetClient::SendToBatch(mk::Env& env, const NetDgram* headers,
+                                              const void* const* payloads, uint32_t count) {
+  if (count == 0 || count > kNetMaxBatch) {
+    return base::Status::kInvalidArgument;
+  }
+  const uint32_t table_bytes = count * static_cast<uint32_t>(sizeof(NetDgram));
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (headers[i].len > hw::Nic::kMaxFrame) {
+      return base::Status::kInvalidArgument;
+    }
+    total += headers[i].len;
+  }
+  // Gather [headers][payloads] into one bulk buffer; above the kernel's OOL
+  // threshold the whole batch moves as a page reference, not a copy loop.
+  std::vector<uint8_t> bulk(table_bytes + total);
+  std::memcpy(bulk.data(), headers, table_bytes);
+  uint32_t filled = table_bytes;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::memcpy(bulk.data() + filled, payloads[i], headers[i].len);
+    filled += headers[i].len;
+  }
+  NetRequest r;
+  r.op = NetOp::kSendToV;
+  r.len = count;
+  NetReply reply;
+  mk::RpcRef ref;
+  ref.send_data = bulk.data();
+  ref.send_len = static_cast<uint32_t>(bulk.size());
+  const base::Status st = stub_.Call(env, r, &reply, &ref);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0 && reply.len == 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return reply.len;  // short batch reports how many made it out
 }
 
 base::Result<uint32_t> NetClient::RecvFrom(mk::Env& env, uint16_t port, void* out, uint32_t cap,

@@ -22,6 +22,24 @@ enum class NetOp : uint32_t {
   kBind = 1,
   kSendTo = 2,
   kRecvFrom = 3,
+  kSendToV = 4,  // batched send: several datagrams in one ref payload
+};
+
+// Batched-send bound: a kSendToV ref payload carries up to this many
+// NetDgram headers plus their concatenated payloads. One RPC (and, above
+// the kernel's OOL threshold, one page-reference transfer) amortizes the
+// trap cost over the whole batch — a single frame is smaller than the OOL
+// threshold, so only batching lets the net path go zero-copy.
+inline constexpr uint32_t kNetMaxBatch = 32;
+
+// Per-datagram header inside a kSendToV ref payload. Headers for the whole
+// batch come first, payload bytes for all datagrams follow back to back.
+struct NetDgram {
+  uint32_t addr = 0;      // destination address
+  uint16_t port = 0;      // destination port
+  uint16_t src_port = 0;
+  uint32_t len = 0;       // payload bytes for this datagram
+  uint32_t pad = 0;
 };
 
 struct NetRequest {
@@ -29,7 +47,7 @@ struct NetRequest {
   uint32_t addr = 0;   // kSendTo destination address
   uint16_t port = 0;   // bind port / destination port
   uint16_t src_port = 0;
-  uint32_t len = 0;
+  uint32_t len = 0;    // kSendTo payload bytes; kSendToV datagram count
 };
 
 struct NetReply {
@@ -91,6 +109,10 @@ class NetClient {
   base::Status Bind(mk::Env& env, uint16_t port);
   base::Status SendTo(mk::Env& env, uint32_t addr, uint16_t dst_port, uint16_t src_port,
                       const void* data, uint32_t len);
+  // Sends up to kNetMaxBatch datagrams with one RPC. Returns the number of
+  // datagrams the server put on the wire (short on a driver error).
+  base::Result<uint32_t> SendToBatch(mk::Env& env, const NetDgram* headers,
+                                     const void* const* payloads, uint32_t count);
   // Blocks until a datagram for `port` arrives.
   base::Result<uint32_t> RecvFrom(mk::Env& env, uint16_t port, void* out, uint32_t cap,
                                   uint32_t* from_addr = nullptr, uint16_t* from_port = nullptr);

@@ -1,5 +1,7 @@
+#include <algorithm>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "tests/mk/kernel_test_fixture.h"
 
@@ -217,6 +219,162 @@ TEST_F(KernelTest, RpcServerServesManyClients) {
   }
   EXPECT_EQ(kernel_.Run(), 0u);
   EXPECT_EQ(ok_count, kClients * kCallsEach);
+}
+
+TEST_F(KernelTest, RpcOolPicksTransferModeBySizeAndSetsFlags) {
+  // Ref payloads at/above the OOL threshold move as page references; below
+  // it they use the copy loop. Both directions record which path ran.
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  auto recv = kernel_.PortAllocate(*server);
+  auto send = kernel_.MakeSendRight(*server, *recv, *client);
+  constexpr uint32_t kBig = 16 * 1024;   // >= threshold: OOL
+  constexpr uint32_t kSmall = 512;       // < threshold: copy
+  bool server_saw_ool_request = false;
+  kernel_.CreateThread(server, "s", [&, recv = *recv](Env& env) {
+    char buf[64];
+    std::vector<uint8_t> bulk(kBig);
+    for (int i = 0; i < 2; ++i) {
+      RpcRef ref;
+      ref.recv_buf = bulk.data();
+      ref.recv_cap = static_cast<uint32_t>(bulk.size());
+      auto req = env.RpcReceive(recv, buf, sizeof(buf), &ref);
+      ASSERT_TRUE(req.ok());
+      if (i == 0) {
+        server_saw_ool_request = ref.recv_ool;
+        // Content must be intact regardless of transfer mode.
+        EXPECT_EQ(bulk[0], 0xab);
+        EXPECT_EQ(bulk[kBig - 1], 0xab);
+      } else {
+        EXPECT_FALSE(ref.recv_ool) << "small payload must stay inline";
+      }
+      // Echo the same bytes back.
+      env.RpcReply(req->token, buf, req->req_len, bulk.data(), req->ref_len);
+    }
+  });
+  bool big_sent_ool = false;
+  bool big_recv_ool = false;
+  bool small_sent_ool = true;
+  kernel_.CreateThread(client, "c", [&, send = *send](Env& env) {
+    std::vector<uint8_t> data(kBig, 0xab);
+    std::vector<uint8_t> back(kBig);
+    uint32_t hdr = 1;
+    uint32_t rep = 0;
+    RpcRef ref;
+    ref.send_data = data.data();
+    ref.send_len = kBig;
+    ref.recv_buf = back.data();
+    ref.recv_cap = kBig;
+    ASSERT_EQ(env.RpcCall(send, &hdr, sizeof(hdr), &rep, sizeof(rep), nullptr, &ref),
+              base::Status::kOk);
+    big_sent_ool = ref.sent_ool;
+    big_recv_ool = ref.recv_ool;
+    EXPECT_EQ(ref.recv_len, kBig);
+    EXPECT_EQ(back[kBig / 2], 0xab);
+
+    RpcRef small;
+    small.send_data = data.data();
+    small.send_len = kSmall;
+    small.recv_buf = back.data();
+    small.recv_cap = kBig;
+    ASSERT_EQ(env.RpcCall(send, &hdr, sizeof(hdr), &rep, sizeof(rep), nullptr, &small),
+              base::Status::kOk);
+    small_sent_ool = small.sent_ool;
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_TRUE(big_sent_ool);
+  EXPECT_TRUE(big_recv_ool);
+  EXPECT_TRUE(server_saw_ool_request);
+  EXPECT_FALSE(small_sent_ool);
+  EXPECT_GE(kernel_.tracer().metrics().Counter("mk.rpc.ool_transfers"), 2u);
+  EXPECT_GE(kernel_.tracer().metrics().Counter("mk.rpc.ool_bytes"), 2u * kBig);
+}
+
+TEST_F(KernelTest, RpcOolReplyIsSnapshotOfSenderBuffer) {
+  // Snapshot semantics for the reply-direction OOL transfer: once RpcReply
+  // returns, the server may reuse its bulk buffer; the client must see the
+  // bytes as they were at reply time, not the later mutation.
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  auto recv = kernel_.PortAllocate(*server);
+  auto send = kernel_.MakeSendRight(*server, *recv, *client);
+  constexpr uint32_t kBytes = 8 * 1024;
+  kernel_.CreateThread(server, "s", [&, recv = *recv](Env& env) {
+    char buf[64];
+    std::vector<uint8_t> bulk(kBytes, 0xcd);
+    auto req = env.RpcReceive(recv, buf, sizeof(buf));
+    ASSERT_TRUE(req.ok());
+    env.RpcReply(req->token, buf, req->req_len, bulk.data(), kBytes);
+    // Mutate AFTER replying: must not leak into the client's copy.
+    std::fill(bulk.begin(), bulk.end(), 0x00);
+  });
+  std::vector<uint8_t> got(kBytes);
+  bool was_ool = false;
+  kernel_.CreateThread(client, "c", [&, send = *send](Env& env) {
+    uint32_t hdr = 1;
+    uint32_t rep = 0;
+    RpcRef ref;
+    ref.recv_buf = got.data();
+    ref.recv_cap = kBytes;
+    ASSERT_EQ(env.RpcCall(send, &hdr, sizeof(hdr), &rep, sizeof(rep), nullptr, &ref),
+              base::Status::kOk);
+    ASSERT_EQ(ref.recv_len, kBytes);
+    was_ool = ref.recv_ool;
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_TRUE(was_ool);
+  EXPECT_EQ(got[0], 0xcd);
+  EXPECT_EQ(got[kBytes - 1], 0xcd);
+}
+
+TEST_F(KernelTest, RpcOolCheaperThanForcedCopyForLargePayloads) {
+  // The tentpole claim: above the threshold the page-reference transfer
+  // beats the per-byte copy loop. Force kCopy on one batch, let kAuto pick
+  // OOL on the other, and compare cycles for identical traffic.
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  auto recv = kernel_.PortAllocate(*server);
+  auto send = kernel_.MakeSendRight(*server, *recv, *client);
+  constexpr uint32_t kBytes = 16 * 1024;
+  constexpr int kIters = 20;
+  kernel_.CreateThread(server, "s", [&, recv = *recv](Env& env) {
+    char buf[64];
+    std::vector<uint8_t> bulk(kBytes);
+    for (int i = 0; i < 2 * kIters; ++i) {
+      RpcRef ref;
+      ref.recv_buf = bulk.data();
+      ref.recv_cap = kBytes;
+      auto req = env.RpcReceive(recv, buf, sizeof(buf), &ref);
+      ASSERT_TRUE(req.ok());
+      env.RpcReply(req->token, buf, req->req_len);
+    }
+  });
+  uint64_t copy_cycles = 0;
+  uint64_t ool_cycles = 0;
+  kernel_.CreateThread(client, "c", [&, send = *send](Env& env) {
+    std::vector<uint8_t> data(kBytes, 0x5a);
+    uint32_t hdr = 1;
+    uint32_t rep = 0;
+    auto run = [&](RpcBulkMode mode) -> uint64_t {
+      const uint64_t c0 = env.kernel().cpu().cycles();
+      for (int i = 0; i < kIters; ++i) {
+        RpcRef ref;
+        ref.send_data = data.data();
+        ref.send_len = kBytes;
+        ref.send_mode = mode;
+        EXPECT_EQ(env.RpcCall(send, &hdr, sizeof(hdr), &rep, sizeof(rep), nullptr, &ref),
+                  base::Status::kOk);
+        EXPECT_EQ(ref.sent_ool, mode != RpcBulkMode::kCopy);
+      }
+      return env.kernel().cpu().cycles() - c0;
+    };
+    copy_cycles = run(RpcBulkMode::kCopy);
+    ool_cycles = run(RpcBulkMode::kAuto);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_GT(ool_cycles, 0u);
+  EXPECT_LT(ool_cycles, copy_cycles)
+      << "16 KB by reference should be cheaper out-of-line than copied";
 }
 
 TEST_F(KernelTest, RpcCheaperThanLegacyIpcRoundTrip) {

@@ -61,6 +61,46 @@ TEST_F(PersonalityTest, UnixOpenReadWriteWithImplicitOffset) {
   EXPECT_EQ(kernel_.Run(), 0u);
 }
 
+TEST_F(PersonalityTest, UnixReadvWritevMoveAllIovecsInOneCall) {
+  UnixPersonality unix_pers(kernel_, *fs_);
+  UnixProcess* proc = nullptr;
+  proc = unix_pers.Spawn("vec", [&](mk::Env& env) {
+    auto fd = proc->Open(env, "/vec.dat", kOCreat | kORdWr);
+    ASSERT_TRUE(fd.ok());
+    // writev: three buffers, one RPC, consecutive file positions.
+    std::vector<uint8_t> w1(3000, 0x11), w2(5000, 0x22), w3(100, 0x33);
+    UnixIoVec wv[3] = {{w1.data(), 3000}, {w2.data(), 5000}, {w3.data(), 100}};
+    auto wrote = proc->Writev(env, *fd, wv, 3);
+    ASSERT_TRUE(wrote.ok());
+    EXPECT_EQ(*wrote, 8100u);
+    ASSERT_TRUE(proc->Lseek(env, *fd, 0, 0).ok());
+    // readv with different boundaries sees the same byte stream, and the
+    // implicit offset advances past everything read.
+    std::vector<uint8_t> r1(2000), r2(6100);
+    UnixIoVec rv[2] = {{r1.data(), 2000}, {r2.data(), 6100}};
+    auto got = proc->Readv(env, *fd, rv, 2);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, 8100u);
+    EXPECT_EQ(r1[1999], 0x11);
+    EXPECT_EQ(r2[999], 0x11);    // file offset 2999
+    EXPECT_EQ(r2[1000], 0x22);   // file offset 3000
+    EXPECT_EQ(r2[6099], 0x33);
+    uint8_t extra = 0;
+    UnixIoVec tail[1] = {{&extra, 1}};
+    auto eof = proc->Readv(env, *fd, tail, 1);
+    ASSERT_TRUE(eof.ok());
+    EXPECT_EQ(*eof, 0u) << "offset must sit at EOF after the scatter read";
+    // Pipes have no scatter path.
+    auto pipe_fds = proc->Pipe(env);
+    ASSERT_TRUE(pipe_fds.ok());
+    EXPECT_EQ(proc->Readv(env, pipe_fds->first, tail, 1).status(),
+              base::Status::kNotSupported);
+    ASSERT_EQ(proc->Close(env, *fd), base::Status::kOk);
+    StopFs(env, *proc->task());
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+}
+
 TEST_F(PersonalityTest, UnixForkIsolatesMemoryAndSharesFiles) {
   UnixPersonality unix_pers(kernel_, *fs_);
   UnixProcess* parent = nullptr;

@@ -9,6 +9,7 @@
 // equal to the injected crash count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -158,6 +159,68 @@ TEST_F(FaultE2eTest, InjectedCrashesAreInvisibleToRobustClient) {
   if (crashes > 0) {
     EXPECT_NE(metrics.str().find("restart.total"), std::string::npos);
     EXPECT_NE(metrics.str().find("fault.fired"), std::string::npos);
+  }
+  EXPECT_EQ(kernel_.CheckInvariants(), 0u);
+}
+
+TEST_F(FaultE2eTest, BulkOolWritesSurviveMessageCopyFaults) {
+  // Large payloads ride the OOL path through RobustFsSession while the
+  // injector fails message transfers with kBusy at kMessageCopy. The retry
+  // loop must re-arm the bulk descriptor each attempt so every record still
+  // round-trips bit-exact.
+  const uint64_t seed = CampaignSeed();
+  kernel_.faults().Enable(seed);
+
+  kernel_.CreateThread(client_task_, "client", [&](mk::Env& env) {
+    mks::NameClient nc(ns_for_client_);
+    auto right =
+        kernel_.MakeSendRight(*servers_[0]->task(), servers_[0]->receive_port(), *client_task_);
+    ASSERT_TRUE(right.ok());
+    ASSERT_EQ(nc.Register(env, kFsName, *right), base::Status::kOk);
+
+    // Armed only for the robust-session workload: kMessageCopy hits EVERY
+    // RPC, and the one-shot Register above has no retry loop to absorb it.
+    // max_fires below the robust retry budget (4 attempts): even if every
+    // fire lands on the same call, the session still succeeds for ANY seed.
+    kernel_.faults().Arm(mk::fault::FaultPoint::kMessageCopy,
+                         mk::fault::FaultMode::kTransientError, 15, /*max_fires=*/3);
+
+    RobustFsSession session(ns_for_client_, kFsName);
+    auto handle = session.Open(env, "/bulk-campaign.dat", kFsCreate | kFsWrite);
+    ASSERT_TRUE(handle.ok()) << base::StatusName(handle.status());
+    constexpr uint32_t kBlock = 8 * 1024;  // every record moves out-of-line
+    std::vector<uint8_t> block(kBlock);
+    std::vector<uint8_t> back(kBlock);
+    // 8 records x 8 KB = 64 KB: inside the HPFS per-file limit (12 direct +
+    // 128 indirect blocks), every record past the OOL threshold.
+    for (uint32_t i = 0; i < 8; ++i) {
+      for (uint32_t j = 0; j < kBlock; ++j) {
+        block[j] = static_cast<uint8_t>((i * 31 + j) % 251);
+      }
+      auto wrote = session.Write(env, *handle, i * kBlock, block.data(), kBlock);
+      ASSERT_TRUE(wrote.ok()) << "write " << i << ": " << base::StatusName(wrote.status());
+      ASSERT_EQ(*wrote, kBlock);
+      std::fill(back.begin(), back.end(), 0);
+      auto got = session.Read(env, *handle, i * kBlock, back.data(), kBlock);
+      ASSERT_TRUE(got.ok()) << "read " << i << ": " << base::StatusName(got.status());
+      ASSERT_EQ(*got, kBlock);
+      EXPECT_EQ(back, block) << "bulk data must survive transfer faults intact";
+    }
+    ASSERT_EQ(session.Close(env, *handle), base::Status::kOk);
+
+    kernel_.faults().DisarmAll();
+    servers_.back()->Stop();
+    RobustFsSession fin(ns_for_client_, kFsName);
+    (void)fin.Open(env, "/bulk-campaign.dat", 0);  // unblock the serve loop
+    mgr_->Stop();
+    ns_->Stop();
+    (void)nc.Resolve(env, "/x");
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_GT(kernel_.tracer().metrics().Counter("mk.rpc.ool_transfers"), 0u);
+  if (seed == 1) {
+    EXPECT_GT(kernel_.faults().fires(mk::fault::FaultPoint::kMessageCopy), 0u)
+        << "the default campaign must actually hit the transfer fault";
   }
   EXPECT_EQ(kernel_.CheckInvariants(), 0u);
 }

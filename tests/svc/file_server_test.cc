@@ -224,6 +224,100 @@ TEST_F(FileServerTest, RenameAndEasThroughServer) {
   });
 }
 
+TEST_F(FileServerTest, LargeIoRoundTripsOutOfLine) {
+  // Well above the OOL threshold: a 64 KB write and read-back must arrive
+  // intact and must have moved by reference, not by the inline copy loop.
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    auto h = fs.Open(env, "/bulk.bin", kFsCreate | kFsWrite);
+    ASSERT_TRUE(h.ok());
+    std::vector<uint8_t> data(64 * 1024);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(i % 251);
+    }
+    const uint64_t ool0 = kernel_.tracer().metrics().Counter("mk.rpc.ool_transfers");
+    auto wrote = fs.Write(env, *h, 0, data.data(), static_cast<uint32_t>(data.size()));
+    ASSERT_TRUE(wrote.ok());
+    EXPECT_EQ(*wrote, data.size());
+    std::vector<uint8_t> back(data.size());
+    auto got = fs.Read(env, *h, 0, back.data(), static_cast<uint32_t>(back.size()));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, data.size());
+    EXPECT_EQ(back, data);
+    // Write request + read reply: at least two OOL transfers.
+    EXPECT_GE(kernel_.tracer().metrics().Counter("mk.rpc.ool_transfers") - ool0, 2u);
+    ASSERT_EQ(fs.Close(env, *h), base::Status::kOk);
+  });
+}
+
+TEST_F(FileServerTest, ScatterReadGatherWrite) {
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    auto h = fs.Open(env, "/vec.bin", kFsCreate | kFsWrite);
+    ASSERT_TRUE(h.ok());
+    // Gather-write three extents in one RPC, deliberately out of file order.
+    std::vector<uint8_t> a(4096, 0xaa), b(4096, 0xbb), c(1000, 0xcc);
+    FsWriteExtent wr[3] = {
+        {8192, c.data(), static_cast<uint32_t>(c.size())},
+        {0, a.data(), static_cast<uint32_t>(a.size())},
+        {4096, b.data(), static_cast<uint32_t>(b.size())},
+    };
+    auto wrote = fs.WriteV(env, *h, wr, 3);
+    ASSERT_TRUE(wrote.ok());
+    EXPECT_EQ(*wrote, a.size() + b.size() + c.size());
+    // Scatter-read them back with different extent boundaries.
+    std::vector<uint8_t> r1(2048), r2(6144), r3(1000);
+    FsReadExtent rd[3] = {
+        {0, r1.data(), static_cast<uint32_t>(r1.size())},
+        {2048, r2.data(), static_cast<uint32_t>(r2.size())},
+        {8192, r3.data(), static_cast<uint32_t>(r3.size())},
+    };
+    auto got = fs.ReadV(env, *h, rd, 3);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, r1.size() + r2.size() + r3.size());
+    EXPECT_EQ(r1[0], 0xaa);
+    EXPECT_EQ(r2[0], 0xaa);        // 2048..4095 still the first extent
+    EXPECT_EQ(r2[2048], 0xbb);     // file offset 4096
+    EXPECT_EQ(r3[999], 0xcc);
+    // A short final extent stops the scatter at EOF.
+    std::vector<uint8_t> tail(4096);
+    FsReadExtent rd2[2] = {
+        {8192, tail.data(), static_cast<uint32_t>(tail.size())},
+        {16384, tail.data(), static_cast<uint32_t>(tail.size())},
+    };
+    auto short_got = fs.ReadV(env, *h, rd2, 2);
+    ASSERT_TRUE(short_got.ok());
+    EXPECT_EQ(*short_got, 1000u);
+    // Bounds: too many extents is rejected client-side.
+    EXPECT_EQ(fs.ReadV(env, *h, rd, kFsMaxExtents + 1).status(),
+              base::Status::kInvalidArgument);
+    ASSERT_EQ(fs.Close(env, *h), base::Status::kOk);
+  });
+}
+
+TEST_F(FileServerTest, OversizedEaIsInvalidArgument) {
+  // Regression: key+value beyond the fixed path2 buffer used to be built
+  // into the request unchecked. The client must refuse it outright.
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    auto h = fs.Open(env, "/ea-host.txt", kFsCreate | kFsWrite);
+    ASSERT_TRUE(h.ok());
+    ASSERT_EQ(fs.Close(env, *h), base::Status::kOk);
+    const std::string big_value(200, 'v');  // key+value+NULs > kFsMaxPath
+    EXPECT_EQ(fs.SetEa(env, "/ea-host.txt", ".TYPE", big_value),
+              base::Status::kInvalidArgument);
+    const std::string big_key(180, 'k');
+    EXPECT_EQ(fs.SetEa(env, "/ea-host.txt", big_key, "x"),
+              base::Status::kInvalidArgument);
+    // Wire-legal but beyond the PFS's 48-byte EA slot: the *file system*
+    // reports capacity (kTooLarge), distinct from wire-protocol validation.
+    EXPECT_EQ(fs.SetEa(env, "/ea-host.txt", ".TYPE", std::string(100, 'v')),
+              base::Status::kTooLarge);
+    // A storable EA still round-trips.
+    EXPECT_EQ(fs.SetEa(env, "/ea-host.txt", ".TYPE", "Plain Text"), base::Status::kOk);
+    auto back = fs.GetEa(env, "/ea-host.txt", ".TYPE");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, "Plain Text");
+  });
+}
+
 TEST_F(FileServerTest, EaOnFatIsNotSupported) {
   RunClient([&](mk::Env& env, FsClient& fs) {
     auto h = fs.Open(env, "/fat/PLAIN.TXT", kFsCreate | kFsWrite);

@@ -47,6 +47,67 @@ TEST_F(PfsTest, BlockCacheHitsAndWritebacks) {
   });
 }
 
+TEST_F(PfsTest, BlockCacheSoakBoundsKernelHeap) {
+  // A small cache pushed through many times its capacity of distinct
+  // sectors: every miss past capacity evicts, and evicted buffers must be
+  // recycled — the kernel heap is a bump allocator, so without the free
+  // list this soak walks off the end of the heap.
+  constexpr uint32_t kCapacity = 32;
+  constexpr uint64_t kDistinct = 6 * kCapacity;  // >= 4x capacity
+  BlockCache small(kernel_, store_.get(), kCapacity);
+  RunInThread([&](mk::Env& env) {
+    const uint64_t heap0 = kernel_.heap().bytes_allocated();
+    uint8_t buf[BlockCache::kSectorSize] = {};
+    for (uint64_t lba = 0; lba < kDistinct; ++lba) {
+      buf[0] = static_cast<uint8_t>(lba);
+      ASSERT_EQ(small.WriteSector(env, lba, buf), base::Status::kOk);
+    }
+    const uint64_t heap_growth = kernel_.heap().bytes_allocated() - heap0;
+    // Only the resident set may hold heap memory; evictions recycle.
+    EXPECT_LE(heap_growth, uint64_t{kCapacity} * BlockCache::kSectorSize);
+    EXPECT_EQ(small.misses(), kDistinct);
+    EXPECT_GE(small.writebacks(), kDistinct - kCapacity);
+    // Evicted dirty sectors were written back in LRU order and are intact.
+    uint8_t platter[BlockCache::kSectorSize];
+    disk_->ReadSectors(0, 1, platter);
+    EXPECT_EQ(platter[0], 0);
+    disk_->ReadSectors(kCapacity + 1, 1, platter);
+    EXPECT_EQ(platter[0], static_cast<uint8_t>(kCapacity + 1));
+    // Sectors still resident are NOT yet on the platter (write-back, not
+    // write-through): the most recently written sector only hits the disk
+    // on flush.
+    disk_->ReadSectors(kDistinct - 1, 1, platter);
+    EXPECT_NE(platter[0], static_cast<uint8_t>(kDistinct - 1));
+    ASSERT_EQ(small.Flush(env), base::Status::kOk);
+    disk_->ReadSectors(kDistinct - 1, 1, platter);
+    EXPECT_EQ(platter[0], static_cast<uint8_t>(kDistinct - 1));
+    // Re-reading an evicted sector round-trips through the writeback.
+    ASSERT_EQ(small.ReadSector(env, 3, buf), base::Status::kOk);
+    EXPECT_EQ(buf[0], 3);
+    // Each miss at capacity recycles the just-evicted buffer immediately,
+    // so the free list never grows beyond the eviction in flight.
+    EXPECT_LE(small.free_list_size(), 1u);
+  });
+}
+
+TEST_F(PfsTest, BlockCacheHitChargesDataOnce) {
+  // Regression for the double charge: a hit used to pay a 64-byte touch in
+  // GetSector plus the full sector in ReadSector. Now the only data traffic
+  // on a hit is the caller's single full-sector access.
+  RunInThread([&](mk::Env& env) {
+    uint8_t buf[BlockCache::kSectorSize] = {9};
+    ASSERT_EQ(cache_->WriteSector(env, 11, buf), base::Status::kOk);
+    ASSERT_EQ(cache_->ReadSector(env, 11, buf), base::Status::kOk);  // warm
+    const uint64_t accesses0 = kernel_.cpu().counters().data_accesses;
+    ASSERT_EQ(cache_->ReadSector(env, 11, buf), base::Status::kOk);
+    const uint64_t per_hit = kernel_.cpu().counters().data_accesses - accesses0;
+    // data_accesses counts AccessData calls: exactly the caller's one
+    // full-sector read. The old code added a second, 64-byte touch in
+    // GetSector over the same address range.
+    EXPECT_EQ(per_hit, 1u);
+  });
+}
+
 TEST_F(PfsTest, FatFormatCreateReadWrite) {
   FatFs fat(kernel_, cache_.get(), 8192);
   RunInThread([&](mk::Env& env) {

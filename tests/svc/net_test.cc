@@ -87,6 +87,45 @@ TEST_F(NetTest, DatagramLoopbackFineGrainedWithWrappers) {
   });
 }
 
+TEST_F(NetTest, BatchedSendDeliversAllDatagramsInOneRpc) {
+  Build(/*fine=*/false, /*wrappers=*/false);
+  RunClient([&](mk::Env& env, NetClient& net) {
+    ASSERT_EQ(net.Bind(env, 9000), base::Status::kOk);
+    // 8 full-size frames in one call: the combined ref payload is far above
+    // the OOL threshold even though each frame alone is below it.
+    constexpr uint32_t kCount = 8;
+    std::vector<std::vector<uint8_t>> bodies;
+    NetDgram headers[kCount];
+    const void* payloads[kCount];
+    for (uint32_t i = 0; i < kCount; ++i) {
+      bodies.emplace_back(1024, static_cast<uint8_t>('a' + i));
+      headers[i] = NetDgram{0x7f000001, 9000, 1234, 1024, 0};
+      payloads[i] = bodies[i].data();
+    }
+    const uint64_t ool0 = kernel_.tracer().metrics().Counter("mk.rpc.ool_transfers");
+    auto sent = net.SendToBatch(env, headers, payloads, kCount);
+    ASSERT_TRUE(sent.ok());
+    EXPECT_EQ(*sent, kCount);
+    EXPECT_GE(kernel_.tracer().metrics().Counter("mk.rpc.ool_transfers") - ool0, 1u)
+        << "the batch must move out-of-line";
+    for (uint32_t i = 0; i < kCount; ++i) {
+      std::vector<uint8_t> out(2048);
+      uint16_t from_port = 0;
+      auto len = net.RecvFrom(env, 9000, out.data(), static_cast<uint32_t>(out.size()),
+                              nullptr, &from_port);
+      ASSERT_TRUE(len.ok());
+      EXPECT_EQ(*len, 1024u);
+      EXPECT_EQ(out[0], static_cast<uint8_t>('a' + i)) << "batch order preserved";
+      EXPECT_EQ(from_port, 1234);
+    }
+    // Malformed batches are rejected.
+    EXPECT_EQ(net.SendToBatch(env, headers, payloads, 0).status(),
+              base::Status::kInvalidArgument);
+  });
+  EXPECT_EQ(server_->datagrams_sent(), 8u);
+  EXPECT_EQ(server_->datagrams_delivered(), 8u);
+}
+
 TEST_F(NetTest, UnboundPortDropsSilently) {
   Build(false, false);
   RunClient([&](mk::Env& env, NetClient& net) {

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Bench regression gate, run in CI after the release bench leg.
+
+Compares a freshly generated bench_table2 JSON report against the
+committed baseline (BENCH_table2.json) and fails when the trap-vs-RPC
+ratio regresses: the paper's headline microbenchmark is how much a
+32-byte cross-task RPC costs relative to a bare kernel trap, and the
+zero-copy / bulk-transfer work must not quietly make the common small
+RPC slower. A drift of more than --tolerance (default 2%) above the
+committed ratio is a failure; getting *faster* is always fine.
+
+The simulator is deterministic, so the measured cycle counts are exact
+and the tolerance only has to absorb intentional, committed cost-model
+changes (which should update the baseline in the same change).
+
+Usage:
+  tools/bench_delta.py --fresh bench_table2.json \
+      [--baseline BENCH_table2.json] [--tolerance 0.02]
+
+Exit status: 0 when within tolerance, 1 on regression or missing keys.
+"""
+
+import argparse
+import json
+import sys
+
+
+def ratio(report, label):
+    """RPC-over-trap cycle ratio from one bench_table2 JSON report."""
+    try:
+        rpc = report["rpc32.cycles"]["measured"]
+        trap = report["trap.cycles"]["measured"]
+    except KeyError as missing:
+        raise SystemExit(f"{label}: missing key {missing} in bench report")
+    if trap <= 0:
+        raise SystemExit(f"{label}: non-positive trap.cycles.measured ({trap})")
+    return rpc / trap
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True,
+                        help="bench_table2 --json output from this build")
+    parser.add_argument("--baseline", default="BENCH_table2.json",
+                        help="committed baseline report (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="allowed relative regression (default: %(default)s)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    base = ratio(baseline, args.baseline)
+    now = ratio(fresh, args.fresh)
+    drift = (now - base) / base
+    print(f"trap-vs-RPC ratio: baseline {base:.4f}, fresh {now:.4f}, "
+          f"drift {drift:+.2%} (tolerance +{args.tolerance:.0%})")
+    if drift > args.tolerance:
+        print("FAIL: small-RPC cost regressed past tolerance; if the change "
+              "is intentional, regenerate and commit BENCH_table2.json",
+              file=sys.stderr)
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
