@@ -49,6 +49,9 @@ void Cpu::ExecuteInstructions(const CodeRegion& region, uint64_t instructions) {
 
 void Cpu::AccessData(PhysAddr paddr, uint32_t size, bool write) {
   ++data_accesses_;
+  if (access_observer_) {
+    access_observer_(paddr, size, write);
+  }
   const uint32_t line = config_.dcache.line_bytes;
   const PhysAddr first = paddr & ~static_cast<PhysAddr>(line - 1);
   const PhysAddr last = (paddr + (size == 0 ? 0 : size - 1)) & ~static_cast<PhysAddr>(line - 1);

@@ -139,6 +139,13 @@ class Cpu {
                                              uint64_t cycles, uint64_t icache_misses)>;
   void set_execute_observer(ExecuteObserver observer) { execute_observer_ = std::move(observer); }
 
+  // Host-side observer called on every AccessData with the access footprint
+  // (address, size, direction); used by the concurrency checker's race
+  // detector. Same contract as the execute observer: it observes, it never
+  // adds cost or calls back into the Cpu.
+  using AccessObserver = std::function<void(PhysAddr paddr, uint32_t size, bool write)>;
+  void set_access_observer(AccessObserver observer) { access_observer_ = std::move(observer); }
+
  private:
   void ChargeFetch(PhysAddr addr);
 
@@ -155,6 +162,7 @@ class Cpu {
   double cycle_frac_ = 0.0;  // fractional-CPI accumulator
 
   ExecuteObserver execute_observer_;
+  AccessObserver access_observer_;
 };
 
 }  // namespace hw

@@ -1,0 +1,472 @@
+#include "src/mk/analysis/explore/explorer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/log.h"
+#include "src/mk/analysis/wait_for_graph.h"
+#include "src/mk/kernel.h"
+#include "src/mk/trace/exporters.h"
+
+namespace mk::analysis::explore {
+
+namespace {
+
+std::vector<uint64_t> IdsOf(const std::vector<Thread*>& threads) {
+  std::vector<uint64_t> ids;
+  ids.reserve(threads.size());
+  for (Thread* t : threads) {
+    ids.push_back(t->id());
+  }
+  return ids;
+}
+
+size_t IndexOfId(const std::vector<Thread*>& candidates, uint64_t id) {
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i]->id() == id) {
+      return i;
+    }
+  }
+  WPOS_CHECK(false) << "schedule replay: thread " << id << " not runnable where it was recorded";
+  __builtin_unreachable();
+}
+
+// Deadlock verdict at halt. `blocked` is Kernel::Run()'s return value.
+bool DeadlockAtHalt(Kernel& kernel, size_t blocked, std::string* message) {
+  if (blocked == 0) {
+    return false;
+  }
+  WaitForGraph graph = WaitForGraph::Build(kernel);
+  const std::vector<const Thread*> dead = graph.DeadlockedThreads();
+  if (dead.empty()) {
+    return false;
+  }
+  std::ostringstream os;
+  os << dead.size() << " deadlocked thread(s)";
+  for (const std::string& report : graph.FindCycleReports()) {
+    os << "\n  " << report;
+  }
+  for (const Thread* t : dead) {
+    os << "\n  " << graph.DescribeBlocked(t);
+  }
+  *message = os.str();
+  return true;
+}
+
+// Replays a recorded trace decision-for-decision, validating at each point
+// that the candidate set matches what was recorded (the determinism
+// guarantee), then falls back to stock behaviour past the end of the record.
+class ReplayPolicy : public SchedulePolicy {
+ public:
+  ReplayPolicy(const ScheduleTrace* trace, ConcurrencyMonitor* monitor)
+      : trace_(trace), monitor_(monitor) {}
+
+  size_t PickIndex(const std::vector<Thread*>& candidates, size_t natural, Thread* previous,
+                   SwitchReason reason) override {
+    (void)previous;
+    (void)reason;
+    if (pending_forced_) {
+      pending_forced_ = false;
+      WPOS_CHECK(candidates[natural]->id() == forced_id_) << "replay: forced heir not runnable";
+      return natural;
+    }
+    if (idx_ >= trace_->decisions.size()) {
+      return natural;
+    }
+    const Decision& d = trace_->decisions[idx_++];
+    WPOS_CHECK(!d.preempt_point) << "replay diverged: expected preempt point at decision "
+                                 << idx_ - 1;
+    WPOS_CHECK(IdsOf(candidates) == d.candidates)
+        << "replay diverged: candidate set changed at decision " << idx_ - 1;
+    const size_t i = IndexOfId(candidates, d.chosen);
+    monitor_->BeginStep(candidates[i], /*preempt_point=*/false);
+    return i;
+  }
+
+  Thread* OnPreemptPoint(Thread* current, const std::vector<Thread*>& candidates) override {
+    if (idx_ >= trace_->decisions.size()) {
+      return current;
+    }
+    const Decision& d = trace_->decisions[idx_++];
+    WPOS_CHECK(d.preempt_point) << "replay diverged: expected voluntary switch at decision "
+                                << idx_ - 1;
+    WPOS_CHECK(IdsOf(candidates) == d.candidates)
+        << "replay diverged: candidate set changed at decision " << idx_ - 1;
+    const size_t i = IndexOfId(candidates, d.chosen);
+    Thread* chosen = candidates[i];
+    monitor_->BeginStep(chosen, /*preempt_point=*/true);
+    if (chosen != current) {
+      pending_forced_ = true;
+      forced_id_ = d.chosen;
+    }
+    return chosen;
+  }
+
+ private:
+  const ScheduleTrace* trace_;
+  ConcurrencyMonitor* monitor_;
+  size_t idx_ = 0;
+  bool pending_forced_ = false;
+  uint64_t forced_id_ = 0;
+};
+
+}  // namespace
+
+// --- DfsPolicy -------------------------------------------------------------------
+
+size_t ScheduleExplorer::DfsPolicy::Decide(const std::vector<Thread*>& candidates, size_t natural,
+                                           bool preempt) {
+  ScheduleExplorer* ex = owner_;
+  WPOS_CHECK(depth_ < ex->options_.max_steps_per_run)
+      << "schedule explorer '" << ex->options_.name << "': run exceeded "
+      << ex->options_.max_steps_per_run << " dispatch decisions (livelock under exploration?)";
+  const std::vector<uint64_t> ids = IdsOf(candidates);
+
+  size_t idx;
+  if (depth_ < ex->frames_.size()) {
+    // Replaying the DFS prefix (identical program state up to here).
+    Frame& f = ex->frames_[depth_];
+    WPOS_CHECK(f.preempt_point == preempt && f.candidates == ids)
+        << "exploration diverged at decision " << depth_ << " of '" << ex->options_.name << "'";
+    const uint64_t chosen = f.alts[f.alt];
+    idx = IndexOfId(candidates, chosen);
+    f.chosen = chosen;
+    f.preempts_before = preempts_used_;
+  } else {
+    // New territory: take the default and record the branch point.
+    Frame f;
+    f.candidates = ids;
+    f.preempt_point = preempt;
+    const uint64_t def = ids[natural];
+    f.alts.push_back(def);
+    for (uint64_t id : ids) {
+      if (id != def) {
+        f.alts.push_back(id);
+      }
+    }
+    f.chosen = def;
+    f.preempts_before = preempts_used_;
+    ex->frames_.push_back(std::move(f));
+    idx = natural;
+  }
+  // At a preempt point alts[0] == current: any other choice costs budget.
+  if (preempt && ex->frames_[depth_].chosen != ids[0]) {
+    ++preempts_used_;
+  }
+  ++depth_;
+  ex->monitor_.BeginStep(candidates[idx], preempt);
+  if (ex->options_.check_invariants && !ex->invariant_failed_ && ex->kernel_ != nullptr) {
+    const size_t bad = ex->kernel_->CheckInvariants();
+    if (bad > 0) {
+      ex->invariant_failed_ = true;
+      std::ostringstream os;
+      os << bad << " invariant violation(s) at dispatch decision " << depth_ - 1;
+      ex->invariant_message_ = os.str();
+    }
+  }
+  return idx;
+}
+
+size_t ScheduleExplorer::DfsPolicy::PickIndex(const std::vector<Thread*>& candidates,
+                                              size_t natural, Thread* previous,
+                                              SwitchReason reason) {
+  (void)previous;
+  (void)reason;
+  if (pending_forced_) {
+    // The dispatch following a forced preemption: the decision was already
+    // taken (and recorded) at the preempt point; just honour it.
+    pending_forced_ = false;
+    WPOS_CHECK(natural < candidates.size() && candidates[natural]->id() == forced_id_)
+        << "forced preemption lost its heir";
+    return natural;
+  }
+  return Decide(candidates, natural, /*preempt=*/false);
+}
+
+Thread* ScheduleExplorer::DfsPolicy::OnPreemptPoint(Thread* current,
+                                                    const std::vector<Thread*>& candidates) {
+  const size_t idx = Decide(candidates, /*natural=*/0, /*preempt=*/true);
+  Thread* chosen = candidates[idx];
+  if (chosen != current) {
+    pending_forced_ = true;
+    forced_id_ = chosen->id();
+  }
+  return chosen;
+}
+
+// --- ScheduleExplorer ------------------------------------------------------------
+
+ScheduleExplorer::ScheduleExplorer(Options options, Setup setup, Verify verify)
+    : options_(std::move(options)), setup_(std::move(setup)), verify_(std::move(verify)) {}
+
+ScheduleTrace ScheduleExplorer::CurrentTrace() const {
+  ScheduleTrace trace;
+  trace.decisions.reserve(frames_.size());
+  for (const Frame& f : frames_) {
+    Decision d;
+    d.chosen = f.alts[f.alt];
+    d.candidates = f.candidates;
+    d.preempt_point = f.preempt_point;
+    trace.decisions.push_back(std::move(d));
+  }
+  return trace;
+}
+
+void ScheduleExplorer::RecordFailure(Result* result, const std::string& kind,
+                                     const std::string& message) {
+  Failure f;
+  f.kind = kind;
+  f.message = message;
+  f.schedule_index = result->schedules;  // 0-based index of the failing run
+  f.schedule = CurrentTrace();
+  if (!options_.trace_dir.empty()) {
+    f.schedule_file = options_.trace_dir + "/" + options_.name + ".failing.schedule";
+    f.schedule.Save(f.schedule_file);
+  }
+  result->failures.push_back(std::move(f));
+}
+
+void ScheduleExplorer::RunOnce(Result* result) {
+  monitor_.ResetRun(options_.race_detection);
+  invariant_failed_ = false;
+  invariant_message_.clear();
+  DfsPolicy policy(this);
+  policy.ResetRun();
+
+  hw::Machine machine;
+  Kernel kernel(&machine);
+  kernel_ = &kernel;
+  monitor_.Attach(kernel);
+  kernel.scheduler().set_policy(&policy);
+
+  if (!options_.trace_dir.empty()) {
+    // The planned prefix; with the deterministic default policy past its
+    // end, this file alone reproduces the run even if it aborts the process.
+    std::filesystem::create_directories(options_.trace_dir);
+    CurrentTrace().Save(options_.trace_dir + "/" + options_.name + ".current.schedule");
+  }
+
+  setup_(kernel);
+  const size_t blocked = kernel.Run();
+  result->decisions += monitor_.footprints().size();
+
+  // Snapshot this run for the POR admissibility test — backtracking pops
+  // frames, but pruning needs the popped steps' footprints.
+  last_run_.clear();
+  last_run_.reserve(frames_.size());
+  const std::vector<std::set<uint64_t>>& fps = monitor_.footprints();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    StepRecord rec;
+    rec.chosen = frames_[i].chosen;
+    rec.candidates = frames_[i].candidates;
+    if (i < fps.size()) {
+      rec.footprint = fps[i];
+    }
+    last_run_.push_back(std::move(rec));
+  }
+
+  bool failed = false;
+  if (invariant_failed_) {
+    RecordFailure(result, "invariant", invariant_message_);
+    failed = true;
+  }
+  std::string deadlock_msg;
+  if (!failed && DeadlockAtHalt(kernel, blocked, &deadlock_msg)) {
+    RecordFailure(result, "deadlock", deadlock_msg);
+    failed = true;
+  }
+  if (!failed && verify_) {
+    std::string msg;
+    if (!verify_(kernel, &msg)) {
+      RecordFailure(result, "verify", msg.empty() ? "verify callback failed" : msg);
+      failed = true;
+    }
+  }
+  for (const RaceReport& race : monitor_.races()) {
+    if (race_keys_.insert(race.Describe()).second) {
+      result->races.push_back(race);
+    }
+  }
+  if (!failed && options_.fail_on_race && !monitor_.races().empty()) {
+    RecordFailure(result, "race", monitor_.races().front().Describe());
+  }
+
+  kernel.scheduler().set_policy(nullptr);
+  monitor_.Detach();
+  kernel_ = nullptr;
+}
+
+bool ScheduleExplorer::PrunableByPor(size_t depth, uint64_t alt_id) const {
+  // Find the alternative thread's next step in the last run.
+  size_t j = 0;
+  bool found = false;
+  for (size_t i = depth; i < last_run_.size(); ++i) {
+    if (last_run_[i].chosen == alt_id) {
+      j = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found || j == depth) {
+    return false;
+  }
+  // The thread must have stayed runnable from the decision to its first
+  // step — otherwise scheduling it at `depth` is a genuinely new behaviour.
+  for (size_t i = depth; i < j; ++i) {
+    const StepRecord& step = last_run_[i];
+    if (std::find(step.candidates.begin(), step.candidates.end(), alt_id) ==
+        step.candidates.end()) {
+      return false;
+    }
+  }
+  // Prunable iff the thread's entire remaining execution commutes with every
+  // step it could move ahead of: each of its steps must be disjoint from
+  // every other thread's step between the decision and it. Then sliding the
+  // thread earlier only reorders independent steps, reaching states the
+  // search already covers. Checking just the next step is not enough — a
+  // later conflicting step (say, a task termination) would be dragged
+  // forward past steps it does not commute with. Lifecycle steps
+  // (kGlobalEffectCell) conflict with everything by definition.
+  for (size_t k = j; k < last_run_.size(); ++k) {
+    if (last_run_[k].chosen != alt_id) {
+      continue;
+    }
+    if (last_run_[k].footprint.count(kGlobalEffectCell) != 0) {
+      return false;
+    }
+    for (size_t i = depth; i < k; ++i) {
+      const StepRecord& step = last_run_[i];
+      if (step.chosen == alt_id) {
+        continue;
+      }
+      if (step.footprint.count(kGlobalEffectCell) != 0) {
+        return false;
+      }
+      for (uint64_t cell : last_run_[k].footprint) {
+        if (step.footprint.count(cell) != 0) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool ScheduleExplorer::AdmissibleAlternative(const Frame& frame, size_t frame_depth,
+                                             size_t alt_index, Result* result) const {
+  if (frame.preempt_point && alt_index > 0 && options_.preemption_bound >= 0 &&
+      frame.preempts_before >= options_.preemption_bound) {
+    return false;  // over the context bound; not counted as POR pruning
+  }
+  if (options_.partial_order_reduction && PrunableByPor(frame_depth, frame.alts[alt_index])) {
+    ++result->pruned;
+    return false;
+  }
+  return true;
+}
+
+bool ScheduleExplorer::NextPrefix(Result* result) {
+  while (!frames_.empty()) {
+    Frame& f = frames_.back();
+    size_t next = f.alt + 1;
+    while (next < f.alts.size() &&
+           !AdmissibleAlternative(f, frames_.size() - 1, next, result)) {
+      ++next;
+    }
+    if (next < f.alts.size()) {
+      f.alt = next;
+      return true;
+    }
+    frames_.pop_back();
+  }
+  return false;
+}
+
+Result ScheduleExplorer::Explore() {
+  Result result;
+  frames_.clear();
+  last_run_.clear();
+  race_keys_.clear();
+  for (;;) {
+    if (result.schedules >= options_.max_schedules) {
+      result.hit_schedule_cap = true;
+      break;
+    }
+    RunOnce(&result);
+    ++result.schedules;
+    if (!result.failures.empty()) {
+      break;
+    }
+    if (!NextPrefix(&result)) {
+      break;
+    }
+  }
+  result.lock_order_cycles = monitor_.lock_order().Cycles();
+  if (!result.failures.empty() && !result.failures.front().schedule_file.empty()) {
+    // Render the failing interleaving as a Chrome trace through a replay.
+    std::string msg;
+    (void)Replay(result.failures.front().schedule_file, setup_, verify_, &msg,
+                 options_.trace_dir + "/" + options_.name + ".failing.trace.json");
+  }
+  return result;
+}
+
+bool ScheduleExplorer::Replay(const std::string& schedule_file, const Setup& setup,
+                              const Verify& verify, std::string* message,
+                              const std::string& chrome_trace_out) {
+  ScheduleTrace trace;
+  if (!ScheduleTrace::Load(schedule_file, &trace)) {
+    if (message != nullptr) {
+      *message = "cannot load schedule file: " + schedule_file;
+    }
+    return false;
+  }
+  ConcurrencyMonitor monitor;
+  monitor.ResetRun(/*race_detection=*/true);
+  ReplayPolicy policy(&trace, &monitor);
+
+  hw::Machine machine;
+  Kernel kernel(&machine);
+  monitor.Attach(kernel);
+  kernel.scheduler().set_policy(&policy);
+  if (!chrome_trace_out.empty()) {
+    kernel.tracer().Enable();
+  }
+  setup(kernel);
+  const size_t blocked = kernel.Run();
+
+  std::string kind;
+  std::string detail;
+  if (kernel.CheckInvariants() > 0) {
+    kind = "invariant";
+    detail = "invariant violations at halt";
+  } else if (DeadlockAtHalt(kernel, blocked, &detail)) {
+    kind = "deadlock";
+  } else if (verify) {
+    std::string msg;
+    if (!verify(kernel, &msg)) {
+      kind = "verify";
+      detail = msg.empty() ? "verify callback failed" : msg;
+    }
+  }
+  if (kind.empty() && !monitor.races().empty()) {
+    kind = "race";
+    detail = monitor.races().front().Describe();
+  }
+
+  if (!chrome_trace_out.empty()) {
+    std::ofstream os(chrome_trace_out);
+    trace::WriteChromeTrace(os, kernel);
+  }
+  kernel.scheduler().set_policy(nullptr);
+  monitor.Detach();
+
+  if (message != nullptr) {
+    *message = kind.empty() ? "" : kind + ": " + detail;
+  }
+  return !kind.empty();
+}
+
+}  // namespace mk::analysis::explore

@@ -1,0 +1,170 @@
+// Systematic schedule-space explorer (stateless model checking in the CHESS
+// style). The explorer re-runs a test body — a Setup callback that builds
+// tasks and threads on a fresh Kernel — once per distinct thread
+// interleaving, taking control of every dispatch decision through the
+// scheduler's SchedulePolicy hook and of every kernel entry through its
+// preemption point. Voluntary switch points (block / yield / exit) are
+// enumerated exhaustively; forced preemptions at kernel entries are subject
+// to an iterative context bound (`preemption_bound`), which is the knob that
+// keeps the schedule count polynomial while still catching most concurrency
+// bugs at small bounds.
+//
+// At every dispatch decision the kernel's structural invariants are checked
+// and the ConcurrencyMonitor feeds the lockset/vector-clock race detector;
+// at every halt the wait-for graph is consulted for deadlock. Any failure —
+// invariant violation, deadlock cycle, race (opt-in), or a false Verify
+// callback — stops the search and leaves a replayable schedule trace behind;
+// Replay() re-executes it decision-for-decision and can render the failing
+// run as a Chrome trace via the PR-2 tracer.
+//
+// Pruning: a commuting-suffix partial-order reduction skips an alternative
+// `a` at decision `d` when the last run shows every remaining step of `a`
+// commutes (disjoint access footprints, including scheduling and channel
+// cells) with every other thread's step it would move ahead of — running `a`
+// earlier then only reorders independent steps and reaches covered states.
+#ifndef SRC_MK_ANALYSIS_EXPLORE_EXPLORER_H_
+#define SRC_MK_ANALYSIS_EXPLORE_EXPLORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/mk/analysis/explore/monitor.h"
+#include "src/mk/analysis/explore/schedule.h"
+#include "src/mk/scheduler.h"
+
+namespace mk {
+class Kernel;
+}
+
+namespace mk::analysis::explore {
+
+struct Options {
+  // Max forced preemptions per schedule; -1 = unbounded (exhaustive over
+  // preemption points too). 0 explores only voluntary interleavings.
+  int preemption_bound = -1;
+  uint64_t max_schedules = 200000;
+  // Hard cap on dispatch decisions in one run; hitting it means the workload
+  // livelocks under some schedule and aborts the process with context.
+  uint64_t max_steps_per_run = 100000;
+  bool partial_order_reduction = true;
+  bool check_invariants = true;
+  bool race_detection = true;
+  // Treat a detected data race as a failure (stops the search). Off by
+  // default: races are always reported in Result::races either way.
+  bool fail_on_race = false;
+  std::string name = "explore";
+  // When set, schedule traces are written here: <name>.current.schedule at
+  // every run start (so an abort mid-run leaves a reproduction recipe),
+  // <name>.failing.schedule plus a <name>.failing.trace.json Chrome trace on
+  // failure. Empty = no files.
+  std::string trace_dir;
+};
+
+struct Failure {
+  std::string kind;  // "invariant" | "deadlock" | "verify" | "race"
+  std::string message;
+  uint64_t schedule_index = 0;  // which run (0-based) failed
+  ScheduleTrace schedule;
+  std::string schedule_file;  // empty when trace_dir unset
+};
+
+struct Result {
+  uint64_t schedules = 0;          // schedules actually executed
+  uint64_t decisions = 0;          // dispatch decisions across all runs
+  uint64_t pruned = 0;             // alternatives skipped by the POR
+  bool hit_schedule_cap = false;   // stopped at max_schedules, not exhausted
+  std::vector<Failure> failures;   // search stops at the first failure
+  std::vector<RaceReport> races;   // deduplicated across runs
+  std::vector<std::string> lock_order_cycles;  // potential deadlocks
+  bool ok() const { return failures.empty(); }
+};
+
+class ScheduleExplorer {
+ public:
+  // Builds the workload on a fresh kernel (tasks, threads, ports); called
+  // once per schedule. Thread creation order must be deterministic — thread
+  // ids are how schedules stay portable between runs.
+  using Setup = std::function<void(Kernel&)>;
+  // Optional post-run oracle: return false (with a message) to fail the
+  // schedule even though nothing crashed — e.g. a lost update.
+  using Verify = std::function<bool(Kernel&, std::string*)>;
+
+  ScheduleExplorer(Options options, Setup setup, Verify verify = nullptr);
+
+  // Runs the search. Deterministic: the same workload and options always
+  // produce the same Result (schedule counts included).
+  Result Explore();
+
+  // Re-executes one recorded schedule. Returns true when the schedule
+  // reproduces a failure (message filled with its description); false for a
+  // clean run. With `chrome_trace_out` set, the replay runs with the tracer
+  // enabled and writes a Chrome trace of the failing interleaving.
+  static bool Replay(const std::string& schedule_file, const Setup& setup, const Verify& verify,
+                     std::string* message, const std::string& chrome_trace_out = "");
+
+ private:
+  // One DFS frame: a dispatch decision and the alternatives still to try.
+  struct Frame {
+    std::vector<uint64_t> candidates;  // thread ids, scan order, this run
+    std::vector<uint64_t> alts;        // try order; alts[0] is the default
+    size_t alt = 0;                    // alternative currently being tried
+    bool preempt_point = false;
+    uint64_t chosen = 0;               // id dispatched in the latest run
+    int preempts_before = 0;           // preemptions consumed on the prefix
+  };
+  // Snapshot of the last completed run, used by the POR admissibility test
+  // after deeper frames have been popped.
+  struct StepRecord {
+    uint64_t chosen = 0;
+    std::vector<uint64_t> candidates;
+    std::set<uint64_t> footprint;
+  };
+
+  class DfsPolicy : public SchedulePolicy {
+   public:
+    explicit DfsPolicy(ScheduleExplorer* owner) : owner_(owner) {}
+    size_t PickIndex(const std::vector<Thread*>& candidates, size_t natural, Thread* previous,
+                     SwitchReason reason) override;
+    Thread* OnPreemptPoint(Thread* current, const std::vector<Thread*>& candidates) override;
+    void ResetRun() {
+      depth_ = 0;
+      preempts_used_ = 0;
+      pending_forced_ = false;
+    }
+
+   private:
+    size_t Decide(const std::vector<Thread*>& candidates, size_t natural, bool preempt);
+    ScheduleExplorer* owner_;
+    size_t depth_ = 0;
+    int preempts_used_ = 0;
+    bool pending_forced_ = false;
+    uint64_t forced_id_ = 0;
+  };
+
+  void RunOnce(Result* result);
+  // Advances the DFS to the next unexplored prefix; false = space exhausted.
+  bool NextPrefix(Result* result);
+  bool AdmissibleAlternative(const Frame& frame, size_t frame_depth, size_t alt_index,
+                             Result* result) const;
+  bool PrunableByPor(size_t depth, uint64_t alt_id) const;
+  ScheduleTrace CurrentTrace() const;
+  void RecordFailure(Result* result, const std::string& kind, const std::string& message);
+
+  Options options_;
+  Setup setup_;
+  Verify verify_;
+  ConcurrencyMonitor monitor_;
+  std::vector<Frame> frames_;
+  std::vector<StepRecord> last_run_;
+  std::set<std::string> race_keys_;  // cross-run race dedup
+  Kernel* kernel_ = nullptr;         // the kernel of the run in progress
+  bool invariant_failed_ = false;
+  std::string invariant_message_;
+};
+
+}  // namespace mk::analysis::explore
+
+#endif  // SRC_MK_ANALYSIS_EXPLORE_EXPLORER_H_

@@ -1,0 +1,74 @@
+#include "src/mk/analysis/explore/lock_order.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace mk::analysis::explore {
+
+void LockOrderChecker::ResetRun() { held_.clear(); }
+
+void LockOrderChecker::Acquired(uint64_t tid, uint64_t lock) {
+  std::vector<uint64_t>& stack = held_[tid];
+  for (uint64_t h : stack) {
+    if (h != lock) {
+      edges_[h].insert(lock);
+    }
+  }
+  stack.push_back(lock);
+}
+
+void LockOrderChecker::Released(uint64_t tid, uint64_t lock) {
+  std::vector<uint64_t>& stack = held_[tid];
+  auto it = std::find(stack.rbegin(), stack.rend(), lock);
+  if (it != stack.rend()) {
+    stack.erase(std::next(it).base());
+  }
+}
+
+std::vector<std::string> LockOrderChecker::Cycles() const {
+  // DFS from each node in id order; a back edge to a node on the current
+  // path closes a cycle. Each cycle is canonicalized by its smallest member
+  // so the same loop is reported once regardless of entry point.
+  std::vector<std::string> out;
+  std::set<std::vector<uint64_t>> seen;
+  std::vector<uint64_t> path;
+  std::set<uint64_t> on_path;
+
+  std::function<void(uint64_t)> dfs = [&](uint64_t node) {
+    path.push_back(node);
+    on_path.insert(node);
+    auto it = edges_.find(node);
+    if (it != edges_.end()) {
+      for (uint64_t next : it->second) {
+        if (on_path.count(next) != 0) {
+          // Extract the cycle path[pos..end] and canonicalize.
+          auto pos = std::find(path.begin(), path.end(), next);
+          std::vector<uint64_t> cycle(pos, path.end());
+          auto min_it = std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), min_it, cycle.end());
+          if (seen.insert(cycle).second) {
+            std::ostringstream os;
+            for (uint64_t l : cycle) {
+              os << "sem " << l << " -> ";
+            }
+            os << "sem " << cycle.front();
+            out.push_back(os.str());
+          }
+        } else {
+          dfs(next);
+        }
+      }
+    }
+    on_path.erase(node);
+    path.pop_back();
+  };
+
+  for (const auto& [node, targets] : edges_) {
+    (void)targets;
+    dfs(node);
+  }
+  return out;
+}
+
+}  // namespace mk::analysis::explore

@@ -1,0 +1,36 @@
+// Lock-order checker: accumulates a semaphore-acquisition-order graph across
+// every explored schedule (edge A -> B whenever a thread acquires B while
+// holding A) and reports each cycle as a potential deadlock — even when no
+// explored schedule actually deadlocked, the inverted orders prove one is
+// reachable. The graph deliberately persists across runs: two orders that
+// never collide within a single schedule still form a cycle in the union.
+#ifndef SRC_MK_ANALYSIS_EXPLORE_LOCK_ORDER_H_
+#define SRC_MK_ANALYSIS_EXPLORE_LOCK_ORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mk::analysis::explore {
+
+class LockOrderChecker {
+ public:
+  // Per-run reset of held stacks only; the order graph accumulates.
+  void ResetRun();
+
+  void Acquired(uint64_t tid, uint64_t lock);
+  void Released(uint64_t tid, uint64_t lock);
+
+  // Each cycle rendered as "sem 1 -> sem 2 -> sem 1", deterministic order.
+  std::vector<std::string> Cycles() const;
+
+ private:
+  std::map<uint64_t, std::vector<uint64_t>> held_;  // per-thread, in order
+  std::map<uint64_t, std::set<uint64_t>> edges_;    // lock -> locks taken under it
+};
+
+}  // namespace mk::analysis::explore
+
+#endif  // SRC_MK_ANALYSIS_EXPLORE_LOCK_ORDER_H_

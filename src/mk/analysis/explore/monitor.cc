@@ -1,0 +1,166 @@
+#include "src/mk/analysis/explore/monitor.h"
+
+#include <sstream>
+
+#include "src/mk/kernel.h"
+#include "src/mk/thread.h"
+
+namespace mk::analysis::explore {
+
+namespace {
+// Semaphore signal/wait edges get their own channel namespace so a semaphore
+// id can never alias a port id or a memsync word address.
+constexpr uint64_t kSemChannelTag = kChannelCellTag | (1ull << 61);
+
+const std::string kUserLabel = "user";
+}  // namespace
+
+void ConcurrencyMonitor::Attach(Kernel& kernel) {
+  kernel_ = &kernel;
+  kernel.set_sync_observer(this);
+  kernel.cpu().set_access_observer(
+      [this](hw::PhysAddr paddr, uint32_t size, bool write) { OnAccess(paddr, size, write); });
+}
+
+void ConcurrencyMonitor::Detach() {
+  if (kernel_ != nullptr) {
+    kernel_->set_sync_observer(nullptr);
+    kernel_->cpu().set_access_observer(nullptr);
+    kernel_ = nullptr;
+  }
+}
+
+void ConcurrencyMonitor::ResetRun(bool race_detection) {
+  race_detection_ = race_detection;
+  detector_.Reset();
+  lock_order_.ResetRun();
+  footprints_.clear();
+  kernel_depth_.clear();
+  op_label_.clear();
+}
+
+void ConcurrencyMonitor::BeginStep(Thread* chosen, bool preempt_point) {
+  (void)preempt_point;
+  footprints_.emplace_back();
+  Touch(kThreadCellTag | chosen->id());
+}
+
+void ConcurrencyMonitor::Touch(uint64_t cell) {
+  if (!footprints_.empty()) {
+    footprints_.back().insert(cell);
+  }
+}
+
+const std::string& ConcurrencyMonitor::LabelOf(uint64_t tid) {
+  auto it = op_label_.find(tid);
+  return it == op_label_.end() || it->second.empty() ? kUserLabel : it->second;
+}
+
+void ConcurrencyMonitor::OnAccess(uint64_t paddr, uint32_t size, bool write) {
+  (void)size;
+  const uint64_t cell = paddr >> 4;
+  Touch(cell);
+  if (!race_detection_ || kernel_ == nullptr) {
+    return;
+  }
+  Thread* t = kernel_->current();
+  if (t == nullptr) {
+    return;  // machine-context access (boot, timer callback): not a thread
+  }
+  const uint64_t tid = t->id();
+  auto depth = kernel_depth_.find(tid);
+  const bool in_kernel = depth != kernel_depth_.end() && depth->second > 0;
+  detector_.Access(tid, cell, write, LabelOf(tid), in_kernel);
+}
+
+void ConcurrencyMonitor::OnThreadStart(Thread* t, Thread* creator) {
+  detector_.set_thread_name(t->id(), t->name());
+  if (creator != nullptr) {
+    detector_.ThreadCreate(creator->id(), t->id());
+  }
+  Touch(kThreadCellTag | t->id());
+}
+
+void ConcurrencyMonitor::OnThreadExit(Thread* t) {
+  kernel_depth_.erase(t->id());
+  op_label_.erase(t->id());
+}
+
+void ConcurrencyMonitor::OnSwitch(Thread* incoming, SwitchReason reason) {
+  (void)incoming;
+  (void)reason;
+}
+
+void ConcurrencyMonitor::OnWake(Thread* waker, Thread* woken) {
+  Touch(kThreadCellTag | woken->id());
+  if (waker != nullptr) {
+    detector_.DirectEdge(waker->id(), woken->id());
+  }
+}
+
+void ConcurrencyMonitor::OnKernelEnter(Thread* t) { ++kernel_depth_[t->id()]; }
+
+void ConcurrencyMonitor::OnKernelLeave(Thread* t) {
+  auto it = kernel_depth_.find(t->id());
+  if (it != kernel_depth_.end() && it->second > 0) {
+    --it->second;
+    if (it->second == 0) {
+      op_label_[t->id()].clear();  // back in user code
+    }
+  }
+}
+
+void ConcurrencyMonitor::OnSemAcquired(uint32_t sem, Thread* t) {
+  const uint64_t tid = t->id();
+  Touch(kSemChannelTag | sem);
+  detector_.ChannelAcquire(kSemChannelTag | sem, tid);
+  detector_.Acquire(tid, sem);
+  lock_order_.Acquired(tid, sem);
+}
+
+void ConcurrencyMonitor::OnSemSignal(uint32_t sem, Thread* t) {
+  if (t == nullptr) {
+    return;
+  }
+  const uint64_t tid = t->id();
+  Touch(kSemChannelTag | sem);
+  detector_.ChannelRelease(kSemChannelTag | sem, tid);
+  if (detector_.Holds(tid, sem)) {
+    // Mutex discipline: the signaller held it, so this is an unlock.
+    detector_.Release(tid, sem);
+    lock_order_.Released(tid, sem);
+  }
+}
+
+void ConcurrencyMonitor::OnChannelSend(uint64_t chan, Thread* t) {
+  Touch(kChannelCellTag | chan);
+  if (t != nullptr) {
+    detector_.ChannelRelease(kChannelCellTag | chan, t->id());
+  }
+}
+
+void ConcurrencyMonitor::OnChannelRecv(uint64_t chan, Thread* t) {
+  Touch(kChannelCellTag | chan);
+  if (t != nullptr) {
+    detector_.ChannelAcquire(kChannelCellTag | chan, t->id());
+  }
+}
+
+void ConcurrencyMonitor::OnRendezvous(Thread* from, Thread* to) {
+  Touch(kThreadCellTag | from->id());
+  Touch(kThreadCellTag | to->id());
+  detector_.DirectEdge(from->id(), to->id());
+}
+
+void ConcurrencyMonitor::OnOpLabel(Thread* t, const char* op, uint64_t arg) {
+  if (t == nullptr) {
+    return;
+  }
+  std::ostringstream os;
+  os << op << '(' << arg << ')';
+  op_label_[t->id()] = os.str();
+}
+
+void ConcurrencyMonitor::OnGlobalOp(Thread*) { Touch(kGlobalEffectCell); }
+
+}  // namespace mk::analysis::explore

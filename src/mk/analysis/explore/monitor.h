@@ -1,0 +1,94 @@
+// ConcurrencyMonitor: the glue between the kernel's synchronization hooks
+// (SyncObserver), the CPU's data-access observer, and the analysis engines —
+// the lockset/vector-clock race detector and the lock-order checker. It also
+// records per-scheduling-step access footprints, which the explorer's
+// partial-order reduction uses to prove two adjacent steps commute.
+//
+// Entirely host-side: installing the monitor charges no simulated cycles and
+// perturbs no counters (the zero-cost guarantee the explore tests assert).
+#ifndef SRC_MK_ANALYSIS_EXPLORE_MONITOR_H_
+#define SRC_MK_ANALYSIS_EXPLORE_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/mk/analysis/explore/lock_order.h"
+#include "src/mk/analysis/explore/race_detector.h"
+#include "src/mk/sync_observer.h"
+
+namespace mk {
+class Kernel;
+}
+
+namespace mk::analysis::explore {
+
+// Footprint cells are tagged so data, scheduling, and channel dependencies
+// all land in one disjointness check: two steps with disjoint footprints
+// touch different memory AND different threads AND different synchronizers,
+// so they commute.
+constexpr uint64_t kThreadCellTag = 1ull << 63;
+constexpr uint64_t kChannelCellTag = 1ull << 62;
+// Sentinel footprint cell for lifecycle operations (task termination, port
+// or semaphore destruction): a step carrying it conflicts with every other
+// step, so the partial-order reduction never commutes across it.
+constexpr uint64_t kGlobalEffectCell = kThreadCellTag | kChannelCellTag;
+
+class ConcurrencyMonitor : public SyncObserver {
+ public:
+  ConcurrencyMonitor() = default;
+
+  // Installs on `kernel` (sync observer) and its CPU (access observer).
+  // Uninstall before the kernel dies by installing on the next kernel or
+  // calling Detach().
+  void Attach(Kernel& kernel);
+  void Detach();
+
+  // Per-run reset: clears clocks, shadow state, footprints. The lock-order
+  // graph accumulates across runs by design.
+  void ResetRun(bool race_detection);
+
+  // Called by the explorer's policy at every dispatch decision; accesses
+  // until the next call are attributed to `chosen`'s step.
+  void BeginStep(Thread* chosen, bool preempt_point);
+
+  const std::vector<std::set<uint64_t>>& footprints() const { return footprints_; }
+  const std::vector<RaceReport>& races() const { return detector_.races(); }
+  const RaceDetector& detector() const { return detector_; }
+  LockOrderChecker& lock_order() { return lock_order_; }
+
+  // --- SyncObserver ----------------------------------------------------------
+  void OnThreadStart(Thread* t, Thread* creator) override;
+  void OnThreadExit(Thread* t) override;
+  void OnSwitch(Thread* incoming, SwitchReason reason) override;
+  void OnWake(Thread* waker, Thread* woken) override;
+  void OnKernelEnter(Thread* t) override;
+  void OnKernelLeave(Thread* t) override;
+  void OnSemAcquired(uint32_t sem, Thread* t) override;
+  void OnSemSignal(uint32_t sem, Thread* t) override;
+  void OnChannelSend(uint64_t chan, Thread* t) override;
+  void OnChannelRecv(uint64_t chan, Thread* t) override;
+  void OnRendezvous(Thread* from, Thread* to) override;
+  void OnOpLabel(Thread* t, const char* op, uint64_t arg) override;
+  void OnGlobalOp(Thread* t) override;
+
+ private:
+  void OnAccess(uint64_t paddr, uint32_t size, bool write);
+  void Touch(uint64_t cell);
+  const std::string& LabelOf(uint64_t tid);
+
+  Kernel* kernel_ = nullptr;
+  bool race_detection_ = true;
+  RaceDetector detector_;
+  LockOrderChecker lock_order_;
+
+  std::vector<std::set<uint64_t>> footprints_;  // one per scheduling step
+  std::map<uint64_t, int> kernel_depth_;        // per thread id
+  std::map<uint64_t, std::string> op_label_;    // per thread id
+};
+
+}  // namespace mk::analysis::explore
+
+#endif  // SRC_MK_ANALYSIS_EXPLORE_MONITOR_H_

@@ -1,0 +1,138 @@
+#include "src/mk/analysis/explore/race_detector.h"
+
+#include <sstream>
+
+namespace mk::analysis::explore {
+
+namespace {
+void Join(VectorClock& into, const VectorClock& from) {
+  for (const auto& [tid, clk] : from) {
+    uint64_t& slot = into[tid];
+    if (clk > slot) {
+      slot = clk;
+    }
+  }
+}
+}  // namespace
+
+std::string RaceReport::Describe() const {
+  std::ostringstream os;
+  os << "data race on cell 0x" << std::hex << (cell << 4) << std::dec << ": thread "
+     << first_thread << " " << (first_write ? "write" : "read") << " in " << first_op
+     << " vs thread " << second_thread << " " << (second_write ? "write" : "read") << " in "
+     << second_op << " (no happens-before order, no common lock)";
+  return os.str();
+}
+
+void RaceDetector::Reset() {
+  clocks_.clear();
+  channels_.clear();
+  held_.clear();
+  shadow_.clear();
+  names_.clear();
+  reported_.clear();
+  races_.clear();
+}
+
+VectorClock& RaceDetector::ClockOf(uint64_t tid) {
+  VectorClock& vc = clocks_[tid];
+  if (vc.find(tid) == vc.end()) {
+    vc[tid] = 1;  // every thread starts with its own component ticked
+  }
+  return vc;
+}
+
+void RaceDetector::ThreadCreate(uint64_t parent, uint64_t child) {
+  VectorClock& pc = ClockOf(parent);
+  Join(ClockOf(child), pc);
+  ++pc[parent];
+}
+
+void RaceDetector::ChannelRelease(uint64_t chan, uint64_t tid) {
+  VectorClock& vc = ClockOf(tid);
+  Join(channels_[chan], vc);
+  ++vc[tid];
+}
+
+void RaceDetector::ChannelAcquire(uint64_t chan, uint64_t tid) {
+  auto it = channels_.find(chan);
+  if (it != channels_.end()) {
+    Join(ClockOf(tid), it->second);
+  }
+}
+
+void RaceDetector::DirectEdge(uint64_t from, uint64_t to) {
+  VectorClock& fc = ClockOf(from);
+  Join(ClockOf(to), fc);
+  ++fc[from];
+}
+
+void RaceDetector::Acquire(uint64_t tid, uint64_t lock) { held_[tid].insert(lock); }
+
+void RaceDetector::Release(uint64_t tid, uint64_t lock) { held_[tid].erase(lock); }
+
+bool RaceDetector::Holds(uint64_t tid, uint64_t lock) const {
+  auto it = held_.find(tid);
+  return it != held_.end() && it->second.count(lock) != 0;
+}
+
+bool RaceDetector::OrderedBefore(const AccessRecord& rec, uint64_t tid) {
+  const VectorClock& vc = ClockOf(tid);
+  auto it = vc.find(rec.tid);
+  return it != vc.end() && it->second >= rec.clock;
+}
+
+void RaceDetector::Report(const AccessRecord& prev, bool prev_write, uint64_t tid, uint64_t cell,
+                          bool write, const std::string& op, const std::set<uint64_t>& locks) {
+  // Common lock (including the implicit kernel lock) => consistently guarded.
+  for (uint64_t l : prev.locks) {
+    if (locks.count(l) != 0) {
+      return;
+    }
+  }
+  std::ostringstream key;
+  key << cell << '|' << prev.op << '|' << op << '|' << prev_write << write;
+  if (!reported_.insert(key.str()).second) {
+    return;
+  }
+  RaceReport r;
+  r.cell = cell;
+  r.first_thread = prev.tid;
+  r.first_op = prev.op;
+  r.first_write = prev_write;
+  r.second_thread = tid;
+  r.second_op = op;
+  r.second_write = write;
+  races_.push_back(std::move(r));
+}
+
+void RaceDetector::Access(uint64_t tid, uint64_t cell, bool write, const std::string& op,
+                          bool in_kernel) {
+  const VectorClock& vc = ClockOf(tid);
+  std::set<uint64_t> locks;
+  auto hit = held_.find(tid);
+  if (hit != held_.end()) {
+    locks = hit->second;
+  }
+  if (in_kernel) {
+    locks.insert(kKernelLock);
+  }
+  Shadow& sh = shadow_[cell];
+  if (sh.has_write && sh.last_write.tid != tid && !OrderedBefore(sh.last_write, tid)) {
+    Report(sh.last_write, /*prev_write=*/true, tid, cell, write, op, locks);
+  }
+  if (write) {
+    for (const auto& [rtid, rec] : sh.reads) {
+      if (rtid != tid && !OrderedBefore(rec, tid)) {
+        Report(rec, /*prev_write=*/false, tid, cell, write, op, locks);
+      }
+    }
+    sh.last_write = {tid, vc.at(tid), locks, op};
+    sh.has_write = true;
+    sh.reads.clear();
+  } else {
+    sh.reads[tid] = {tid, vc.at(tid), locks, op};
+  }
+}
+
+}  // namespace mk::analysis::explore

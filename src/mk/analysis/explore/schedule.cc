@@ -1,0 +1,61 @@
+#include "src/mk/analysis/explore/schedule.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mk::analysis::explore {
+
+std::string ScheduleTrace::ToString() const {
+  std::ostringstream os;
+  for (const Decision& d : decisions) {
+    os << "pick " << d.chosen << " of";
+    for (uint64_t c : d.candidates) {
+      os << ' ' << c;
+    }
+    os << " preempt=" << (d.preempt_point ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+bool ScheduleTrace::Save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  os << ToString();
+  return static_cast<bool>(os);
+}
+
+bool ScheduleTrace::Load(const std::string& path, ScheduleTrace* out) {
+  std::ifstream is(path);
+  if (!is) {
+    return false;
+  }
+  out->decisions.clear();
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string word;
+    Decision d;
+    if (!(ls >> word) || word != "pick" || !(ls >> d.chosen)) {
+      return false;
+    }
+    if (!(ls >> word) || word != "of") {
+      return false;
+    }
+    while (ls >> word) {
+      if (word.rfind("preempt=", 0) == 0) {
+        d.preempt_point = word == "preempt=1";
+        break;
+      }
+      d.candidates.push_back(std::stoull(word));
+    }
+    out->decisions.push_back(std::move(d));
+  }
+  return true;
+}
+
+}  // namespace mk::analysis::explore

@@ -1,0 +1,39 @@
+// Schedule traces: the serialized record of every dispatch decision the
+// explorer made during one run. A trace plus the deterministic simulator is
+// a complete reproduction recipe — replaying the recorded choices (and
+// falling back to the stock scheduler's behaviour past the end of the
+// record) re-executes the exact same interleaving, so a failing schedule
+// found after thousands of runs can be handed around as a small text file.
+#ifndef SRC_MK_ANALYSIS_EXPLORE_SCHEDULE_H_
+#define SRC_MK_ANALYSIS_EXPLORE_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mk::analysis::explore {
+
+// One dispatch decision. `candidates` are thread ids in the stock
+// scheduler's scan order; thread ids are deterministic across runs (creation
+// order), which is what makes the trace portable between kernel instances.
+struct Decision {
+  uint64_t chosen = 0;
+  std::vector<uint64_t> candidates;
+  // True for a forced preemption at a kernel entry (the previous thread was
+  // still runnable); false for a voluntary switch point (block/yield/exit).
+  bool preempt_point = false;
+};
+
+struct ScheduleTrace {
+  std::vector<Decision> decisions;
+
+  // Text format, one decision per line:
+  //   pick <id> of <id> <id> ... preempt=<0|1>
+  bool Save(const std::string& path) const;
+  static bool Load(const std::string& path, ScheduleTrace* out);
+  std::string ToString() const;
+};
+
+}  // namespace mk::analysis::explore
+
+#endif  // SRC_MK_ANALYSIS_EXPLORE_SCHEDULE_H_

@@ -1,0 +1,63 @@
+// Mutation self-test for the concurrency checker: a shared-tally workload
+// whose semaphore guard is compiled out under WPOS_EXPLORE_SELFTEST. The
+// explore_selftest test binary (built with the macro) must then find both
+// symptoms of the seeded bug — the lockset/vector-clock detector must flag
+// the unprotected cell, and the explorer must find a schedule that loses an
+// update (Verify fails) and leave a replayable trace. The normal build keeps
+// the guard, and the regular test suite asserts the same workload explores
+// clean — so a checker regression shows up as one of the two binaries
+// disagreeing with its expectation.
+#ifndef SRC_MK_ANALYSIS_EXPLORE_SELFTEST_H_
+#define SRC_MK_ANALYSIS_EXPLORE_SELFTEST_H_
+
+#include <memory>
+
+#include "src/mk/kernel.h"
+
+namespace mk::analysis::explore {
+
+// Shared state for one run of the seeded-tally workload.
+struct SeededTally {
+  int value = 0;        // host-side mirror of the simulated counter
+  uint32_t sem = 0;     // the guard (unused when compiled out)
+  hw::PhysAddr cell = 0;  // simulated address the tally lives at
+};
+
+// Installs `workers` threads that each perform a read-modify-write of a
+// shared tally cell with a deliberate yield between the read and the write —
+// the canonical lost-update window. Each access is charged through the
+// simulated D-cache *outside* any kernel bracket, so the race detector sees
+// plain user-level traffic. Guarded (default build): SemWait/SemSignal
+// around the critical section makes every schedule end with value ==
+// workers. Unguarded (WPOS_EXPLORE_SELFTEST): some interleaving loses an
+// update and value < workers.
+inline std::shared_ptr<SeededTally> InstallSeededTally(Kernel& kernel, int workers = 2) {
+  auto tally = std::make_shared<SeededTally>();
+  tally->cell = kernel.heap().Allocate(64);
+  auto sem = kernel.SemCreate(1);
+  WPOS_CHECK(sem.ok());
+  tally->sem = *sem;
+  Task* task = kernel.CreateTask("selftest");
+  for (int i = 0; i < workers; ++i) {
+    const std::string name = "tally" + std::to_string(i);
+    kernel.CreateThread(task, name, [tally](Env& env) {
+      Kernel& k = env.kernel();
+#ifndef WPOS_EXPLORE_SELFTEST
+      WPOS_CHECK(k.SemWait(tally->sem) == base::Status::kOk);
+#endif
+      k.ChargeKernelData(tally->cell, 4, /*write=*/false);
+      const int read = tally->value;
+      env.Yield();  // the lost-update window
+      k.ChargeKernelData(tally->cell, 4, /*write=*/true);
+      tally->value = read + 1;
+#ifndef WPOS_EXPLORE_SELFTEST
+      WPOS_CHECK(k.SemSignal(tally->sem) == base::Status::kOk);
+#endif
+    });
+  }
+  return tally;
+}
+
+}  // namespace mk::analysis::explore
+
+#endif  // SRC_MK_ANALYSIS_EXPLORE_SELFTEST_H_

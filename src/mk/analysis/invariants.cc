@@ -1,14 +1,29 @@
 #include "src/mk/analysis/invariants.h"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "src/mk/analysis/introspect.h"
 
 namespace mk::analysis {
 
 namespace {
+
+// Hash-map iteration order is unspecified; checks that can emit violations
+// iterate key-sorted so reports are deterministic run to run.
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& entry : map) {  // unordered-ok: sorted below
+    keys.push_back(entry.first);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
 
 std::string ThreadLabel(const Thread* t) {
   std::ostringstream os;
@@ -71,11 +86,13 @@ class Checker {
       add_queue(p->blocked_senders, PortLabel(p.get()) + " blocked_senders");
       add_queue(p->blocked_receivers, PortLabel(p.get()) + " blocked_receivers");
     }
-    for (const auto& [id, sem] : Introspector::semaphores(kernel_)) {
-      add_queue(sem.waiters, "semaphore " + std::to_string(id));
+    const auto& sems = Introspector::semaphores(kernel_);
+    for (uint32_t id : SortedKeys(sems)) {
+      add_queue(sems.at(id).waiters, "semaphore " + std::to_string(id));
     }
-    for (const auto& [addr, q] : Introspector::memsync_waiters(kernel_)) {
-      add_queue(q, "memsync@" + std::to_string(addr));
+    const auto& memsync = Introspector::memsync_waiters(kernel_);
+    for (uint64_t addr : SortedKeys(memsync)) {
+      add_queue(memsync.at(addr), "memsync@" + std::to_string(addr));
     }
     for (const auto& t : Introspector::threads(kernel_)) {
       add_queue(t->exit_waiters, "exit_waiters of '" + t->name() + "'");
@@ -236,7 +253,9 @@ class Checker {
   }
 
   void CheckRpcWaiters() {
-    for (const auto& [token, in_flight] : Introspector::rpc_waiters(kernel_)) {
+    const auto& waiters = Introspector::rpc_waiters(kernel_);
+    for (uint64_t token : SortedKeys(waiters)) {
+      const auto& in_flight = waiters.at(token);
       if (in_flight.client == nullptr || in_flight.server == nullptr) {
         Violation("rpc token ", token, " has a null client or server");
         continue;

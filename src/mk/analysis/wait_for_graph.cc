@@ -97,9 +97,11 @@ WaitForGraph WaitForGraph::Build(const Kernel& kernel) {
     queue_info[&p->blocked_senders] = {QueueRole::kIpcSend, p.get(), nullptr, 0};
     queue_info[&p->blocked_receivers] = {QueueRole::kIpcReceive, p.get(), nullptr, 0};
   }
+  // unordered-ok: builds a keyed lookup table; order does not escape.
   for (const auto& [id, sem] : Introspector::semaphores(kernel)) {
     queue_info[&sem.waiters] = {QueueRole::kSemaphore, nullptr, nullptr, id};
   }
+  // unordered-ok: builds a keyed lookup table; order does not escape.
   for (const auto& [addr, q] : Introspector::memsync_waiters(kernel)) {
     queue_info[&q] = {QueueRole::kMemSync, nullptr, nullptr, addr};
   }
@@ -123,6 +125,7 @@ WaitForGraph WaitForGraph::Build(const Kernel& kernel) {
     const Thread* server;
   };
   std::unordered_map<const Thread*, InFlight> awaiting_reply;
+  // unordered-ok: builds a keyed lookup table; order does not escape.
   for (const auto& [token, rpc] : Introspector::rpc_waiters(kernel)) {
     awaiting_reply[rpc.client] = {token, rpc.server};
   }
@@ -156,12 +159,14 @@ WaitForGraph WaitForGraph::Build(const Kernel& kernel) {
     return out;
   };
   auto external_sender = [&](const std::vector<const Port*>& sources) {
+    // unordered-ok: existence check only; order does not escape.
     for (const auto& [id, timer] : Introspector::timers(kernel)) {
       if (!timer.cancelled &&
           std::find(sources.begin(), sources.end(), timer.port) != sources.end()) {
         return true;
       }
     }
+    // unordered-ok: existence check only; order does not escape.
     for (const auto& [line, binding] : Introspector::interrupt_bindings(kernel)) {
       if (binding.reflect_port != nullptr &&
           std::find(sources.begin(), sources.end(), binding.reflect_port) != sources.end()) {

@@ -126,6 +126,11 @@ size_t Kernel::CheckInvariants() const {
 }
 
 void Kernel::EnterKernel(const hw::CodeRegion& trap_entry_region) {
+  // Explorer preemption point: under a schedule policy, the moment just
+  // before a thread traps is where a bounded-preemption search may force a
+  // switch (the racy window is before the kernel operation takes effect).
+  // A single null test when no policy is installed.
+  scheduler_.PreemptPoint();
   ++kernel_entries_;
   if (config_.invariant_check_interval != 0 &&
       kernel_entries_ % config_.invariant_check_interval == 0) {
@@ -134,6 +139,9 @@ void Kernel::EnterKernel(const hw::CodeRegion& trap_entry_region) {
   }
   PollHardware();
   tracer_->Emit(trace::EventType::kTrapEnter, kernel_entries_);
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnKernelEnter(scheduler_.current());
+  }
   cpu().Stall(Costs::kTrapStallCycles);
   cpu().BusTransactions(Costs::kTrapEntryBus);
   cpu().Execute(trap_entry_region);
@@ -143,6 +151,9 @@ void Kernel::LeaveKernel() {
   cpu().Execute(TrapExitRegion());
   cpu().BusTransactions(Costs::kTrapExitBus);
   tracer_->Emit(trace::EventType::kTrapExit);
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnKernelLeave(scheduler_.current());
+  }
   Thread* t = scheduler_.current();
   if (t != nullptr && cpu().cycles() - t->dispatch_cycle > scheduler_.quantum_cycles) {
     scheduler_.Yield();
@@ -252,6 +263,9 @@ Thread* Kernel::CreateThread(Task* task, const std::string& name, ThreadBody bod
   };
   task->threads().push_back(t);
   threads_.push_back(std::move(thread));
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnThreadStart(t, scheduler_.current());
+  }
   scheduler_.StartThread(t);
   return t;
 }
@@ -267,6 +281,9 @@ base::Status Kernel::ThreadJoin(Thread* target) {
 void Kernel::TerminateTask(Task* task) {
   if (task->terminated()) {
     return;
+  }
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnGlobalOp(scheduler_.current());
   }
   task->set_terminated();
   // Notify watchers before tearing the task down so the TaskDeathNotice is
@@ -455,6 +472,9 @@ base::Status Kernel::PortDestroy(Task& task, PortName name) {
   auto port = task.port_space().LookupReceive(name);
   if (!port.ok()) {
     return port.status();
+  }
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnGlobalOp(scheduler_.current());
   }
   DestroyPort(*port);
   return task.port_space().Release(name);

@@ -32,6 +32,7 @@
 #include "src/mk/message.h"
 #include "src/mk/port.h"
 #include "src/mk/scheduler.h"
+#include "src/mk/sync_observer.h"
 #include "src/mk/task.h"
 #include "src/mk/thread.h"
 #include "src/mk/trace/tracer.h"
@@ -293,6 +294,13 @@ class Kernel {
   void EnterKernel(const hw::CodeRegion& trap_entry_region);
   void LeaveKernel();
 
+  // Installs (or clears, with nullptr) the concurrency checker's observer of
+  // synchronization events. Host-side bookkeeping only: no simulated cycles
+  // are charged on its behalf, and with none installed every hook site is a
+  // single null test. See src/mk/sync_observer.h.
+  void set_sync_observer(SyncObserver* observer) { sync_observer_ = observer; }
+  SyncObserver* sync_observer() const { return sync_observer_; }
+
   uint64_t rpc_calls() const { return rpc_calls_; }
   uint64_t mach_msgs() const { return mach_msgs_; }
   uint64_t interrupts_delivered() const { return interrupts_delivered_; }
@@ -357,6 +365,7 @@ class Kernel {
   hw::Machine* machine_;
   KernelConfig config_;
   std::unique_ptr<KernelHeap> heap_;
+  SyncObserver* sync_observer_ = nullptr;
   Scheduler scheduler_;
   std::unique_ptr<trace::Tracer> tracer_;
   std::unique_ptr<fault::Injector> faults_;

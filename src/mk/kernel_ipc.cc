@@ -48,6 +48,9 @@ const hw::CodeRegion& TrapEntry() {
 base::Status Kernel::MachMsgSend(MachMessage&& msg, uint64_t timeout_ns) {
   Thread* sender = scheduler_.current();
   WPOS_DCHECK(sender != nullptr) << "MachMsgSend outside thread context";
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnOpLabel(sender, "MachMsgSend", msg.msg_id);
+  }
   Task& task = *sender->task();
   trace::ScopedSpan span(*tracer_, trace::SpanKind::kIpcSend, trace::EventType::kIpcSend,
                          trace::EventType::kIpcSendDone, msg.msg_id);
@@ -133,6 +136,11 @@ base::Status Kernel::MachMsgSend(MachMessage&& msg, uint64_t timeout_ns) {
   }
   port->queue.push_back(std::move(qm));
   tracer_->metrics().GaugeMax("mk.ipc.queue_depth_hwm", port->queue.size());
+  if (sync_observer_ != nullptr) {
+    // Queued channel edge: the sender's clock joins the port; the eventual
+    // receiver absorbs it at dequeue even if it was never blocked here.
+    sync_observer_->OnChannelSend(port->id(), sender);
+  }
   WakeOneReceiver(port);
   LeaveKernel();
   return base::Status::kOk;
@@ -141,6 +149,9 @@ base::Status Kernel::MachMsgSend(MachMessage&& msg, uint64_t timeout_ns) {
 base::Status Kernel::MachMsgReceive(PortName name, MachMessage* out, uint64_t timeout_ns) {
   Thread* receiver = scheduler_.current();
   WPOS_DCHECK(receiver != nullptr) << "MachMsgReceive outside thread context";
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnOpLabel(receiver, "MachMsgReceive", name);
+  }
   Task& task = *receiver->task();
   trace::ScopedSpan span(*tracer_, trace::SpanKind::kIpcReceive, trace::EventType::kIpcReceive,
                          trace::EventType::kIpcReceiveDone);
@@ -184,6 +195,9 @@ base::Status Kernel::MachMsgReceive(PortName name, MachMessage* out, uint64_t ti
   }
   std::unique_ptr<QueuedMessage> qm = std::move(source->queue.front());
   source->queue.pop_front();
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnChannelRecv(source->id(), receiver);
+  }
   span.set_end_payload(qm->msg_id);
   cpu().Execute(KmsgRegion());
   cpu().AccessData(source->sim_addr(), 64, /*write=*/true);

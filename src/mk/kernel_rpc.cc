@@ -161,6 +161,11 @@ void Kernel::DeliverRpcToServer(Thread* client, Thread* server) {
   rpc_waiters_[s.token] = RpcInFlight{client, server};
   s.srv_client_task = client->task()->id();
   c.completion = base::Status::kOk;
+  if (sync_observer_ != nullptr) {
+    // Request delivery is a happens-before edge from the (blocked or about to
+    // block) client into the server.
+    sync_observer_->OnRendezvous(client, server);
+  }
   // The client's call span enters its server phase; label it with the server
   // task so per-server latency histograms separate.
   tracer_->MarkPhase(c.span_id, trace::EventType::kRpcDispatch, server->id());
@@ -202,6 +207,9 @@ base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len
                                    PortName* granted, uint64_t timeout_ns) {
   Thread* client = scheduler_.current();
   WPOS_DCHECK(client != nullptr);
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnOpLabel(client, "RpcCall", port->id());
+  }
   if (port->dead()) {
     return base::Status::kPortDead;
   }
@@ -216,6 +224,10 @@ base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len
   cpu().AccessData(port->sim_addr(), 64, /*write=*/true);
 
   Thread::RpcState& c = client->rpc;
+  // A fresh call must not inherit the previous call's token: the error paths
+  // below erase rpc_waiters_[c.token], and a stale token from a completed
+  // call must erase nothing.
+  c.token = 0;
   c.req_data = req;
   c.req_len = req_len;
   c.reply_buf = reply;
@@ -294,6 +306,9 @@ base::Result<RpcRequest> Kernel::RpcReceive(PortName receive_name, void* buf, ui
                                             RpcRef* ref) {
   Thread* server = scheduler_.current();
   WPOS_DCHECK(server != nullptr) << "RpcReceive outside thread context";
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnOpLabel(server, "RpcReceive", receive_name);
+  }
   EnterKernel(TrapEntry());
   cpu().Execute(ReceivePathRegion());
   cpu().AccessData(server->task()->port_space().sim_addr(), 32, /*write=*/false);
@@ -379,6 +394,11 @@ base::Status Kernel::DeliverReply(Thread* server, Thread* client, const void* re
   // Server phase of the client's span ends here: what follows is reply copy
   // and the return to user mode on the client side.
   tracer_->MarkPhase(c.span_id, trace::EventType::kRpcReply, len);
+  if (sync_observer_ != nullptr) {
+    // The reply is the matching happens-before edge back from the server
+    // into the blocked client.
+    sync_observer_->OnRendezvous(server, client);
+  }
   c.completion = completion;
   if (len > c.reply_cap) {
     c.completion = base::Status::kTooLarge;
@@ -425,6 +445,9 @@ base::Result<RpcRequest> Kernel::RpcReplyAndReceive(uint64_t token, const void* 
                                                     uint32_t reply_ref_len, PortName grant) {
   Thread* server = scheduler_.current();
   WPOS_DCHECK(server != nullptr) << "RpcReplyAndReceive outside thread context";
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnOpLabel(server, "RpcReplyAndReceive", token);
+  }
   EnterKernel(TrapEntry());
   cpu().Execute(ReplyPathRegion());
   cpu().Execute(ReceivePathRegion());
@@ -509,6 +532,18 @@ base::Result<RpcRequest> Kernel::RpcReplyAndReceive(uint64_t token, const void* 
     source->waiting_clients.pop_front();
     server->rpc.arrived_port = source->id();
     DeliverRpcToServer(next_client, server);
+    if (next_client->rpc.completion != base::Status::kOk) {
+      // The queued request didn't fit the posted buffers. Fail that client —
+      // found by schedule exploration: leaving it unwoken here blocked it
+      // forever, and the RpcRequest below would have carried a stale token.
+      // Same contract as RpcReceive: wake the loser, report kTooLarge.
+      scheduler_.Wake(next_client, next_client->rpc.completion);
+      if (client != nullptr) {
+        scheduler_.Wake(client, base::Status::kOk);
+      }
+      LeaveKernel();
+      return base::Status::kTooLarge;
+    }
     if (client != nullptr) {
       scheduler_.Wake(client, base::Status::kOk);
     }
@@ -566,6 +601,9 @@ base::Status Kernel::RpcReply(uint64_t token, const void* reply, uint32_t len,
                               base::Status completion) {
   Thread* server = scheduler_.current();
   WPOS_DCHECK(server != nullptr) << "RpcReply outside thread context";
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnOpLabel(server, "RpcReply", token);
+  }
   EnterKernel(TrapEntry());
   cpu().Execute(ReplyPathRegion());
   auto waiter = rpc_waiters_.find(token);

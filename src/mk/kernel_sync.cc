@@ -74,6 +74,9 @@ base::Result<uint32_t> Kernel::SemCreate(uint32_t initial) {
 base::Status Kernel::SemWait(uint32_t sem_id, uint64_t timeout_ns) {
   Thread* t = scheduler_.current();
   WPOS_CHECK(t != nullptr) << "SemWait outside thread context";
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnOpLabel(t, "SemWait", sem_id);
+  }
   EnterKernel(TrapEntry());
   cpu().Execute(SemFastRegion());
   auto it = semaphores_.find(sem_id);
@@ -81,6 +84,10 @@ base::Status Kernel::SemWait(uint32_t sem_id, uint64_t timeout_ns) {
     LeaveKernel();
     return base::Status::kNotFound;
   }
+  // The reference stays valid across the blocking points below (unordered_map
+  // elements survive rehash); the iterator would not — a concurrent SemCreate
+  // while this thread is blocked can rehash the table — so everything after
+  // the first Block goes through `sem`, never back through `it`.
   Semaphore& sem = it->second;
   cpu().AccessData(sem.sim_addr, 8, /*write=*/true);
   while (sem.count == 0) {
@@ -91,17 +98,23 @@ base::Status Kernel::SemWait(uint32_t sem_id, uint64_t timeout_ns) {
       LeaveKernel();
       return st;
     }
-    if (!it->second.alive) {
+    if (!sem.alive) {
       LeaveKernel();
       return base::Status::kAborted;
     }
   }
   --sem.count;
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnSemAcquired(sem_id, t);
+  }
   LeaveKernel();
   return base::Status::kOk;
 }
 
 base::Status Kernel::SemSignal(uint32_t sem_id) {
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnOpLabel(scheduler_.current(), "SemSignal", sem_id);
+  }
   EnterKernel(TrapEntry());
   cpu().Execute(SemFastRegion());
   auto it = semaphores_.find(sem_id);
@@ -112,6 +125,9 @@ base::Status Kernel::SemSignal(uint32_t sem_id) {
   Semaphore& sem = it->second;
   cpu().AccessData(sem.sim_addr, 8, /*write=*/true);
   ++sem.count;
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnSemSignal(sem_id, scheduler_.current());
+  }
   if (Thread* waiter = sem.waiters.DequeueFront()) {
     waiter->waiting_on = nullptr;
     scheduler_.Wake(waiter, base::Status::kOk);
@@ -124,6 +140,9 @@ base::Status Kernel::SemDestroy(uint32_t sem_id) {
   auto it = semaphores_.find(sem_id);
   if (it == semaphores_.end() || !it->second.alive) {
     return base::Status::kNotFound;
+  }
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnGlobalOp(scheduler_.current());
   }
   it->second.alive = false;
   while (Thread* waiter = it->second.waiters.DequeueFront()) {
@@ -152,11 +171,17 @@ base::Status Kernel::MemSyncWait(hw::VirtAddr addr, uint32_t expected, uint64_t 
   }
   // Slow path: park in the kernel keyed by the physical word, so waiters in
   // different address spaces sharing the page (coerced memory) rendezvous.
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnOpLabel(t, "MemSyncWait", *pa & ~3ull);
+  }
   EnterKernel(TrapEntry());
   cpu().Execute(MemSyncKernelRegion());
   WaitQueue& queue = memsync_waiters_[*pa & ~3ull];
   StartTimedWake(t, timeout_ns);
   const base::Status st = scheduler_.Block(Thread::State::kBlocked, &queue);
+  if (st == base::Status::kOk && sync_observer_ != nullptr) {
+    sync_observer_->OnChannelRecv(*pa & ~3ull, t);
+  }
   LeaveKernel();
   return st;
 }
@@ -173,11 +198,21 @@ uint32_t Kernel::MemSyncWake(hw::VirtAddr addr, uint32_t count) {
   if (it == memsync_waiters_.end() || it->second.empty()) {
     return 0;  // nobody parked: pure user-level operation
   }
+  // EnterKernel is a scheduling point under exploration: another thread may
+  // run MemSyncWait and rehash the table before we resume, invalidating the
+  // iterator. The element reference is stable, so hold that instead.
+  WaitQueue* queue = &it->second;
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnOpLabel(t, "MemSyncWake", *pa & ~3ull);
+  }
   EnterKernel(TrapEntry());
   cpu().Execute(MemSyncKernelRegion());
+  if (sync_observer_ != nullptr) {
+    sync_observer_->OnChannelSend(*pa & ~3ull, t);
+  }
   uint32_t woken = 0;
   while (woken < count) {
-    Thread* waiter = it->second.DequeueFront();
+    Thread* waiter = queue->DequeueFront();
     if (waiter == nullptr) {
       break;
     }

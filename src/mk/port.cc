@@ -1,5 +1,8 @@
 #include "src/mk/port.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/base/log.h"
 #include "src/mk/message.h"
 
@@ -80,8 +83,16 @@ PortName PortSpace::SendNameOf(Port* port) const {
 }
 
 void PortSpace::ForEachRight(const std::function<void(PortName, const PortRight&)>& fn) const {
-  for (const auto& [name, right] : rights_) {
-    fn(name, right);
+  // Visit in name order: callers build diagnostic structures whose layout
+  // must not depend on hash-table iteration order.
+  std::vector<PortName> names;
+  names.reserve(rights_.size());
+  for (const auto& [name, right] : rights_) {  // unordered-ok: sorted below
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  for (PortName name : names) {
+    fn(name, rights_.at(name));
   }
 }
 

@@ -33,6 +33,8 @@ Task* Scheduler::current_task() const {
   return current_ == nullptr ? nullptr : current_->task();
 }
 
+SyncObserver* Scheduler::observer() const { return kernel_->sync_observer_; }
+
 void Scheduler::MakeReady(Thread* t) {
   WPOS_DCHECK(t != nullptr);
   if (t->state() == Thread::State::kReady || t->state() == Thread::State::kRunning) {
@@ -55,6 +57,9 @@ void Scheduler::Wake(Thread* t, base::Status wait_status) {
   }
   ++t->wake_generation;  // invalidate any pending timed wake
   t->wait_status = wait_status;
+  if (SyncObserver* obs = observer()) {
+    obs->OnWake(current_, t);
+  }
   MakeReady(t);
 }
 
@@ -64,6 +69,9 @@ void Scheduler::StartThread(Thread* t) {
 }
 
 Thread* Scheduler::PickNext() {
+  if (policy_ != nullptr) {
+    return PickNextWithPolicy();
+  }
   // Direct handoff takes precedence; the hint must still be runnable.
   if (handoff_hint_ != nullptr) {
     Thread* hint = handoff_hint_;
@@ -93,6 +101,88 @@ Thread* Scheduler::PickNext() {
     }
   }
   return nullptr;
+}
+
+// Policy-driven dispatch: enumerate every runnable thread in the stock scan
+// order and let the policy choose. The stock scheduler's decision — handoff
+// hint if pending and runnable, else the scan front — is passed through as
+// the `natural` index so a policy can reproduce default behaviour exactly.
+Thread* Scheduler::PickNextWithPolicy() {
+  Thread* hint = handoff_hint_;
+  handoff_hint_ = nullptr;
+  std::vector<Thread*> candidates;
+  candidates.reserve(ready_count_);
+  for (int prio = Thread::kNumPriorities - 1; prio >= 0; --prio) {
+    for (Thread* t : ready_[prio]) {
+      ProcessorSet* ps = t->task()->processor_set();
+      if (ps != nullptr && !ps->enabled()) {
+        continue;
+      }
+      candidates.push_back(t);
+    }
+  }
+  if (candidates.empty()) {
+    handoff_was_hint_ = false;
+    return nullptr;
+  }
+  size_t natural = 0;
+  if (hint != nullptr && hint->state() == Thread::State::kReady) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i] == hint) {
+        natural = i;
+        break;
+      }
+    }
+  }
+  const size_t idx = policy_->PickIndex(candidates, natural, last_running_, last_reason_);
+  WPOS_CHECK(idx < candidates.size()) << "schedule policy picked candidate " << idx << " of "
+                                      << candidates.size();
+  Thread* chosen = candidates[idx];
+  handoff_was_hint_ = hint != nullptr && chosen == hint;
+  auto& q = ready_[chosen->priority()];
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if (*it == chosen) {
+      q.erase(it);
+      break;
+    }
+  }
+  --ready_count_;
+  return chosen;
+}
+
+void Scheduler::PreemptPoint() {
+  if (policy_ == nullptr || current_ == nullptr || ready_count_ == 0) {
+    return;
+  }
+  std::vector<Thread*> candidates;
+  candidates.reserve(ready_count_ + 1);
+  candidates.push_back(current_);
+  for (int prio = Thread::kNumPriorities - 1; prio >= 0; --prio) {
+    for (Thread* t : ready_[prio]) {
+      ProcessorSet* ps = t->task()->processor_set();
+      if (ps != nullptr && !ps->enabled()) {
+        continue;
+      }
+      candidates.push_back(t);
+    }
+  }
+  if (candidates.size() < 2) {
+    return;
+  }
+  Thread* next = policy_->OnPreemptPoint(current_, candidates);
+  if (next == current_) {
+    return;  // no preemption: continue with no switch and no cost
+  }
+  // Forced preemption: like quantum expiry, but the policy names the heir.
+  Thread* self = current_;
+  kernel_->tracer().Emit(trace::EventType::kSchedPreempt, next->id(), self->id());
+  last_reason_ = SwitchReason::kPreempt;
+  last_running_ = self;
+  handoff_hint_ = next;
+  self->set_state(Thread::State::kReady);
+  ready_[self->priority()].push_back(self);
+  ++ready_count_;
+  SwapOut();
 }
 
 void Scheduler::Trampoline() {
@@ -131,6 +221,9 @@ void Scheduler::SwitchInto(Thread* t) {
   // Emitted with current_ already switched so the event carries the incoming
   // thread's identity.
   kernel_->tracer().Emit(trace::EventType::kThreadSwitch, t->id(), handoff ? 1 : 0);
+  if (SyncObserver* obs = observer()) {
+    obs->OnSwitch(t, last_reason_);
+  }
 
   if (!t->started_) {
     t->started_ = true;
@@ -175,6 +268,8 @@ void Scheduler::Run() {
 void Scheduler::Yield() {
   Thread* self = current_;
   WPOS_CHECK(self != nullptr) << "Yield outside thread context";
+  last_reason_ = SwitchReason::kYield;
+  last_running_ = self;
   self->set_state(Thread::State::kReady);
   ready_[self->priority()].push_back(self);
   ++ready_count_;
@@ -184,6 +279,8 @@ void Scheduler::Yield() {
 base::Status Scheduler::Block(Thread::State, WaitQueue* queue) {
   Thread* self = current_;
   WPOS_DCHECK(self != nullptr) << "Block outside thread context";
+  last_reason_ = SwitchReason::kBlock;
+  last_running_ = self;
   self->set_state(Thread::State::kBlocked);
   self->wait_status = base::Status::kOk;
   if (queue != nullptr) {
@@ -211,6 +308,8 @@ void Scheduler::HandoffTo(Thread* next) {
     handoff_hint_ = next;
     handoff_was_hint_ = true;
   }
+  last_reason_ = SwitchReason::kYield;
+  last_running_ = self;
   self->set_state(Thread::State::kReady);
   ready_[self->priority()].push_back(self);
   ++ready_count_;
@@ -221,6 +320,11 @@ void Scheduler::ExitCurrent() {
   Thread* self = current_;
   WPOS_CHECK(self != nullptr);
   kernel_->tracer().Emit(trace::EventType::kThreadExit, self->id());
+  if (SyncObserver* obs = observer()) {
+    obs->OnThreadExit(self);
+  }
+  last_reason_ = SwitchReason::kExit;
+  last_running_ = self;
   self->set_state(Thread::State::kTerminated);
   while (Thread* waiter = self->exit_waiters.DequeueFront()) {
     waiter->waiting_on = nullptr;

@@ -13,15 +13,41 @@
 
 #include <array>
 #include <deque>
+#include <vector>
 
 #include "src/mk/context.h"
 
+#include "src/mk/sync_observer.h"
 #include "src/mk/thread.h"
 
 namespace mk {
 
 class Kernel;
 class Task;
+
+// Hook by which the schedule-space explorer (src/mk/analysis/explore/) takes
+// control of dispatch decisions. With no policy installed the scheduler's
+// behaviour is exactly the stock priority scan — the policy path is never
+// entered, so the disabled case is byte-identical.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+
+  // Dispatch decision. `candidates` lists every runnable thread in the stock
+  // scheduler's scan order (priority high to low, FIFO within a priority,
+  // disabled processor sets skipped); `natural` is the index the stock
+  // scheduler would pick (the handoff hint when one is pending, else the
+  // front of the scan). `previous` ran before this decision (nullptr at
+  // boot); `reason` is why it stopped. Returns the index to dispatch.
+  virtual size_t PickIndex(const std::vector<Thread*>& candidates, size_t natural,
+                           Thread* previous, SwitchReason reason) = 0;
+
+  // Kernel-entry preemption point. `candidates` is `current` followed by all
+  // runnable threads in scan order. Returning `current` means no preemption
+  // — the thread continues with no context switch and no cost charged;
+  // returning another candidate forces a preemptive switch to it.
+  virtual Thread* OnPreemptPoint(Thread* current, const std::vector<Thread*>& candidates) = 0;
+};
 
 class Scheduler {
  public:
@@ -52,6 +78,16 @@ class Scheduler {
   void Wake(Thread* t, base::Status wait_status);
   void StartThread(Thread* t);  // embryo -> ready
 
+  // --- Schedule-space exploration ----------------------------------------------
+  // Installs (or clears, with nullptr) the dispatch policy. Host-side only;
+  // with no policy every dispatch runs the stock scan unchanged.
+  void set_policy(SchedulePolicy* policy) { policy_ = policy; }
+  SchedulePolicy* policy() const { return policy_; }
+  // Kernel-entry preemption point (called by Kernel::EnterKernel): consults
+  // the policy, which may force a preemptive switch to another runnable
+  // thread. A single null test when no policy is installed.
+  void PreemptPoint();
+
   uint64_t context_switches() const { return context_switches_; }
   uint64_t address_space_switches() const { return space_switches_; }
 
@@ -68,6 +104,8 @@ class Scheduler {
   friend class Kernel;
 
   Thread* PickNext();
+  Thread* PickNextWithPolicy();
+  SyncObserver* observer() const;
   void DispatchLoop();
   // Switch from the scheduler context into `t`.
   void SwitchInto(Thread* t);
@@ -77,6 +115,9 @@ class Scheduler {
   static void Trampoline();
 
   Kernel* kernel_;
+  SchedulePolicy* policy_ = nullptr;
+  Thread* last_running_ = nullptr;  // thread that most recently gave up the CPU
+  SwitchReason last_reason_ = SwitchReason::kFirst;
   Thread* current_ = nullptr;
   Thread* handoff_hint_ = nullptr;
   bool handoff_was_hint_ = false;

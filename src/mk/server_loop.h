@@ -66,6 +66,12 @@ class ServerLoop {
       auto request = env.RpcReceive(port_, request_buf_.data(),
                                     static_cast<uint32_t>(request_buf_.size()), &ref);
       if (!request.ok()) {
+        if (request.status() == base::Status::kTooLarge) {
+          // An oversized queued request was already failed back to its
+          // client; the loop itself is healthy — keep serving. Breaking here
+          // would tear down the port under every other queued caller.
+          continue;
+        }
         break;  // port destroyed or task aborted
       }
       env.kernel().cpu().Execute(loop_region_);

@@ -1,0 +1,93 @@
+// Host-side observer of kernel synchronization events, the instrumentation
+// surface the concurrency checker (src/mk/analysis/explore/) builds its
+// happens-before order, locksets and lock-order graph from.
+//
+// The kernel and scheduler invoke the observer at synchronization points:
+// thread lifecycle, context switches, wakes, semaphore acquire/signal, and
+// message-channel send/receive edges (RPC rendezvous, legacy IPC queues,
+// memory synchronizers). All callbacks are pure host-side bookkeeping — an
+// observer charges no simulated cycles, so installing one does not perturb
+// the cost model (the same counter-equality guarantee the tracer gives).
+// With no observer installed every hook is a single null-pointer test.
+#ifndef SRC_MK_SYNC_OBSERVER_H_
+#define SRC_MK_SYNC_OBSERVER_H_
+
+#include <cstdint>
+
+#include "src/hw/types.h"
+
+namespace mk {
+
+class Thread;
+
+// Why the previous thread gave up the CPU; passed to schedule policies and
+// observers so a CHESS-style explorer can tell voluntary scheduling points
+// (block/yield/exit) from forced preemptions, which consume preemption
+// budget under iterative context bounding.
+enum class SwitchReason : uint8_t {
+  kFirst = 0,  // initial dispatch, nobody ran before
+  kBlock,      // previous thread blocked
+  kYield,      // previous thread yielded or handed off, still runnable
+  kPreempt,    // previous thread was preempted at a kernel entry
+  kExit,       // previous thread terminated
+};
+
+class SyncObserver {
+ public:
+  virtual ~SyncObserver() = default;
+
+  // --- Thread lifecycle ------------------------------------------------------
+  // `creator` is the thread that created `t` (nullptr when created from the
+  // test harness before the scheduler runs).
+  virtual void OnThreadStart(Thread* t, Thread* creator) = 0;
+  virtual void OnThreadExit(Thread* t) = 0;
+
+  // --- Scheduling ------------------------------------------------------------
+  // The scheduler dispatched `incoming`; `reason` is why the previous thread
+  // stopped running.
+  virtual void OnSwitch(Thread* incoming, SwitchReason reason) = 0;
+  // `waker` made `woken` runnable (nullptr waker = machine event, e.g. a
+  // timer). A wake is a happens-before edge: everything the waker did is
+  // ordered before everything the woken thread does next.
+  virtual void OnWake(Thread* waker, Thread* woken) = 0;
+
+  // --- Kernel entry bracketing ----------------------------------------------
+  // Execution between EnterKernel/LeaveKernel is atomic with respect to the
+  // cooperative scheduler except at explicit preemption points; the race
+  // detector models it as holding an implicit global kernel lock.
+  virtual void OnKernelEnter(Thread* t) = 0;
+  virtual void OnKernelLeave(Thread* t) = 0;
+
+  // --- Semaphores (locks + condition channels) -------------------------------
+  // `t` successfully acquired a unit of `sem_id` (SemWait returned kOk).
+  virtual void OnSemAcquired(uint32_t sem_id, Thread* t) = 0;
+  // `t` signalled `sem_id` (a release edge into the semaphore's channel).
+  virtual void OnSemSignal(uint32_t sem_id, Thread* t) = 0;
+
+  // --- Message channels ------------------------------------------------------
+  // Queued-channel edges: the sender's clock joins the channel on send, the
+  // receiver's clock absorbs the channel on receive. `chan` is a stable id
+  // for the channel (port id, memsync word address, ...).
+  virtual void OnChannelSend(uint64_t chan, Thread* sender) = 0;
+  virtual void OnChannelRecv(uint64_t chan, Thread* receiver) = 0;
+  // Direct rendezvous edges (RPC request delivery and reply): `from`'s clock
+  // is released straight into `to` (who is blocked, so its clock is stable).
+  virtual void OnRendezvous(Thread* from, Thread* to) = 0;
+
+  // --- Operation labels ------------------------------------------------------
+  // Human-readable context for race reports: `t` is now inside `op` (a
+  // static string) on object `arg`. Cleared by the next label.
+  virtual void OnOpLabel(Thread* t, const char* op, uint64_t arg) = 0;
+
+  // --- Global-effect operations ----------------------------------------------
+  // `t` is executing a lifecycle operation whose effects can reach arbitrary
+  // other threads (task termination, port/semaphore destruction): waiters
+  // wake with errors, rights die. Reordering such a step is never a no-op,
+  // so schedule-space pruning must treat it as conflicting with every other
+  // step. Default no-op: only the exploration monitor cares.
+  virtual void OnGlobalOp(Thread* t) { (void)t; }
+};
+
+}  // namespace mk
+
+#endif  // SRC_MK_SYNC_OBSERVER_H_

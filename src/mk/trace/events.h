@@ -38,6 +38,7 @@ enum class EventType : uint8_t {
   kFaultInjected,      // a = fault point ordinal, b = fault mode ordinal
   kTaskDeath,          // a = task id, b = number of ports destroyed with it
   kServerRestart,      // a = respawned task id, b = restart count for name
+  kSchedPreempt,       // explorer-forced preemption; a = heir thread id, b = preempted id
   kCount,
 };
 

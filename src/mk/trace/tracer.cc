@@ -56,6 +56,8 @@ const char* EventName(EventType type) {
       return "task_death";
     case EventType::kServerRestart:
       return "server_restart";
+    case EventType::kSchedPreempt:
+      return "sched_preempt";
     case EventType::kCount:
       break;
   }

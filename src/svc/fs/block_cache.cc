@@ -1,5 +1,6 @@
 #include "src/svc/fs/block_cache.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/log.h"
@@ -122,15 +123,23 @@ base::Status BlockCache::Write(mk::Env& env, uint64_t lba, uint32_t count, const
 }
 
 base::Status BlockCache::Flush(mk::Env& env) {
-  for (auto& [lba, e] : entries_) {
+  // Write back in LBA order: the sequence of simulated I/O (and its costs)
+  // must not depend on hash-table iteration order.
+  std::vector<uint64_t> dirty;
+  for (const auto& [lba, e] : entries_) {  // unordered-ok: sorted below
     if (e.dirty) {
-      ++writebacks_;
-      const base::Status st = store_->Write(env, lba, 1, e.data.data());
-      if (st != base::Status::kOk) {
-        return st;
-      }
-      e.dirty = false;
+      dirty.push_back(lba);
     }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  for (uint64_t lba : dirty) {
+    Entry& e = entries_.at(lba);
+    ++writebacks_;
+    const base::Status st = store_->Write(env, lba, 1, e.data.data());
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    e.dirty = false;
   }
   return base::Status::kOk;
 }

@@ -1,0 +1,44 @@
+// Shared helpers for the schedule-exploration tests. The CI explore job
+// steers these through the environment: WPOS_EXPLORE_PREEMPTION_BOUND sets
+// the context bound for tests that accept one, WPOS_EXPLORE_TRACE_DIR makes
+// failing runs leave their schedule traces where CI can upload them.
+#ifndef TESTS_MK_EXPLORE_FIXTURE_H_
+#define TESTS_MK_EXPLORE_FIXTURE_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/mk/analysis/explore/explorer.h"
+
+namespace mk {
+
+inline int EnvPreemptionBound(int fallback) {
+  if (const char* bound = std::getenv("WPOS_EXPLORE_PREEMPTION_BOUND")) {
+    return std::atoi(bound);
+  }
+  return fallback;
+}
+
+inline std::string EnvTraceDir() {
+  if (const char* dir = std::getenv("WPOS_EXPLORE_TRACE_DIR")) {
+    return dir;
+  }
+  return ::testing::TempDir();
+}
+
+inline analysis::explore::Result RunExploration(
+    analysis::explore::Options options, analysis::explore::ScheduleExplorer::Setup setup,
+    analysis::explore::ScheduleExplorer::Verify verify = nullptr) {
+  if (options.trace_dir.empty()) {
+    options.trace_dir = EnvTraceDir();
+  }
+  analysis::explore::ScheduleExplorer explorer(std::move(options), std::move(setup),
+                                               std::move(verify));
+  return explorer.Explore();
+}
+
+}  // namespace mk
+
+#endif  // TESTS_MK_EXPLORE_FIXTURE_H_

@@ -1,0 +1,90 @@
+// Mutation self-test for the concurrency checker. This binary is compiled
+// with WPOS_EXPLORE_SELFTEST, which compiles the semaphore guard out of the
+// seeded-tally workload (src/mk/analysis/explore/selftest.h). The checker
+// must catch the seeded bug both ways: the explorer must find a schedule
+// that loses an update (the Verify oracle fails) and leave a replayable
+// trace, and the lockset/vector-clock detector must flag the unguarded cell.
+// If this binary ever passes its workload as clean, the checker has a hole.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "src/mk/analysis/explore/explorer.h"
+#include "src/mk/analysis/explore/selftest.h"
+#include "src/mk/kernel.h"
+#include "tests/mk/explore_fixture.h"
+
+#ifndef WPOS_EXPLORE_SELFTEST
+#error "explore_selftest must be built with -DWPOS_EXPLORE_SELFTEST"
+#endif
+
+namespace mk {
+namespace {
+
+using analysis::explore::Options;
+using analysis::explore::Result;
+using analysis::explore::ScheduleExplorer;
+using analysis::explore::SeededTally;
+
+TEST(ExploreSelfTest, SeededRaceIsCaughtFlaggedAndReplayable) {
+  auto slot = std::make_shared<std::shared_ptr<SeededTally>>();
+  ScheduleExplorer::Setup setup = [slot](Kernel& kernel) {
+    *slot = analysis::explore::InstallSeededTally(kernel);
+  };
+  ScheduleExplorer::Verify verify = [slot](Kernel&, std::string* message) {
+    if ((*slot)->value != 2) {
+      *message = "lost update: tally = " + std::to_string((*slot)->value);
+      return false;
+    }
+    return true;
+  };
+
+  const std::string trace_dir = EnvTraceDir() + "/explore_selftest";
+  Options options;
+  options.name = "seeded_race";
+  options.preemption_bound = EnvPreemptionBound(2);
+  options.trace_dir = trace_dir;
+  ScheduleExplorer explorer(options, setup, verify);
+  Result result = explorer.Explore();
+
+  // The explorer found a losing interleaving...
+  ASSERT_FALSE(result.ok());
+  const auto& failure = result.failures.front();
+  EXPECT_EQ(failure.kind, "verify");
+  EXPECT_NE(failure.message.find("lost update"), std::string::npos) << failure.message;
+
+  // ...and the lockset detector flagged the unguarded cell independently.
+  ASSERT_FALSE(result.races.empty());
+  bool tally_cell_flagged = false;
+  for (const auto& race : result.races) {
+    if (race.cell == (*slot)->cell >> 4) {
+      tally_cell_flagged = true;
+    }
+  }
+  EXPECT_TRUE(tally_cell_flagged) << result.races.front().Describe();
+
+  // The failing schedule replays deterministically to the same verdict.
+  ASSERT_FALSE(failure.schedule_file.empty());
+  std::string message;
+  ASSERT_TRUE(ScheduleExplorer::Replay(failure.schedule_file, setup, verify, &message));
+  EXPECT_EQ(message.rfind("verify", 0), 0u) << message;
+  EXPECT_TRUE(std::filesystem::exists(trace_dir + "/seeded_race.failing.trace.json"));
+}
+
+TEST(ExploreSelfTest, RaceFailureModeStopsTheSearch) {
+  auto slot = std::make_shared<std::shared_ptr<SeededTally>>();
+  Options options;
+  options.name = "seeded_race_failfast";
+  options.preemption_bound = EnvPreemptionBound(2);
+  options.fail_on_race = true;
+  Result result = RunExploration(
+      options, [slot](Kernel& kernel) { *slot = analysis::explore::InstallSeededTally(kernel); });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.failures.front().kind, "race");
+  EXPECT_FALSE(result.races.empty());
+}
+
+}  // namespace
+}  // namespace mk

@@ -1,0 +1,289 @@
+// Tests for the systematic concurrency checker: schedule-space exploration,
+// deadlock discovery with replay, partial-order reduction, the guarded
+// seeded-tally workload (clean in this build; its mutation twin lives in
+// explore_selftest.cc), and the zero-cost guarantee for the monitor.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/hw/machine.h"
+#include "src/mk/analysis/explore/explorer.h"
+#include "src/mk/analysis/explore/monitor.h"
+#include "src/mk/analysis/explore/selftest.h"
+#include "src/mk/kernel.h"
+#include "tests/mk/explore_fixture.h"
+
+namespace mk {
+namespace {
+
+using analysis::explore::Options;
+using analysis::explore::Result;
+using analysis::explore::ScheduleExplorer;
+using analysis::explore::ScheduleTrace;
+
+// Exhaustive schedule count for the two-thread semaphore workload. This is a
+// fixed property of the kernel's switch points — a change means dispatch
+// decisions were added or removed, which deserves a deliberate update.
+constexpr uint64_t kTwoThreadSemSchedules = 14;
+
+// Two threads contending for one binary semaphore, each touching a shared
+// cell inside the critical section. Small enough to enumerate exhaustively.
+void TwoThreadSemaphoreWorkload(Kernel& kernel) {
+  auto sem = kernel.SemCreate(1);
+  ASSERT_TRUE(sem.ok());
+  const uint32_t sem_id = *sem;
+  const hw::PhysAddr cell = kernel.heap().Allocate(64);
+  Task* task = kernel.CreateTask("workload");
+  for (int i = 0; i < 2; ++i) {
+    kernel.CreateThread(task, "worker" + std::to_string(i), [sem_id, cell](Env& env) {
+      Kernel& k = env.kernel();
+      EXPECT_EQ(k.SemWait(sem_id), base::Status::kOk);
+      k.ChargeKernelData(cell, 8, /*write=*/true);
+      EXPECT_EQ(k.SemSignal(sem_id), base::Status::kOk);
+    });
+  }
+}
+
+TEST(ExploreTest, TwoThreadSemaphoreExhaustive) {
+  Options options;
+  options.name = "two_thread_sem";
+  options.preemption_bound = -1;  // fully exhaustive, independent of CI bound
+  options.partial_order_reduction = false;
+  Result result = RunExploration(options, TwoThreadSemaphoreWorkload);
+  for (const auto& f : result.failures) {
+    ADD_FAILURE() << f.kind << ": " << f.message;
+  }
+  EXPECT_FALSE(result.hit_schedule_cap);
+  EXPECT_TRUE(result.races.empty());
+  EXPECT_TRUE(result.lock_order_cycles.empty());
+  // The schedule space of this workload is a fixed property of the kernel's
+  // switch points; a change here means dispatch decisions were added or lost.
+  WPOS_CHECK(result.schedules > 1) << "explorer degenerated to a single schedule";
+  WPOS_LOG(kInfo) << "two_thread_sem: " << result.schedules << " schedules, " << result.decisions
+                  << " decisions";
+  EXPECT_EQ(result.schedules, kTwoThreadSemSchedules);
+
+  // Determinism: the same workload explores to the identical count.
+  Result again = RunExploration(options, TwoThreadSemaphoreWorkload);
+  EXPECT_EQ(again.schedules, result.schedules);
+  EXPECT_EQ(again.decisions, result.decisions);
+}
+
+// Classic ABBA deadlock: only some interleavings die, and the explorer must
+// find one, leave a replayable schedule, and the lock-order graph — built
+// from the clean runs explored before the failing one — must show the
+// inverted-order cycle. Thread "ab" takes both locks back to back, so the
+// default round-robin schedule completes cleanly and records both edges;
+// the deadlock needs "ba" to hold B across its yield while "ab" runs.
+void AbbaWorkload(Kernel& kernel) {
+  auto a = kernel.SemCreate(1);
+  auto b = kernel.SemCreate(1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Task* task = kernel.CreateTask("abba");
+  kernel.CreateThread(task, "ab", [a = *a, b = *b](Env& env) {
+    Kernel& k = env.kernel();
+    k.SemWait(a);
+    k.SemWait(b);
+    k.SemSignal(b);
+    k.SemSignal(a);
+  });
+  kernel.CreateThread(task, "ba", [a = *a, b = *b](Env& env) {
+    Kernel& k = env.kernel();
+    k.SemWait(b);
+    env.Yield();
+    k.SemWait(a);
+    k.SemSignal(a);
+    k.SemSignal(b);
+  });
+}
+
+TEST(ExploreTest, FindsAbbaDeadlockAndReplaysIt) {
+  const std::string trace_dir = ::testing::TempDir() + "/explore_abba";
+  Options options;
+  options.name = "abba";
+  options.preemption_bound = 0;  // voluntary switches alone reach the deadlock
+  options.trace_dir = trace_dir;
+  Result result = RunExploration(options, AbbaWorkload);
+  ASSERT_FALSE(result.ok());
+  const auto& failure = result.failures.front();
+  EXPECT_EQ(failure.kind, "deadlock");
+  EXPECT_FALSE(failure.message.empty());
+  EXPECT_FALSE(failure.schedule.decisions.empty());
+  ASSERT_FALSE(failure.schedule_file.empty());
+
+  // The failing schedule replays deterministically to the same failure, and
+  // the replay renders a Chrome trace of the interleaving.
+  const std::string chrome = trace_dir + "/abba.replay.trace.json";
+  std::string message;
+  ASSERT_TRUE(ScheduleExplorer::Replay(failure.schedule_file, AbbaWorkload, nullptr, &message,
+                                       chrome));
+  EXPECT_EQ(message.rfind("deadlock", 0), 0u) << message;
+  EXPECT_TRUE(std::filesystem::exists(chrome));
+  EXPECT_TRUE(std::filesystem::exists(trace_dir + "/abba.failing.trace.json"));
+  std::string again;
+  ASSERT_TRUE(
+      ScheduleExplorer::Replay(failure.schedule_file, AbbaWorkload, nullptr, &again));
+  EXPECT_EQ(again, message);
+
+  // Cross-run lock-order analysis names the inverted pair.
+  ASSERT_FALSE(result.lock_order_cycles.empty());
+  EXPECT_NE(result.lock_order_cycles.front().find("sem"), std::string::npos);
+}
+
+// Threads touching disjoint cells commute; the POR must prune schedules that
+// only reorder independent steps, without losing soundness (still clean).
+void DisjointCellsWorkload(Kernel& kernel) {
+  Task* task = kernel.CreateTask("disjoint");
+  for (int i = 0; i < 3; ++i) {
+    const hw::PhysAddr cell = kernel.heap().Allocate(64);
+    kernel.CreateThread(task, "t" + std::to_string(i), [cell](Env& env) {
+      Kernel& k = env.kernel();
+      k.ChargeKernelData(cell, 8, /*write=*/true);
+      env.Yield();
+      k.ChargeKernelData(cell, 8, /*write=*/true);
+    });
+  }
+}
+
+TEST(ExploreTest, PartialOrderReductionPrunesCommutingSchedules) {
+  Options options;
+  options.name = "por_off";
+  options.preemption_bound = 0;
+  options.partial_order_reduction = false;
+  Result full = RunExploration(options, DisjointCellsWorkload);
+  EXPECT_TRUE(full.ok());
+  EXPECT_EQ(full.pruned, 0u);
+
+  options.name = "por_on";
+  options.partial_order_reduction = true;
+  Result reduced = RunExploration(options, DisjointCellsWorkload);
+  EXPECT_TRUE(reduced.ok());
+  EXPECT_GT(reduced.pruned, 0u);
+  EXPECT_LT(reduced.schedules, full.schedules);
+  WPOS_LOG(kInfo) << "POR: " << full.schedules << " schedules without, " << reduced.schedules
+                  << " with (" << reduced.pruned << " pruned)";
+}
+
+// Regression for the dead-thread-wakeup class: a task is terminated while a
+// client is mid-RPC to it. Every interleaving must leave the system halt
+// clean — a client left blocked forever shows up as a deadlock at halt.
+void TerminateUnderRpcWorkload(Kernel& kernel) {
+  Task* server = kernel.CreateTask("server");
+  Task* client = kernel.CreateTask("client");
+  Task* killer = kernel.CreateTask("killer");
+  auto recv = kernel.PortAllocate(*server);
+  ASSERT_TRUE(recv.ok());
+  auto send = kernel.MakeSendRight(*server, *recv, *client);
+  ASSERT_TRUE(send.ok());
+  kernel.CreateThread(server, "srv", [recv = *recv](Env& env) {
+    char buf[16];
+    auto request = env.RpcReceive(recv, buf, sizeof(buf));
+    if (request.ok()) {
+      uint32_t reply = 0;
+      env.RpcReply(request->token, &reply, sizeof(reply));
+    }
+  });
+  kernel.CreateThread(client, "cli", [send = *send](Env& env) {
+    uint32_t req = 7;
+    uint32_t reply = 0;
+    // Any status is legal — served, kPortDead, kAborted — but the call must
+    // complete under every schedule.
+    (void)env.RpcCall(send, &req, sizeof(req), &reply, sizeof(reply));
+  });
+  kernel.CreateThread(killer, "kill", [server](Env& env) {
+    env.Yield();
+    env.kernel().TerminateTask(server);
+  });
+}
+
+TEST(ExploreTest, TerminateTaskUnderExplorationLeavesNoStuckThreads) {
+  Options options;
+  options.name = "terminate_rpc";
+  options.preemption_bound = EnvPreemptionBound(2);
+  Result result = RunExploration(options, TerminateUnderRpcWorkload);
+  for (const auto& f : result.failures) {
+    ADD_FAILURE() << f.kind << ": " << f.message << "\nschedule:\n" << f.schedule.ToString();
+  }
+  EXPECT_GT(result.schedules, 1u);
+  EXPECT_FALSE(result.hit_schedule_cap);
+}
+
+// The guarded seeded-tally workload (the mutation twin of explore_selftest)
+// must explore clean in the normal build: the semaphore orders every
+// read-modify-write, so no schedule loses an update and no race is flagged.
+TEST(ExploreTest, GuardedTallyExploresClean) {
+  auto slot = std::make_shared<std::shared_ptr<analysis::explore::SeededTally>>();
+  Options options;
+  options.name = "guarded_tally";
+  options.preemption_bound = EnvPreemptionBound(2);
+  Result result = RunExploration(
+      options, [slot](Kernel& kernel) { *slot = analysis::explore::InstallSeededTally(kernel); },
+      [slot](Kernel&, std::string* message) {
+        if ((*slot)->value != 2) {
+          *message = "lost update: tally = " + std::to_string((*slot)->value);
+          return false;
+        }
+        return true;
+      });
+  for (const auto& f : result.failures) {
+    ADD_FAILURE() << f.kind << ": " << f.message;
+  }
+  EXPECT_TRUE(result.races.empty());
+  EXPECT_GT(result.schedules, 1u);
+}
+
+// Zero-cost guarantee: attaching the monitor (observer hooks live, no policy
+// installed) must not change a single simulated counter or context switch.
+TEST(ExploreTest, MonitorObservationChargesNothing) {
+  auto run = [](bool with_monitor, hw::CpuCounters* counters, uint64_t* switches) {
+    hw::MachineConfig config;
+    config.ram_bytes = 16ull * 1024 * 1024;
+    hw::Machine machine(config);
+    Kernel kernel(&machine);
+    analysis::explore::ConcurrencyMonitor monitor;
+    if (with_monitor) {
+      monitor.Attach(kernel);
+      monitor.ResetRun(/*race_detection=*/true);
+    }
+    TwoThreadSemaphoreWorkload(kernel);
+    EXPECT_EQ(kernel.Run(), 0u);
+    *counters = kernel.cpu().counters();
+    *switches = kernel.scheduler().context_switches();
+    if (with_monitor) {
+      monitor.Detach();
+    }
+  };
+  hw::CpuCounters plain{}, observed{};
+  uint64_t plain_switches = 0, observed_switches = 0;
+  run(false, &plain, &plain_switches);
+  run(true, &observed, &observed_switches);
+  EXPECT_EQ(plain.instructions, observed.instructions);
+  EXPECT_EQ(plain.cycles, observed.cycles);
+  EXPECT_EQ(plain.data_accesses, observed.data_accesses);
+  EXPECT_EQ(plain.dcache_misses, observed.dcache_misses);
+  EXPECT_EQ(plain_switches, observed_switches);
+}
+
+TEST(ExploreTest, ScheduleTraceRoundTripsThroughFile) {
+  ScheduleTrace trace;
+  trace.decisions.push_back({2, {2, 3}, false});
+  trace.decisions.push_back({3, {2, 3, 4}, true});
+  const std::string path = ::testing::TempDir() + "/roundtrip.schedule";
+  ASSERT_TRUE(trace.Save(path));
+  ScheduleTrace loaded;
+  ASSERT_TRUE(ScheduleTrace::Load(path, &loaded));
+  ASSERT_EQ(loaded.decisions.size(), 2u);
+  EXPECT_EQ(loaded.decisions[0].chosen, 2u);
+  EXPECT_EQ(loaded.decisions[0].candidates, (std::vector<uint64_t>{2, 3}));
+  EXPECT_FALSE(loaded.decisions[0].preempt_point);
+  EXPECT_EQ(loaded.decisions[1].chosen, 3u);
+  EXPECT_TRUE(loaded.decisions[1].preempt_point);
+}
+
+}  // namespace
+}  // namespace mk

@@ -120,5 +120,55 @@ TEST_F(KernelTest, ReplyAndReceiveWorksOnPortSets) {
   EXPECT_EQ(served, 6);
 }
 
+// Regression found by schedule exploration: when a client's request queued
+// up while the server was busy and then failed delivery (too large for the
+// posted buffers), RpcReplyAndReceive neither woke that client nor told the
+// server — the client blocked forever and the returned RpcRequest carried a
+// stale token. The oversized caller must get kTooLarge, the replied client
+// must still complete, and the server must be able to keep serving.
+TEST_F(KernelTest, ReplyAndReceiveFailsOversizedQueuedRequestWithoutStranding) {
+  Task* server = kernel_.CreateTask("server");
+  Task* client = kernel_.CreateTask("client");
+  auto recv = kernel_.PortAllocate(*server);
+  auto send = kernel_.MakeSendRight(*server, *recv, *client);
+  int served = 0;
+  kernel_.CreateThread(server, "s", [&, recv = *recv](Env& env) {
+    uint32_t v = 0;
+    auto req = env.RpcReceive(recv, &v, sizeof(v));
+    ASSERT_TRUE(req.ok());
+    ++served;
+    env.Yield();  // let the oversized and the follow-up call queue behind us
+    const uint32_t reply = v * 2;
+    auto next = env.kernel().RpcReplyAndReceive(req->token, &reply, sizeof(reply), recv, &v,
+                                                sizeof(v));
+    ASSERT_FALSE(next.ok());
+    EXPECT_EQ(next.status(), base::Status::kTooLarge);
+    // The loop is still healthy: the small follow-up request is next in line.
+    next = env.RpcReceive(recv, &v, sizeof(v));
+    ASSERT_TRUE(next.ok());
+    ++served;
+    const uint32_t reply2 = v * 2;
+    ASSERT_EQ(env.RpcReply(next->token, &reply2, sizeof(reply2)), base::Status::kOk);
+    ASSERT_EQ(env.kernel().PortDestroy(*server, recv), base::Status::kOk);
+  });
+  kernel_.CreateThread(client, "small1", [&, send = *send](Env& env) {
+    uint32_t req = 3, r = 0;
+    ASSERT_EQ(env.RpcCall(send, &req, sizeof(req), &r, sizeof(r)), base::Status::kOk);
+    EXPECT_EQ(r, 6u);
+  });
+  kernel_.CreateThread(client, "huge", [&, send = *send](Env& env) {
+    char big[64] = {0};
+    uint32_t r = 0;
+    EXPECT_EQ(env.RpcCall(send, big, sizeof(big), &r, sizeof(r)), base::Status::kTooLarge);
+  });
+  kernel_.CreateThread(client, "small2", [&, send = *send](Env& env) {
+    uint32_t req = 5, r = 0;
+    ASSERT_EQ(env.RpcCall(send, &req, sizeof(req), &r, sizeof(r)), base::Status::kOk);
+    EXPECT_EQ(r, 10u);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(served, 2);
+}
+
 }  // namespace
 }  // namespace mk

@@ -22,6 +22,15 @@ Checks, over every header and source file under src/ and tests/:
      src/mk/fault/points.h. A fault campaign is replayed from a seed plus
      the visit sequence of named points; an unregistered point would be
      invisible to campaign tooling and to the replay documentation.
+  6. Determinism (src/mk and src/svc only; src/mk/host.cc exempt): the
+     simulation must replay bit-identically — that is what makes schedule
+     traces from the explorer reproducible. Banned: rand()/srand(),
+     std::random_device, wall-clock reads (std::chrono::system_clock etc.,
+     time(), gettimeofday, clock_gettime), and range-for iteration over
+     std::unordered_map/set (iteration order is unspecified and varies
+     between libc++/libstdc++ and across runs with pointer keys). An
+     unordered loop whose order provably does not escape may carry an
+     `unordered-ok:` comment on the loop line or the line above.
 
 Exit status is the number of files with violations (0 = clean).
 """
@@ -35,6 +44,26 @@ SCAN_DIRS = ("src", "tests", "bench")
 COSTS_HEADER = Path("src") / "mk" / "costs.h"
 TRACE_EVENTS_HEADER = Path("src") / "mk" / "trace" / "events.h"
 FAULT_POINTS_HEADER = Path("src") / "mk" / "fault" / "points.h"
+
+DETERMINISM_SCOPES = (Path("src") / "mk", Path("src") / "svc")
+DETERMINISM_EXEMPT = {Path("src") / "mk" / "host.cc"}
+BANNED_NONDETERMINISM = (
+    (re.compile(r"\b(?:s?rand)\s*\("), "rand()/srand() — seedless PRNG"),
+    (re.compile(r"std::random_device"), "std::random_device — hardware entropy"),
+    (
+        re.compile(r"std::chrono::(?:system|steady|high_resolution)_clock"),
+        "host clock read — simulated time comes from hw::Cpu cycles",
+    ),
+    (
+        re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)|\b(?:gettimeofday|clock_gettime)\b"),
+        "wall-clock read — simulated time comes from hw::Cpu cycles",
+    ),
+)
+UNORDERED_DECL_RE = re.compile(r"std::unordered_(?:map|set)<[^;{}()]*?>&?\s+(\w+)\s*[;={(]")
+UNORDERED_ACCESSOR_RE = re.compile(r"std::unordered_(?:map|set)<[^;{}]*?>&\s+(\w+)\s*\(")
+RANGE_FOR_RE = re.compile(r"^[^\S\n]*for\s*\([^;{}\n]*?:\s*([^){\n]+)\)", re.MULTILINE)
+UNORDERED_OK_MARK = "unordered-ok"
+INTROSPECT_HEADER = Path("src") / "mk" / "analysis" / "introspect.h"
 
 GUARD_RE = re.compile(r"^#ifndef\s+([A-Z0-9_]+)\s*$", re.MULTILINE)
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;", re.MULTILINE)
@@ -113,6 +142,63 @@ def check_fault_points(rel_path: Path, text: str, errors: list, registry: dict) 
             )
 
 
+def load_unordered_accessors() -> set:
+    """Names of Introspector accessors returning unordered-container refs."""
+    path = REPO_ROOT / INTROSPECT_HEADER
+    if not path.is_file():
+        return set()
+    text = path.read_text(encoding="utf-8", errors="replace")
+    return set(UNORDERED_ACCESSOR_RE.findall(text))
+
+
+def in_determinism_scope(rel_path: Path) -> bool:
+    if rel_path in DETERMINISM_EXEMPT:
+        return False
+    return any(
+        rel_path.parts[: len(scope.parts)] == scope.parts for scope in DETERMINISM_SCOPES
+    )
+
+
+def strip_line_comment(line: str) -> str:
+    return line.split("//", 1)[0]
+
+
+def check_determinism(rel_path: Path, text: str, errors: list, accessors: set) -> None:
+    if not in_determinism_scope(rel_path):
+        return
+    lines = text.split("\n")
+    for i, line in enumerate(lines):
+        code = strip_line_comment(line)
+        for pattern, why in BANNED_NONDETERMINISM:
+            if pattern.search(code):
+                errors.append(f"{rel_path}:{i + 1}: nondeterminism: {why}")
+    # Names declared with an unordered type in this file — and, for a .cc
+    # file, in its own header, where the members usually live.
+    decl_text = text
+    if rel_path.suffix == ".cc":
+        sibling = REPO_ROOT / rel_path.with_suffix(".h")
+        if sibling.is_file():
+            decl_text += sibling.read_text(encoding="utf-8", errors="replace")
+    unordered_names = set(UNORDERED_DECL_RE.findall(decl_text)) | accessors
+    if not unordered_names:
+        return
+    for match in RANGE_FOR_RE.finditer(text):
+        expr_names = set(re.findall(r"\w+", match.group(1)))
+        hits = expr_names & unordered_names
+        if not hits:
+            continue
+        line = text.count("\n", 0, match.start()) + 1
+        context = lines[max(0, line - 2) : line]
+        if any(UNORDERED_OK_MARK in c for c in context):
+            continue
+        errors.append(
+            f"{rel_path}:{line}: range-for over unordered container "
+            f"'{sorted(hits)[0]}' — iteration order is not deterministic; sort "
+            f"the keys, use an ordered container, or annotate the loop with "
+            f"'// {UNORDERED_OK_MARK}: <why order does not escape>'"
+        )
+
+
 def expected_guard(rel_path: Path) -> str:
     return re.sub(r"[^A-Za-z0-9]", "_", str(rel_path)).upper() + "_"
 
@@ -149,7 +235,7 @@ def check_costs_definition(rel_path: Path, text: str, errors: list) -> None:
         )
 
 
-def lint_file(path: Path, trace_registry: dict, fault_registry: dict) -> list:
+def lint_file(path: Path, trace_registry: dict, fault_registry: dict, accessors: set) -> list:
     rel_path = path.relative_to(REPO_ROOT)
     text = path.read_text(encoding="utf-8", errors="replace")
     errors = []
@@ -159,6 +245,7 @@ def lint_file(path: Path, trace_registry: dict, fault_registry: dict) -> list:
     check_costs_definition(rel_path, text, errors)
     check_trace_events(rel_path, text, errors, trace_registry)
     check_fault_points(rel_path, text, errors, fault_registry)
+    check_determinism(rel_path, text, errors, accessors)
     return errors
 
 
@@ -168,6 +255,7 @@ def main() -> int:
     scanned = 0
     trace_registry = load_enum_registry(TRACE_EVENTS_HEADER, ("EventType", "SpanKind"))
     fault_registry = load_enum_registry(FAULT_POINTS_HEADER, ("FaultPoint", "FaultMode"))
+    accessors = load_unordered_accessors()
     for scan_dir in SCAN_DIRS:
         root = REPO_ROOT / scan_dir
         if not root.is_dir():
@@ -176,7 +264,7 @@ def main() -> int:
             if path.suffix not in (".h", ".cc"):
                 continue
             scanned += 1
-            errors = lint_file(path, trace_registry, fault_registry)
+            errors = lint_file(path, trace_registry, fault_registry, accessors)
             if errors:
                 bad_files += 1
                 total_errors += len(errors)
