@@ -12,6 +12,7 @@
 #include <string>
 
 #include "bench/lib/json_report.h"
+#include "bench/lib/trace_export.h"
 #include "src/drv/kernel_nic.h"
 #include "src/drv/nic_driver.h"
 #include "src/hw/machine.h"
@@ -22,13 +23,15 @@ namespace {
 constexpr int kWarmup = 100;
 constexpr int kOps = 500;
 
-double RpcCyclesPerOp(bool handoff, uint32_t cache_kb, int background_threads = 0) {
+double RpcCyclesPerOp(bool handoff, uint32_t cache_kb, int background_threads = 0,
+                      const std::string& trace_path = std::string()) {
   hw::MachineConfig config;
   config.ram_bytes = 16 * 1024 * 1024;
   config.cpu.icache.size_bytes = cache_kb * 1024;
   config.cpu.dcache.size_bytes = cache_kb * 1024;
   hw::Machine machine(config);
   mk::Kernel kernel(&machine);
+  bench::ArmTrace(kernel, trace_path);
   kernel.scheduler().handoff_enabled = handoff;
   mk::Task* server_task = kernel.CreateTask("server");
   mk::Task* client_task = kernel.CreateTask("client");
@@ -69,6 +72,7 @@ double RpcCyclesPerOp(bool handoff, uint32_t cache_kb, int background_threads = 
     stop_background = true;
   });
   kernel.Run();
+  bench::ExportTrace(kernel, trace_path);
   return cycles;
 }
 
@@ -234,11 +238,14 @@ double ScatterCyclesPerExtent(uint32_t extents, uint32_t extent_bytes, bool batc
   return cycles;
 }
 
-void PrintAblations(bench::JsonReport* report) {
+void PrintAblations(bench::JsonReport* report, const std::string& trace_path) {
   std::printf("\n=== Ablation 1: direct handoff in the RPC rendezvous ===\n");
   std::printf("%22s %14s %14s %8s\n", "", "handoff", "ready-queue", "ratio");
+  bool first = true;
   for (int bg : {0, 2, 4}) {
-    const double with_handoff = RpcCyclesPerOp(true, 8, bg);
+    // `--trace` captures the first (handoff, unloaded) rendezvous run.
+    const double with_handoff = RpcCyclesPerOp(true, 8, bg, first ? trace_path : std::string());
+    first = false;
     const double without = RpcCyclesPerOp(false, 8, bg);
     std::printf("%2d background threads %14.0f %14.0f %8.2f\n", bg, with_handoff, without,
                 without / with_handoff);
@@ -330,9 +337,10 @@ BENCHMARK(BM_CacheSize)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->UseManualTime()->Iter
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::ExtractJsonPath(&argc, argv);
+  const std::string trace_path = bench::ExtractTracePath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);
   bench::JsonReport report;
-  PrintAblations(&report);
+  PrintAblations(&report, trace_path);
   if (!json_path.empty()) {
     WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
   }

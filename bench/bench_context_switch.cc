@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bench/lib/json_report.h"
+#include "bench/lib/trace_export.h"
 #include "src/hw/machine.h"
 #include "src/mk/kernel.h"
 
@@ -30,9 +31,11 @@ struct Cost {
   double cache_misses_per_switch = 0;
 };
 
-Cost Measure(bool separate_tasks, uint64_t working_set) {
+Cost Measure(bool separate_tasks, uint64_t working_set,
+             const std::string& trace_path = std::string()) {
   hw::Machine machine(hw::MachineConfig{.ram_bytes = 32 * 1024 * 1024});
   mk::Kernel kernel(&machine);
+  bench::ArmTrace(kernel, trace_path);
   mk::Task* task_a = kernel.CreateTask("a");
   mk::Task* task_b = separate_tasks ? kernel.CreateTask("b") : task_a;
   auto sem_a = kernel.SemCreate(0);
@@ -84,16 +87,20 @@ Cost Measure(bool separate_tasks, uint64_t working_set) {
   kernel.CreateThread(task_a, "starter",
                       [&](mk::Env& env) { WPOS_CHECK(kernel.SemSignal(*sem_a) == base::Status::kOk); });
   kernel.Run();
+  bench::ExportTrace(kernel, trace_path);
   return cost;
 }
 
-void PrintTable(bench::JsonReport* report) {
+void PrintTable(bench::JsonReport* report, const std::string& trace_path) {
   std::printf("\n=== Context/address-space switch cost vs working set ===\n");
   std::printf("%12s | %12s %8s %8s | %12s %8s %8s | %7s\n", "working set", "same-task cyc",
               "tlb", "cache", "cross-task cyc", "tlb", "cache", "penalty");
+  bool first = true;
   for (uint64_t ws : kWorkingSets) {
+    // `--trace` captures the first cross-task run of the sweep.
     const Cost same = Measure(false, ws);
-    const Cost cross = Measure(true, ws);
+    const Cost cross = Measure(true, ws, first ? trace_path : std::string());
+    first = false;
     std::printf("%10llu B | %12.0f %8.1f %8.1f | %12.0f %8.1f %8.1f | %6.2fx\n",
                 static_cast<unsigned long long>(ws), same.cycles_per_switch,
                 same.tlb_misses_per_switch, same.cache_misses_per_switch,
@@ -131,9 +138,10 @@ BENCHMARK(BM_Switch)
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::ExtractJsonPath(&argc, argv);
+  const std::string trace_path = bench::ExtractTracePath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
   bench::JsonReport report;
-  PrintTable(&report);
+  PrintTable(&report, trace_path);
   if (!json_path.empty()) {
     WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
   }

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "bench/lib/json_report.h"
+#include "bench/lib/trace_export.h"
 #include "src/drv/oo/ooddm.h"
 #include "src/hw/machine.h"
 #include "src/svc/net/stack.h"
@@ -40,9 +41,11 @@ Cost Measure(mk::Kernel& kernel, Fn&& op, int warmup = 10) {
   return {static_cast<double>(d.instructions) / kOps, static_cast<double>(d.cycles) / kOps, 0};
 }
 
-void RunDriverAblation(Cost* fine, Cost* coarse, double* fine_virtuals) {
+void RunDriverAblation(Cost* fine, Cost* coarse, double* fine_virtuals,
+                       const std::string& trace_path = std::string()) {
   hw::Machine machine(hw::MachineConfig{.ram_bytes = 16 * 1024 * 1024});
   mk::Kernel kernel(&machine);
+  bench::ArmTrace(kernel, trace_path);
   auto* disk = static_cast<hw::Disk*>(machine.AddDevice(std::make_unique<hw::Disk>("d", 3)));
   auto dma = machine.mem().AllocContiguous(1);
   mk::Task* task = kernel.CreateTask("driver-bench");
@@ -56,6 +59,7 @@ void RunDriverAblation(Cost* fine, Cost* coarse, double* fine_virtuals) {
     *coarse = Measure(kernel, [&] { (void)coarse_drv.ReadBlocks(env, 1, 1, buf.data()); });
   });
   kernel.Run();
+  bench::ExportTrace(kernel, trace_path);
 }
 
 void RunStackAblation(Cost* fine, Cost* coarse) {
@@ -79,10 +83,11 @@ void RunStackAblation(Cost* fine, Cost* coarse) {
   kernel.Run();
 }
 
-void PrintAblation(bench::JsonReport* report) {
+void PrintAblation(bench::JsonReport* report, const std::string& trace_path) {
   Cost fine_drv, coarse_drv, fine_net, coarse_net;
   double fine_virtuals = 0;
-  RunDriverAblation(&fine_drv, &coarse_drv, &fine_virtuals);
+  // `--trace` captures the driver ablation's run (OODDM vs coarse driver).
+  RunDriverAblation(&fine_drv, &coarse_drv, &fine_virtuals, trace_path);
   RunStackAblation(&fine_net, &coarse_net);
   report->Add("disk.instr_ratio", fine_drv.instructions / coarse_drv.instructions);
   report->Add("disk.cycle_ratio", fine_drv.cycles / coarse_drv.cycles);
@@ -134,9 +139,10 @@ BENCHMARK(BM_FineStack)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::ExtractJsonPath(&argc, argv);
+  const std::string trace_path = bench::ExtractTracePath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
   bench::JsonReport report;
-  PrintAblation(&report);
+  PrintAblation(&report, trace_path);
   if (!json_path.empty()) {
     WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
   }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench/lib/json_report.h"
+#include "bench/lib/trace_export.h"
 #include "src/hw/machine.h"
 #include "src/mk/kernel.h"
 
@@ -32,9 +33,10 @@ struct Pair {
   double ipc_cycles = 0;
 };
 
-Pair MeasureSize(uint32_t size) {
+Pair MeasureSize(uint32_t size, const std::string& trace_path = std::string()) {
   hw::Machine machine(hw::MachineConfig{.ram_bytes = 32 * 1024 * 1024});
   mk::Kernel kernel(&machine);
+  bench::ArmTrace(kernel, trace_path);
   mk::Task* server_task = kernel.CreateTask("server");
   mk::Task* client_task = kernel.CreateTask("client");
   auto recv = kernel.PortAllocate(*server_task);
@@ -146,14 +148,18 @@ Pair MeasureSize(uint32_t size) {
     kernel.PortDestroy(*server_task, *recv);
   });
   kernel.Run();
+  bench::ExportTrace(kernel, trace_path);
   return out;
 }
 
-void PrintSweep(bench::JsonReport* report) {
+void PrintSweep(bench::JsonReport* report, const std::string& trace_path) {
   std::printf("\n=== IPC rework: mach_msg vs RPC round trip (cycles/op) ===\n");
   std::printf("%10s %14s %14s %14s\n", "bytes", "mach_msg", "RPC", "improvement");
+  bool first = true;
   for (uint32_t size : kSizes) {
-    const Pair p = MeasureSize(size);
+    // `--trace` captures the first (zero-byte) sweep point's run.
+    const Pair p = MeasureSize(size, first ? trace_path : std::string());
+    first = false;
     std::printf("%10u %14.0f %14.0f %13.1fx\n", size, p.ipc_cycles, p.rpc_cycles,
                 p.ipc_cycles / p.rpc_cycles);
     const std::string prefix = "bytes" + std::to_string(size);
@@ -183,9 +189,10 @@ BENCHMARK(BM_Sweep)->Arg(0)->Arg(32)->Arg(512)->Arg(8192)->Arg(32768)->UseManual
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::ExtractJsonPath(&argc, argv);
+  const std::string trace_path = bench::ExtractTracePath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
   bench::JsonReport report;
-  PrintSweep(&report);
+  PrintSweep(&report, trace_path);
   if (!json_path.empty()) {
     WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
   }

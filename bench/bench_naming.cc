@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bench/lib/json_report.h"
+#include "bench/lib/trace_export.h"
 #include "src/hw/machine.h"
 #include "src/mks/naming/lite_name_server.h"
 #include "src/mks/naming/name_server.h"
@@ -29,9 +30,10 @@ struct Numbers {
   double lite_register = 0;
 };
 
-Numbers MeasureAll() {
+Numbers MeasureAll(const std::string& trace_path = std::string()) {
   hw::Machine machine(hw::MachineConfig{.ram_bytes = 32 * 1024 * 1024});
   mk::Kernel kernel(&machine);
+  bench::ArmTrace(kernel, trace_path);
   mk::Task* full_task = kernel.CreateTask("mks-naming");
   mks::NameServer full(kernel, full_task);
   mk::Task* lite_task = kernel.CreateTask("mks-naming-lite");
@@ -86,6 +88,7 @@ Numbers MeasureAll() {
     (void)lc.Resolve(env, "/x");
   });
   kernel.Run();
+  bench::ExportTrace(kernel, trace_path);
   return out;
 }
 
@@ -124,9 +127,10 @@ BENCHMARK(BM_Naming)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::ExtractJsonPath(&argc, argv);
+  const std::string trace_path = bench::ExtractTracePath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
   bench::JsonReport report;
-  PrintNaming(MeasureAll(), &report);
+  PrintNaming(MeasureAll(trace_path), &report);
   if (!json_path.empty()) {
     WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
   }

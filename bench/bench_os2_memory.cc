@@ -14,6 +14,7 @@
 #include <string>
 
 #include "bench/lib/json_report.h"
+#include "bench/lib/trace_export.h"
 #include "src/hw/machine.h"
 #include "src/pers/os2/os2_memory.h"
 
@@ -29,9 +30,10 @@ constexpr int kObjects = 64;
 constexpr uint64_t kObjectBytes = 6000;  // 1.46 pages: byte-vs-page rounding shows
 constexpr uint64_t kTouchedBytes = 512;  // what the program actually uses early
 
-Footprint RunOs2Layer() {
+Footprint RunOs2Layer(const std::string& trace_path = std::string()) {
   hw::Machine machine(hw::MachineConfig{.ram_bytes = 32 * 1024 * 1024});
   mk::Kernel kernel(&machine);
+  bench::ArmTrace(kernel, trace_path);
   mk::Task* task = kernel.CreateTask("os2app");
   pers::Os2Memory memory(kernel, *task);
   Footprint fp;
@@ -53,6 +55,7 @@ Footprint RunOs2Layer() {
     fp.metadata_bytes = memory.metadata_bytes();
   });
   kernel.Run();
+  bench::ExportTrace(kernel, trace_path);
   return fp;
 }
 
@@ -121,9 +124,10 @@ BENCHMARK(BM_Os2Memory)->UseManualTime()->Iterations(1);
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::ExtractJsonPath(&argc, argv);
+  const std::string trace_path = bench::ExtractTracePath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
   bench::JsonReport report;
-  PrintFootprint(RunOs2Layer(), RunRawKernel(), &report);
+  PrintFootprint(RunOs2Layer(trace_path), RunRawKernel(), &report);
   if (!json_path.empty()) {
     WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
   }

@@ -15,18 +15,24 @@
 #include <string>
 
 #include "bench/lib/json_report.h"
+#include "bench/lib/trace_export.h"
 #include "bench/lib/workloads.h"
 
 namespace {
 
-void PrintTable1(bench::JsonReport* report) {
+void PrintTable1(bench::JsonReport* report, const std::string& trace_path) {
   std::printf("\n=== Table 1: OS/2 Performance Comparisons ===\n");
   std::printf("%-20s %-24s %14s %14s %10s %10s\n", "Test", "Application Content",
               "WPOS (ms)", "OS/2 (ms)", "ratio", "paper");
   double log_sum = 0;
   double paper_log_sum = 0;
+  bool first = true;
   for (const bench::NamedWorkload& w : bench::Table1Workloads()) {
-    const bench::WorkloadResult wpos = bench::RunOnWpos(w.fn);
+    // `--trace` captures the first (file-intensive) row: the one whose
+    // DosOpen/DosRead requests hop personality -> FS server -> driver.
+    const bench::WorkloadResult wpos =
+        bench::RunOnWpos(w.fn, first ? trace_path : std::string());
+    first = false;
     const bench::WorkloadResult mono = bench::RunOnMono(w.fn);
     const double ratio = wpos.seconds / mono.seconds;
     log_sum += std::log(ratio);
@@ -58,9 +64,10 @@ void BM_Workload(benchmark::State& state, bench::Workload fn, bool wpos) {
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::ExtractJsonPath(&argc, argv);
+  const std::string trace_path = bench::ExtractTracePath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
   bench::JsonReport report;
-  PrintTable1(&report);
+  PrintTable1(&report, trace_path);
   if (!json_path.empty()) {
     WPOS_CHECK(report.WriteFile(json_path)) << "cannot write " << json_path;
   }

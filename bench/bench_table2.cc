@@ -23,6 +23,7 @@
 #include <string>
 
 #include "bench/lib/json_report.h"
+#include "bench/lib/trace_export.h"
 #include "src/hw/machine.h"
 #include "src/mk/kernel.h"
 #include "src/mk/trace/exporters.h"
@@ -133,11 +134,7 @@ Window MeasureRpc32(bool traced = false, SpanDelta* spans = nullptr,
     kernel.PortDestroy(*server_task, *recv);
   });
   kernel.Run();
-  if (!trace_path.empty()) {
-    std::ofstream f(trace_path);
-    WPOS_CHECK(static_cast<bool>(f)) << "cannot write " << trace_path;
-    mk::trace::WriteChromeTrace(f, kernel);
-  }
+  bench::ExportTrace(kernel, trace_path);
   return window;
 }
 
@@ -259,7 +256,7 @@ BENCHMARK(BM_Rpc32)->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::ExtractJsonPath(&argc, argv);
-  const std::string trace_path = bench::ExtractFlag(&argc, argv, "--trace");
+  const std::string trace_path = bench::ExtractTracePath(&argc, argv);
   base::SetLogLevel(base::LogLevel::kError);  // parked servers at halt are expected
   bench::JsonReport report;
   const Window trap = MeasureTrap();

@@ -1,0 +1,35 @@
+#include "bench/lib/trace_export.h"
+
+#include <fstream>
+
+#include "bench/lib/json_report.h"
+#include "src/base/log.h"
+#include "src/mk/kernel.h"
+#include "src/mk/trace/exporters.h"
+
+namespace bench {
+
+std::string ExtractTracePath(int* argc, char** argv) {
+  return ExtractFlag(argc, argv, "--trace");
+}
+
+void ArmTrace(mk::Kernel& kernel, const std::string& path) {
+  if (!path.empty()) {
+    kernel.tracer().Enable();
+  }
+}
+
+void ExportTrace(mk::Kernel& kernel, const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream chrome(path);
+  WPOS_CHECK(static_cast<bool>(chrome)) << "cannot write " << path;
+  mk::trace::WriteChromeTrace(chrome, kernel);
+  const std::string trees_path = path + ".trees.txt";
+  std::ofstream trees(trees_path);
+  WPOS_CHECK(static_cast<bool>(trees)) << "cannot write " << trees_path;
+  mk::trace::WriteRequestTrees(trees, kernel);
+}
+
+}  // namespace bench

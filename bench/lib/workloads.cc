@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "bench/lib/trace_export.h"
 #include "src/base/log.h"
 #include "src/base/rng.h"
 
@@ -139,8 +140,9 @@ const std::vector<NamedWorkload>& Table1Workloads() {
   return kWorkloads;
 }
 
-WorkloadResult RunOnWpos(Workload workload) {
+WorkloadResult RunOnWpos(Workload workload, const std::string& trace_path) {
   WposSystem system;
+  ArmTrace(system.kernel(), trace_path);
   WorkloadResult result;
   system.RunApp([&](mk::Env& env) {
     workload(env, *system.MakeApi());  // warm pass: caches, name lookups, FS metadata
@@ -152,6 +154,7 @@ WorkloadResult RunOnWpos(Workload workload) {
     result.seconds =
         static_cast<double>(system.kernel().cpu().CyclesToNs(delta.cycles)) * 1e-9;
   });
+  ExportTrace(system.kernel(), trace_path);
   return result;
 }
 

@@ -46,8 +46,11 @@ struct NamedWorkload {
 const std::vector<NamedWorkload>& Table1Workloads();
 
 // Runs `workload` to completion on a fresh system of the given kind and
-// returns the measured window (excluding one warm-up pass).
-WorkloadResult RunOnWpos(Workload workload);
+// returns the measured window (excluding one warm-up pass). A non-empty
+// `trace_path` arms the causal tracer for the run and exports the Chrome
+// trace plus the request-tree report (see bench/lib/trace_export.h);
+// tracing charges no simulated cycles, so the window is unchanged.
+WorkloadResult RunOnWpos(Workload workload, const std::string& trace_path = std::string());
 WorkloadResult RunOnMono(Workload workload);
 
 }  // namespace bench

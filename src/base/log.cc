@@ -8,6 +8,7 @@ namespace base {
 namespace {
 LogLevel g_level = LogLevel::kWarn;
 LogCycleSource g_cycle_source;
+LogTraceSource g_trace_source;
 ScopedLogCapture* g_capture = nullptr;
 
 const char* LevelTag(LogLevel level) {
@@ -36,6 +37,12 @@ LogCycleSource SetLogCycleSource(LogCycleSource source) {
   return prev;
 }
 
+LogTraceSource SetLogTraceSource(LogTraceSource source) {
+  LogTraceSource prev = std::move(g_trace_source);
+  g_trace_source = std::move(source);
+  return prev;
+}
+
 ScopedLogCapture::ScopedLogCapture() : prev_(g_capture) { g_capture = this; }
 
 ScopedLogCapture::~ScopedLogCapture() { g_capture = prev_; }
@@ -52,6 +59,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
   stream_ << "[" << LevelTag(level) << " " << (slash != nullptr ? slash + 1 : file) << ":" << line;
   if (g_cycle_source) {
     stream_ << " @" << g_cycle_source();
+  }
+  if (g_trace_source) {
+    const uint64_t trace_id = g_trace_source();
+    if (trace_id != 0) {
+      stream_ << " trace=" << trace_id;
+    }
   }
   stream_ << "] ";
 }

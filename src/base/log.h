@@ -27,6 +27,15 @@ LogLevel GetLogLevel();
 using LogCycleSource = std::function<uint64_t()>;
 LogCycleSource SetLogCycleSource(LogCycleSource source);
 
+// Same exchange contract for causal-trace correlation: when a source is
+// registered and returns a non-zero trace id, the prefix carries it
+// ("[W fs.cc:12 @12345 trace=7] ..."), tying log lines to the request tree
+// the emitting thread was working for. Zero means "no active trace" and
+// leaves the prefix untouched, so logs outside traced requests (and whole
+// runs with tracing detached) are byte-identical to before.
+using LogTraceSource = std::function<uint64_t()>;
+LogTraceSource SetLogTraceSource(LogTraceSource source);
+
 // Captures log output emitted while in scope instead of writing it to
 // stderr; scopes nest (the innermost capture wins) and restore the previous
 // sink on destruction. Fatal messages are still written to stderr before

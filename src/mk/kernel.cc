@@ -81,6 +81,10 @@ Kernel::Kernel(hw::Machine* machine, const KernelConfig& config)
   tracer_ = std::make_unique<trace::Tracer>(&machine->cpu(), &scheduler_, config.trace_capacity);
   faults_ = std::make_unique<fault::Injector>(tracer_.get());
   prev_log_cycle_source_ = base::SetLogCycleSource([this] { return cpu().cycles(); });
+  prev_log_trace_source_ = base::SetLogTraceSource([this] {
+    Thread* t = scheduler_.current();
+    return t == nullptr ? uint64_t{0} : t->trace_ctx.trace_id;
+  });
   HostInfo info;
   info.name = "wpos-sim";
   info.cpu_mhz = machine->cpu().config().mhz;
@@ -88,7 +92,10 @@ Kernel::Kernel(hw::Machine* machine, const KernelConfig& config)
   host_.set_info(info);
 }
 
-Kernel::~Kernel() { base::SetLogCycleSource(std::move(prev_log_cycle_source_)); }
+Kernel::~Kernel() {
+  base::SetLogCycleSource(std::move(prev_log_cycle_source_));
+  base::SetLogTraceSource(std::move(prev_log_trace_source_));
+}
 
 size_t Kernel::Run() {
   scheduler_.Run();

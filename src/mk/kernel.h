@@ -424,8 +424,9 @@ class Kernel {
   // Kernel entries since boot; drives the invariant-check cadence.
   uint64_t kernel_entries_ = 0;
   // Cycle source active before this kernel registered its clock with the
-  // logger; restored on destruction.
+  // logger; restored on destruction. Same for the causal-trace-id source.
   base::LogCycleSource prev_log_cycle_source_;
+  base::LogTraceSource prev_log_trace_source_;
   // Monotonicity snapshot for CheckInvariants: counters must never regress
   // between two successive checks. Mutable because checking is const.
   mutable uint64_t last_rpc_calls_ = 0;

@@ -166,10 +166,16 @@ void Kernel::DeliverRpcToServer(Thread* client, Thread* server) {
     // block) client into the server.
     sync_observer_->OnRendezvous(client, server);
   }
-  // The client's call span enters its server phase; label it with the server
-  // task so per-server latency histograms separate.
-  tracer_->MarkPhase(c.span_id, trace::EventType::kRpcDispatch, server->id());
+  // The client's call span enters its server phase; the label must land
+  // before the dispatch mark so the per-server queue-wait histogram splits.
   tracer_->LabelSpan(c.span_id, server->task()->name());
+  tracer_->MarkPhase(c.span_id, trace::EventType::kRpcDispatch, server->id());
+  // Bind the server thread to the caller's trace: every span the handler
+  // opens (server op, nested RPCs to other servers) now chains onto this
+  // call span. The reply paths unbind it.
+  if (c.span_id != 0) {
+    server->trace_ctx = TraceContext{tracer_->SpanTraceId(c.span_id), c.span_id};
+  }
 }
 
 base::Status Kernel::RpcCall(PortName port_name, const void* req, uint32_t req_len, void* reply,
@@ -275,6 +281,7 @@ base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len
     }
   } else {
     port->waiting_clients.push_back(client);
+    tracer_->MarkQueued(c.span_id, trace::EventType::kRpcQueued, port->id());
     tracer_->metrics().GaugeMax("mk.rpc.waiting_clients_hwm", port->waiting_clients.size());
     StartTimedWake(client, timeout_ns);
     const base::Status block_status = scheduler_.Block(Thread::State::kBlocked, nullptr);
@@ -319,6 +326,9 @@ base::Result<RpcRequest> Kernel::RpcReceive(PortName receive_name, void* buf, ui
   }
   Port* port = *port_r;
   Thread::RpcState& s = server->rpc;
+  // Between requests the server works for nobody: drop any stale trace
+  // binding (DeliverRpcToServer rebinds it for the request received here).
+  server->trace_ctx = TraceContext{};
   s.srv_buf = buf;
   s.srv_cap = cap;
   s.srv_ref = ref;
@@ -471,6 +481,9 @@ base::Result<RpcRequest> Kernel::RpcReplyAndReceive(uint64_t token, const void* 
     return base::Status::kInvalidArgument;
   }
   server->rpc.client = nullptr;
+  // The reply ends this server's work for the caller; unbind its trace
+  // context before the receive half picks up (or waits for) the next one.
+  server->trace_ctx = TraceContext{};
   // Fault point: the reply (see RpcReply). kDropReply swallows the reply but
   // still enters the receive, so the server keeps serving.
   switch (faults_->Fire(fault::FaultPoint::kRpcReply)) {
@@ -618,6 +631,8 @@ base::Status Kernel::RpcReply(uint64_t token, const void* reply, uint32_t len,
     return base::Status::kInvalidArgument;
   }
   server->rpc.client = nullptr;
+  // The reply ends this server's work for the caller: unbind its trace.
+  server->trace_ctx = TraceContext{};
   // Fault point: the reply. The waiter is already erased, so every mode
   // leaves the token unreplayable — exactly once per request.
   switch (faults_->Fire(fault::FaultPoint::kRpcReply)) {

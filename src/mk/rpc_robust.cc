@@ -1,6 +1,7 @@
 #include "src/mk/rpc_robust.h"
 
 #include "src/base/log.h"
+#include "src/mk/trace/tracer.h"
 
 namespace mk {
 
@@ -8,6 +9,12 @@ base::Status RpcCallRobust(Env& env, const PortResolver& resolve, PortName* cach
                            const void* req, uint32_t req_len, void* reply, uint32_t reply_cap,
                            const RobustCallOptions& opts, uint32_t* reply_len, RpcRef* ref,
                            PortName* granted) {
+  // Umbrella span covering the whole robust call: every attempt's kRpc span
+  // (and any re-resolve RPC to the name server) becomes a child of this one,
+  // so retries share a single trace_id instead of starting fresh traces.
+  trace::ScopedSpan robust(env.kernel().tracer(), trace::SpanKind::kRpcRobust,
+                           trace::EventType::kRpcRobustCall, trace::EventType::kRpcRobustReturn,
+                           *cached_port);
   base::Status last = base::Status::kUnavailable;
   uint64_t backoff = opts.retry_backoff_ns;
   for (uint32_t attempt = 0; attempt < opts.max_attempts; ++attempt) {
@@ -52,6 +59,7 @@ base::Status RpcCallRobust(Env& env, const PortResolver& resolve, PortName* cach
         last = st;
         continue;
       default:
+        robust.set_end_payload(static_cast<uint64_t>(st));
         return st;
     }
   }
@@ -60,8 +68,9 @@ base::Status RpcCallRobust(Env& env, const PortResolver& resolve, PortName* cach
   // own status so callers can distinguish "slow" from "gone".
   if (last == base::Status::kPortDead || last == base::Status::kInvalidName ||
       last == base::Status::kNotFound) {
-    return base::Status::kUnavailable;
+    last = base::Status::kUnavailable;
   }
+  robust.set_end_payload(static_cast<uint64_t>(last));
   return last;
 }
 

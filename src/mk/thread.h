@@ -51,6 +51,18 @@ struct RpcRef {
 
 struct RightDescriptor;  // message.h
 
+// Causal-tracing context carried by every thread: which request (trace_id)
+// the thread is currently working for, and the innermost open span of that
+// request (span_id — the parent of any span the thread opens next). The
+// kernel propagates it across RPC rendezvous so one user-visible operation
+// renders as a single tree no matter how many servers it hops through.
+// Both fields stay 0 while tracing is detached; all maintenance is
+// host-side bookkeeping that charges no simulated cycles.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
 class Thread {
  public:
   enum class State : uint8_t {
@@ -129,6 +141,12 @@ class Thread {
     TaskId srv_client_task = 0;
   };
   RpcState rpc;
+
+  // --- Causal-tracing context ----------------------------------------------------
+  // Maintained by trace::Tracer (span begin/end on this thread) and by the
+  // kernel RPC paths (request delivery binds the server thread to the
+  // client's context; the reply unbinds it). Zero while tracing is off.
+  TraceContext trace_ctx;
 
   // --- Legacy IPC state --------------------------------------------------------
   Port* ipc_receiving_from = nullptr;

@@ -23,9 +23,14 @@ enum class EventType : uint8_t {
   kTrapCall,           // trap span begin (user stub onward); a = span id
   kTrapReturn,         // trap span end; a = span id
   kRpcCall,            // RPC span begin; a = span id, b = port id
+  kRpcQueued,          // instant: caller parked in waiting_clients; a = span id, b = port id
   kRpcDispatch,        // RPC span phase; a = span id, b = server thread id
   kRpcReply,           // RPC span phase; a = span id, b = reply length
   kRpcReturn,          // RPC span end; a = span id, b = completion status
+  kRpcRobustCall,      // robust-call span begin (covers all attempts); a = span id
+  kRpcRobustReturn,    // robust-call span end; a = span id, b = final status
+  kApiCall,            // personality API span begin; a = span id, b = handle/fd
+  kApiReturn,          // personality API span end; a = span id, b = status
   kIpcSend,            // legacy-send span begin; a = span id, b = msg id
   kIpcSendDone,        // legacy-send span end; a = span id
   kIpcReceive,         // legacy-receive span begin; a = span id
@@ -53,6 +58,8 @@ enum class SpanKind : uint8_t {
   kIpcReceive,  // one phase
   kVmFault,     // one phase
   kServerOp,    // one phase: server-loop handler body
+  kRpcRobust,   // one phase: a whole RpcCallRobust, all attempts included
+  kApi,         // one phase: a personality API operation (read(), DosRead, ...)
   kCount,
 };
 

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -61,6 +62,12 @@ bool SpanBeginKind(EventType t, SpanKind* kind) {
     case EventType::kServerDispatch:
       *kind = SpanKind::kServerOp;
       return true;
+    case EventType::kRpcRobustCall:
+      *kind = SpanKind::kRpcRobust;
+      return true;
+    case EventType::kApiCall:
+      *kind = SpanKind::kApi;
+      return true;
     default:
       return false;
   }
@@ -76,6 +83,8 @@ bool IsSpanEnd(EventType t) {
     case EventType::kIpcReceiveDone:
     case EventType::kVmFaultDone:
     case EventType::kServerDone:
+    case EventType::kRpcRobustReturn:
+    case EventType::kApiReturn:
       return true;
     default:
       return false;
@@ -175,6 +184,29 @@ void WriteChromeTrace(std::ostream& os, Kernel& kernel) {
            ",\"pid\":" + std::to_string(e.task) + ",\"tid\":" + std::to_string(e.thread) +
            ",\"args\":{\"a\":" + std::to_string(e.a) + ",\"b\":" + std::to_string(e.b) + "}}");
     }
+  }
+
+  // Flow arrows: one "s" -> "f" pair per span whose parent lives on another
+  // thread, drawn from the span registry (which, unlike the ring, never
+  // drops), so Perfetto connects a client's call slice to the server's
+  // handler slice and renders each trace as one causal chain.
+  const std::map<uint64_t, Tracer::SpanMeta>& metas = tracer.spans();
+  for (const auto& [id, meta] : metas) {
+    if (meta.parent == 0) {
+      continue;
+    }
+    auto pit = metas.find(meta.parent);
+    if (pit == metas.end() || pit->second.thread == meta.thread) {
+      continue;
+    }
+    const std::string common = ",\"cat\":\"causal\",\"name\":\"trace_" +
+                               std::to_string(meta.trace_id) +
+                               "\",\"id\":" + std::to_string(id) +
+                               ",\"ts\":" + TsUs(meta.begin_cycle, mhz);
+    emit("{\"ph\":\"s\"" + common + ",\"pid\":" + std::to_string(pit->second.task) +
+         ",\"tid\":" + std::to_string(pit->second.thread) + "}");
+    emit("{\"ph\":\"f\",\"bp\":\"e\"" + common + ",\"pid\":" + std::to_string(meta.task) +
+         ",\"tid\":" + std::to_string(meta.thread) + "}");
   }
   os << "\n]}\n";
 }
@@ -276,6 +308,118 @@ void WriteMetricsJson(std::ostream& os, Kernel& kernel) {
   WriteCounters(os, kernel.Counters());
   os << ",\n  \"trace\": {\"emitted\": " << tracer.total_emitted()
      << ", \"dropped\": " << tracer.dropped() << "}\n}\n";
+}
+
+void WriteRequestTrees(std::ostream& os, Kernel& kernel) {
+  Tracer& tracer = kernel.tracer();
+  const std::map<uint64_t, Tracer::SpanMeta>& metas = tracer.spans();
+
+  std::map<TaskId, std::string> task_names;
+  for (const auto& task : kernel.tasks()) {
+    task_names[task->id()] = task->name();
+  }
+
+  // Tree shape: children in span-id (begin) order; roots grouped per trace.
+  // Everything iterated here is an ordered map keyed by ids the tracer
+  // assigns deterministically, so the report is byte-stable across runs.
+  std::map<uint64_t, std::vector<uint64_t>> children;
+  std::map<uint64_t, std::vector<uint64_t>> trace_roots;
+  for (const auto& [id, meta] : metas) {
+    if (meta.parent != 0 && metas.find(meta.parent) != metas.end()) {
+      children[meta.parent].push_back(id);
+    } else {
+      trace_roots[meta.trace_id].push_back(id);
+    }
+  }
+
+  const auto total_cycles = [&](const Tracer::SpanMeta& m) {
+    return m.ended ? m.end_cycle - m.begin_cycle : uint64_t{0};
+  };
+
+  // Subtree span count, for the per-trace header line.
+  const std::function<size_t(uint64_t)> count_subtree = [&](uint64_t id) {
+    size_t n = 1;
+    auto cit = children.find(id);
+    if (cit != children.end()) {
+      for (uint64_t c : cit->second) {
+        n += count_subtree(c);
+      }
+    }
+    return n;
+  };
+
+  // `critical` marks the hop chain that bounds the request's latency: from
+  // every critical node, the child with the largest total is critical too.
+  const std::function<void(uint64_t, int, bool)> print_span = [&](uint64_t id, int depth,
+                                                                  bool critical) {
+    const Tracer::SpanMeta& meta = metas.at(id);
+    for (int i = 0; i < depth; ++i) {
+      os << "  ";
+    }
+    os << (critical ? "* " : "- ") << SpanName(meta.kind);
+    if (!meta.label.empty()) {
+      os << " [" << meta.label << "]";
+    }
+    os << " span=" << id;
+    auto tn = task_names.find(meta.task);
+    os << " task=" << (tn != task_names.end() ? tn->second : std::to_string(meta.task));
+    if (!meta.ended) {
+      os << " OPEN";
+    } else {
+      os << " total=" << total_cycles(meta);
+    }
+    // Per-hop latency buckets of an RPC span, from its boundary cycles:
+    // begin -> (queued) -> dispatch -> reply -> end. Error calls may never
+    // reach a boundary; print only the buckets that exist.
+    if (meta.kind == SpanKind::kRpc && meta.dispatch_cycle != 0) {
+      const uint64_t send_end = meta.queued_cycle != 0 ? meta.queued_cycle : meta.dispatch_cycle;
+      os << " client_send=" << send_end - meta.begin_cycle;
+      os << " queue_wait="
+       << (meta.queued_cycle != 0 ? meta.dispatch_cycle - meta.queued_cycle : 0);
+      if (meta.reply_cycle != 0) {
+        os << " server=" << meta.reply_cycle - meta.dispatch_cycle;
+        if (meta.ended) {
+          os << " reply_return=" << meta.end_cycle - meta.reply_cycle;
+        }
+      }
+    }
+    if (meta.ended && meta.end_arg != 0) {
+      os << " status=" << meta.end_arg;
+    }
+    os << "\n";
+    auto cit = children.find(id);
+    if (cit == children.end()) {
+      return;
+    }
+    // The critical child: largest total, earliest span id breaking ties.
+    uint64_t crit_child = 0;
+    uint64_t crit_total = 0;
+    for (uint64_t c : cit->second) {
+      const uint64_t t = total_cycles(metas.at(c));
+      if (crit_child == 0 || t > crit_total) {
+        crit_child = c;
+        crit_total = t;
+      }
+    }
+    for (uint64_t c : cit->second) {
+      print_span(c, depth + 1, critical && c == crit_child);
+    }
+  };
+
+  os << "=== causal request trees (cycles; * = critical path) ===\n";
+  for (const auto& [trace_id, roots] : trace_roots) {
+    size_t spans = 0;
+    uint64_t cycles = 0;
+    for (uint64_t r : roots) {
+      spans += count_subtree(r);
+      cycles += total_cycles(metas.at(r));
+    }
+    os << "trace " << trace_id << ": " << spans << " span" << (spans == 1 ? "" : "s") << ", "
+       << cycles << " cycles\n";
+    for (uint64_t r : roots) {
+      print_span(r, 1, true);
+    }
+  }
 }
 
 }  // namespace trace

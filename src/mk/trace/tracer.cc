@@ -26,12 +26,22 @@ const char* EventName(EventType type) {
       return "trap_return";
     case EventType::kRpcCall:
       return "rpc_call";
+    case EventType::kRpcQueued:
+      return "rpc_queued";
     case EventType::kRpcDispatch:
       return "rpc_dispatch";
     case EventType::kRpcReply:
       return "rpc_reply";
     case EventType::kRpcReturn:
       return "rpc_return";
+    case EventType::kRpcRobustCall:
+      return "rpc_robust_call";
+    case EventType::kRpcRobustReturn:
+      return "rpc_robust_return";
+    case EventType::kApiCall:
+      return "api_call";
+    case EventType::kApiReturn:
+      return "api_return";
     case EventType::kIpcSend:
       return "ipc_send";
     case EventType::kIpcSendDone:
@@ -78,6 +88,10 @@ const char* SpanName(SpanKind kind) {
       return "vm_fault";
     case SpanKind::kServerOp:
       return "server_op";
+    case SpanKind::kRpcRobust:
+      return "rpc_robust";
+    case SpanKind::kApi:
+      return "api";
     case SpanKind::kCount:
       break;
   }
@@ -177,6 +191,27 @@ uint64_t Tracer::BeginSpan(SpanKind kind, EventType begin_event, uint64_t b) {
   span.kind = kind;
   span.begin = cpu_->counters();
   span.phase_begin = span.begin;
+  // Join the current thread's trace: parent = the innermost open span, a
+  // fresh trace_id if the thread isn't working for any request yet. The
+  // context then names this span so children (including spans opened by a
+  // server this thread RPCs to) chain onto it.
+  Thread* t = scheduler_->current();
+  if (t != nullptr) {
+    span.owner = t->id();
+    span.parent = t->trace_ctx.span_id;
+    span.trace_id = t->trace_ctx.trace_id != 0 ? t->trace_ctx.trace_id : next_trace_id_++;
+    t->trace_ctx = TraceContext{span.trace_id, id};
+  } else {
+    span.trace_id = next_trace_id_++;
+  }
+  SpanMeta& meta = span_meta_[id];
+  meta.kind = kind;
+  meta.trace_id = span.trace_id;
+  meta.parent = span.parent;
+  meta.thread = t == nullptr ? 0 : t->id();
+  meta.task = t == nullptr ? 0 : t->task()->id();
+  meta.arg = b;
+  meta.begin_cycle = cpu_->cycles();
   Push(begin_event, id, b);
   return id;
 }
@@ -197,7 +232,35 @@ void Tracer::MarkPhase(uint64_t span_id, EventType phase_event, uint64_t b) {
   }
   ++span.phase;
   span.phase_begin = now;
+  auto mit = span_meta_.find(span_id);
+  if (mit != span_meta_.end()) {
+    SpanMeta& meta = mit->second;
+    if (phase_event == EventType::kRpcDispatch) {
+      meta.dispatch_cycle = now.cycles;
+      // Close the pending queue wait (0 when the rendezvous was direct —
+      // the server was already parked in RpcReceive, so nothing queued).
+      const uint64_t wait = meta.queued_cycle != 0 ? now.cycles - meta.queued_cycle : 0;
+      metrics_.Hist("mk.rpc.queue_wait_cycles").Record(wait);
+      if (!span.label.empty()) {
+        metrics_.Hist("mk.rpc.queue_wait_cycles." + span.label).Record(wait);
+      }
+    } else if (phase_event == EventType::kRpcReply) {
+      meta.reply_cycle = now.cycles;
+    }
+  }
   Push(phase_event, span_id, b);
+}
+
+void Tracer::MarkQueued(uint64_t span_id, EventType event, uint64_t b) {
+  if (span_id == 0) {
+    return;
+  }
+  auto it = span_meta_.find(span_id);
+  if (it == span_meta_.end()) {
+    return;
+  }
+  it->second.queued_cycle = cpu_->cycles();
+  Push(event, span_id, b);
 }
 
 void Tracer::LabelSpan(uint64_t span_id, const std::string& label) {
@@ -207,6 +270,10 @@ void Tracer::LabelSpan(uint64_t span_id, const std::string& label) {
   auto it = active_spans_.find(span_id);
   if (it != active_spans_.end()) {
     it->second.label = label;
+  }
+  auto mit = span_meta_.find(span_id);
+  if (mit != span_meta_.end()) {
+    mit->second.label = label;
   }
 }
 
@@ -232,8 +299,27 @@ void Tracer::EndSpan(uint64_t span_id, EventType end_event, uint64_t b) {
   } else {
     metrics_.Hist(std::string(SpanName(span.kind)) + ".cycles").Record(total_cycles);
   }
+  auto mit = span_meta_.find(span_id);
+  if (mit != span_meta_.end()) {
+    SpanMeta& meta = mit->second;
+    meta.end_cycle = now.cycles;
+    meta.end_arg = b;
+    meta.ended = true;
+  }
+  // Pop this span off its owner thread's context — but only if that thread
+  // is still inside it (a server's context is rebound by the kernel between
+  // requests, so a stale restore must not clobber the new binding).
+  Thread* t = scheduler_->current();
+  if (t != nullptr && t->id() == span.owner && t->trace_ctx.span_id == span_id) {
+    t->trace_ctx = TraceContext{span.parent == 0 ? 0 : span.trace_id, span.parent};
+  }
   active_spans_.erase(it);
   Push(end_event, span_id, b);
+}
+
+uint64_t Tracer::SpanTraceId(uint64_t span_id) const {
+  auto it = span_meta_.find(span_id);
+  return it == span_meta_.end() ? 0 : it->second.trace_id;
 }
 
 std::vector<Tracer::RegionProfile> Tracer::FlatProfile() const {

@@ -37,6 +37,7 @@
 namespace mk {
 
 class Scheduler;
+class Thread;
 
 namespace trace {
 
@@ -74,9 +75,22 @@ class Tracer {
   // --- Span profiler ---------------------------------------------------------
   // Begins a span, emitting `begin_event` (payload a = span id, b = `b`).
   // Returns 0 when disabled; 0 is a valid no-op span id everywhere below.
+  //
+  // Causal linkage: the new span joins the current thread's TraceContext —
+  // it becomes a child of the context's open span (parent 0 = a root span,
+  // which also starts a fresh trace_id) — and the context then points at it
+  // until the matching EndSpan restores the parent. The kernel's RPC paths
+  // carry the context across rendezvous (see Kernel::DeliverRpcToServer),
+  // so spans opened inside a server handler chain onto the caller's trace.
   uint64_t BeginSpan(SpanKind kind, EventType begin_event, uint64_t b = 0);
-  // Closes the current phase and starts the next one.
+  // Closes the current phase and starts the next one. An RPC span's
+  // kRpcDispatch boundary additionally closes any pending queue wait (see
+  // MarkQueued) into the mk.rpc.queue_wait_cycles histograms.
   void MarkPhase(uint64_t span, EventType phase_event, uint64_t b = 0);
+  // Records that the operation behind `span` was parked in a port's
+  // waiting_clients queue at the current cycle, emitting `event`. The wait
+  // ends at the span's next MarkPhase (the dispatch boundary).
+  void MarkQueued(uint64_t span, EventType event, uint64_t b = 0);
   // Attaches a label (e.g. the server task name); selects the latency
   // histogram the span's total cycles are recorded into at EndSpan.
   void LabelSpan(uint64_t span, const std::string& label);
@@ -88,6 +102,32 @@ class Tracer {
     std::array<hw::CpuCounters, kMaxSpanPhases> phases;
   };
   const SpanStats& stats(SpanKind kind) const { return stats_[static_cast<int>(kind)]; }
+
+  // --- Causal span registry ---------------------------------------------------
+  // Everything the request-tree / flow exporters need about a span, kept for
+  // the tracer's whole lifetime (unlike the event ring, which drops oldest).
+  struct SpanMeta {
+    SpanKind kind = SpanKind::kCount;
+    uint64_t trace_id = 0;
+    uint64_t parent = 0;       // parent span id, 0 = root of its trace
+    ThreadId thread = 0;       // thread that opened the span
+    TaskId task = 0;
+    std::string label;
+    uint64_t arg = 0;          // begin-event payload (port id, op code, fd)
+    uint64_t end_arg = 0;      // end-event payload (completion status)
+    uint64_t begin_cycle = 0;
+    uint64_t end_cycle = 0;    // 0 while the span is still open
+    bool ended = false;
+    // RPC hop boundaries: 0 = never reached. queued/dispatch/reply bracket
+    // the three latency buckets (client send, port queue wait, handler).
+    uint64_t queued_cycle = 0;
+    uint64_t dispatch_cycle = 0;
+    uint64_t reply_cycle = 0;
+  };
+  // Spans by id (begin order). Includes still-open spans (ended == false).
+  const std::map<uint64_t, SpanMeta>& spans() const { return span_meta_; }
+  // Trace id a span belongs to; 0 for unknown/no-op spans.
+  uint64_t SpanTraceId(uint64_t span_id) const;
 
   // --- Flat profile ----------------------------------------------------------
   struct RegionProfile {
@@ -112,6 +152,9 @@ class Tracer {
     hw::CpuCounters begin;
     hw::CpuCounters phase_begin;
     std::string label;
+    ThreadId owner = 0;  // thread whose TraceContext EndSpan restores
+    uint64_t parent = 0;
+    uint64_t trace_id = 0;
   };
   struct RegionTotals {
     uint64_t calls = 0;
@@ -131,7 +174,9 @@ class Tracer {
   uint64_t total_emitted_ = 0;  // events ever emitted (>= buffered)
 
   uint64_t next_span_id_ = 1;
+  uint64_t next_trace_id_ = 1;
   std::unordered_map<uint64_t, ActiveSpan> active_spans_;
+  std::map<uint64_t, SpanMeta> span_meta_;
   std::array<SpanStats, static_cast<int>(SpanKind::kCount)> stats_{};
 
   // Keyed by region base address (stable: the code layout is append-only

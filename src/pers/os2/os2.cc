@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/base/log.h"
+#include "src/mk/trace/tracer.h"
 
 namespace pers {
 
@@ -134,6 +135,11 @@ void Os2Process::ChargeStub() {
 
 base::Result<uint64_t> Os2Process::DosOpen(mk::Env& env, const std::string& path,
                                            uint32_t fs_flags, svc::FsShare share) {
+  // API root span for the causal request tree (see the UNIX personality).
+  mk::trace::ScopedSpan api(kernel_.tracer(), mk::trace::SpanKind::kApi,
+                            mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
+                            fs_flags);
+  kernel_.tracer().LabelSpan(api.id(), "os2.DosOpen");
   ChargeStub();
   // OS/2 file names are case-insensitive regardless of the store.
   return fs_.Open(env, path, fs_flags | svc::kFsCaseInsensitive, share);
@@ -141,6 +147,10 @@ base::Result<uint64_t> Os2Process::DosOpen(mk::Env& env, const std::string& path
 
 base::Result<uint32_t> Os2Process::DosRead(mk::Env& env, uint64_t handle, uint64_t offset,
                                            void* out, uint32_t len) {
+  mk::trace::ScopedSpan api(kernel_.tracer(), mk::trace::SpanKind::kApi,
+                            mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
+                            handle);
+  kernel_.tracer().LabelSpan(api.id(), "os2.DosRead");
   ChargeStub();
   // DosRead has no size limit; loop in server-sized chunks (each chunk large
   // enough to move out-of-line) and stop at EOF.
@@ -161,6 +171,10 @@ base::Result<uint32_t> Os2Process::DosRead(mk::Env& env, uint64_t handle, uint64
 
 base::Result<uint32_t> Os2Process::DosWrite(mk::Env& env, uint64_t handle, uint64_t offset,
                                             const void* data, uint32_t len) {
+  mk::trace::ScopedSpan api(kernel_.tracer(), mk::trace::SpanKind::kApi,
+                            mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
+                            handle);
+  kernel_.tracer().LabelSpan(api.id(), "os2.DosWrite");
   ChargeStub();
   uint32_t total = 0;
   while (total < len) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/base/log.h"
+#include "src/mk/trace/tracer.h"
 
 namespace pers {
 
@@ -39,6 +40,12 @@ UnixProcess* UnixPersonality::AdoptTask(mk::Task* task) {
 }
 
 base::Result<int> UnixProcess::Open(mk::Env& env, const std::string& path, uint32_t flags) {
+  // API root span: everything the call does — the personality's own work and
+  // each RPC hop below it — hangs off this span in the causal request tree.
+  mk::trace::ScopedSpan api(pers_->kernel_.tracer(), mk::trace::SpanKind::kApi,
+                            mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
+                            flags);
+  pers_->kernel_.tracer().LabelSpan(api.id(), "unix.open");
   pers_->kernel_.cpu().Execute(LibcRegion());
   uint32_t fs_flags = 0;
   if ((flags & kOCreat) != 0) {
@@ -66,6 +73,10 @@ base::Result<int> UnixProcess::Open(mk::Env& env, const std::string& path, uint3
 }
 
 base::Result<uint32_t> UnixProcess::Read(mk::Env& env, int fd, void* buf, uint32_t len) {
+  mk::trace::ScopedSpan api(pers_->kernel_.tracer(), mk::trace::SpanKind::kApi,
+                            mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
+                            static_cast<uint64_t>(fd));
+  pers_->kernel_.tracer().LabelSpan(api.id(), "unix.read");
   pers_->kernel_.cpu().Execute(LibcRegion());
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
@@ -92,6 +103,10 @@ base::Result<uint32_t> UnixProcess::Read(mk::Env& env, int fd, void* buf, uint32
 }
 
 base::Result<uint32_t> UnixProcess::Write(mk::Env& env, int fd, const void* buf, uint32_t len) {
+  mk::trace::ScopedSpan api(pers_->kernel_.tracer(), mk::trace::SpanKind::kApi,
+                            mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
+                            static_cast<uint64_t>(fd));
+  pers_->kernel_.tracer().LabelSpan(api.id(), "unix.write");
   pers_->kernel_.cpu().Execute(LibcRegion());
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
@@ -119,6 +134,10 @@ base::Result<uint32_t> UnixProcess::Write(mk::Env& env, int fd, const void* buf,
 
 base::Result<uint32_t> UnixProcess::Readv(mk::Env& env, int fd, const UnixIoVec* iov,
                                           uint32_t iovcnt) {
+  mk::trace::ScopedSpan api(pers_->kernel_.tracer(), mk::trace::SpanKind::kApi,
+                            mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
+                            static_cast<uint64_t>(fd));
+  pers_->kernel_.tracer().LabelSpan(api.id(), "unix.readv");
   pers_->kernel_.cpu().Execute(LibcRegion());
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
@@ -148,6 +167,10 @@ base::Result<uint32_t> UnixProcess::Readv(mk::Env& env, int fd, const UnixIoVec*
 
 base::Result<uint32_t> UnixProcess::Writev(mk::Env& env, int fd, const UnixIoVec* iov,
                                            uint32_t iovcnt) {
+  mk::trace::ScopedSpan api(pers_->kernel_.tracer(), mk::trace::SpanKind::kApi,
+                            mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
+                            static_cast<uint64_t>(fd));
+  pers_->kernel_.tracer().LabelSpan(api.id(), "unix.writev");
   pers_->kernel_.cpu().Execute(LibcRegion());
   auto it = fds_.find(fd);
   if (it == fds_.end()) {
@@ -206,6 +229,10 @@ base::Result<uint64_t> UnixProcess::Lseek(mk::Env& env, int fd, int64_t offset, 
 }
 
 base::Status UnixProcess::Close(mk::Env& env, int fd) {
+  mk::trace::ScopedSpan api(pers_->kernel_.tracer(), mk::trace::SpanKind::kApi,
+                            mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
+                            static_cast<uint64_t>(fd));
+  pers_->kernel_.tracer().LabelSpan(api.id(), "unix.close");
   pers_->kernel_.cpu().Execute(LibcRegion());
   auto it = fds_.find(fd);
   if (it == fds_.end()) {

@@ -14,15 +14,16 @@ Checks, over every header and source file under src/ and tests/:
   4. Trace events come from the central registry: every EventType:: /
      SpanKind:: reference must name a member of the enums declared in
      src/mk/trace/events.h, and emit sites (Emit, BeginSpan, MarkPhase,
-     EndSpan, ScopedSpan) must not smuggle in ad-hoc string literals as
-     event names. Keeping the event vocabulary in one header is what lets
+     MarkQueued, EndSpan, ScopedSpan) must not smuggle in ad-hoc string
+     literals as event names. Keeping the event vocabulary in one header is what lets
      the exporters classify events with static tables.
   5. Fault points come from the central registry: every FaultPoint:: /
      FaultMode:: reference must name a member of the enums declared in
      src/mk/fault/points.h. A fault campaign is replayed from a seed plus
      the visit sequence of named points; an unregistered point would be
      invisible to campaign tooling and to the replay documentation.
-  6. Determinism (src/mk and src/svc only; src/mk/host.cc exempt): the
+  6. Determinism (src/mk, src/svc, and src/pers; src/mk/host.cc exempt):
+     the
      simulation must replay bit-identically — that is what makes schedule
      traces from the explorer reproducible. Banned: rand()/srand(),
      std::random_device, wall-clock reads (std::chrono::system_clock etc.,
@@ -45,7 +46,7 @@ COSTS_HEADER = Path("src") / "mk" / "costs.h"
 TRACE_EVENTS_HEADER = Path("src") / "mk" / "trace" / "events.h"
 FAULT_POINTS_HEADER = Path("src") / "mk" / "fault" / "points.h"
 
-DETERMINISM_SCOPES = (Path("src") / "mk", Path("src") / "svc")
+DETERMINISM_SCOPES = (Path("src") / "mk", Path("src") / "svc", Path("src") / "pers")
 DETERMINISM_EXEMPT = {Path("src") / "mk" / "host.cc"}
 BANNED_NONDETERMINISM = (
     (re.compile(r"\b(?:s?rand)\s*\("), "rand()/srand() — seedless PRNG"),
@@ -70,7 +71,9 @@ USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;", re.MULTIL
 COSTS_DEF_RE = re.compile(r"^\s*struct\s+Costs\b(?!\s*;)", re.MULTILINE)
 TRACE_ENUM_REF_RE = re.compile(r"\b(EventType|SpanKind)::(\w+)")
 FAULT_ENUM_REF_RE = re.compile(r"\b(FaultPoint|FaultMode)::(\w+)")
-TRACE_EMIT_CALL_RE = re.compile(r"\b(Emit|BeginSpan|MarkPhase|EndSpan|ScopedSpan)\s*\(")
+TRACE_EMIT_CALL_RE = re.compile(
+    r"\b(Emit|BeginSpan|MarkPhase|MarkQueued|EndSpan|ScopedSpan)\s*\("
+)
 
 
 def load_enum_registry(header: Path, enum_names: tuple) -> dict:
