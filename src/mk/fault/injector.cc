@@ -32,6 +32,10 @@ const char* FaultModeName(FaultMode mode) {
       return "kill_port";
     case FaultMode::kTransientError:
       return "transient_error";
+    case FaultMode::kStallTask:
+      return "stall_task";
+    case FaultMode::kDelayReply:
+      return "delay_reply";
     case FaultMode::kCount:
       break;
   }
@@ -53,6 +57,20 @@ void Injector::Arm(FaultPoint point, FaultMode mode, uint32_t percent,
   state.percent = percent > 100 ? 100 : percent;
   state.max_fires = max_fires;
   state.fired = 0;
+}
+
+void Injector::ArmDelay(FaultPoint point, uint64_t min_delay_ns, uint64_t max_delay_ns,
+                        uint32_t percent, uint64_t max_fires) {
+  Arm(point, FaultMode::kDelayReply, percent, max_fires);
+  PointState& state = points_[static_cast<size_t>(point)];
+  state.delay_min_ns = min_delay_ns;
+  state.delay_max_ns = max_delay_ns < min_delay_ns ? min_delay_ns : max_delay_ns;
+}
+
+uint64_t Injector::DrawDelayNs(FaultPoint point) {
+  const PointState& state = points_[static_cast<size_t>(point)];
+  const uint64_t span = state.delay_max_ns - state.delay_min_ns;
+  return state.delay_min_ns + (span == 0 ? 0 : rng_.NextBelow(span + 1));
 }
 
 void Injector::DisarmAll() {

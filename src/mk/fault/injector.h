@@ -54,7 +54,22 @@ class Injector {
   // previous configuration for that point.
   void Arm(FaultPoint point, FaultMode mode, uint32_t percent = 100,
            uint64_t max_fires = ~0ull);
+  // Arms kDelayReply at `point` with an explicit simulated-ns delay range
+  // [min_ns, max_ns]; plain Arm(point, kDelayReply) uses the default range
+  // below. Each fire's delay is drawn from the campaign's RNG stream, so it
+  // replays with the seed like every other decision.
+  void ArmDelay(FaultPoint point, uint64_t min_delay_ns, uint64_t max_delay_ns,
+                uint32_t percent = 100, uint64_t max_fires = ~0ull);
   void DisarmAll();
+
+  // Default kDelayReply range: long enough to trip queue build-up, short
+  // enough that a robust client's per-attempt deadline survives it.
+  static constexpr uint64_t kDefaultDelayMinNs = 500'000;
+  static constexpr uint64_t kDefaultDelayMaxNs = 2'000'000;
+
+  // Draws the simulated delay for a kDelayReply fire at `point` (call after
+  // Fire() returned kDelayReply).
+  uint64_t DrawDelayNs(FaultPoint point);
 
   // Called at each fault point. Returns the mode to apply, or kNone.
   // When the injector is disabled this is a single predictable branch.
@@ -78,6 +93,8 @@ class Injector {
     uint32_t percent = 0;
     uint64_t max_fires = 0;
     uint64_t fired = 0;
+    uint64_t delay_min_ns = kDefaultDelayMinNs;
+    uint64_t delay_max_ns = kDefaultDelayMaxNs;
   };
 
   FaultMode FireSlow(FaultPoint point);

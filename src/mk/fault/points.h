@@ -19,7 +19,10 @@ enum class FaultPoint : uint8_t {
   // ServerLoop::Run, after the op code is parsed and before the handler is
   // dispatched. Supports every mode: kCrashTask (terminate the serving
   // task), kDropReply (swallow the request; the client needs a deadline),
-  // kKillPort (destroy the service port), kTransientError (reply kBusy).
+  // kKillPort (destroy the service port), kTransientError (reply kBusy),
+  // kStallTask (park the serving thread forever — a wedged-but-alive server
+  // only a watchdog can recover), kDelayReply (sleep a seeded simulated
+  // delay before handling — an overloaded-but-correct server).
   kServerHandlerEntry = 0,
   // Kernel::RpcReply / RpcReplyAndReceive, after the in-flight waiter is
   // found. Supports kCrashTask, kDropReply (waiter erased, client never
@@ -42,6 +45,8 @@ enum class FaultMode : uint8_t {
   kDropReply,       // swallow the reply; the caller sees only its deadline
   kKillPort,        // mark the request port dead
   kTransientError,  // fail the operation with kBusy, leave state intact
+  kStallTask,       // park the serving thread forever (wedged, not dead)
+  kDelayReply,      // delay the operation by a seeded simulated-time amount
   kCount,
 };
 

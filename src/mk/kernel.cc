@@ -487,6 +487,20 @@ base::Status Kernel::PortDestroy(Task& task, PortName name) {
   return task.port_space().Release(name);
 }
 
+base::Status Kernel::PortSetQueueLimit(Task& task, PortName receive_name, uint32_t limit) {
+  cpu().Execute(PortLookupRegion());
+  auto port = task.port_space().LookupReceive(receive_name);
+  if (!port.ok()) {
+    return port.status();
+  }
+  if ((*port)->is_port_set) {
+    return base::Status::kInvalidRight;  // sets carry no traffic of their own
+  }
+  cpu().AccessData((*port)->sim_addr(), 64, /*write=*/true);
+  (*port)->rpc_queue_limit = limit;
+  return base::Status::kOk;
+}
+
 base::Result<PortName> Kernel::MakeSendRight(Task& from, PortName receive_name, Task& to) {
   cpu().Execute(PortTransferRegion());
   auto port = from.port_space().LookupReceive(receive_name);

@@ -85,6 +85,10 @@ constexpr uint64_t kForever = ~0ull;
 // notice struct is the message's inline data.
 constexpr uint32_t kTaskDeathMsgId = 0x4D00;
 constexpr uint32_t kPortDeathMsgId = 0x4D01;
+// Heartbeat ping a supervised server loop sends to its restart manager's
+// health port (see mks::RestartManager watchdog). The ping struct is the
+// message's inline data.
+constexpr uint32_t kHeartbeatMsgId = 0x4D10;
 
 struct TaskDeathNotice {
   TaskId task = 0;
@@ -92,6 +96,10 @@ struct TaskDeathNotice {
 
 struct PortDeathNotice {
   uint64_t port_id = 0;  // Port::id() of the port that died
+};
+
+struct HeartbeatPing {
+  TaskId task = 0;
 };
 
 class Kernel {
@@ -148,6 +156,11 @@ class Kernel {
   // Creates a send right in `to` for the port named by a *receive* right
   // `receive_name` held by `from`.
   base::Result<PortName> MakeSendRight(Task& from, PortName receive_name, Task& to);
+  // Bounds the synchronous-RPC rendezvous queue of the port named by a
+  // receive right: once `limit` callers are parked in waiting_clients, new
+  // callers are shed with kBusy instead of parking (admission control).
+  // 0 restores the default unbounded queue.
+  base::Status PortSetQueueLimit(Task& task, PortName receive_name, uint32_t limit);
   // Test/diagnostic access.
   base::Result<Port*> ResolvePort(Task& task, PortName name);
 
@@ -185,9 +198,12 @@ class Kernel {
                        const RightDescriptor* rights = nullptr, uint32_t rights_count = 0,
                        PortName* granted = nullptr, uint64_t timeout_ns = kForever);
   // Server side: blocks until a request arrives. Request bytes are copied into
-  // `buf`; bulk by-reference data into `ref->recv_buf` if posted.
+  // `buf`; bulk by-reference data into `ref->recv_buf` if posted. `timeout_ns`
+  // bounds the park in simulated time (kForever = wait indefinitely); on
+  // expiry the receive returns kTimedOut with no request consumed — used by
+  // heartbeat-enabled server loops so an idle server still wakes to beat.
   base::Result<RpcRequest> RpcReceive(PortName receive_name, void* buf, uint32_t cap,
-                                      RpcRef* ref = nullptr);
+                                      RpcRef* ref = nullptr, uint64_t timeout_ns = kForever);
   // Server side: completes the call identified by `token`. `ref_data` is bulk
   // data physically copied into the client's posted receive-ref buffer;
   // `grant` (a name in the server's space) transfers a right to the client.
@@ -260,6 +276,10 @@ class Kernel {
   uint64_t NowNs();
   uint64_t NowCycles() { return cpu().cycles(); }
   base::Status SleepNs(uint64_t ns);
+  // Parks the current thread with no wake scheduled: it stays blocked until
+  // something external aborts it (TerminateTask). Models a wedged thread for
+  // the kStallTask fault mode; returns the abort status when woken.
+  base::Status StallForever();
   // Periodic timer posting an (empty) legacy message to `port` every period.
   base::Result<uint32_t> TimerArmPeriodic(Task& task, PortName port, uint64_t period_ns);
   base::Status TimerCancel(uint32_t timer_id);
@@ -460,8 +480,8 @@ class Env {
                            rights_count, granted, timeout_ns);
   }
   base::Result<RpcRequest> RpcReceive(PortName port, void* buf, uint32_t cap,
-                                      RpcRef* ref = nullptr) {
-    return kernel_.RpcReceive(port, buf, cap, ref);
+                                      RpcRef* ref = nullptr, uint64_t timeout_ns = kForever) {
+    return kernel_.RpcReceive(port, buf, cap, ref, timeout_ns);
   }
   base::Status RpcReply(uint64_t token, const void* reply, uint32_t len,
                         const void* ref_data = nullptr, uint32_t ref_len = 0,

@@ -280,9 +280,18 @@ base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len
       return block_status;
     }
   } else {
+    // Admission control: past the configured bound the caller is shed with
+    // kBusy instead of parking behind a queue the server may never drain.
+    if (port->rpc_queue_limit != 0 && port->waiting_clients.size() >= port->rpc_queue_limit) {
+      ++tracer_->metrics().Counter("mk.rpc.shed");
+      tracer_->metrics().Hist("mk.rpc.queue_depth").Record(port->waiting_clients.size());
+      tracer_->Emit(trace::EventType::kRpcShed, c.span_id, port->id());
+      return base::Status::kBusy;
+    }
     port->waiting_clients.push_back(client);
     tracer_->MarkQueued(c.span_id, trace::EventType::kRpcQueued, port->id());
     tracer_->metrics().GaugeMax("mk.rpc.waiting_clients_hwm", port->waiting_clients.size());
+    tracer_->metrics().Hist("mk.rpc.queue_depth").Record(port->waiting_clients.size());
     StartTimedWake(client, timeout_ns);
     const base::Status block_status = scheduler_.Block(Thread::State::kBlocked, nullptr);
     if (block_status != base::Status::kOk) {
@@ -310,7 +319,7 @@ base::Status Kernel::RpcCallOnPort(Port* port, const void* req, uint32_t req_len
 }
 
 base::Result<RpcRequest> Kernel::RpcReceive(PortName receive_name, void* buf, uint32_t cap,
-                                            RpcRef* ref) {
+                                            RpcRef* ref, uint64_t timeout_ns) {
   Thread* server = scheduler_.current();
   WPOS_DCHECK(server != nullptr) << "RpcReceive outside thread context";
   if (sync_observer_ != nullptr) {
@@ -372,8 +381,10 @@ base::Result<RpcRequest> Kernel::RpcReceive(PortName receive_name, void* buf, ui
       return port->dead() ? base::Status::kPortDead : base::Status::kAborted;
     }
     port->waiting_servers.push_back(server);
+    StartTimedWake(server, timeout_ns);
     const base::Status st = scheduler_.Block(Thread::State::kBlocked, nullptr);
     if (st != base::Status::kOk) {
+      // Timed out or aborted: leave the rendezvous deque before returning.
       for (auto it = port->waiting_servers.begin(); it != port->waiting_servers.end(); ++it) {
         if (*it == server) {
           port->waiting_servers.erase(it);
@@ -512,6 +523,12 @@ base::Result<RpcRequest> Kernel::RpcReplyAndReceive(uint64_t token, const void* 
     }
     case fault::FaultMode::kTransientError:
       (void)DeliverReply(server, client, reply, 0, nullptr, 0, kNullPort, base::Status::kBusy);
+      break;
+    case fault::FaultMode::kStallTask:
+    case fault::FaultMode::kDelayReply:
+      // Server-loop-only modes (see points.h); deliver normally here.
+      (void)DeliverReply(server, client, reply, len, reply_ref_data, reply_ref_len, grant,
+                         base::Status::kOk);
       break;
     case fault::FaultMode::kCount:
       break;
@@ -665,6 +682,9 @@ base::Status Kernel::RpcReply(uint64_t token, const void* reply, uint32_t len,
       ref_len = 0;
       grant = kNullPort;
       break;
+    case fault::FaultMode::kStallTask:
+    case fault::FaultMode::kDelayReply:
+      break;  // server-loop-only modes (see points.h); reply normally
     case fault::FaultMode::kCount:
       break;
   }

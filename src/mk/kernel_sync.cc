@@ -242,6 +242,15 @@ base::Status Kernel::SleepNs(uint64_t ns) {
   return st == base::Status::kTimedOut ? base::Status::kOk : st;
 }
 
+base::Status Kernel::StallForever() {
+  Thread* t = scheduler_.current();
+  WPOS_CHECK(t != nullptr) << "StallForever outside thread context";
+  // No timed wake: nothing in the simulation ever wakes this thread except
+  // an abort (TerminateTask). This is the kStallTask fault mode's wedge —
+  // the thread holds whatever it holds and stops making progress.
+  return scheduler_.Block(Thread::State::kBlocked, nullptr);
+}
+
 base::Result<uint32_t> Kernel::TimerArmPeriodic(Task& task, PortName port, uint64_t period_ns) {
   cpu().Execute(TimerArmRegion());
   auto p = task.port_space().LookupReceive(port);

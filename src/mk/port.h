@@ -50,6 +50,10 @@ class Port {
   // --- RPC rendezvous -----------------------------------------------------------
   std::deque<Thread*> waiting_servers;  // threads parked in RpcReceive
   std::deque<Thread*> waiting_clients;  // callers with no server available
+  // Admission bound on waiting_clients: callers past the limit are shed with
+  // kBusy instead of parking. 0 (the default) keeps the queue unbounded, so
+  // existing workloads and the committed bench references are untouched.
+  uint32_t rpc_queue_limit = 0;
 
   uint64_t send_count = 0;
   uint64_t rpc_count = 0;

@@ -1,9 +1,21 @@
 #include "src/mk/rpc_robust.h"
 
 #include "src/base/log.h"
+#include "src/base/rng.h"
 #include "src/mk/trace/tracer.h"
 
 namespace mk {
+
+namespace {
+// Per-thread deterministic jitter stream: distinct threads draw distinct
+// sequences (so a respawned server's clients fan out), while the same run
+// with the same thread ids replays exactly. Simulated time never feeds the
+// seed — the stream depends only on who is retrying.
+base::Rng JitterRng(Thread* thread) {
+  const uint64_t tid = thread == nullptr ? 0 : thread->id();
+  return base::Rng((tid + 1) * 0x9E3779B97F4A7C15ull);
+}
+}  // namespace
 
 base::Status RpcCallRobust(Env& env, const PortResolver& resolve, PortName* cached_port,
                            const void* req, uint32_t req_len, void* reply, uint32_t reply_cap,
@@ -17,10 +29,35 @@ base::Status RpcCallRobust(Env& env, const PortResolver& resolve, PortName* cach
                            *cached_port);
   base::Status last = base::Status::kUnavailable;
   uint64_t backoff = opts.retry_backoff_ns;
+  base::Rng jitter = JitterRng(env.thread());
   for (uint32_t attempt = 0; attempt < opts.max_attempts; ++attempt) {
     if (attempt > 0) {
-      (void)env.SleepNs(backoff);
+      uint64_t sleep_ns = backoff;
+      if (opts.breaker != nullptr) {
+        // Consecutive kBusy completions seen by the shared breaker widen
+        // the backoff beyond this call's own doubling: the whole client
+        // population slows down together under sustained overload.
+        const uint32_t shift =
+            opts.breaker->consecutive_busy() < 10 ? opts.breaker->consecutive_busy() : 10;
+        const uint64_t widened = opts.retry_backoff_ns << shift;
+        if (widened > sleep_ns) {
+          sleep_ns = widened;
+        }
+      }
+      if (opts.jitter && sleep_ns > 1) {
+        // Uniform in [sleep/2, sleep]: desynchronizes retries across
+        // threads without shrinking the mean wait below half.
+        sleep_ns = sleep_ns / 2 + jitter.NextBelow(sleep_ns / 2 + 1);
+      }
+      (void)env.SleepNs(sleep_ns);
       backoff *= 2;
+    }
+    if (opts.breaker != nullptr && !opts.breaker->Admit(env.NowNs())) {
+      // Breaker open: the destination is shedding — fail fast instead of
+      // adding another caller to its queue. Degraded, not hung.
+      ++env.kernel().tracer().metrics().Counter("mk.rpc.breaker_fast_fail");
+      robust.set_end_payload(static_cast<uint64_t>(base::Status::kUnavailable));
+      return base::Status::kUnavailable;
     }
     if (ref != nullptr) {
       // A failed attempt (kBusy, timeout, dead port) must not leave partial
@@ -46,6 +83,7 @@ base::Status RpcCallRobust(Env& env, const PortResolver& resolve, PortName* cach
       case base::Status::kPortDead:
       case base::Status::kInvalidName:
         // The server died (or our cached right went stale); look it up again.
+        // Not an overload signal: the breaker is left untouched.
         *cached_port = kNullPort;
         last = st;
         continue;
@@ -56,9 +94,15 @@ base::Status RpcCallRobust(Env& env, const PortResolver& resolve, PortName* cach
         last = st;
         continue;
       case base::Status::kBusy:
+        if (opts.breaker != nullptr) {
+          opts.breaker->OnBusy(env.NowNs());
+        }
         last = st;
         continue;
       default:
+        if (opts.breaker != nullptr) {
+          opts.breaker->OnSuccess();
+        }
         robust.set_end_payload(static_cast<uint64_t>(st));
         return st;
     }

@@ -35,6 +35,19 @@ class ServerLoop {
 
   void Register(uint32_t op, Handler handler) { handlers_[op] = std::move(handler); }
 
+  // Arms watchdog heartbeats: the loop sends a HeartbeatPing to
+  // `health_right` (a send right in the serving task's space, minted by
+  // RestartManager::HealthRightFor) after every `every_requests` requests
+  // and whenever `every_ns` of simulated time passed since the last beat.
+  // Pings are sent with a zero timeout so a full or dead health port can
+  // never block the server; a wedged thread stops beating — which is the
+  // signal. Call before Run().
+  void EnableHeartbeat(PortName health_right, uint64_t every_requests, uint64_t every_ns) {
+    health_right_ = health_right;
+    heartbeat_every_requests_ = every_requests == 0 ? 1 : every_requests;
+    heartbeat_every_ns_ = every_ns;
+  }
+
   // Shuts the loop down deterministically: the receive port is destroyed
   // immediately, so a server parked between receives wakes with kPortDead
   // and exits, and every caller — queued or future — observes kPortDead
@@ -59,12 +72,20 @@ class ServerLoop {
       return;
     }
     running_ = true;
+    if (health_right_ != kNullPort) {
+      SendHeartbeat(env);  // first beat arms the watchdog deadline
+    }
     while (running_) {
       RpcRef ref;
       ref.recv_buf = ref_buf_.data();
       ref.recv_cap = static_cast<uint32_t>(ref_buf_.size());
+      // With heartbeats armed the park is bounded so an idle server still
+      // wakes to beat; without them this is the plain blocking receive.
+      const uint64_t receive_timeout =
+          health_right_ != kNullPort && heartbeat_every_ns_ != 0 ? heartbeat_every_ns_ : kForever;
       auto request = env.RpcReceive(port_, request_buf_.data(),
-                                    static_cast<uint32_t>(request_buf_.size()), &ref);
+                                    static_cast<uint32_t>(request_buf_.size()), &ref,
+                                    receive_timeout);
       if (!request.ok()) {
         if (request.status() == base::Status::kTooLarge) {
           // An oversized queued request was already failed back to its
@@ -72,7 +93,21 @@ class ServerLoop {
           // would tear down the port under every other queued caller.
           continue;
         }
+        if (request.status() == base::Status::kTimedOut) {
+          // Idle heartbeat tick: nothing arrived within the beat interval.
+          SendHeartbeat(env);
+          continue;
+        }
         break;  // port destroyed or task aborted
+      }
+      if (health_right_ != kNullPort) {
+        // Beat on arrival (before the handler runs) so a request that wedges
+        // the handler starts the watchdog clock at its own dispatch.
+        ++requests_since_beat_;
+        if (requests_since_beat_ >= heartbeat_every_requests_ ||
+            (heartbeat_every_ns_ != 0 && env.NowNs() - last_beat_ns_ >= heartbeat_every_ns_)) {
+          SendHeartbeat(env);
+        }
       }
       env.kernel().cpu().Execute(loop_region_);
       env.kernel().cpu().Execute(stub_region_);
@@ -104,6 +139,23 @@ class ServerLoop {
         case fault::FaultMode::kTransientError:
           env.RpcReply(request->token, nullptr, 0, nullptr, 0, kNullPort, base::Status::kBusy);
           continue;
+        case fault::FaultMode::kStallTask: {
+          // Wedged, not dead: the thread parks forever mid-request and stops
+          // heartbeating. Only a watchdog TerminateTask recovers it — the
+          // teardown fails this client and every queued one with kPortDead.
+          running_ = false;
+          env_ = nullptr;
+          (void)env.kernel().StallForever();
+          // Only reached once the stall is aborted by task teardown.
+          port_destroyed_ = true;
+          return;
+        }
+        case fault::FaultMode::kDelayReply:
+          // Overloaded, not broken: sleep a seeded simulated delay, then
+          // serve the request normally. Queued callers see the added wait.
+          (void)env.SleepNs(
+              env.kernel().faults().DrawDelayNs(fault::FaultPoint::kServerHandlerEntry));
+          break;
         case fault::FaultMode::kCount:
           break;
       }
@@ -135,6 +187,20 @@ class ServerLoop {
     }
   }
 
+  void SendHeartbeat(Env& env) {
+    HeartbeatPing ping{env.task().id()};
+    MachMessage msg;
+    msg.msg_id = kHeartbeatMsgId;
+    msg.dest = health_right_;
+    msg.inline_data.assign(reinterpret_cast<const uint8_t*>(&ping),
+                           reinterpret_cast<const uint8_t*>(&ping) + sizeof(ping));
+    // Zero timeout: a full or dead health port must never block the server.
+    // A dropped beat only advances the watchdog clock, it cannot wedge us.
+    (void)env.kernel().MachMsgSend(std::move(msg), /*timeout_ns=*/0);
+    last_beat_ns_ = env.NowNs();
+    requests_since_beat_ = 0;
+  }
+
   PortName port_;
   std::string interface_;
   hw::CodeRegion stub_region_;
@@ -146,6 +212,11 @@ class ServerLoop {
   bool running_ = false;
   bool stop_requested_ = false;
   bool port_destroyed_ = false;
+  PortName health_right_ = kNullPort;  // kNullPort = heartbeats disabled
+  uint64_t heartbeat_every_requests_ = 1;
+  uint64_t heartbeat_every_ns_ = 0;  // 0 = beat only on requests
+  uint64_t requests_since_beat_ = 0;
+  uint64_t last_beat_ns_ = 0;
 };
 
 // Client-side stub helper: charges a per-interface stub region around a
@@ -157,12 +228,20 @@ class ClientStub {
 
   PortName port() const { return port_; }
 
+  // Deadline applied when a call site passes kForever (the common case):
+  // lets a client library bound every call against a possibly-wedged server
+  // without touching each call site. kForever (default) = unbounded.
+  void set_default_timeout_ns(uint64_t ns) { default_timeout_ns_ = ns; }
+
   template <typename Req, typename Rep>
   base::Status Call(Env& env, const Req& req, Rep* rep, RpcRef* ref = nullptr,
                     const RightDescriptor* rights = nullptr, uint32_t rights_count = 0,
                     PortName* granted = nullptr, uint64_t timeout_ns = kForever) {
     env.kernel().cpu().Execute(region_);
     uint32_t reply_len = 0;
+    if (timeout_ns == kForever) {
+      timeout_ns = default_timeout_ns_;
+    }
     return env.RpcCall(port_, &req, sizeof(Req), rep, sizeof(Rep), &reply_len, ref, rights,
                        rights_count, granted, timeout_ns);
   }
@@ -170,6 +249,7 @@ class ClientStub {
  private:
   hw::CodeRegion region_;
   PortName port_;
+  uint64_t default_timeout_ns_ = kForever;
 };
 
 }  // namespace mk

@@ -44,6 +44,8 @@ enum class EventType : uint8_t {
   kTaskDeath,          // a = task id, b = number of ports destroyed with it
   kServerRestart,      // a = respawned task id, b = restart count for name
   kSchedPreempt,       // explorer-forced preemption; a = heir thread id, b = preempted id
+  kRpcShed,            // caller shed by admission control; a = span id, b = port id
+  kWatchdogKill,       // watchdog force-terminated a wedged server; a = task id, b = missed ns
   kCount,
 };
 

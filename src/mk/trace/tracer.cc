@@ -68,6 +68,10 @@ const char* EventName(EventType type) {
       return "server_restart";
     case EventType::kSchedPreempt:
       return "sched_preempt";
+    case EventType::kRpcShed:
+      return "rpc_shed";
+    case EventType::kWatchdogKill:
+      return "watchdog_kill";
     case EventType::kCount:
       break;
   }

@@ -30,11 +30,43 @@ void RestartManager::Supervise(const std::string& name, mk::Task* server_task, F
   by_task_[server_task->id()] = name;
 }
 
+void RestartManager::Unsupervise(const std::string& name) {
+  // Deliberate shutdown: without this, stopping a supervised server looks to
+  // the watchdog exactly like a wedge — the stale `beating` flag would earn
+  // the exited task a bogus kill and a zombie respawn nobody ever stops.
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return;
+  }
+  if (it->second.task != nullptr) {
+    by_task_.erase(it->second.task->id());
+  }
+  entries_.erase(it);
+}
+
 void RestartManager::Stop() {
   running_ = false;
   (void)kernel_.UnregisterDeathWatcher(*task_, notify_port_);
   // Killing the notify port wakes the serve thread with kPortDead.
   (void)kernel_.PortDestroy(*task_, notify_port_);
+}
+
+base::Result<mk::PortName> RestartManager::HealthRightFor(mk::Task& server_task) {
+  return kernel_.MakeSendRight(*task_, notify_port_, server_task);
+}
+
+base::Status RestartManager::ResetBudget(mk::Env& env, const std::string& name) {
+  // The revive must run on the manager's thread: the factory mints rights in
+  // the manager's port space, which a caller-side respawn could not do.
+  auto right = kernel_.MakeSendRight(*task_, notify_port_, env.task());
+  if (!right.ok()) {
+    return right.status();
+  }
+  mk::MachMessage msg;
+  msg.msg_id = kReviveMsgId;
+  msg.dest = *right;
+  msg.inline_data.assign(name.begin(), name.end());
+  return kernel_.MachMsgSend(std::move(msg));
 }
 
 uint64_t RestartManager::restarts(const std::string& name) const {
@@ -47,10 +79,23 @@ bool RestartManager::degraded(const std::string& name) const {
   return it != entries_.end() && it->second.degraded;
 }
 
+uint64_t RestartManager::watchdog_kills(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.watchdog_kills;
+}
+
 void RestartManager::Serve(mk::Env& env) {
   while (running_) {
     mk::MachMessage msg;
-    const base::Status st = env.MachMsgReceive(notify_port_, &msg);
+    // With the watchdog armed the park is bounded so missed deadlines are
+    // noticed even when no message ever arrives.
+    const uint64_t timeout =
+        policy_.heartbeat_deadline_ns != 0 ? WatchdogPollNs() : mk::kForever;
+    const base::Status st = env.MachMsgReceive(notify_port_, &msg, timeout);
+    if (st == base::Status::kTimedOut) {
+      CheckDeadlines(env);
+      continue;
+    }
     if (st != base::Status::kOk) {
       return;  // notify port destroyed (Stop) or task aborted
     }
@@ -59,9 +104,78 @@ void RestartManager::Serve(mk::Env& env) {
       mk::TaskDeathNotice notice;
       std::memcpy(&notice, msg.inline_data.data(), sizeof(notice));
       HandleTaskDeath(env, notice.task);
+    } else if (msg.msg_id == mk::kHeartbeatMsgId &&
+               msg.inline_data.size() >= sizeof(mk::HeartbeatPing)) {
+      mk::HeartbeatPing ping;
+      std::memcpy(&ping, msg.inline_data.data(), sizeof(ping));
+      HandleHeartbeat(env, ping.task);
+    } else if (msg.msg_id == kReviveMsgId && !msg.inline_data.empty()) {
+      HandleRevive(env, std::string(msg.inline_data.begin(), msg.inline_data.end()));
     }
     // PortDeathNotices are informational here; supervision keys off tasks.
+    if (policy_.heartbeat_deadline_ns != 0) {
+      CheckDeadlines(env);
+    }
   }
+}
+
+void RestartManager::HandleHeartbeat(mk::Env& env, mk::TaskId task) {
+  auto by = by_task_.find(task);
+  if (by == by_task_.end()) {
+    return;  // a beat from an instance we already gave up on (or killed)
+  }
+  Entry& entry = entries_[by->second];
+  entry.last_beat_ns = env.NowNs();
+  entry.beating = true;
+}
+
+void RestartManager::CheckDeadlines(mk::Env& env) {
+  const uint64_t now = env.NowNs();
+  mk::trace::MetricRegistry& metrics = kernel_.tracer().metrics();
+  for (auto& [name, entry] : entries_) {
+    if (entry.degraded || !entry.beating || entry.task == nullptr) {
+      continue;
+    }
+    if (now - entry.last_beat_ns <= policy_.heartbeat_deadline_ns) {
+      continue;
+    }
+    // Missed deadline: the server is alive but wedged (or starved beyond
+    // tolerance). Force-terminate it — the teardown fails every queued and
+    // in-flight caller with kPortDead — and let the death notice drive the
+    // normal backoff/respawn path.
+    entry.beating = false;  // one kill per silence
+    ++entry.watchdog_kills;
+    ++metrics.Counter("restart." + name + ".watchdog_kills");
+    ++metrics.Counter("restart.watchdog_kills");
+    kernel_.tracer().Emit(mk::trace::EventType::kWatchdogKill, entry.task->id(),
+                          now - entry.last_beat_ns);
+    WPOS_LOG(kWarn) << "restart: watchdog killing wedged server " << name << " (silent "
+                    << now - entry.last_beat_ns << " ns)";
+    kernel_.TerminateTask(entry.task);
+  }
+}
+
+void RestartManager::HandleRevive(mk::Env& env, const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || !it->second.degraded) {
+    return;  // unknown or not degraded; nothing to revive
+  }
+  Entry& entry = it->second;
+  entry.restarts = 0;
+  entry.degraded = false;
+  entry.beating = false;
+  Respawned spawned = entry.factory(env);
+  WPOS_CHECK(spawned.task != nullptr) << "revive factory for " << name << " returned no task";
+  entry.task = spawned.task;
+  by_task_[spawned.task->id()] = name;
+  if (names_ != nullptr && spawned.service_right != mk::kNullPort) {
+    (void)names_->Unregister(env, name);
+    (void)names_->Register(env, name, spawned.service_right);
+  }
+  ++kernel_.tracer().metrics().Counter("restart." + name + ".revived");
+  kernel_.tracer().Emit(mk::trace::EventType::kServerRestart, spawned.task->id(),
+                        entry.restarts);
+  WPOS_LOG(kInfo) << "restart: revived " << name << " (budget reset)";
 }
 
 void RestartManager::HandleTaskDeath(mk::Env& env, mk::TaskId dead) {
@@ -92,6 +206,9 @@ void RestartManager::HandleTaskDeath(mk::Env& env, mk::TaskId dead) {
   ++entry.restarts;
   ++total_restarts_;
   entry.task = spawned.task;
+  // The fresh instance hasn't beaten yet; its watchdog deadline arms on its
+  // first heartbeat, not on the predecessor's stale timestamp.
+  entry.beating = false;
   by_task_[spawned.task->id()] = name;
   if (names_ != nullptr && spawned.service_right != mk::kNullPort) {
     // Register under the same name. The stale entry (if any) must go first:

@@ -37,7 +37,20 @@ struct RestartPolicy {
   uint32_t max_restarts = 3;
   // Backoff slept before the first restart; doubles each consecutive one.
   uint64_t backoff_initial_ns = 200'000;
+  // Watchdog: a supervised server that has heartbeated at least once (see
+  // ServerLoop::EnableHeartbeat) and then goes silent for this long in
+  // simulated time is force-terminated — TerminateTask fails its queued
+  // callers with kPortDead — and respawned through the normal death path,
+  // so a wedged server heals exactly like a crashed one. 0 = watchdog off.
+  uint64_t heartbeat_deadline_ns = 0;
+  // How often the manager wakes to check deadlines while idle; 0 picks
+  // heartbeat_deadline_ns / 2.
+  uint64_t watchdog_poll_ns = 0;
 };
+
+// Administrative revive request (RestartManager::ResetBudget): the name of
+// the degraded server rides as the message's inline data.
+constexpr uint32_t kReviveMsgId = 0x4D11;
 
 class RestartManager {
  public:
@@ -59,10 +72,27 @@ class RestartManager {
   // Starts supervising `server_task` under `name`. The factory is invoked on
   // the manager's thread after each death.
   void Supervise(const std::string& name, mk::Task* server_task, Factory factory);
+  // Withdraws supervision before a *deliberate* shutdown. To the watchdog a
+  // stopped server is indistinguishable from a wedged one — without this it
+  // would "kill" the exited task and respawn an orphan instance.
+  void Unsupervise(const std::string& name);
   void Stop();
+
+  // Mints a send right to the manager's notification port in `server_task`'s
+  // space, for ServerLoop::EnableHeartbeat / FileServer::EnableHeartbeat.
+  // Heartbeats, death notices and revive requests share the one port.
+  base::Result<mk::PortName> HealthRightFor(mk::Task& server_task);
+
+  // Administratively revives a degraded (gave-up) server: resets its restart
+  // budget, respawns it through its factory and re-registers the name.
+  // Callable from any task; the request is a kReviveMsgId message handled on
+  // the manager's thread (rights minted by the factory must land in the
+  // manager's port space). Exports restart.<name>.revived.
+  base::Status ResetBudget(mk::Env& env, const std::string& name);
 
   uint64_t restarts(const std::string& name) const;
   bool degraded(const std::string& name) const;
+  uint64_t watchdog_kills(const std::string& name) const;
   uint64_t total_restarts() const { return total_restarts_; }
   mk::PortName notify_port() const { return notify_port_; }
 
@@ -72,10 +102,22 @@ class RestartManager {
     Factory factory;
     uint32_t restarts = 0;
     bool degraded = false;
+    // Watchdog state: the deadline arms once the instance heartbeats (an
+    // instance that never beats — heartbeats not enabled — is never killed).
+    bool beating = false;
+    uint64_t last_beat_ns = 0;
+    uint64_t watchdog_kills = 0;
   };
 
   void Serve(mk::Env& env);
   void HandleTaskDeath(mk::Env& env, mk::TaskId dead);
+  void HandleHeartbeat(mk::Env& env, mk::TaskId task);
+  void HandleRevive(mk::Env& env, const std::string& name);
+  void CheckDeadlines(mk::Env& env);
+  uint64_t WatchdogPollNs() const {
+    return policy_.watchdog_poll_ns != 0 ? policy_.watchdog_poll_ns
+                                         : policy_.heartbeat_deadline_ns / 2 + 1;
+  }
 
   mk::Kernel& kernel_;
   mk::Task* task_;

@@ -19,9 +19,35 @@ const hw::CodeRegion& ForkRegion() {
 }
 }  // namespace
 
+int UnixErrnoOf(base::Status st) {
+  switch (st) {
+    case base::Status::kOk:
+      return kEOk;
+    case base::Status::kNotFound:
+      return kENOENT;
+    case base::Status::kBusy:          // admission-control shed
+    case base::Status::kUnavailable:   // breaker fast-fail / degraded server
+    case base::Status::kTimedOut:      // bounded-call deadline expired
+    case base::Status::kQueueFull:     // legacy IPC queue limit
+    case base::Status::kWouldBlock:
+      return kEAGAIN;
+    case base::Status::kPermissionDenied:
+      return kEACCES;
+    case base::Status::kAlreadyExists:
+      return kEEXIST;
+    case base::Status::kNoSpace:
+      return kENOSPC;
+    case base::Status::kInvalidArgument:
+    case base::Status::kNotSupported:
+      return kEINVAL;
+    default:
+      return kEIO;
+  }
+}
+
 UnixProcess::UnixProcess(UnixPersonality* pers, mk::Task* task, uint32_t pid)
     : pers_(pers), task_(task), pid_(pid) {
-  fs_ = std::make_unique<svc::FsClient>(pers->fs_.GrantTo(*task));
+  fs_ = std::make_unique<svc::FsClient>(pers->fs_.GrantTo(*task), pers->io_timeout_ns_);
 }
 
 UnixProcess* UnixPersonality::Spawn(const std::string& name, mk::ThreadBody main) {

@@ -31,6 +31,28 @@ struct UnixIoVec {
   uint32_t len = 0;
 };
 
+// The errno subset this personality can produce (POSIX values).
+enum UnixErrno : int {
+  kEOk = 0,
+  kENOENT = 2,
+  kEIO = 5,
+  kEBADF = 9,
+  kEAGAIN = 11,
+  kEACCES = 13,
+  kEBUSY = 16,
+  kEEXIST = 17,
+  kEINVAL = 22,
+  kENOSPC = 28,
+  kETIMEDOUT = 110,
+};
+
+// Maps a service status to errno. The graceful-degradation statuses —
+// kBusy (admission-control shed), kUnavailable (breaker fast-fail or a
+// degraded server) and kTimedOut (bounded call deadline expired) — all
+// surface as EAGAIN: the POSIX contract for "back off and retry", instead
+// of a hang inside the C library.
+int UnixErrnoOf(base::Status st);
+
 class UnixPersonality;
 
 class UnixProcess {
@@ -88,6 +110,18 @@ class UnixPersonality {
  public:
   UnixPersonality(mk::Kernel& kernel, svc::FileServer& fs) : kernel_(kernel), fs_(fs) {}
 
+  // Bounds every subsequent file-server RPC, for live processes and ones
+  // spawned later (kForever = unbounded, the default; in-flight calls keep
+  // their old deadline). With a bound, a wedged file server surfaces to the
+  // process as EAGAIN — via UnixErrnoOf(kTimedOut) — while the watchdog
+  // restarts it, instead of hanging the process inside libc.
+  void set_io_timeout_ns(uint64_t ns) {
+    io_timeout_ns_ = ns;
+    for (auto& proc : processes_) {
+      proc->fs_->set_call_timeout_ns(ns);
+    }
+  }
+
   // Creates the initial process; its main thread runs `main`.
   UnixProcess* Spawn(const std::string& name, mk::ThreadBody main);
 
@@ -101,6 +135,7 @@ class UnixPersonality {
   svc::FileServer& fs_;
   std::vector<std::unique_ptr<UnixProcess>> processes_;
   uint32_t next_pid_ = 1;
+  uint64_t io_timeout_ns_ = mk::kForever;
 };
 
 }  // namespace pers

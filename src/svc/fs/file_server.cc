@@ -652,13 +652,36 @@ void FileServer::Serve(mk::Env& env) {
   FsRequest r;
   // kWriteV carries its extent table in front of the payload bytes.
   std::vector<uint8_t> ref_buf(kFsMaxIo + kFsMaxExtents * sizeof(FsExtent));
+  if (health_right_ != mk::kNullPort) {
+    SendHeartbeat(env);  // first beat arms the watchdog deadline
+  }
   while (true) {
     mk::RpcRef ref;
     ref.recv_buf = ref_buf.data();
     ref.recv_cap = static_cast<uint32_t>(ref_buf.size());
-    auto rpc = env.RpcReceive(receive_port_, &r, sizeof(r), &ref);
+    const uint64_t receive_timeout = health_right_ != mk::kNullPort && heartbeat_every_ns_ != 0
+                                         ? heartbeat_every_ns_
+                                         : mk::kForever;
+    auto rpc = env.RpcReceive(receive_port_, &r, sizeof(r), &ref, receive_timeout);
     if (!rpc.ok()) {
+      if (rpc.status() == base::Status::kTimedOut) {
+        if (!running_) {
+          // Stopped while idle: the timed receive doubles as the shutdown
+          // poll. Same teardown as the post-handler exit below.
+          (void)kernel_.PortDestroy(*task_, receive_port_);
+          return;
+        }
+        SendHeartbeat(env);  // idle tick: nothing arrived within the interval
+        continue;
+      }
       return;
+    }
+    if (health_right_ != mk::kNullPort) {
+      ++requests_since_beat_;
+      if (requests_since_beat_ >= heartbeat_every_requests_ ||
+          (heartbeat_every_ns_ != 0 && env.NowNs() - last_beat_ns_ >= heartbeat_every_ns_)) {
+        SendHeartbeat(env);
+      }
     }
     // Fault point: handler entry, matching mk::ServerLoop's placement.
     switch (kernel_.faults().Fire(mk::fault::FaultPoint::kServerHandlerEntry)) {
@@ -677,6 +700,16 @@ void FileServer::Serve(mk::Env& env) {
       case mk::fault::FaultMode::kTransientError:
         env.RpcReply(rpc->token, nullptr, 0, nullptr, 0, mk::kNullPort, base::Status::kBusy);
         continue;
+      case mk::fault::FaultMode::kStallTask:
+        // Wedged mid-request: stop heartbeating and park forever. Only the
+        // watchdog's TerminateTask recovers this — the teardown fails this
+        // client and every queued caller with kPortDead.
+        (void)kernel_.StallForever();
+        return;  // reached only once task teardown aborts the stall
+      case mk::fault::FaultMode::kDelayReply:
+        (void)env.SleepNs(
+            kernel_.faults().DrawDelayNs(mk::fault::FaultPoint::kServerHandlerEntry));
+        break;
       case mk::fault::FaultMode::kCount:
         break;
     }
@@ -724,6 +757,19 @@ void FileServer::Serve(mk::Env& env) {
       return;
     }
   }
+}
+
+void FileServer::SendHeartbeat(mk::Env& env) {
+  mk::HeartbeatPing ping{env.task().id()};
+  mk::MachMessage msg;
+  msg.msg_id = mk::kHeartbeatMsgId;
+  msg.dest = health_right_;
+  msg.inline_data.assign(reinterpret_cast<const uint8_t*>(&ping),
+                         reinterpret_cast<const uint8_t*>(&ping) + sizeof(ping));
+  // Zero timeout: a full or dead health port must never block the server.
+  (void)kernel_.MachMsgSend(std::move(msg), /*timeout_ns=*/0);
+  last_beat_ns_ = env.NowNs();
+  requests_since_beat_ = 0;
 }
 
 // --- Client ------------------------------------------------------------------------------

@@ -42,6 +42,16 @@ class FileServer {
   mk::PortName GrantTo(mk::Task& client);
   void Stop() { running_ = false; }
 
+  // Arms watchdog heartbeats, same protocol as mk::ServerLoop: a ping to
+  // `health_right` (send right in this server's task) on request arrival
+  // (every `every_requests`) and from idle via a timed receive every
+  // `every_ns`. Call before the server thread starts serving.
+  void EnableHeartbeat(mk::PortName health_right, uint64_t every_requests, uint64_t every_ns) {
+    health_right_ = health_right;
+    heartbeat_every_requests_ = every_requests == 0 ? 1 : every_requests;
+    heartbeat_every_ns_ = every_ns;
+  }
+
   uint64_t opens() const { return opens_; }
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
@@ -82,6 +92,7 @@ class FileServer {
   };
 
   void Serve(mk::Env& env);
+  void SendHeartbeat(mk::Env& env);
   Mount* MountFor(const std::string& path, std::string* rest);
   // Walks `rest` within `mount`; returns the final node and (optionally) its
   // parent + leaf name. Honours kFsCaseInsensitive over case-sensitive PFSes
@@ -122,6 +133,11 @@ class FileServer {
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   bool running_ = true;
+  mk::PortName health_right_ = mk::kNullPort;  // kNullPort = heartbeats off
+  uint64_t heartbeat_every_requests_ = 1;
+  uint64_t heartbeat_every_ns_ = 0;
+  uint64_t requests_since_beat_ = 0;
+  uint64_t last_beat_ns_ = 0;
 };
 
 // Client-side scatter/gather descriptors for FsClient::ReadV/WriteV. Each
@@ -140,7 +156,15 @@ struct FsWriteExtent {
 // Client library: the RPC stubs a personality links against.
 class FsClient {
  public:
-  explicit FsClient(mk::PortName service) : stub_("svc.fs.client", service) {}
+  // `call_timeout_ns` bounds every RPC in simulated time (kForever = none):
+  // a wedged server then surfaces as kTimedOut instead of a hung client.
+  explicit FsClient(mk::PortName service, uint64_t call_timeout_ns = mk::kForever)
+      : stub_("svc.fs.client", service) {
+    stub_.set_default_timeout_ns(call_timeout_ns);
+  }
+
+  // Re-bounds every subsequent RPC (in-flight calls keep their deadline).
+  void set_call_timeout_ns(uint64_t ns) { stub_.set_default_timeout_ns(ns); }
 
   base::Result<uint64_t> Open(mk::Env& env, const std::string& path, uint32_t flags = 0,
                               FsShare share = FsShare::kDenyNone);

@@ -49,6 +49,16 @@ class RobustFsSession {
                                uint32_t len);
   base::Status Close(mk::Env& env, uint64_t handle);
 
+  // Attaches a session-owned overload breaker to every call: sustained kBusy
+  // (admission-control sheds, transient overload) trips it and later calls
+  // fast-fail kUnavailable until the cooldown's half-open probe succeeds.
+  // Off by default — crash-recovery-only sessions keep retrying as before.
+  void EnableBreaker(const mk::BreakerOptions& opts = mk::BreakerOptions()) {
+    breaker_ = mk::CircuitBreaker(opts);
+    opts_.breaker = &breaker_;
+  }
+  const mk::CircuitBreaker* breaker() const { return opts_.breaker; }
+
   // Recovery observability for tests and campaigns.
   uint64_t reopens() const { return reopens_; }
 
@@ -67,6 +77,7 @@ class RobustFsSession {
   std::string fs_name_;
   mk::PortName cached_port_ = mk::kNullPort;
   mk::RobustCallOptions opts_;
+  mk::CircuitBreaker breaker_;  // engaged only after EnableBreaker
   std::map<uint64_t, OpenState> handles_;
   uint64_t next_local_ = 1;
   uint64_t reopens_ = 0;

@@ -118,6 +118,14 @@ void NetServer::Serve(mk::Env& env) {
       case mk::fault::FaultMode::kTransientError:
         env.RpcReply(rpc->token, nullptr, 0, nullptr, 0, mk::kNullPort, base::Status::kBusy);
         continue;
+      case mk::fault::FaultMode::kStallTask:
+        // Wedged mid-request; only a watchdog TerminateTask recovers it.
+        (void)kernel_.StallForever();
+        return;  // reached only once task teardown aborts the stall
+      case mk::fault::FaultMode::kDelayReply:
+        (void)env.SleepNs(
+            kernel_.faults().DrawDelayNs(mk::fault::FaultPoint::kServerHandlerEntry));
+        break;
       case mk::fault::FaultMode::kCount:
         break;
     }

@@ -207,6 +207,80 @@ TEST(FaultInjectorTest, CrashAtHandlerEntryFailsEveryCaller) {
   EXPECT_EQ(run.invariant_violations, 0u);
 }
 
+// kDelayReply slows the handler without breaking it: every call still
+// completes kOk, but the delayed ones take at least the injector's minimum
+// simulated delay longer than an undelayed echo.
+TEST(FaultInjectorTest, DelayReplySlowsButCompletes) {
+  const EchoRun clean = RunEchoWorkload(4, nullptr);
+  const EchoRun delayed = RunEchoWorkload(4, [](Kernel& kernel) {
+    kernel.faults().Enable(3);
+    kernel.faults().ArmDelay(fault::FaultPoint::kServerHandlerEntry, 500'000, 2'000'000, 100);
+  });
+  for (const base::Status st : delayed.statuses) {
+    EXPECT_EQ(st, base::Status::kOk) << "a delayed server still answers";
+  }
+  EXPECT_EQ(delayed.log.size(), 4u);
+  EXPECT_EQ(delayed.invariant_violations, 0u);
+  // Wall time: every op gained at least the minimum injected delay.
+  EXPECT_GT(delayed.counters.cycles, clean.counters.cycles);
+}
+
+// ArmDelay draws are part of the seeded stream: same seed, same delays.
+TEST(FaultInjectorTest, DelayDrawsReplayWithSeed) {
+  const auto configure = [](Kernel& kernel) {
+    kernel.faults().Enable(11);
+    kernel.faults().ArmDelay(fault::FaultPoint::kServerHandlerEntry, 100'000, 5'000'000, 60);
+  };
+  const EchoRun a = RunEchoWorkload(20, configure);
+  const EchoRun b = RunEchoWorkload(20, configure);
+  ASSERT_EQ(a.log.size(), b.log.size());
+  ExpectIdenticalCounters(a.counters, b.counters);
+  ExpectIdenticalEvents(a.events, b.events);
+}
+
+// kStallTask wedges the serving thread without killing the task: the caller
+// (and every queued caller) blocks until something terminates the task. With
+// a per-call deadline the client sees kTimedOut — alive-but-wedged looks
+// exactly like a dropped reply from the outside, which is the point.
+TEST(FaultInjectorTest, StallTaskWedgesUntilTerminated) {
+  hw::Machine machine(hw::MachineConfig{.ram_bytes = 16 * 1024 * 1024});
+  Kernel kernel(&machine);
+  kernel.faults().Enable(3);
+  kernel.faults().Arm(fault::FaultPoint::kServerHandlerEntry, fault::FaultMode::kStallTask, 100,
+                      /*max_fires=*/1);
+  Task* server_task = kernel.CreateTask("server");
+  Task* client_task = kernel.CreateTask("client");
+  auto recv = kernel.PortAllocate(*server_task);
+  auto send = kernel.MakeSendRight(*server_task, *recv, *client_task);
+  auto loop = std::make_shared<ServerLoop>(*recv, "echo", 64);
+  loop->Register(kEchoOp, [](Env& env, const RpcRequest& request, const uint8_t* req,
+                             const uint8_t*, uint32_t) {
+    env.RpcReply(request.token, req, request.req_len);
+  });
+  kernel.CreateThread(server_task, "echo", [loop](Env& env) { loop->Run(env); });
+  std::vector<base::Status> statuses;
+  kernel.CreateThread(client_task, "client", [&, send = *send](Env& env) {
+    uint32_t req[2] = {kEchoOp, 0};
+    uint32_t reply[2] = {};
+    // First call wedges the server; the deadline, not a reply, ends it.
+    statuses.push_back(env.RpcCall(send, req, sizeof(req), reply, sizeof(reply), nullptr, nullptr,
+                                   nullptr, 0, nullptr, kDeadlineNs));
+    // The server is wedged, not dead: a second bounded call times out too.
+    statuses.push_back(env.RpcCall(send, req, sizeof(req), reply, sizeof(reply), nullptr, nullptr,
+                                   nullptr, 0, nullptr, kDeadlineNs));
+    // Watchdog stand-in: terminate the wedged task; now the port is dead.
+    env.kernel().TerminateTask(server_task);
+    statuses.push_back(env.RpcCall(send, req, sizeof(req), reply, sizeof(reply), nullptr, nullptr,
+                                   nullptr, 0, nullptr, kDeadlineNs));
+  });
+  EXPECT_EQ(kernel.Run(), 0u);
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(statuses[0], base::Status::kTimedOut);
+  EXPECT_EQ(statuses[1], base::Status::kTimedOut);
+  EXPECT_EQ(statuses[2], base::Status::kPortDead);
+  EXPECT_EQ(kernel.CheckInvariants(), 0u);
+}
+
 // RpcCallRobust turns a dropped reply into a transparent retry: the first
 // attempt times out, the resolver re-supplies the port, the retry succeeds.
 TEST(FaultInjectorTest, RobustCallRidesThroughDroppedReply) {

@@ -1,4 +1,6 @@
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "tests/mk/kernel_test_fixture.h"
 
@@ -84,6 +86,45 @@ TEST_F(KernelTest, MachMsgFullQueueBlocksSenderUntilReceive) {
   });
   EXPECT_EQ(kernel_.Run(), 0u);
   EXPECT_EQ(received, static_cast<int>(Port::kDefaultQueueLimit) + 3);
+}
+
+// Queue-limit / blocked_senders interaction with port death: senders parked
+// on a full queue must all wake with kPortDead when the port is destroyed —
+// not stay blocked, not ever see their message "delivered" to a dead port.
+TEST_F(KernelTest, MachMsgPortDeathWakesBlockedSenders) {
+  Task* a = kernel_.CreateTask("a");
+  Task* b = kernel_.CreateTask("b");
+  auto recv = kernel_.PortAllocate(*b);
+  ASSERT_TRUE(recv.ok());
+  auto send = kernel_.MakeSendRight(*b, *recv, *a);
+  ASSERT_TRUE(send.ok());
+
+  // Two senders each fill-and-overflow: the first kDefaultQueueLimit sends
+  // complete, then both threads park in blocked_senders.
+  std::vector<base::Status> parked_status(2, base::Status::kOk);
+  for (int i = 0; i < 2; ++i) {
+    kernel_.CreateThread(a, "sender" + std::to_string(i), [&, i, right = *send](Env& env) {
+      for (;;) {
+        MachMessage msg;
+        msg.dest = right;
+        msg.inline_data = {static_cast<uint8_t>(i)};
+        const base::Status st = env.kernel().MachMsgSend(std::move(msg));
+        if (st != base::Status::kOk) {
+          parked_status[i] = st;
+          return;
+        }
+      }
+    });
+  }
+  kernel_.CreateThread(b, "killer", [&, r = *recv](Env& env) {
+    // Let both senders saturate the queue and park.
+    (void)env.SleepNs(1'000'000);
+    (void)env.kernel().PortDestroy(env.task(), r);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(parked_status[0], base::Status::kPortDead);
+  EXPECT_EQ(parked_status[1], base::Status::kPortDead);
+  EXPECT_EQ(kernel_.CheckInvariants(), 0u);
 }
 
 TEST_F(KernelTest, MachMsgReceiveTimeout) {

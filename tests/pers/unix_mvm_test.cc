@@ -61,6 +61,56 @@ TEST_F(PersonalityTest, UnixOpenReadWriteWithImplicitOffset) {
   EXPECT_EQ(kernel_.Run(), 0u);
 }
 
+// The errno mapping is the personality's overload surface: every graceful
+// degradation status — shed (kBusy), breaker fast-fail (kUnavailable),
+// bounded-call expiry (kTimedOut), legacy queue overflow (kQueueFull) —
+// becomes EAGAIN ("try again"), not a hang and not a hard error.
+TEST(UnixErrnoTest, DegradationStatusesMapToEagain) {
+  EXPECT_EQ(UnixErrnoOf(base::Status::kOk), kEOk);
+  EXPECT_EQ(UnixErrnoOf(base::Status::kBusy), kEAGAIN);
+  EXPECT_EQ(UnixErrnoOf(base::Status::kUnavailable), kEAGAIN);
+  EXPECT_EQ(UnixErrnoOf(base::Status::kTimedOut), kEAGAIN);
+  EXPECT_EQ(UnixErrnoOf(base::Status::kQueueFull), kEAGAIN);
+  EXPECT_EQ(UnixErrnoOf(base::Status::kWouldBlock), kEAGAIN);
+  EXPECT_EQ(UnixErrnoOf(base::Status::kNotFound), kENOENT);
+  EXPECT_EQ(UnixErrnoOf(base::Status::kPermissionDenied), kEACCES);
+  EXPECT_EQ(UnixErrnoOf(base::Status::kAlreadyExists), kEEXIST);
+  EXPECT_EQ(UnixErrnoOf(base::Status::kInvalidArgument), kEINVAL);
+  EXPECT_EQ(UnixErrnoOf(base::Status::kPortDead), kEIO);
+}
+
+// A wedged file server must surface as EAGAIN through the personality, not
+// hang the process: with an I/O timeout set, the process's Write comes back
+// kTimedOut in bounded simulated time and maps to EAGAIN.
+TEST_F(PersonalityTest, UnixIoTimeoutSurfacesWedgedServerAsEagain) {
+  kernel_.faults().Enable(3);
+  UnixPersonality unix_pers(kernel_, *fs_);
+  UnixProcess* proc = nullptr;
+  proc = unix_pers.Spawn("sh", [&](mk::Env& env) {
+    // Open with no deadline: the concurrent mkfs can hold the fs well past
+    // any reasonable I/O timeout. The bound under test is armed afterwards.
+    auto fd = proc->Open(env, "/hang.txt", kOCreat | kORdWr);
+    ASSERT_TRUE(fd.ok());
+    unix_pers.set_io_timeout_ns(3'000'000);
+    // Wedge the server on the NEXT request (the fd's port is already warm).
+    kernel_.faults().Arm(mk::fault::FaultPoint::kServerHandlerEntry,
+                         mk::fault::FaultMode::kStallTask, 100, /*max_fires=*/1);
+    const uint64_t t0 = env.NowNs();
+    auto got = proc->Write(env, *fd, "x", 1);
+    const uint64_t waited = env.NowNs() - t0;
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status(), base::Status::kTimedOut);
+    EXPECT_EQ(UnixErrnoOf(got.status()), kEAGAIN);
+    EXPECT_GE(waited, 3'000'000u);
+    EXPECT_LE(waited, 10'000'000u) << "the bounded call must not hang";
+    // The wedged server cannot be stopped cleanly; terminate its task (the
+    // watchdog's job in a full system).
+    kernel_.TerminateTask(fs_task_);
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(kernel_.CheckInvariants(), 0u);
+}
+
 TEST_F(PersonalityTest, UnixReadvWritevMoveAllIovecsInOneCall) {
   UnixPersonality unix_pers(kernel_, *fs_);
   UnixProcess* proc = nullptr;

@@ -13,9 +13,17 @@ The simulator is deterministic, so the measured cycle counts are exact
 and the tolerance only has to absorb intentional, committed cost-model
 changes (which should update the baseline in the same change).
 
+With --ablations, additionally gates the overload ablation (A5) from a
+bench_ablations JSON report: at every overloaded multiplier the bounded
+port must actually shed, must at least halve the unbounded p99 queue
+wait, and must keep goodput above half of the unbounded run's. These
+mirror the WPOS_CHECKs inside the bench binary, but as an independent
+CI gate they still hold if someone weakens the in-binary asserts.
+
 Usage:
   tools/bench_delta.py --fresh bench_table2.json \
-      [--baseline BENCH_table2.json] [--tolerance 0.02]
+      [--baseline BENCH_table2.json] [--tolerance 0.02] \
+      [--ablations ablations.json]
 
 Exit status: 0 when within tolerance, 1 on regression or missing keys.
 """
@@ -37,6 +45,46 @@ def ratio(report, label):
     return rpc / trap
 
 
+def check_ablations(path):
+    """Overload-ablation (A5) invariants from a bench_ablations report.
+
+    Returns a list of failure strings (empty when every gate holds).
+    """
+    with open(path) as f:
+        report = json.load(f)
+
+    def measured(key):
+        try:
+            return report[key]["measured"]
+        except KeyError:
+            raise SystemExit(f"{path}: missing key {key!r} in ablations report")
+
+    failures = []
+    for mult in (4, 16):
+        prefix = f"overload.x{mult}"
+        sheds = measured(f"{prefix}.bounded.sheds")
+        bounded_p99 = measured(f"{prefix}.bounded.p99_queue_wait_cycles")
+        unbounded_p99 = measured(f"{prefix}.unbounded.p99_queue_wait_cycles")
+        bounded_gp = measured(f"{prefix}.bounded.goodput_ops_per_ms")
+        unbounded_gp = measured(f"{prefix}.unbounded.goodput_ops_per_ms")
+        if sheds <= 0:
+            failures.append(f"{prefix}: bounded queue shed nothing at overload")
+        # 1% slack: the report rounds to 6 significant figures, and the
+        # histogram's power-of-two bucket bounds sit right on the 2x edge.
+        if bounded_p99 * 2 > unbounded_p99 * 1.01:
+            failures.append(
+                f"{prefix}: bound failed to halve the p99 queue wait "
+                f"({bounded_p99:.0f} vs {unbounded_p99:.0f} cycles)")
+        if bounded_gp < 0.5 * unbounded_gp:
+            failures.append(
+                f"{prefix}: shedding collapsed goodput "
+                f"({bounded_gp:.2f} vs {unbounded_gp:.2f} ops/ms)")
+        print(f"{prefix}: sheds {sheds:.0f}, p99 {bounded_p99:.0f} vs "
+              f"{unbounded_p99:.0f} cycles, goodput {bounded_gp:.2f} vs "
+              f"{unbounded_gp:.2f} ops/ms")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", required=True,
@@ -45,6 +93,9 @@ def main():
                         help="committed baseline report (default: %(default)s)")
     parser.add_argument("--tolerance", type=float, default=0.02,
                         help="allowed relative regression (default: %(default)s)")
+    parser.add_argument("--ablations", default=None,
+                        help="bench_ablations --json output to gate the "
+                             "overload ablation (A5) as well")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -63,6 +114,13 @@ def main():
               file=sys.stderr)
         return 1
     print("OK: within tolerance")
+    if args.ablations:
+        failures = check_ablations(args.ablations)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("OK: overload ablation gates hold")
     return 0
 
 

@@ -22,6 +22,10 @@ Checks, over every header and source file under src/ and tests/:
      src/mk/fault/points.h. A fault campaign is replayed from a seed plus
      the visit sequence of named points; an unregistered point would be
      invisible to campaign tooling and to the replay documentation.
+     The registry must also be live: every FaultPoint/FaultMode member
+     except kNone/kCount must be referenced somewhere outside points.h.
+     A registered-but-never-armed-or-fired point documents coverage the
+     campaign does not actually have.
   6. Determinism (src/mk, src/svc, and src/pers; src/mk/host.cc exempt):
      the
      simulation must replay bit-identically — that is what makes schedule
@@ -88,7 +92,10 @@ def load_enum_registry(header: Path, enum_names: tuple) -> dict:
             rf"enum\s+class\s+{enum_name}\b[^{{]*{{(.*?)}};", text, re.DOTALL
         )
         if match:
-            registry[enum_name] = set(re.findall(r"\bk\w+", match.group(1)))
+            # Comments inside the body routinely mention other members
+            # ("supports kCrashTask, ..."), so strip them before harvesting.
+            body = re.sub(r"//[^\n]*", "", match.group(1))
+            registry[enum_name] = set(re.findall(r"\bk\w+", body))
     return registry
 
 
@@ -132,7 +139,9 @@ def check_trace_events(rel_path: Path, text: str, errors: list, registry: dict) 
             )
 
 
-def check_fault_points(rel_path: Path, text: str, errors: list, registry: dict) -> None:
+def check_fault_points(
+    rel_path: Path, text: str, errors: list, registry: dict, used: dict
+) -> None:
     if rel_path == FAULT_POINTS_HEADER or not registry:
         return
     for match in FAULT_ENUM_REF_RE.finditer(text):
@@ -143,6 +152,25 @@ def check_fault_points(rel_path: Path, text: str, errors: list, registry: dict) 
                 f"{rel_path}:{line}: {enum_name}::{member} is not declared in "
                 f"{FAULT_POINTS_HEADER}"
             )
+        else:
+            used.setdefault(enum_name, set()).add(member)
+
+
+FAULT_REGISTRY_SENTINELS = {"kNone", "kCount"}
+
+
+def check_fault_registry_live(registry: dict, used: dict) -> list:
+    """Every registered fault point/mode must be referenced outside points.h."""
+    errors = []
+    for enum_name in sorted(registry):
+        dead = registry[enum_name] - used.get(enum_name, set()) - FAULT_REGISTRY_SENTINELS
+        for member in sorted(dead):
+            errors.append(
+                f"{FAULT_POINTS_HEADER}: {enum_name}::{member} is registered but "
+                f"never referenced outside the registry — a fault campaign cannot "
+                f"exercise it; remove it or wire it into an injection site"
+            )
+    return errors
 
 
 def load_unordered_accessors() -> set:
@@ -238,7 +266,13 @@ def check_costs_definition(rel_path: Path, text: str, errors: list) -> None:
         )
 
 
-def lint_file(path: Path, trace_registry: dict, fault_registry: dict, accessors: set) -> list:
+def lint_file(
+    path: Path,
+    trace_registry: dict,
+    fault_registry: dict,
+    accessors: set,
+    fault_used: dict,
+) -> list:
     rel_path = path.relative_to(REPO_ROOT)
     text = path.read_text(encoding="utf-8", errors="replace")
     errors = []
@@ -247,7 +281,7 @@ def lint_file(path: Path, trace_registry: dict, fault_registry: dict, accessors:
         check_using_namespace(rel_path, text, errors)
     check_costs_definition(rel_path, text, errors)
     check_trace_events(rel_path, text, errors, trace_registry)
-    check_fault_points(rel_path, text, errors, fault_registry)
+    check_fault_points(rel_path, text, errors, fault_registry, fault_used)
     check_determinism(rel_path, text, errors, accessors)
     return errors
 
@@ -259,6 +293,7 @@ def main() -> int:
     trace_registry = load_enum_registry(TRACE_EVENTS_HEADER, ("EventType", "SpanKind"))
     fault_registry = load_enum_registry(FAULT_POINTS_HEADER, ("FaultPoint", "FaultMode"))
     accessors = load_unordered_accessors()
+    fault_used = {}
     for scan_dir in SCAN_DIRS:
         root = REPO_ROOT / scan_dir
         if not root.is_dir():
@@ -267,12 +302,18 @@ def main() -> int:
             if path.suffix not in (".h", ".cc"):
                 continue
             scanned += 1
-            errors = lint_file(path, trace_registry, fault_registry, accessors)
+            errors = lint_file(path, trace_registry, fault_registry, accessors, fault_used)
             if errors:
                 bad_files += 1
                 total_errors += len(errors)
                 for error in errors:
                     print(f"lint: {error}", file=sys.stderr)
+    registry_errors = check_fault_registry_live(fault_registry, fault_used)
+    if registry_errors:
+        bad_files += 1
+        total_errors += len(registry_errors)
+        for error in registry_errors:
+            print(f"lint: {error}", file=sys.stderr)
     if total_errors:
         print(f"lint: {total_errors} issue(s) in {bad_files} file(s)", file=sys.stderr)
     else:
