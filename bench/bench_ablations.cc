@@ -15,8 +15,12 @@
 #include "bench/lib/trace_export.h"
 #include "src/drv/kernel_nic.h"
 #include "src/drv/nic_driver.h"
+#include "src/hw/disk.h"
 #include "src/hw/machine.h"
 #include "src/mk/kernel.h"
+#include "src/mks/pager/default_pager.h"
+#include "src/svc/fs/file_server.h"
+#include "src/svc/fs/inode_fs.h"
 
 namespace {
 
@@ -316,6 +320,64 @@ OverloadResult OverloadRun(int clients, uint32_t queue_limit) {
   return out;
 }
 
+// File-intensive RPC traffic with and without the client-side FS cache: a
+// sequential write pass, a sequential re-read pass and a handful of fstat
+// probes against a file server in another task. Returns cross-server RPCs
+// per file operation — the cost the cache exists to cut.
+double FileIntensiveRpcsPerOp(bool cached) {
+  hw::Machine machine(hw::MachineConfig{.ram_bytes = 32 * 1024 * 1024});
+  mk::Kernel kernel(&machine);
+  auto* disk = static_cast<hw::Disk*>(machine.AddDevice(
+      std::make_unique<hw::Disk>("d", 3, hw::Disk::Geometry{.sectors = 64 * 1024})));
+  mks::BackdoorBlockStore store(disk, 30'000);
+  svc::BlockCache cache(kernel, &store, 1024);
+  svc::HpfsFs hpfs(kernel, &cache, 65536);
+  mk::Task* fs_task = kernel.CreateTask("file-server");
+  svc::FileServer server(kernel, fs_task);
+  WPOS_CHECK(server.AddMount("/", &hpfs) == base::Status::kOk);
+  mk::Task* app = kernel.CreateTask("app");
+  const mk::PortName service = server.GrantTo(*app);
+  bool formatted = false;
+  kernel.CreateThread(fs_task, "mkfs", [&](mk::Env& env) {
+    WPOS_CHECK(hpfs.Format(env) == base::Status::kOk);
+    formatted = true;
+  });
+  double rpcs_per_op = 0;
+  kernel.CreateThread(app, "app", [&](mk::Env& env) {
+    while (!formatted) {
+      (void)env.SleepNs(200'000);
+    }
+    svc::FsClient fs(service);
+    if (cached) {
+      fs.EnableCache();
+    }
+    constexpr uint32_t kChunk = 256;
+    constexpr uint32_t kChunks = 64;
+    constexpr uint32_t kStats = 8;
+    std::vector<uint8_t> data(kChunk, 0x5a);
+    std::vector<uint8_t> back(kChunk);
+    const uint64_t rpc0 = kernel.rpc_calls();
+    auto h = fs.Open(env, "/intensive.dat", svc::kFsCreate | svc::kFsWrite);
+    WPOS_CHECK(h.ok());
+    for (uint32_t i = 0; i < kChunks; ++i) {
+      WPOS_CHECK(fs.Write(env, *h, i * kChunk, data.data(), kChunk).ok());
+    }
+    for (uint32_t i = 0; i < kChunks; ++i) {
+      WPOS_CHECK(fs.Read(env, *h, i * kChunk, back.data(), kChunk).ok());
+    }
+    for (uint32_t i = 0; i < kStats; ++i) {
+      WPOS_CHECK(fs.Stat(env, *h).ok());
+    }
+    WPOS_CHECK(fs.Close(env, *h) == base::Status::kOk);
+    const uint64_t ops = 2 * kChunks + kStats + 2;  // reads+writes+stats+open+close
+    rpcs_per_op = static_cast<double>(kernel.rpc_calls() - rpc0) / ops;
+    server.Stop();
+    (void)fs.Sync(env);  // unblock the serve loop
+  });
+  kernel.Run();
+  return rpcs_per_op;
+}
+
 void PrintAblations(bench::JsonReport* report, const std::string& trace_path) {
   std::printf("\n=== Ablation 1: direct handoff in the RPC rendezvous ===\n");
   std::printf("%22s %14s %14s %8s\n", "", "handoff", "ready-queue", "ratio");
@@ -426,6 +488,20 @@ void PrintAblations(bench::JsonReport* report, const std::string& trace_path) {
   }
   std::printf("the server is saturated either way; what the bound buys is the tail —\n"
               "queued callers wait O(limit) service times instead of O(clients).\n");
+
+  std::printf("\n=== Ablation 6: client-side FS cache — RPCs per file op ===\n");
+  const double uncached_rpcs = FileIntensiveRpcsPerOp(false);
+  const double cached_rpcs = FileIntensiveRpcsPerOp(true);
+  std::printf("file-intensive loop: uncached %.2f RPCs/op, cached %.2f RPCs/op (%.1fx)\n",
+              uncached_rpcs, cached_rpcs, uncached_rpcs / cached_rpcs);
+  report->Add("fscache.uncached.rpcs_per_op", uncached_rpcs);
+  report->Add("fscache.cached.rpcs_per_op", cached_rpcs);
+  report->Add("fscache.ratio", uncached_rpcs / cached_rpcs);
+  WPOS_CHECK(uncached_rpcs >= 2 * cached_rpcs)
+      << "write-behind + read-ahead + the attribute cache must at least halve "
+         "cross-server RPC traffic on the file-intensive loop";
+  std::printf("write-behind coalesces the write pass, read-ahead turns the re-read\n"
+              "pass into one fetch, and fstat is answered from the attribute cache.\n");
 }
 
 void BM_Handoff(benchmark::State& state) {

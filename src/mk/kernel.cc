@@ -511,6 +511,16 @@ base::Result<PortName> Kernel::MakeSendRight(Task& from, PortName receive_name, 
   return to.port_space().Insert(*port, RightType::kSend);
 }
 
+base::Result<PortName> Kernel::MakeReceiveRight(Task& from, PortName receive_name, Task& to) {
+  cpu().Execute(PortTransferRegion());
+  auto port = from.port_space().LookupReceive(receive_name);
+  if (!port.ok()) {
+    return port.status();
+  }
+  cpu().AccessData(to.port_space().sim_addr(), 32, /*write=*/true);
+  return to.port_space().Insert(*port, RightType::kReceive);
+}
+
 base::Result<PortName> Kernel::PortSetAllocate(Task& task) {
   cpu().Execute(PortAllocRegion());
   Port* set = NewPort();

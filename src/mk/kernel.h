@@ -156,6 +156,11 @@ class Kernel {
   // Creates a send right in `to` for the port named by a *receive* right
   // `receive_name` held by `from`.
   base::Result<PortName> MakeSendRight(Task& from, PortName receive_name, Task& to);
+  // Creates a receive right in `to` for the same port. The port's receiver
+  // task (teardown ownership) stays with the original allocator; the extra
+  // right only lets `to` dequeue — how a forked child inherits a pipe's
+  // read end.
+  base::Result<PortName> MakeReceiveRight(Task& from, PortName receive_name, Task& to);
   // Bounds the synchronous-RPC rendezvous queue of the port named by a
   // receive right: once `limit` callers are parked in waiting_clients, new
   // callers are shed with kBusy instead of parking (admission control).

@@ -46,6 +46,8 @@ enum class EventType : uint8_t {
   kSchedPreempt,       // explorer-forced preemption; a = heir thread id, b = preempted id
   kRpcShed,            // caller shed by admission control; a = span id, b = port id
   kWatchdogKill,       // watchdog force-terminated a wedged server; a = task id, b = missed ns
+  kFsCacheHit,         // client FS cache served without an RPC; a = handle, b = offset
+  kFsCacheInvalidate,  // client FS cache dropped state; a = handle (0 = all), b = generation
   kCount,
 };
 

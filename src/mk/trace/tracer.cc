@@ -72,6 +72,10 @@ const char* EventName(EventType type) {
       return "rpc_shed";
     case EventType::kWatchdogKill:
       return "watchdog_kill";
+    case EventType::kFsCacheHit:
+      return "fs_cache_hit";
+    case EventType::kFsCacheInvalidate:
+      return "fs_cache_invalidate";
     case EventType::kCount:
       break;
   }

@@ -186,6 +186,11 @@ void RestartManager::HandleTaskDeath(mk::Env& env, mk::TaskId dead) {
   const std::string name = by->second;
   by_task_.erase(by);
   Entry& entry = entries_[name];
+  // Coherence fan-out before any respawn: whatever clients cached against
+  // the dead instance (names, attributes, read-ahead) is now suspect.
+  for (const auto& listener : death_listeners_) {
+    listener(name);
+  }
   mk::trace::MetricRegistry& metrics = kernel_.tracer().metrics();
   if (entry.restarts >= policy_.max_restarts) {
     // Budget exhausted: degrade cleanly. Dropping the name means clients

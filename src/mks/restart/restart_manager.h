@@ -26,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/mk/kernel.h"
 #include "src/mks/naming/name_server.h"
@@ -83,6 +84,14 @@ class RestartManager {
   // Heartbeats, death notices and revive requests share the one port.
   base::Result<mk::PortName> HealthRightFor(mk::Task& server_task);
 
+  // Registers a callback invoked (with the supervised name) whenever a
+  // supervised server dies — before backoff and respawn. Client-side caches
+  // hook this to drop state cached against the dead instance (e.g.
+  // RobustFsSession::OnServerDeath); listeners must not block.
+  void AddDeathListener(std::function<void(const std::string&)> listener) {
+    death_listeners_.push_back(std::move(listener));
+  }
+
   // Administratively revives a degraded (gave-up) server: resets its restart
   // budget, respawns it through its factory and re-registers the name.
   // Callable from any task; the request is a kReviveMsgId message handled on
@@ -126,6 +135,7 @@ class RestartManager {
   std::unique_ptr<NameClient> names_;  // null when name_service == kNullPort
   std::map<std::string, Entry> entries_;
   std::map<mk::TaskId, std::string> by_task_;
+  std::vector<std::function<void(const std::string&)>> death_listeners_;
   uint64_t total_restarts_ = 0;
   bool running_ = true;
 };

@@ -48,6 +48,9 @@ int UnixErrnoOf(base::Status st) {
 UnixProcess::UnixProcess(UnixPersonality* pers, mk::Task* task, uint32_t pid)
     : pers_(pers), task_(task), pid_(pid) {
   fs_ = std::make_unique<svc::FsClient>(pers->fs_.GrantTo(*task), pers->io_timeout_ns_);
+  if (pers->fs_cache_on_) {
+    fs_->EnableCache(pers->fs_cache_opts_);
+  }
 }
 
 UnixProcess* UnixPersonality::Spawn(const std::string& name, mk::ThreadBody main) {
@@ -110,6 +113,14 @@ base::Result<uint32_t> UnixProcess::Read(mk::Env& env, int fd, void* buf, uint32
   }
   FileDesc& desc = it->second;
   if (desc.kind == FileDesc::Kind::kPipeRead) {
+    // Bytes a previous short read left behind come first — before the next
+    // message, and without touching the port.
+    if (!desc.pipe_rest.empty()) {
+      const uint32_t n = static_cast<uint32_t>(std::min<size_t>(len, desc.pipe_rest.size()));
+      std::memcpy(buf, desc.pipe_rest.data(), n);
+      desc.pipe_rest.erase(desc.pipe_rest.begin(), desc.pipe_rest.begin() + n);
+      return n;
+    }
     mk::MachMessage msg;
     const base::Status st = pers_->kernel_.MachMsgReceive(desc.pipe, &msg);
     if (st != base::Status::kOk) {
@@ -118,6 +129,11 @@ base::Result<uint32_t> UnixProcess::Read(mk::Env& env, int fd, void* buf, uint32
     }
     const uint32_t n = static_cast<uint32_t>(std::min<size_t>(len, msg.inline_data.size()));
     std::memcpy(buf, msg.inline_data.data(), n);
+    if (n < msg.inline_data.size()) {
+      // Pipes are byte streams: a read shorter than the message must keep
+      // the tail for the next read, not discard it with the message.
+      desc.pipe_rest.assign(msg.inline_data.begin() + n, msg.inline_data.end());
+    }
     return n;
   }
   auto got = fs_->Read(env, desc.handle, desc.offset, buf, len);
@@ -149,6 +165,16 @@ base::Result<uint32_t> UnixProcess::Write(mk::Env& env, int fd, const void* buf,
       return st;
     }
     return len;
+  }
+  if ((desc.flags & kOAppend) != 0) {
+    // O_APPEND: the write lands at the *current* end of file. The per-fd
+    // offset can be stale — another descriptor (or a forked twin) may have
+    // grown the file since this fd last wrote.
+    auto attr = fs_->Stat(env, desc.handle);
+    if (!attr.ok()) {
+      return attr.status();
+    }
+    desc.offset = attr->size;
   }
   auto wrote = fs_->Write(env, desc.handle, desc.offset, buf, len);
   if (!wrote.ok()) {
@@ -209,6 +235,15 @@ base::Result<uint32_t> UnixProcess::Writev(mk::Env& env, int fd, const UnixIoVec
   if (iovcnt == 0 || iovcnt > svc::kFsMaxExtents) {
     return base::Status::kInvalidArgument;
   }
+  if ((desc.flags & kOAppend) != 0) {
+    // Same O_APPEND repositioning as Write. The server's gather-write path
+    // honours explicit extent offsets only, so the client must aim at EOF.
+    auto attr = fs_->Stat(env, desc.handle);
+    if (!attr.ok()) {
+      return attr.status();
+    }
+    desc.offset = attr->size;
+  }
   svc::FsWriteExtent extents[svc::kFsMaxExtents];
   uint64_t pos = desc.offset;
   for (uint32_t i = 0; i < iovcnt; ++i) {
@@ -237,12 +272,13 @@ base::Result<uint64_t> UnixProcess::Lseek(mk::Env& env, int fd, int64_t offset, 
     case 1:  // SEEK_CUR
       base_pos = static_cast<int64_t>(desc.offset);
       break;
-    case 2: {  // SEEK_END — size comes from the server
-      // The file server tracks no paths for handles; model via GetAttr on a
-      // cached path is unavailable, so SEEK_END is resolved by probing: read
-      // of zero bytes at a large offset is not defined, so keep a size query
-      // through the handle: not supported -> approximate with current offset.
-      return base::Status::kNotSupported;
+    case 2: {  // SEEK_END — size via the handle-based stat (no path walk)
+      auto attr = fs_->Stat(env, desc.handle);
+      if (!attr.ok()) {
+        return attr.status();
+      }
+      base_pos = static_cast<int64_t>(attr->size);
+      break;
     }
     default:
       return base::Status::kInvalidArgument;
@@ -270,6 +306,11 @@ base::Status UnixProcess::Close(mk::Env& env, int fd) {
   } else if (it->second.kind == FileDesc::Kind::kPipeWrite) {
     // Closing the write end kills the port: readers see EOF (kPortDead).
     st = pers_->kernel_.PortDestroy(*task_, it->second.pipe);
+    if (st == base::Status::kInvalidRight) {
+      // A forked child's write end is a send right, not the receive right:
+      // dropping it must not tear the pipe out from under the parent.
+      st = task_->port_space().Release(it->second.pipe);
+    }
   }
   fds_.erase(it);
   return st;
@@ -307,6 +348,26 @@ base::Result<UnixProcess*> UnixProcess::Fork(mk::Env& env, mk::ThreadBody child_
   // simplification of shared open-file descriptions, recorded in DESIGN.md).
   child->fds_ = fds_;
   child->next_fd_ = next_fd_;
+  // Port rights do not travel with the address-space copy — the fd table is
+  // personality state but the port space is kernel state. Grant each
+  // inherited pipe end into the child's space and rewrite the child's names;
+  // without this the child's first pipe read/write fails on a name the
+  // kernel never issued to its task.
+  for (auto& [fd, desc] : child->fds_) {
+    if (desc.kind == FileDesc::Kind::kPipeRead) {
+      auto right = kernel.MakeReceiveRight(*task_, desc.pipe, *child_task);
+      if (!right.ok()) {
+        return right.status();
+      }
+      desc.pipe = *right;
+    } else if (desc.kind == FileDesc::Kind::kPipeWrite) {
+      auto right = kernel.MakeSendRight(*task_, desc.pipe, *child_task);
+      if (!right.ok()) {
+        return right.status();
+      }
+      desc.pipe = *right;
+    }
+  }
   child->main_thread_ = kernel.CreateThread(child_task, "forked-main", std::move(child_main));
   return child;
 }

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/mk/kernel.h"
 #include "src/svc/fs/file_server.h"
@@ -93,6 +94,10 @@ class UnixProcess {
     uint64_t offset = 0;       // implicit POSIX file offset
     uint32_t flags = 0;
     mk::PortName pipe = mk::kNullPort;  // pipe port right
+    // Tail of a pipe message a short read could not consume: POSIX pipes
+    // are byte streams, so these bytes come back on the next read instead
+    // of vanishing with the message.
+    std::vector<uint8_t> pipe_rest;
   };
 
   UnixPersonality* pers_;
@@ -122,6 +127,17 @@ class UnixPersonality {
     }
   }
 
+  // Turns on client-side FS caching (svc::FsCache) for live processes and
+  // ones spawned later. Default-off: without it every file operation is a
+  // straight RPC to the file server.
+  void EnableFsCache(const svc::FsCacheOptions& opts = svc::FsCacheOptions()) {
+    fs_cache_on_ = true;
+    fs_cache_opts_ = opts;
+    for (auto& proc : processes_) {
+      proc->fs_->EnableCache(opts);
+    }
+  }
+
   // Creates the initial process; its main thread runs `main`.
   UnixProcess* Spawn(const std::string& name, mk::ThreadBody main);
 
@@ -136,6 +152,8 @@ class UnixPersonality {
   std::vector<std::unique_ptr<UnixProcess>> processes_;
   uint32_t next_pid_ = 1;
   uint64_t io_timeout_ns_ = mk::kForever;
+  bool fs_cache_on_ = false;
+  svc::FsCacheOptions fs_cache_opts_;
 };
 
 }  // namespace pers

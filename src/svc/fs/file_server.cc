@@ -472,6 +472,30 @@ void FileServer::HandleLock(mk::Env& env, const mk::RpcRequest& rpc, const FsReq
   env.RpcReply(rpc.token, &reply, sizeof(reply));
 }
 
+void FileServer::HandleStat(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r) {
+  // Handle-based GetAttr: no path walk, so a hot stat (fstat, SEEK_END,
+  // O_APPEND positioning) costs one table lookup instead of a name walk.
+  // A stale handle answers kInvalidArgument, the same signal the robust
+  // session already re-opens on.
+  FsReply reply;
+  kernel_.cpu().Execute(UnionSemRegion());
+  auto it = open_files_.find(r.handle);
+  if (it == open_files_.end()) {
+    reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  OpenFile& of = it->second;
+  kernel_.cpu().AccessData(of.sim_addr, 48, /*write=*/false);
+  auto attr = of.mount->pfs->GetAttr(env, of.node);
+  if (!attr.ok()) {
+    reply.status = static_cast<int32_t>(attr.status());
+  } else {
+    reply.attr = {attr->size, attr->directory ? uint8_t{1} : uint8_t{0}};
+  }
+  env.RpcReply(rpc.token, &reply, sizeof(reply));
+}
+
 void FileServer::HandlePathOp(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r) {
   FsReply reply;
   kernel_.cpu().Execute(UnionSemRegion());
@@ -746,6 +770,9 @@ void FileServer::Serve(mk::Env& env) {
       case FsOp::kUnlock:
         HandleLock(env, *rpc, r);
         break;
+      case FsOp::kFsStat:
+        HandleStat(env, *rpc, r);
+        break;
       default:
         HandlePathOp(env, *rpc, r);
     }
@@ -774,6 +801,10 @@ void FileServer::SendHeartbeat(mk::Env& env) {
 
 // --- Client ------------------------------------------------------------------------------
 
+void FsClient::EnableCache(const FsCacheOptions& opts) {
+  cache_ = std::make_unique<FsCache>(opts);
+}
+
 base::Result<uint64_t> FsClient::Open(mk::Env& env, const std::string& path, uint32_t flags,
                                       FsShare share) {
   FsRequest r;
@@ -790,10 +821,22 @@ base::Result<uint64_t> FsClient::Open(mk::Env& env, const std::string& path, uin
   if (reply.status != 0) {
     return static_cast<base::Status>(reply.status);
   }
+  if (cache_ != nullptr) {
+    // The open reply already carries the attributes: the first Stat is free.
+    cache_->PrimeAttr(reply.handle,
+                      FileAttr{.size = reply.attr.size, .directory = reply.attr.directory != 0});
+  }
   return reply.handle;
 }
 
 base::Status FsClient::Close(mk::Env& env, uint64_t handle) {
+  if (cache_ != nullptr) {
+    // Flush the handle's write-behind run while the handle is still open.
+    const base::Status fl = cache_->CloseHandle(env, *this, handle);
+    if (fl != base::Status::kOk) {
+      return fl;
+    }
+  }
   FsRequest r;
   r.op = FsOp::kClose;
   r.handle = handle;
@@ -804,6 +847,14 @@ base::Status FsClient::Close(mk::Env& env, uint64_t handle) {
 
 base::Result<uint32_t> FsClient::Read(mk::Env& env, uint64_t handle, uint64_t offset, void* out,
                                       uint32_t len) {
+  if (cache_ != nullptr) {
+    return cache_->Read(env, *this, handle, offset, out, len);
+  }
+  return CacheRead(env, handle, offset, out, len);
+}
+
+base::Result<uint32_t> FsClient::CacheRead(mk::Env& env, uint64_t handle, uint64_t offset,
+                                           void* out, uint32_t len) {
   FsRequest r;
   r.op = FsOp::kRead;
   r.handle = handle;
@@ -825,6 +876,14 @@ base::Result<uint32_t> FsClient::Read(mk::Env& env, uint64_t handle, uint64_t of
 
 base::Result<uint32_t> FsClient::Write(mk::Env& env, uint64_t handle, uint64_t offset,
                                        const void* data, uint32_t len) {
+  if (cache_ != nullptr) {
+    return cache_->Write(env, *this, handle, offset, data, len);
+  }
+  return CacheWrite(env, handle, offset, data, len);
+}
+
+base::Result<uint32_t> FsClient::CacheWrite(mk::Env& env, uint64_t handle, uint64_t offset,
+                                            const void* data, uint32_t len) {
   FsRequest r;
   r.op = FsOp::kWrite;
   r.handle = handle;
@@ -848,6 +907,14 @@ base::Result<uint32_t> FsClient::ReadV(mk::Env& env, uint64_t handle,
                                        const FsReadExtent* extents, uint32_t count) {
   if (count == 0 || count > kFsMaxExtents) {
     return base::Status::kInvalidArgument;
+  }
+  if (cache_ != nullptr) {
+    // The scatter read goes to the server; pending write-behind must land
+    // first so it observes them.
+    const base::Status fl = cache_->FlushHandle(env, *this, handle);
+    if (fl != base::Status::kOk) {
+      return fl;
+    }
   }
   FsExtent wire[kFsMaxExtents];
   uint64_t total = 0;
@@ -894,6 +961,15 @@ base::Result<uint32_t> FsClient::WriteV(mk::Env& env, uint64_t handle,
                                         const FsWriteExtent* extents, uint32_t count) {
   if (count == 0 || count > kFsMaxExtents) {
     return base::Status::kInvalidArgument;
+  }
+  if (cache_ != nullptr) {
+    // Side door past the write-behind run: keep ordering (flush first), then
+    // drop cached read/attr state the gather write may supersede.
+    const base::Status fl = cache_->FlushHandle(env, *this, handle);
+    if (fl != base::Status::kOk) {
+      return fl;
+    }
+    cache_->InvalidateHandle(handle);
   }
   uint64_t total = 0;
   for (uint32_t i = 0; i < count; ++i) {
@@ -946,7 +1022,38 @@ base::Result<FileAttr> FsClient::GetAttr(mk::Env& env, const std::string& path) 
   return FileAttr{.size = reply.attr.size, .directory = reply.attr.directory != 0};
 }
 
+base::Result<FileAttr> FsClient::Stat(mk::Env& env, uint64_t handle) {
+  if (cache_ != nullptr) {
+    return cache_->Stat(env, *this, handle);
+  }
+  return CacheStat(env, handle);
+}
+
+base::Result<FileAttr> FsClient::CacheStat(mk::Env& env, uint64_t handle) {
+  FsRequest r;
+  r.op = FsOp::kFsStat;
+  r.handle = handle;
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return FileAttr{.size = reply.attr.size, .directory = reply.attr.directory != 0};
+}
+
 base::Status FsClient::SetSize(mk::Env& env, uint64_t handle, uint64_t size) {
+  if (cache_ != nullptr) {
+    // Truncation past buffered bytes must not resurrect them: flush, call,
+    // then drop every cached view of the handle.
+    const base::Status fl = cache_->FlushHandle(env, *this, handle);
+    if (fl != base::Status::kOk) {
+      return fl;
+    }
+    cache_->InvalidateHandle(handle);
+  }
   FsRequest r;
   r.op = FsOp::kSetSize;
   r.handle = handle;
@@ -1009,6 +1116,15 @@ base::Status FsClient::Rename(mk::Env& env, const std::string& from, const std::
 
 base::Status FsClient::Lock(mk::Env& env, uint64_t handle, uint64_t start, uint64_t len,
                             bool exclusive) {
+  if (cache_ != nullptr) {
+    // Lock acquisition is a coherence point: another client may have written
+    // the range since we cached it. Publish our pending bytes, drop ours.
+    const base::Status fl = cache_->FlushHandle(env, *this, handle);
+    if (fl != base::Status::kOk) {
+      return fl;
+    }
+    cache_->InvalidateHandle(handle);
+  }
   FsRequest r;
   r.op = FsOp::kLock;
   r.handle = handle;
@@ -1021,6 +1137,13 @@ base::Status FsClient::Lock(mk::Env& env, uint64_t handle, uint64_t start, uint6
 }
 
 base::Status FsClient::Unlock(mk::Env& env, uint64_t handle, uint64_t start, uint64_t len) {
+  if (cache_ != nullptr) {
+    // Writes made under the lock must be visible before the lock drops.
+    const base::Status fl = cache_->FlushHandle(env, *this, handle);
+    if (fl != base::Status::kOk) {
+      return fl;
+    }
+  }
   FsRequest r;
   r.op = FsOp::kUnlock;
   r.handle = handle;
@@ -1070,6 +1193,12 @@ base::Result<std::string> FsClient::GetEa(mk::Env& env, const std::string& path,
 }
 
 base::Status FsClient::Sync(mk::Env& env) {
+  if (cache_ != nullptr) {
+    const base::Status fl = cache_->FlushAll(env, *this);
+    if (fl != base::Status::kOk) {
+      return fl;
+    }
+  }
   FsRequest r;
   r.op = FsOp::kSync;
   r.SetPath("/");

@@ -20,6 +20,7 @@
 
 #include "src/mk/kernel.h"
 #include "src/mk/server_loop.h"
+#include "src/svc/fs/fs_cache.h"
 #include "src/svc/fs/pfs.h"
 #include "src/svc/fs/protocol.h"
 
@@ -114,6 +115,7 @@ class FileServer {
                     const uint8_t* ref_data, uint32_t ref_len);
   void HandlePathOp(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
   void HandleLock(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
+  void HandleStat(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
 
   bool LockConflicts(const NodeState& state, uint64_t start, uint64_t len, bool exclusive,
                      uint64_t handle) const;
@@ -154,7 +156,7 @@ struct FsWriteExtent {
 };
 
 // Client library: the RPC stubs a personality links against.
-class FsClient {
+class FsClient : private FsCacheBackend {
  public:
   // `call_timeout_ns` bounds every RPC in simulated time (kForever = none):
   // a wedged server then surfaces as kTimedOut instead of a hung client.
@@ -165,6 +167,12 @@ class FsClient {
 
   // Re-bounds every subsequent RPC (in-flight calls keep their deadline).
   void set_call_timeout_ns(uint64_t ns) { stub_.set_default_timeout_ns(ns); }
+
+  // Turns on the client-side cache (attr + read-ahead + write-behind).
+  // Default-off: until this call every operation is a straight RPC and the
+  // committed bench baselines are reproduced bit-for-bit.
+  void EnableCache(const FsCacheOptions& opts = FsCacheOptions());
+  FsCache* cache() { return cache_.get(); }
 
   base::Result<uint64_t> Open(mk::Env& env, const std::string& path, uint32_t flags = 0,
                               FsShare share = FsShare::kDenyNone);
@@ -181,6 +189,9 @@ class FsClient {
   base::Result<uint32_t> WriteV(mk::Env& env, uint64_t handle, const FsWriteExtent* extents,
                                 uint32_t count);
   base::Result<FileAttr> GetAttr(mk::Env& env, const std::string& path);
+  // Handle-based attributes (kFsStat): no server-side path walk, and served
+  // from the attribute cache when caching is on. What fstat/SEEK_END want.
+  base::Result<FileAttr> Stat(mk::Env& env, uint64_t handle);
   base::Status SetSize(mk::Env& env, uint64_t handle, uint64_t size);
   base::Status Mkdir(mk::Env& env, const std::string& path);
   base::Result<std::vector<DirEntry>> ReadDir(mk::Env& env, const std::string& path);
@@ -194,7 +205,15 @@ class FsClient {
   base::Status Sync(mk::Env& env);
 
  private:
+  // FsCacheBackend: the raw single-RPC path the cache misses into.
+  base::Result<uint32_t> CacheRead(mk::Env& env, uint64_t handle, uint64_t offset, void* out,
+                                   uint32_t len) override;
+  base::Result<uint32_t> CacheWrite(mk::Env& env, uint64_t handle, uint64_t offset,
+                                    const void* data, uint32_t len) override;
+  base::Result<FileAttr> CacheStat(mk::Env& env, uint64_t handle) override;
+
   mk::ClientStub stub_;
+  std::unique_ptr<FsCache> cache_;  // null = caching off
 };
 
 }  // namespace svc

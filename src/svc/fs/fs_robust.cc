@@ -8,14 +8,38 @@ RobustFsSession::RobustFsSession(mk::PortName name_service, std::string fs_name,
                                  const mk::RobustCallOptions& opts)
     : names_(name_service), fs_name_(std::move(fs_name)), opts_(opts) {}
 
+void RobustFsSession::EnableCache(const FsCacheOptions& opts) {
+  cache_ = std::make_unique<FsCache>(opts);
+}
+
 base::Status RobustFsSession::Transport(mk::Env& env, const FsRequest& req, FsReply* reply,
                                         mk::RpcRef* ref) {
-  const auto resolver = [this](mk::Env& e) { return names_.Resolve(e, fs_name_); };
+  const auto resolver = [this](mk::Env& e) -> base::Result<mk::PortName> {
+    // Name cache first. One-shot (TakeName): the robust loop re-invokes the
+    // resolver precisely when the right it last handed out failed, so a name
+    // is never served twice — the retry always reaches the name server,
+    // which knows the respawned instance.
+    if (cache_ != nullptr) {
+      mk::PortName cached = mk::kNullPort;
+      if (cache_->TakeName(fs_name_, &cached)) {
+        return cached;
+      }
+    }
+    auto right = names_.Resolve(e, fs_name_);
+    if (right.ok() && cache_ != nullptr) {
+      cache_->StoreName(fs_name_, *right);
+    }
+    return right;
+  };
   return mk::RpcCallRobust(env, resolver, &cached_port_, &req, sizeof(req), reply, sizeof(*reply),
                            opts_, nullptr, ref);
 }
 
 base::Status RobustFsSession::Reopen(mk::Env& env, OpenState& state) {
+  // The server we cached against is gone: everything clean is suspect.
+  if (cache_ != nullptr) {
+    cache_->BumpGeneration();
+  }
   FsRequest r;
   r.op = FsOp::kOpen;
   // The file exists and holds data we must keep.
@@ -53,11 +77,23 @@ base::Result<uint64_t> RobustFsSession::Open(mk::Env& env, const std::string& pa
   }
   const uint64_t local = next_local_++;
   handles_[local] = OpenState{path, flags, share, reply.handle};
+  if (cache_ != nullptr) {
+    cache_->PrimeAttr(local,
+                      FileAttr{.size = reply.attr.size, .directory = reply.attr.directory != 0});
+  }
   return local;
 }
 
 base::Result<uint32_t> RobustFsSession::Read(mk::Env& env, uint64_t handle, uint64_t offset,
                                              void* out, uint32_t len) {
+  if (cache_ != nullptr) {
+    return cache_->Read(env, *this, handle, offset, out, len);
+  }
+  return CacheRead(env, handle, offset, out, len);
+}
+
+base::Result<uint32_t> RobustFsSession::CacheRead(mk::Env& env, uint64_t handle, uint64_t offset,
+                                                  void* out, uint32_t len) {
   auto it = handles_.find(handle);
   if (it == handles_.end()) {
     return base::Status::kInvalidArgument;
@@ -95,6 +131,14 @@ base::Result<uint32_t> RobustFsSession::Read(mk::Env& env, uint64_t handle, uint
 
 base::Result<uint32_t> RobustFsSession::Write(mk::Env& env, uint64_t handle, uint64_t offset,
                                               const void* data, uint32_t len) {
+  if (cache_ != nullptr) {
+    return cache_->Write(env, *this, handle, offset, data, len);
+  }
+  return CacheWrite(env, handle, offset, data, len);
+}
+
+base::Result<uint32_t> RobustFsSession::CacheWrite(mk::Env& env, uint64_t handle, uint64_t offset,
+                                                   const void* data, uint32_t len) {
   auto it = handles_.find(handle);
   if (it == handles_.end()) {
     return base::Status::kInvalidArgument;
@@ -129,10 +173,55 @@ base::Result<uint32_t> RobustFsSession::Write(mk::Env& env, uint64_t handle, uin
   return base::Status::kInternal;
 }
 
+base::Result<FileAttr> RobustFsSession::Stat(mk::Env& env, uint64_t handle) {
+  if (cache_ != nullptr) {
+    return cache_->Stat(env, *this, handle);
+  }
+  return CacheStat(env, handle);
+}
+
+base::Result<FileAttr> RobustFsSession::CacheStat(mk::Env& env, uint64_t handle) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return base::Status::kInvalidArgument;
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    FsRequest r;
+    r.op = FsOp::kFsStat;
+    r.handle = it->second.server_handle;
+    FsReply reply;
+    const base::Status st = Transport(env, r, &reply, nullptr);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    const auto app = static_cast<base::Status>(reply.status);
+    if (app == base::Status::kOk) {
+      return FileAttr{.size = reply.attr.size, .directory = reply.attr.directory != 0};
+    }
+    if (attempt == 0 && app == base::Status::kInvalidArgument) {
+      const base::Status ro = Reopen(env, it->second);
+      if (ro != base::Status::kOk) {
+        return ro;
+      }
+      continue;
+    }
+    return app;
+  }
+  return base::Status::kInternal;
+}
+
 base::Status RobustFsSession::Close(mk::Env& env, uint64_t handle) {
   auto it = handles_.find(handle);
   if (it == handles_.end()) {
     return base::Status::kNotFound;
+  }
+  if (cache_ != nullptr) {
+    // Flush write-behind through the robust path while the session still
+    // remembers the open (a crash mid-flush re-opens transparently).
+    const base::Status fl = cache_->CloseHandle(env, *this, handle);
+    if (fl != base::Status::kOk) {
+      return fl;
+    }
   }
   FsRequest r;
   r.op = FsOp::kClose;

@@ -23,16 +23,18 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "src/mk/kernel.h"
 #include "src/mk/rpc_robust.h"
 #include "src/mks/naming/name_server.h"
+#include "src/svc/fs/fs_cache.h"
 #include "src/svc/fs/protocol.h"
 
 namespace svc {
 
-class RobustFsSession {
+class RobustFsSession : private FsCacheBackend {
  public:
   // `name_service` is a send right to the name service in the caller's task;
   // `fs_name` is the name the file server (and its respawns) register under.
@@ -47,7 +49,24 @@ class RobustFsSession {
                               uint32_t len);
   base::Result<uint32_t> Write(mk::Env& env, uint64_t handle, uint64_t offset, const void* data,
                                uint32_t len);
+  // Handle-based attributes with the same crash transparency as Read/Write.
+  base::Result<FileAttr> Stat(mk::Env& env, uint64_t handle);
   base::Status Close(mk::Env& env, uint64_t handle);
+
+  // Turns on the client-side cache over the robust transport. The cache is
+  // keyed by session-local handles (stable across crashes); every re-open
+  // bumps the cache generation, dropping clean state cached against the dead
+  // instance while keeping unflushed write-behind data — the client's only
+  // copy — to be written through the re-opened handle.
+  void EnableCache(const FsCacheOptions& opts = FsCacheOptions());
+  FsCache* cache() { return cache_.get(); }
+  // Coherence hook for restart-manager death notices: same effect as the
+  // re-open path, usable without an Env from a death listener.
+  void OnServerDeath() {
+    if (cache_ != nullptr) {
+      cache_->BumpGeneration();
+    }
+  }
 
   // Attaches a session-owned overload breaker to every call: sustained kBusy
   // (admission-control sheds, transient overload) trips it and later calls
@@ -73,6 +92,13 @@ class RobustFsSession {
   base::Status Transport(mk::Env& env, const FsRequest& req, FsReply* reply, mk::RpcRef* ref);
   base::Status Reopen(mk::Env& env, OpenState& state);
 
+  // FsCacheBackend over the robust transport, keyed by session-local handle.
+  base::Result<uint32_t> CacheRead(mk::Env& env, uint64_t handle, uint64_t offset, void* out,
+                                   uint32_t len) override;
+  base::Result<uint32_t> CacheWrite(mk::Env& env, uint64_t handle, uint64_t offset,
+                                    const void* data, uint32_t len) override;
+  base::Result<FileAttr> CacheStat(mk::Env& env, uint64_t handle) override;
+
   mks::NameClient names_;
   std::string fs_name_;
   mk::PortName cached_port_ = mk::kNullPort;
@@ -81,6 +107,7 @@ class RobustFsSession {
   std::map<uint64_t, OpenState> handles_;
   uint64_t next_local_ = 1;
   uint64_t reopens_ = 0;
+  std::unique_ptr<FsCache> cache_;  // null = caching off
 };
 
 }  // namespace svc

@@ -35,6 +35,7 @@ enum class FsOp : uint32_t {
   kSync,
   kReadV,   // multi-extent read; extents travel in the ref data
   kWriteV,  // multi-extent write; ref data = extents then payload
+  kFsStat,  // handle-based attributes; no path walk, feeds the client cache
 };
 
 // One extent of a kReadV/kWriteV request. The extent table travels at the

@@ -205,6 +205,173 @@ TEST_F(PersonalityTest, UnixPipeCarriesBytes) {
   EXPECT_EQ(received, "through the pipe");
 }
 
+// Regression: SEEK_END used to return kNotSupported — there was no way to
+// ask the server for a handle's size. The handle-based stat fixed that.
+TEST_F(PersonalityTest, UnixLseekSeekEndPositionsAtFileSize) {
+  UnixPersonality unix_pers(kernel_, *fs_);
+  UnixProcess* proc = nullptr;
+  proc = unix_pers.Spawn("seeker", [&](mk::Env& env) {
+    auto fd = proc->Open(env, "/seek.dat", kOCreat | kORdWr);
+    ASSERT_TRUE(fd.ok());
+    char data[100];
+    std::memset(data, 'x', sizeof(data));
+    std::memcpy(data + 90, "0123456789", 10);
+    ASSERT_TRUE(proc->Write(env, *fd, data, sizeof(data)).ok());
+    auto end = proc->Lseek(env, *fd, 0, 2);  // SEEK_END
+    ASSERT_TRUE(end.ok());
+    EXPECT_EQ(*end, 100u);
+    auto back = proc->Lseek(env, *fd, -10, 2);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, 90u);
+    char tail[10] = {};
+    auto got = proc->Read(env, *fd, tail, sizeof(tail));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(std::string(tail, 10), "0123456789");
+    ASSERT_EQ(proc->Close(env, *fd), base::Status::kOk);
+    StopFs(env, *proc->task());
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+}
+
+// Regression: a read shorter than the queued pipe message used to discard
+// the message's tail. POSIX pipes are byte streams; the tail must come back
+// on subsequent reads.
+TEST_F(PersonalityTest, UnixPipeShortReadKeepsMessageTail) {
+  UnixPersonality unix_pers(kernel_, *fs_);
+  UnixProcess* proc = nullptr;
+  std::string reassembled;
+  proc = unix_pers.Spawn("piper", [&](mk::Env& env) {
+    auto pipe = proc->Pipe(env);
+    ASSERT_TRUE(pipe.ok());
+    ASSERT_TRUE(proc->Write(env, pipe->second, "through the pipe", 16).ok());
+    char buf[8];
+    // 4 + 4 + 8 bytes: three short reads must reassemble the full message.
+    for (const uint32_t n : {4u, 4u, 8u}) {
+      auto got = proc->Read(env, pipe->first, buf, n);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(*got, n);
+      reassembled.append(buf, n);
+    }
+    // The stream position is exact: the next message starts cleanly.
+    ASSERT_TRUE(proc->Write(env, pipe->second, "next", 4).ok());
+    auto got = proc->Read(env, pipe->first, buf, sizeof(buf));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(std::string(buf, *got), "next");
+    StopFs(env, *proc->task());
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(reassembled, "through the pipe");
+}
+
+// Regression: fork copied the fd table but never granted the pipe's port
+// rights to the child task, so the child's first pipe I/O failed on a name
+// its port space never held. Round trip: parent -> child -> parent.
+TEST_F(PersonalityTest, UnixForkGrantsPipeRightsToChild) {
+  UnixPersonality unix_pers(kernel_, *fs_);
+  UnixProcess* parent = nullptr;
+  UnixProcess* child_proc = nullptr;  // set after Fork, before the child's thread first runs
+  std::string child_saw;
+  std::string parent_saw;
+  parent = unix_pers.Spawn("parent", [&](mk::Env& env) {
+    auto pipe = parent->Pipe(env);
+    ASSERT_TRUE(pipe.ok());
+    const int rfd = pipe->first;
+    const int wfd = pipe->second;
+    ASSERT_TRUE(parent->Write(env, wfd, "to child", 8).ok());
+    auto child = parent->Fork(env, [&, rfd, wfd](mk::Env& child_env) {
+      char buf[16] = {};
+      // The child's own receive right drains the message queued pre-fork...
+      auto got = child_proc->Read(child_env, rfd, buf, sizeof(buf));
+      ASSERT_TRUE(got.ok());
+      child_saw.assign(buf, *got);
+      // ...and its own send right reaches the parent.
+      ASSERT_TRUE(child_proc->Write(child_env, wfd, "from child", 10).ok());
+      // Dropping the child's write end must not kill the pipe under the
+      // parent (it holds a send right, not the receive right).
+      ASSERT_EQ(child_proc->Close(child_env, wfd), base::Status::kOk);
+    });
+    ASSERT_TRUE(child.ok());
+    child_proc = *child;
+    auto code = parent->WaitPid(env, *child);
+    ASSERT_TRUE(code.ok());
+    char buf[16] = {};
+    auto got = parent->Read(env, rfd, buf, sizeof(buf));
+    ASSERT_TRUE(got.ok());
+    parent_saw.assign(buf, *got);
+    StopFs(env, *parent->task());
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+  EXPECT_EQ(child_saw, "to child");
+  EXPECT_EQ(parent_saw, "from child");
+  EXPECT_EQ(kernel_.CheckInvariants(), 0u);
+}
+
+// Regression: O_APPEND writes used the per-fd offset, which goes stale the
+// moment another descriptor grows the file. Every append must land at the
+// file's *current* end.
+TEST_F(PersonalityTest, UnixOAppendWritesAtCurrentEof) {
+  UnixPersonality unix_pers(kernel_, *fs_);
+  UnixProcess* proc = nullptr;
+  proc = unix_pers.Spawn("appender", [&](mk::Env& env) {
+    auto log_fd = proc->Open(env, "/app.log", kOCreat | kORdWr | kOAppend);
+    ASSERT_TRUE(log_fd.ok());
+    ASSERT_TRUE(proc->Write(env, *log_fd, "AAAA", 4).ok());
+    // A second descriptor grows the file behind the append fd's back.
+    auto other = proc->Open(env, "/app.log", kORdWr);
+    ASSERT_TRUE(other.ok());
+    ASSERT_TRUE(proc->Lseek(env, *other, 0, 2).ok());
+    ASSERT_TRUE(proc->Write(env, *other, "BBBB", 4).ok());
+    // The append write must land at offset 8, not the fd's stale offset 4.
+    ASSERT_TRUE(proc->Write(env, *log_fd, "CC", 2).ok());
+    // And writev through an append fd obeys the same rule.
+    UnixIoVec iov[2] = {{const_cast<char*>("D"), 1}, {const_cast<char*>("E"), 1}};
+    ASSERT_TRUE(proc->Writev(env, *log_fd, iov, 2).ok());
+    char buf[16] = {};
+    ASSERT_TRUE(proc->Lseek(env, *other, 0, 0).ok());
+    auto got = proc->Read(env, *other, buf, sizeof(buf));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(std::string(buf, *got), "AAAABBBBCCDE");
+    ASSERT_EQ(proc->Close(env, *log_fd), base::Status::kOk);
+    ASSERT_EQ(proc->Close(env, *other), base::Status::kOk);
+    StopFs(env, *proc->task());
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+}
+
+// The personality-level cache switch: same POSIX semantics, fewer RPCs.
+TEST_F(PersonalityTest, UnixFsCacheCutsRpcsTransparently) {
+  UnixPersonality unix_pers(kernel_, *fs_);
+  unix_pers.EnableFsCache();
+  UnixProcess* proc = nullptr;
+  proc = unix_pers.Spawn("cached", [&](mk::Env& env) {
+    auto fd = proc->Open(env, "/cached.dat", kOCreat | kORdWr);
+    ASSERT_TRUE(fd.ok());
+    const uint64_t rpcs_before = kernel_.rpc_calls();
+    char chunk[64];
+    for (int i = 0; i < 16; ++i) {
+      std::memset(chunk, 'a' + i, sizeof(chunk));
+      ASSERT_TRUE(proc->Write(env, *fd, chunk, sizeof(chunk)).ok());
+    }
+    ASSERT_TRUE(proc->Lseek(env, *fd, 0, 0).ok());
+    std::string all;
+    for (int i = 0; i < 16; ++i) {
+      auto got = proc->Read(env, *fd, chunk, sizeof(chunk));
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(*got, sizeof(chunk));
+      all.append(chunk, sizeof(chunk));
+    }
+    const uint64_t rpcs = kernel_.rpc_calls() - rpcs_before;
+    EXPECT_LT(rpcs, 8u) << "16 writes + 16 reads should coalesce to a handful of RPCs";
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(all[i * 64], 'a' + i);
+      EXPECT_EQ(all[i * 64 + 63], 'a' + i);
+    }
+    ASSERT_EQ(proc->Close(env, *fd), base::Status::kOk);
+    StopFs(env, *proc->task());
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+}
+
 TEST_F(PersonalityTest, DosBoxRunsProgramAndPrints) {
   DosBox box(kernel_, *fs_, "box0");
   // Program: print "HI" via INT 21h AH=02, then exit 0 via AH=4C.

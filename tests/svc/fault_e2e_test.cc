@@ -163,6 +163,85 @@ TEST_F(FaultE2eTest, InjectedCrashesAreInvisibleToRobustClient) {
   EXPECT_EQ(kernel_.CheckInvariants(), 0u);
 }
 
+// The same crash campaign with the client-side cache ENABLED: write-behind,
+// read-ahead and the attribute cache must stay coherent across server
+// respawns — the restart manager's death notice bumps the cache generation,
+// and the robust re-open path bumps it again on its own.
+TEST_F(FaultE2eTest, InjectedCrashesAreInvisibleToCachedRobustClient) {
+  const uint64_t seed = CampaignSeed();
+  kernel_.faults().Enable(seed);
+  kernel_.faults().Arm(mk::fault::FaultPoint::kServerHandlerEntry,
+                       mk::fault::FaultMode::kCrashTask, 10, /*max_fires=*/2);
+
+  kernel_.CreateThread(client_task_, "client", [&](mk::Env& env) {
+    mks::NameClient nc(ns_for_client_);
+    auto right =
+        kernel_.MakeSendRight(*servers_[0]->task(), servers_[0]->receive_port(), *client_task_);
+    ASSERT_TRUE(right.ok());
+    ASSERT_EQ(nc.Register(env, kFsName, *right), base::Status::kOk);
+
+    RobustFsSession session(ns_for_client_, kFsName);
+    session.EnableCache();
+    // Death notices reach the cache the way a real client would wire it: the
+    // restart manager fans out to every registered listener before respawn.
+    mgr_->AddDeathListener([&session](const std::string& name) {
+      if (name == kFsName) {
+        session.OnServerDeath();
+      }
+    });
+
+    auto handle = session.Open(env, "/cached-campaign.dat", kFsCreate | kFsWrite);
+    ASSERT_TRUE(handle.ok()) << base::StatusName(handle.status());
+    for (uint32_t i = 0; i < 40; ++i) {
+      char block[64];
+      std::memset(block, 0, sizeof(block));
+      std::snprintf(block, sizeof(block), "record %u of the campaign", i);
+      auto wrote = session.Write(env, *handle, i * sizeof(block), block, sizeof(block));
+      ASSERT_TRUE(wrote.ok()) << "write " << i << ": " << base::StatusName(wrote.status());
+      ASSERT_EQ(*wrote, sizeof(block));
+      char back[64] = {};
+      auto got = session.Read(env, *handle, i * sizeof(block), back, sizeof(back));
+      ASSERT_TRUE(got.ok()) << "read " << i << ": " << base::StatusName(got.status());
+      ASSERT_EQ(*got, sizeof(block));
+      EXPECT_STREQ(back, block) << "cached reads must match what survived on disk";
+    }
+    // Sequential re-read: one read-ahead fetch serves (almost) the whole
+    // file; a crash mid-pass costs at most a couple of refetches.
+    for (uint32_t i = 0; i < 40; ++i) {
+      char expect[64];
+      std::memset(expect, 0, sizeof(expect));
+      std::snprintf(expect, sizeof(expect), "record %u of the campaign", i);
+      char back[64] = {};
+      auto got = session.Read(env, *handle, i * sizeof(back), back, sizeof(back));
+      ASSERT_TRUE(got.ok()) << "re-read " << i << ": " << base::StatusName(got.status());
+      ASSERT_EQ(*got, sizeof(back));
+      EXPECT_STREQ(back, expect);
+    }
+    ASSERT_EQ(session.Close(env, *handle), base::Status::kOk);
+
+    kernel_.faults().DisarmAll();
+    servers_.back()->Stop();
+    RobustFsSession fin(ns_for_client_, kFsName);
+    (void)fin.Open(env, "/cached-campaign.dat", 0);  // unblock the serve loop
+    mgr_->Stop();
+    ns_->Stop();
+    (void)nc.Resolve(env, "/x");
+  });
+  EXPECT_EQ(kernel_.Run(), 0u);
+
+  const uint64_t crashes =
+      kernel_.faults().fires(mk::fault::FaultPoint::kServerHandlerEntry);
+  EXPECT_EQ(mgr_->total_restarts(), crashes);
+  EXPECT_FALSE(mgr_->degraded(kFsName));
+  // At most 1 cold miss + a couple of crash-induced refetches in the 40-read
+  // second pass: the bulk must have been served client-side.
+  EXPECT_GE(kernel_.tracer().metrics().Counter("mk.fs.cache.hits"), 30u);
+  if (seed == 1) {
+    EXPECT_GT(crashes, 0u) << "the default campaign must actually crash the server";
+  }
+  EXPECT_EQ(kernel_.CheckInvariants(), 0u);
+}
+
 TEST_F(FaultE2eTest, BulkOolWritesSurviveMessageCopyFaults) {
   // Large payloads ride the OOL path through RobustFsSession while the
   // injector fails message transfers with kBusy at kMessageCopy. The retry

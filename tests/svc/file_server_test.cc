@@ -318,6 +318,23 @@ TEST_F(FileServerTest, OversizedEaIsInvalidArgument) {
   });
 }
 
+TEST_F(FileServerTest, HandleStatReturnsAttrsWithoutPathWalk) {
+  RunClient([&](mk::Env& env, FsClient& fs) {
+    auto h = fs.Open(env, "/stat-me.txt", kFsCreate | kFsWrite);
+    ASSERT_TRUE(h.ok());
+    char payload[300] = {};
+    ASSERT_TRUE(fs.Write(env, *h, 0, payload, sizeof(payload)).ok());
+    auto attr = fs.Stat(env, *h);
+    ASSERT_TRUE(attr.ok());
+    EXPECT_EQ(attr->size, sizeof(payload));
+    EXPECT_FALSE(attr->directory);
+    ASSERT_EQ(fs.Close(env, *h), base::Status::kOk);
+    // A closed (stale) handle answers kInvalidArgument — the signal the
+    // robust session re-opens on, never a crash on an empty path.
+    EXPECT_EQ(fs.Stat(env, *h).status(), base::Status::kInvalidArgument);
+  });
+}
+
 TEST_F(FileServerTest, EaOnFatIsNotSupported) {
   RunClient([&](mk::Env& env, FsClient& fs) {
     auto h = fs.Open(env, "/fat/PLAIN.TXT", kFsCreate | kFsWrite);

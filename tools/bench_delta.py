@@ -13,12 +13,15 @@ The simulator is deterministic, so the measured cycle counts are exact
 and the tolerance only has to absorb intentional, committed cost-model
 changes (which should update the baseline in the same change).
 
-With --ablations, additionally gates the overload ablation (A5) from a
-bench_ablations JSON report: at every overloaded multiplier the bounded
-port must actually shed, must at least halve the unbounded p99 queue
-wait, and must keep goodput above half of the unbounded run's. These
-mirror the WPOS_CHECKs inside the bench binary, but as an independent
-CI gate they still hold if someone weakens the in-binary asserts.
+With --ablations, additionally gates the overload ablation (A5) and
+the client-side FS-cache ablation (A6) from a bench_ablations JSON
+report: at every overloaded multiplier the bounded port must actually
+shed, must at least halve the unbounded p99 queue wait, and must keep
+goodput above half of the unbounded run's; and the cached file client
+must cut RPCs per file-intensive op by at least 2x versus uncached.
+These mirror the WPOS_CHECKs inside the bench binary, but as an
+independent CI gate they still hold if someone weakens the in-binary
+asserts.
 
 Usage:
   tools/bench_delta.py --fresh bench_table2.json \
@@ -82,6 +85,19 @@ def check_ablations(path):
         print(f"{prefix}: sheds {sheds:.0f}, p99 {bounded_p99:.0f} vs "
               f"{unbounded_p99:.0f} cycles, goodput {bounded_gp:.2f} vs "
               f"{unbounded_gp:.2f} ops/ms")
+
+    # A6: the client-side FS cache must at least halve cross-server RPC
+    # traffic on the file-intensive loop (and cached must never be worse).
+    uncached = measured("fscache.uncached.rpcs_per_op")
+    cached = measured("fscache.cached.rpcs_per_op")
+    if cached <= 0:
+        failures.append("fscache: non-positive cached rpcs_per_op")
+    elif uncached < 2 * cached:
+        failures.append(
+            f"fscache: cache cut RPCs/op only {uncached / cached:.2f}x "
+            f"({uncached:.2f} -> {cached:.2f}), below the 2x gate")
+    print(f"fscache: {uncached:.2f} RPCs/op uncached vs {cached:.2f} cached "
+          f"({uncached / max(cached, 1e-9):.1f}x)")
     return failures
 
 
@@ -120,7 +136,7 @@ def main():
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:
             return 1
-        print("OK: overload ablation gates hold")
+        print("OK: overload + fs-cache ablation gates hold")
     return 0
 
 

@@ -17,6 +17,10 @@ Checks, over every header and source file under src/ and tests/:
      MarkQueued, EndSpan, ScopedSpan) must not smuggle in ad-hoc string
      literals as event names. Keeping the event vocabulary in one header is what lets
      the exporters classify events with static tables.
+     The registry must also be live: every EventType/SpanKind member
+     except kCount must be referenced somewhere outside events.h and the
+     tracer implementation (src/mk/trace). A registered-but-never-emitted
+     event documents observability the traces do not actually have.
   5. Fault points come from the central registry: every FaultPoint:: /
      FaultMode:: reference must name a member of the enums declared in
      src/mk/fault/points.h. A fault campaign is replayed from a seed plus
@@ -113,9 +117,12 @@ def call_argument_span(text: str, open_paren: int, limit: int = 2000) -> str:
     return text[open_paren:end]
 
 
-def check_trace_events(rel_path: Path, text: str, errors: list, registry: dict) -> None:
+def check_trace_events(
+    rel_path: Path, text: str, errors: list, registry: dict, used: dict
+) -> None:
     if rel_path == TRACE_EVENTS_HEADER or not registry:
         return
+    in_trace_impl = rel_path.parts[:3] == ("src", "mk", "trace")
     for match in TRACE_ENUM_REF_RE.finditer(text):
         enum_name, member = match.groups()
         if member not in registry.get(enum_name, set()):
@@ -124,7 +131,10 @@ def check_trace_events(rel_path: Path, text: str, errors: list, registry: dict) 
                 f"{rel_path}:{line}: {enum_name}::{member} is not declared in "
                 f"{TRACE_EVENTS_HEADER}"
             )
-    in_trace_impl = rel_path.parts[:3] == ("src", "mk", "trace")
+        elif not in_trace_impl:
+            # Liveness is judged outside the tracer machinery: exporters
+            # classifying an event does not mean anything ever emits it.
+            used.setdefault(enum_name, set()).add(member)
     for match in TRACE_EMIT_CALL_RE.finditer(text):
         # The tracer's own implementation may mention these names in
         # declarations and comments; emit *sites* live outside src/mk/trace.
@@ -157,6 +167,21 @@ def check_fault_points(
 
 
 FAULT_REGISTRY_SENTINELS = {"kNone", "kCount"}
+TRACE_REGISTRY_SENTINELS = {"kCount"}
+
+
+def check_trace_registry_live(registry: dict, used: dict) -> list:
+    """Every registered trace event/span kind must be used outside the tracer."""
+    errors = []
+    for enum_name in sorted(registry):
+        dead = registry[enum_name] - used.get(enum_name, set()) - TRACE_REGISTRY_SENTINELS
+        for member in sorted(dead):
+            errors.append(
+                f"{TRACE_EVENTS_HEADER}: {enum_name}::{member} is registered but "
+                f"never referenced outside the tracer — nothing emits or consumes "
+                f"it; remove it or wire in an emit site"
+            )
+    return errors
 
 
 def check_fault_registry_live(registry: dict, used: dict) -> list:
@@ -272,6 +297,7 @@ def lint_file(
     fault_registry: dict,
     accessors: set,
     fault_used: dict,
+    trace_used: dict,
 ) -> list:
     rel_path = path.relative_to(REPO_ROOT)
     text = path.read_text(encoding="utf-8", errors="replace")
@@ -280,7 +306,7 @@ def lint_file(
         check_header_guard(rel_path, text, errors)
         check_using_namespace(rel_path, text, errors)
     check_costs_definition(rel_path, text, errors)
-    check_trace_events(rel_path, text, errors, trace_registry)
+    check_trace_events(rel_path, text, errors, trace_registry, trace_used)
     check_fault_points(rel_path, text, errors, fault_registry, fault_used)
     check_determinism(rel_path, text, errors, accessors)
     return errors
@@ -294,6 +320,7 @@ def main() -> int:
     fault_registry = load_enum_registry(FAULT_POINTS_HEADER, ("FaultPoint", "FaultMode"))
     accessors = load_unordered_accessors()
     fault_used = {}
+    trace_used = {}
     for scan_dir in SCAN_DIRS:
         root = REPO_ROOT / scan_dir
         if not root.is_dir():
@@ -302,13 +329,16 @@ def main() -> int:
             if path.suffix not in (".h", ".cc"):
                 continue
             scanned += 1
-            errors = lint_file(path, trace_registry, fault_registry, accessors, fault_used)
+            errors = lint_file(
+                path, trace_registry, fault_registry, accessors, fault_used, trace_used
+            )
             if errors:
                 bad_files += 1
                 total_errors += len(errors)
                 for error in errors:
                     print(f"lint: {error}", file=sys.stderr)
     registry_errors = check_fault_registry_live(fault_registry, fault_used)
+    registry_errors += check_trace_registry_live(trace_registry, trace_used)
     if registry_errors:
         bad_files += 1
         total_errors += len(registry_errors)
