@@ -86,6 +86,12 @@ struct Costs {
   static constexpr uint32_t kVmDeallocate = 200;
   static constexpr uint32_t kVmProtect = 160;
   static constexpr uint32_t kVmMapObject = 280;
+  // Managed file-backed objects (mmap): pages the kernel requests from the
+  // pager per kDataRequest when the faulting object tracks dirty pages —
+  // sequential faults amortize one pager RPC over this many pages.
+  static constexpr uint32_t kMmapReadaheadPages = 8;
+  static constexpr uint32_t kPagerWritebackPage = 260;     // msync dirty-page RPC setup
+  static constexpr uint32_t kVmObjectInvalidatePage = 90;  // drop resident page + PTEs
 
   // --- Synchronizers ----------------------------------------------------------
   static constexpr uint32_t kSemaphoreFast = 110;    // kernel semaphore, no block

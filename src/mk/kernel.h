@@ -253,6 +253,42 @@ class Kernel {
                                uint64_t pager_offset);
   std::shared_ptr<VmObject> LookupPagedObject(uint64_t object_id);
 
+  // --- Managed file-backed objects (mmap support) ------------------------------
+  // These only apply to pager-backed objects with dirty tracking enabled
+  // (see VmObject::EnableDirtyTracking); the anonymous/default-pager fault
+  // paths are untouched.
+  //
+  // Pushes one dirty page to the object's pager (PagerOp::kDataWrite) from
+  // the current thread. Does not clear the dirty bit; pair with
+  // VmObjectMarkClean once a range is safely written back.
+  base::Status PagerWriteback(Task& task, VmObject* object, uint64_t page_index);
+  // Drops resident pages of [first_page, first_page+count) — only clean ones
+  // when `clean_only` — and removes every task's translations for mappings
+  // backed by `object` (directly or through a shadow chain) so the next
+  // touch refaults against the pager's current generation. Returns the
+  // number of pages dropped.
+  uint64_t VmObjectInvalidate(VmObject* object, uint64_t first_page, uint64_t count,
+                              bool clean_only);
+  // Clears dirty bits in [first_page, first_page+count) and write-protects
+  // live translations of mappings backed directly by `object`, so the next
+  // store faults and re-marks the page dirty.
+  void VmObjectMarkClean(VmObject* object, uint64_t first_page, uint64_t count);
+  // Re-points `object` at the pager backing registered under
+  // `fresh_object_id` (a new registration by a restarted server). Resident
+  // pages — in particular dirty ones — survive; the registry entry for the
+  // fresh id is re-pointed at `object` so later lookups and releases see the
+  // surviving object.
+  base::Status AdoptPagerBacking(std::shared_ptr<VmObject> object, uint64_t fresh_object_id);
+  // Writes back every dirty page of the entry containing `addr` (clipped to
+  // [addr, addr+len)) through the pager and marks the range clean. The
+  // kernel-level msync; personalities that need crash-consistent replay
+  // write through their file session instead and then call
+  // VmObjectMarkClean.
+  base::Status VmMsync(Task& task, hw::VirtAddr addr, uint64_t len);
+  // Sends PagerOp::kObjectTerminate for the object (current thread), drops
+  // all of its resident pages and translations, and unregisters it.
+  base::Status ReleasePagedObject(uint64_t object_id);
+
   // --- User memory access (with full fault + cost modelling) ---------------------------
   base::Status CopyOut(Task& task, hw::VirtAddr dst, const void* src, uint64_t len);
   base::Status CopyIn(Task& task, hw::VirtAddr src, void* dst, uint64_t len);

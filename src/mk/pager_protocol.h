@@ -10,8 +10,16 @@
 namespace mk {
 
 enum class PagerOp : uint32_t {
-  kDataRequest = 1,  // kernel -> pager: supply page `page_index`
-  kDataWrite = 2,    // kernel -> pager: page out (bulk data in request ref)
+  kDataRequest = 1,  // kernel -> pager: supply page `page_index` (and, for
+                     // managed objects, up to readahead-many sequential
+                     // successors — the reply ref length says how many came)
+  kDataWrite = 2,    // kernel -> pager: page out (bulk data in request ref);
+                     // also the dirty-page writeback op for managed objects
+  kObjectSetup = 3,  // kernel -> pager: first mapping of the object went live
+                     // (memory_object_init analogue); page_index carries the
+                     // object size in pages as a hint
+  kObjectTerminate = 4,  // client -> pager: last mapping is gone, the pager
+                         // may drop per-object state (memory_object_terminate)
 };
 
 struct PagerRequest {

@@ -48,6 +48,8 @@ enum class EventType : uint8_t {
   kWatchdogKill,       // watchdog force-terminated a wedged server; a = task id, b = missed ns
   kFsCacheHit,         // client FS cache served without an RPC; a = handle, b = offset
   kFsCacheInvalidate,  // client FS cache dropped state; a = handle (0 = all), b = generation
+  kPagerWriteback,     // dirty mapped page pushed to its pager; a = object id, b = page index
+  kVmObjectInvalidate, // mapped-file pages dropped for refault; a = object id, b = pages dropped
   kCount,
 };
 

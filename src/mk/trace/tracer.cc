@@ -76,6 +76,10 @@ const char* EventName(EventType type) {
       return "fs_cache_hit";
     case EventType::kFsCacheInvalidate:
       return "fs_cache_invalidate";
+    case EventType::kPagerWriteback:
+      return "pager_writeback";
+    case EventType::kVmObjectInvalidate:
+      return "vm_object_invalidate";
     case EventType::kCount:
       break;
   }

@@ -5,9 +5,12 @@
 #ifndef SRC_MK_VM_OBJECT_H_
 #define SRC_MK_VM_OBJECT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "src/base/status.h"
 #include "src/hw/types.h"
@@ -65,6 +68,42 @@ class VmObject {
     pager_object_id_ = object_id;
   }
 
+  // --- Dirty tracking (managed file-backed objects) -------------------------------
+  // Opt-in: a managed object maps clean pages read-only so the first write
+  // faults and records the page as dirty (the external-memory-manager
+  // precious-page discipline). Only file-backed objects created by a mapping
+  // file server enable this; anonymous and default-pager objects keep the
+  // original fault behaviour bit for bit.
+  bool dirty_tracking() const { return dirty_tracking_; }
+  void EnableDirtyTracking() { dirty_tracking_ = true; }
+  bool IsDirty(uint64_t index) const { return dirty_.contains(index); }
+  void MarkDirty(uint64_t index) { dirty_.insert(index); }
+  void ClearDirty(uint64_t index) { dirty_.erase(index); }
+  size_t dirty_pages() const { return dirty_.size(); }
+  // Dirty page indices within [first, first+count), ascending.
+  std::vector<uint64_t> DirtyPages(uint64_t first, uint64_t count) const {
+    std::vector<uint64_t> out;
+    for (auto it = dirty_.lower_bound(first); it != dirty_.end() && *it < first + count; ++it) {
+      out.push_back(*it);
+    }
+    return out;
+  }
+  // Resident page indices, ascending — for deterministic iteration over the
+  // unordered resident-page map.
+  std::vector<uint64_t> ResidentPagesSorted() const {
+    std::vector<uint64_t> out;
+    out.reserve(pages_.size());
+    for (const auto& [index, frame] : pages_) {  // unordered-ok: sorted below
+      out.push_back(index);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  // Set once the kernel has sent kObjectSetup for the first live mapping.
+  bool pager_initialized() const { return pager_initialized_; }
+  void set_pager_initialized(bool v) { pager_initialized_ = v; }
+
   // --- Device backing -------------------------------------------------------------
   void SetDeviceWindow(hw::PhysAddr base) {
     backing_ = Backing::kDevice;
@@ -81,6 +120,9 @@ class VmObject {
   uint64_t pager_offset_ = 0;
   uint64_t pager_object_id_ = 0;
   hw::PhysAddr device_base_ = 0;
+  bool dirty_tracking_ = false;
+  bool pager_initialized_ = false;
+  std::set<uint64_t> dirty_;  // ordered: writeback scans must be deterministic
 };
 
 }  // namespace mk

@@ -110,6 +110,14 @@ void DefaultPager::Serve(mk::Env& env) {
         preloaded_.erase(std::make_pair(b.req.object_id, b.req.page_index));
       }
       env.RpcReply(req->token, &reply, sizeof(reply));
+    } else if (b.req.op == mk::PagerOp::kObjectSetup) {
+      // Backing store allocates lazily; the init handshake is just an ack.
+      env.RpcReply(req->token, &reply, sizeof(reply));
+    } else if (b.req.op == mk::PagerOp::kObjectTerminate) {
+      const uint64_t gone = b.req.object_id;
+      std::erase_if(allocation_, [gone](const auto& kv) { return kv.first.first == gone; });
+      std::erase_if(preloaded_, [gone](const auto& kv) { return kv.first.first == gone; });
+      env.RpcReply(req->token, &reply, sizeof(reply));
     } else {
       reply.status = static_cast<int32_t>(base::Status::kNotSupported);
       env.RpcReply(req->token, &reply, sizeof(reply));

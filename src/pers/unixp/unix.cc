@@ -1,5 +1,6 @@
 #include "src/pers/unixp/unix.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/log.h"
@@ -180,6 +181,14 @@ base::Result<uint32_t> UnixProcess::Write(mk::Env& env, int fd, const void* buf,
   if (!wrote.ok()) {
     return wrote;
   }
+  if (pers_->live_mappings_ != 0) {
+    // Mapped views refault from the server, so a cached write must reach it
+    // (and trigger its mapped-page invalidation) now, not at flush time.
+    const base::Status fl = fs_->Flush(env, desc.handle);
+    if (fl != base::Status::kOk) {
+      return fl;
+    }
+  }
   desc.offset += *wrote;
   return wrote;
 }
@@ -290,6 +299,134 @@ base::Result<uint64_t> UnixProcess::Lseek(mk::Env& env, int fd, int64_t offset, 
   return desc.offset;
 }
 
+base::Result<hw::VirtAddr> UnixProcess::Mmap(mk::Env& env, int fd, uint64_t len, bool shared) {
+  mk::trace::ScopedSpan api(pers_->kernel_.tracer(), mk::trace::SpanKind::kApi,
+                            mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
+                            static_cast<uint64_t>(fd));
+  pers_->kernel_.tracer().LabelSpan(api.id(), "unix.mmap");
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  if (len == 0) {
+    return base::Status::kInvalidArgument;
+  }
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.kind != FileDesc::Kind::kFile) {
+    return base::Status::kInvalidArgument;
+  }
+  auto mapping = fs_->MapObject(env, it->second.handle, len);
+  if (!mapping.ok()) {
+    return mapping.status();
+  }
+  auto object = pers_->kernel_.LookupPagedObject(mapping->object_id);
+  if (object == nullptr) {
+    return base::Status::kInternal;
+  }
+  const uint64_t map_len = std::min(hw::PageRound(len), object->size());
+  base::Result<hw::VirtAddr> addr = base::Status::kInternal;
+  if (shared) {
+    addr = pers_->kernel_.VmMapObject(*task_, object, 0, map_len, mk::Prot::kReadWrite,
+                                      /*anywhere=*/true, 0, mk::Inherit::kShare);
+  } else {
+    // MAP_PRIVATE: an anonymous shadow over the managed object. Stores COW
+    // into the shadow and never reach the file object, so msync correctly
+    // writes back only shared-mapping dirt.
+    auto shadow = std::make_shared<mk::VmObject>(object->size());
+    shadow->SetShadow(object);
+    addr = pers_->kernel_.VmMapObject(*task_, std::move(shadow), 0, map_len,
+                                      mk::Prot::kReadWrite, /*anywhere=*/true, 0,
+                                      mk::Inherit::kCopy);
+  }
+  if (!addr.ok()) {
+    (void)fs_->UnmapObject(env, mapping->object_id);
+    return addr.status();
+  }
+  mappings_.push_back(
+      Mapping{*addr, map_len, it->second.handle, mapping->object_id, std::move(object), shared});
+  ++pers_->live_mappings_;
+  return addr;
+}
+
+base::Status UnixProcess::Munmap(mk::Env& env, hw::VirtAddr addr) {
+  mk::trace::ScopedSpan api(pers_->kernel_.tracer(), mk::trace::SpanKind::kApi,
+                            mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
+                            addr);
+  pers_->kernel_.tracer().LabelSpan(api.id(), "unix.munmap");
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  auto it = std::find_if(mappings_.begin(), mappings_.end(),
+                         [&](const Mapping& m) { return m.addr == addr; });
+  if (it == mappings_.end()) {
+    return base::Status::kInvalidArgument;
+  }
+  const base::Status st = pers_->kernel_.VmDeallocate(*task_, it->addr, it->len);
+  auto remaining = fs_->UnmapObject(env, it->object_id);
+  if (remaining.ok() && *remaining == 0) {
+    // Last mapping anywhere: terminate the object. Dirty pages that were
+    // never msync'd are discarded, as POSIX promises for munmap.
+    (void)pers_->kernel_.ReleasePagedObject(it->object_id);
+  }
+  mappings_.erase(it);
+  if (pers_->live_mappings_ > 0) {
+    --pers_->live_mappings_;
+  }
+  return st;
+}
+
+base::Status UnixProcess::Msync(mk::Env& env, hw::VirtAddr addr, uint64_t len) {
+  mk::trace::ScopedSpan api(pers_->kernel_.tracer(), mk::trace::SpanKind::kApi,
+                            mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
+                            addr);
+  pers_->kernel_.tracer().LabelSpan(api.id(), "unix.msync");
+  pers_->kernel_.cpu().Execute(LibcRegion());
+  auto it = std::find_if(mappings_.begin(), mappings_.end(), [&](const Mapping& m) {
+    return addr >= m.addr && addr < m.addr + m.len;
+  });
+  if (it == mappings_.end()) {
+    return base::Status::kInvalidArgument;
+  }
+  if (!it->shared) {
+    return base::Status::kOk;  // private dirt never reaches the file
+  }
+  const uint64_t start = addr - it->addr;
+  if (len == 0 || len > it->len - start) {
+    len = it->len - start;
+  }
+  const uint64_t first = start >> hw::kPageShift;
+  const uint64_t count = ((start + len - 1) >> hw::kPageShift) - first + 1;
+  auto attr = fs_->Stat(env, it->handle);
+  if (!attr.ok()) {
+    return attr.status();
+  }
+  // Dirty pages go back through the file session — not the raw pager port —
+  // so a crashed server's restart replays them via the same robust write
+  // path every other file write takes.
+  std::vector<uint8_t> page(hw::kPageSize);
+  for (uint64_t index : it->object->DirtyPages(first, count)) {
+    const uint64_t offset = index << hw::kPageShift;
+    if (offset >= attr->size) {
+      continue;  // a mapped store wholly past EOF is not durable
+    }
+    const base::Status cp =
+        pers_->kernel_.CopyIn(*task_, it->addr + offset, page.data(), hw::kPageSize);
+    if (cp != base::Status::kOk) {
+      return cp;
+    }
+    const uint32_t n =
+        static_cast<uint32_t>(std::min<uint64_t>(hw::kPageSize, attr->size - offset));
+    auto wrote = fs_->Write(env, it->handle, offset, page.data(), n);
+    if (!wrote.ok()) {
+      return wrote.status();
+    }
+  }
+  // Publish before re-protecting: once pages are clean the server is the
+  // source of truth for them, so buffered write-behind must not lag behind
+  // a future invalidate-and-refault.
+  const base::Status fl = fs_->Flush(env, it->handle);
+  if (fl != base::Status::kOk) {
+    return fl;
+  }
+  pers_->kernel_.VmObjectMarkClean(it->object.get(), first, count);
+  return base::Status::kOk;
+}
+
 base::Status UnixProcess::Close(mk::Env& env, int fd) {
   mk::trace::ScopedSpan api(pers_->kernel_.tracer(), mk::trace::SpanKind::kApi,
                             mk::trace::EventType::kApiCall, mk::trace::EventType::kApiReturn,
@@ -368,6 +505,14 @@ base::Result<UnixProcess*> UnixProcess::Fork(mk::Env& env, mk::ThreadBody child_
       desc.pipe = *right;
     }
   }
+  // Mappings are inherited: TaskForkVm already duplicated the vm entries
+  // (shared regions stay shared, private ones grow fork shadows), so only
+  // the personality records and the server's map counts need to follow.
+  child->mappings_ = mappings_;
+  for (const Mapping& m : child->mappings_) {
+    (void)fs_->MapObject(env, m.handle, m.len);  // same node → same object id
+    ++pers_->live_mappings_;
+  }
   child->main_thread_ = kernel.CreateThread(child_task, "forked-main", std::move(child_main));
   return child;
 }
@@ -381,6 +526,23 @@ base::Result<int32_t> UnixProcess::WaitPid(mk::Env& env, UnixProcess* child) {
   if (st != base::Status::kOk) {
     return st;
   }
+  // Reap the dead child's mappings: its address space is gone, so its
+  // mapping references must not keep the memory object alive — otherwise
+  // "the last munmap discards un-synced dirty pages" would never trigger
+  // for files a forked child once mapped. The release RPC rides the
+  // PARENT's session (UnmapObject is keyed by object id, not handle), since
+  // the child's port rights die with its task.
+  for (const Mapping& m : child->mappings_) {
+    (void)pers_->kernel_.VmDeallocate(*child->task_, m.addr, m.len);
+    auto remaining = fs_->UnmapObject(env, m.object_id);
+    if (remaining.ok() && *remaining == 0) {
+      (void)pers_->kernel_.ReleasePagedObject(m.object_id);
+    }
+    if (pers_->live_mappings_ > 0) {
+      --pers_->live_mappings_;
+    }
+  }
+  child->mappings_.clear();
   return child->exit_code_;
 }
 

@@ -72,6 +72,17 @@ class UnixProcess {
   base::Result<uint32_t> Readv(mk::Env& env, int fd, const UnixIoVec* iov, uint32_t iovcnt);
   base::Result<uint32_t> Writev(mk::Env& env, int fd, const UnixIoVec* iov, uint32_t iovcnt);
   base::Result<uint64_t> Lseek(mk::Env& env, int fd, int64_t offset, int whence);
+  // mmap family. Mmap maps the open file from offset 0 at a kernel-chosen
+  // address (the server must have FileServer::EnableMapping). `shared` maps
+  // the server-exported memory object directly (MAP_SHARED: stores are seen
+  // by every mapper and reach the file via Msync); otherwise a private COW
+  // shadow is mapped (MAP_PRIVATE: stores stay process-local, fork gives the
+  // child its own copy-on-write view). Mapped stores become visible to
+  // read() only after Msync, which writes dirty pages through the file
+  // session clipped to the current file size — mmap never extends a file.
+  base::Result<hw::VirtAddr> Mmap(mk::Env& env, int fd, uint64_t len, bool shared);
+  base::Status Munmap(mk::Env& env, hw::VirtAddr addr);
+  base::Status Msync(mk::Env& env, hw::VirtAddr addr, uint64_t len);
   base::Status Close(mk::Env& env, int fd);
   base::Status Unlink(mk::Env& env, const std::string& path);
   base::Status Mkdir(mk::Env& env, const std::string& path);
@@ -100,11 +111,23 @@ class UnixProcess {
     std::vector<uint8_t> pipe_rest;
   };
 
+  // One live mmap region. `object` is the managed (server-exported) memory
+  // object even for private mappings, whose vm entry holds a shadow over it.
+  struct Mapping {
+    hw::VirtAddr addr = 0;
+    uint64_t len = 0;      // page-rounded mapping length
+    uint64_t handle = 0;   // file-server handle the mapping was made from
+    uint64_t object_id = 0;
+    std::shared_ptr<mk::VmObject> object;
+    bool shared = false;
+  };
+
   UnixPersonality* pers_;
   mk::Task* task_;
   uint32_t pid_;
   std::unique_ptr<svc::FsClient> fs_;
   std::map<int, FileDesc> fds_;
+  std::vector<Mapping> mappings_;
   int next_fd_ = 3;  // 0-2 reserved, as tradition demands
   mk::Thread* main_thread_ = nullptr;
   int32_t exit_code_ = 0;
@@ -150,6 +173,11 @@ class UnixPersonality {
   mk::Kernel& kernel_;
   svc::FileServer& fs_;
   std::vector<std::unique_ptr<UnixProcess>> processes_;
+  // Live mmap regions across all processes. Non-zero turns on write-through
+  // coherence: a cached fd write is flushed to the server so its mapped-page
+  // invalidation runs while mappings exist. Zero (no mmap in use) keeps the
+  // existing write-behind behaviour bit-for-bit.
+  uint64_t live_mappings_ = 0;
   uint32_t next_pid_ = 1;
   uint64_t io_timeout_ns_ = mk::kForever;
   bool fs_cache_on_ = false;

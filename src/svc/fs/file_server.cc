@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/base/log.h"
+#include "src/mk/pager_protocol.h"
 
 namespace svc {
 
@@ -68,6 +69,52 @@ mk::PortName FileServer::GrantTo(mk::Task& client) {
   auto name = kernel_.MakeSendRight(*task_, receive_port_, client);
   WPOS_CHECK(name.ok());
   return *name;
+}
+
+void FileServer::EnableMapping() {
+  if (pager_receive_port_ != mk::kNullPort) {
+    return;
+  }
+  auto port = kernel_.PortAllocate(*task_);
+  WPOS_CHECK(port.ok());
+  pager_receive_port_ = *port;
+  pager_port_raw_ = *kernel_.ResolvePort(*task_, pager_receive_port_);
+  kernel_.CreateThread(task_, "fs-pager", [this](mk::Env& env) { ServePager(env); },
+                       mk::Thread::kDefaultPriority + 3);
+}
+
+void FileServer::TeardownPagerPort() {
+  // Every main-loop exit must kill the pager port too, or the fs-pager
+  // thread would park in RpcReceive forever and the system never halts
+  // cleanly. (Crash teardown needs no help: TerminateTask destroys every
+  // port of the task, which aborts the pager thread's receive the same way.)
+  if (pager_receive_port_ != mk::kNullPort) {
+    (void)kernel_.PortDestroy(*task_, pager_receive_port_);
+    pager_receive_port_ = mk::kNullPort;
+    pager_port_raw_ = nullptr;
+  }
+}
+
+void FileServer::InvalidateMappedRange(Mount* mount, NodeId node, uint64_t offset, uint64_t len) {
+  if (node_map_.empty() || len == 0) {
+    return;
+  }
+  auto it = node_map_.find(NodeKey(mount, node));
+  if (it == node_map_.end()) {
+    return;
+  }
+  MapObjectState& st = map_objects_[it->second];
+  const uint64_t end = len > ~0ull - offset ? ~0ull : offset + len;
+  const uint64_t first = offset >> hw::kPageShift;
+  const uint64_t count = ((end - 1) >> hw::kPageShift) - first + 1;
+  // Invalidate through the registry, not our captured reference: after a
+  // server crash a client can re-point (adopt) its surviving object under
+  // this id, and the invalidation must reach the object clients actually map.
+  auto current = kernel_.LookupPagedObject(st.object_id);
+  mk::VmObject* target = current != nullptr ? current.get() : st.object.get();
+  // Only clean pages are dropped: a dirty mapped page is newer than (or
+  // concurrent with) this file write, and msync decides its fate.
+  (void)kernel_.VmObjectInvalidate(target, first, count, /*clean_only=*/true);
 }
 
 FileServer::Mount* FileServer::MountFor(const std::string& path, std::string* rest) {
@@ -218,6 +265,7 @@ void FileServer::HandleOpen(mk::Env& env, const mk::RpcRequest& rpc, const FsReq
       env.RpcReply(rpc.token, &reply, sizeof(reply));
       return;
     }
+    InvalidateMappedRange(mount, *node, 0, ~0ull);
   }
   ++state.open_count;
   if (wants_write) {
@@ -342,6 +390,7 @@ void FileServer::HandleWrite(mk::Env& env, const mk::RpcRequest& rpc, const FsRe
     return;
   }
   ++writes_;
+  InvalidateMappedRange(of.mount, of.node, offset, *wrote);
   reply.len = *wrote;
   env.RpcReply(rpc.token, &reply, sizeof(reply));
 }
@@ -434,6 +483,7 @@ void FileServer::HandleWriteV(mk::Env& env, const mk::RpcRequest& rpc, const FsR
       return;
     }
     ++writes_;
+    InvalidateMappedRange(of.mount, of.node, extents[i].offset, *wrote);
     written += *wrote;
     if (*wrote < extents[i].len) {
       break;
@@ -494,6 +544,166 @@ void FileServer::HandleStat(mk::Env& env, const mk::RpcRequest& rpc, const FsReq
     reply.attr = {attr->size, attr->directory ? uint8_t{1} : uint8_t{0}};
   }
   env.RpcReply(rpc.token, &reply, sizeof(reply));
+}
+
+void FileServer::HandleMapObject(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r) {
+  FsReply reply;
+  kernel_.cpu().Execute(UnionSemRegion());
+  if (pager_port_raw_ == nullptr) {
+    reply.status = static_cast<int32_t>(base::Status::kNotSupported);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  auto it = open_files_.find(r.handle);
+  if (it == open_files_.end()) {
+    reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  OpenFile& of = it->second;
+  auto attr = of.mount->pfs->GetAttr(env, of.node);
+  if (!attr.ok()) {
+    reply.status = static_cast<int32_t>(attr.status());
+    env.RpcReply(rpc.token, &reply, sizeof(reply));
+    return;
+  }
+  const auto key = NodeKey(of.mount, of.node);
+  auto existing = node_map_.find(key);
+  if (existing != node_map_.end()) {
+    // All mappings of one node share one memory object: that sharing IS the
+    // coherence between two clients mapping the same file.
+    MapObjectState& st = map_objects_[existing->second];
+    ++st.map_count;
+    reply.handle = st.object_id;
+  } else {
+    const uint64_t want = std::max<uint64_t>(std::max<uint64_t>(r.len, attr->size), 1);
+    auto object = std::make_shared<mk::VmObject>(hw::PageRound(want));
+    object->EnableDirtyTracking();
+    const uint64_t id = kernel_.RegisterPagedObject(object, pager_port_raw_, 0);
+    MapObjectState st;
+    st.object = std::move(object);
+    st.object_id = id;
+    st.map_count = 1;
+    st.mount = of.mount;
+    st.node = of.node;
+    node_map_.emplace(key, id);
+    map_objects_.emplace(id, std::move(st));
+    reply.handle = id;
+  }
+  reply.attr = {attr->size, attr->directory ? uint8_t{1} : uint8_t{0}};
+  env.RpcReply(rpc.token, &reply, sizeof(reply));
+}
+
+void FileServer::HandleMapRelease(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r) {
+  FsReply reply;
+  kernel_.cpu().Execute(UnionSemRegion());
+  auto it = map_objects_.find(r.handle);
+  if (it == map_objects_.end()) {
+    reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+  } else {
+    if (it->second.map_count > 0) {
+      --it->second.map_count;
+    }
+    // State lives until the kernel's kObjectTerminate reaches the pager port;
+    // the count only tells the caller whether it was the last mapper.
+    reply.len = it->second.map_count;
+  }
+  env.RpcReply(rpc.token, &reply, sizeof(reply));
+}
+
+void FileServer::ServePager(mk::Env& env) {
+  static const hw::CodeRegion kPagerLoop = hw::DefineCode("svc.fs.pager", 230);
+  mk::PagerRequest req;
+  // Out: a full readahead batch. In: one page (a kDataWrite's payload).
+  std::vector<uint8_t> io(static_cast<size_t>(mk::Costs::kMmapReadaheadPages) * hw::kPageSize);
+  std::vector<uint8_t> page(hw::kPageSize);
+  while (true) {
+    mk::RpcRef ref;
+    ref.recv_buf = page.data();
+    ref.recv_cap = static_cast<uint32_t>(page.size());
+    auto rpc = env.RpcReceive(pager_receive_port_, &req, sizeof(req), &ref);
+    if (!rpc.ok()) {
+      return;  // port torn down with the server
+    }
+    mk::trace::Tracer& tracer = kernel_.tracer();
+    mk::trace::ScopedSpan op_span(tracer, mk::trace::SpanKind::kServerOp,
+                                  mk::trace::EventType::kServerDispatch,
+                                  mk::trace::EventType::kServerDone,
+                                  static_cast<uint64_t>(req.op));
+    op_span.set_end_payload(static_cast<uint64_t>(req.op));
+    tracer.LabelSpan(op_span.id(), "fs_pager");
+    ++tracer.metrics().Counter("server.fs.pager_ops");
+    kernel_.cpu().Execute(kPagerLoop);
+    mk::PagerReply reply{};
+    auto it = map_objects_.find(req.object_id);
+    switch (req.op) {
+      case mk::PagerOp::kDataRequest: {
+        if (it == map_objects_.end()) {
+          reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+          env.RpcReply(rpc->token, &reply, sizeof(reply));
+          break;
+        }
+        MapObjectState& st = it->second;
+        const uint64_t object_pages = st.object->size() >> hw::kPageShift;
+        uint64_t want = 1;
+        if (st.object->dirty_tracking() && req.page_index < object_pages) {
+          want = std::min<uint64_t>(mk::Costs::kMmapReadaheadPages, object_pages - req.page_index);
+        }
+        const uint32_t bytes = static_cast<uint32_t>(want * hw::kPageSize);
+        std::memset(io.data(), 0, bytes);
+        // A short (or failed) read leaves zeros: pages at and past EOF map
+        // in as zeros, the same bytes read() can never return.
+        (void)st.mount->pfs->Read(env, st.node, req.page_index << hw::kPageShift, io.data(),
+                                  bytes);
+        ++pageins_;
+        env.RpcReply(rpc->token, &reply, sizeof(reply), io.data(), bytes);
+        break;
+      }
+      case mk::PagerOp::kDataWrite: {
+        if (it == map_objects_.end() || ref.recv_len != hw::kPageSize) {
+          reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+          env.RpcReply(rpc->token, &reply, sizeof(reply));
+          break;
+        }
+        MapObjectState& st = it->second;
+        const uint64_t offset = req.page_index << hw::kPageShift;
+        auto attr = st.mount->pfs->GetAttr(env, st.node);
+        const uint64_t limit = attr.ok() ? attr->size : 0;
+        if (offset < limit) {
+          // Writeback never extends the file: a mapped store past EOF is
+          // only durable up to the current size (msync through a session
+          // that also grows the file is the personality's business).
+          const uint32_t n =
+              static_cast<uint32_t>(std::min<uint64_t>(hw::kPageSize, limit - offset));
+          auto wrote = st.mount->pfs->Write(env, st.node, offset, page.data(), n);
+          if (!wrote.ok()) {
+            reply.status = static_cast<int32_t>(wrote.status());
+          }
+        }
+        ++pageouts_;
+        env.RpcReply(rpc->token, &reply, sizeof(reply));
+        break;
+      }
+      case mk::PagerOp::kObjectSetup: {
+        if (it == map_objects_.end()) {
+          reply.status = static_cast<int32_t>(base::Status::kInvalidArgument);
+        }
+        env.RpcReply(rpc->token, &reply, sizeof(reply));
+        break;
+      }
+      case mk::PagerOp::kObjectTerminate: {
+        if (it != map_objects_.end()) {
+          node_map_.erase(NodeKey(it->second.mount, it->second.node));
+          map_objects_.erase(it);
+        }
+        env.RpcReply(rpc->token, &reply, sizeof(reply));
+        break;
+      }
+      default:
+        reply.status = static_cast<int32_t>(base::Status::kNotSupported);
+        env.RpcReply(rpc->token, &reply, sizeof(reply));
+    }
+  }
 }
 
 void FileServer::HandlePathOp(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r) {
@@ -662,6 +872,10 @@ void FileServer::HandlePathOp(mk::Env& env, const mk::RpcRequest& rpc, const FsR
       }
       reply.status = static_cast<int32_t>(
           it->second.mount->pfs->SetSize(env, it->second.node, r.offset));
+      if (reply.status == 0) {
+        // Resizing moves EOF under every mapped view: drop all clean pages.
+        InvalidateMappedRange(it->second.mount, it->second.node, 0, ~0ull);
+      }
       break;
     }
     default:
@@ -693,11 +907,13 @@ void FileServer::Serve(mk::Env& env) {
           // Stopped while idle: the timed receive doubles as the shutdown
           // poll. Same teardown as the post-handler exit below.
           (void)kernel_.PortDestroy(*task_, receive_port_);
+          TeardownPagerPort();
           return;
         }
         SendHeartbeat(env);  // idle tick: nothing arrived within the interval
         continue;
       }
+      TeardownPagerPort();
       return;
     }
     if (health_right_ != mk::kNullPort) {
@@ -720,6 +936,7 @@ void FileServer::Serve(mk::Env& env) {
         continue;  // the client waits out its deadline
       case mk::fault::FaultMode::kKillPort:
         (void)kernel_.PortDestroy(*task_, receive_port_);
+        TeardownPagerPort();
         return;
       case mk::fault::FaultMode::kTransientError:
         env.RpcReply(rpc->token, nullptr, 0, nullptr, 0, mk::kNullPort, base::Status::kBusy);
@@ -773,14 +990,21 @@ void FileServer::Serve(mk::Env& env) {
       case FsOp::kFsStat:
         HandleStat(env, *rpc, r);
         break;
+      case FsOp::kMapObject:
+        HandleMapObject(env, *rpc, r);
+        break;
+      case FsOp::kMapRelease:
+        HandleMapRelease(env, *rpc, r);
+        break;
       default:
         HandlePathOp(env, *rpc, r);
     }
-  
+
     if (!running_) {
       // Server shutdown: kill the service port so queued and future
       // callers fail with kPortDead instead of blocking forever.
       (void)kernel_.PortDestroy(*task_, receive_port_);
+      TeardownPagerPort();
       return;
     }
   }
@@ -1190,6 +1414,52 @@ base::Result<std::string> FsClient::GetEa(mk::Env& env, const std::string& path,
     return static_cast<base::Status>(reply.status);
   }
   return std::string(value, reply.len);
+}
+
+base::Result<FsMapping> FsClient::MapObject(mk::Env& env, uint64_t handle, uint64_t min_len) {
+  if (cache_ != nullptr) {
+    // Mapped pages fault in from the server: pending write-behind must land
+    // there first or the mapping would read stale bytes.
+    const base::Status fl = cache_->FlushHandle(env, *this, handle);
+    if (fl != base::Status::kOk) {
+      return fl;
+    }
+  }
+  FsRequest r;
+  r.op = FsOp::kMapObject;
+  r.handle = handle;
+  r.len = static_cast<uint32_t>(min_len);
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return FsMapping{reply.handle, reply.attr.size};
+}
+
+base::Result<uint32_t> FsClient::UnmapObject(mk::Env& env, uint64_t object_id) {
+  FsRequest r;
+  r.op = FsOp::kMapRelease;
+  r.handle = object_id;
+  FsReply reply;
+  const base::Status st = stub_.Call(env, r, &reply);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  if (reply.status != 0) {
+    return static_cast<base::Status>(reply.status);
+  }
+  return reply.len;
+}
+
+base::Status FsClient::Flush(mk::Env& env, uint64_t handle) {
+  if (cache_ == nullptr) {
+    return base::Status::kOk;
+  }
+  return cache_->FlushHandle(env, *this, handle);
 }
 
 base::Status FsClient::Sync(mk::Env& env) {

@@ -43,6 +43,14 @@ class FileServer {
   mk::PortName GrantTo(mk::Task& client);
   void Stop() { running_ = false; }
 
+  // Turns the server into a pager: allocates a second service port, spawns a
+  // "fs-pager" thread serving PagerOp requests against the mounted files, and
+  // lets kMapObject export kernel memory objects for open files. Default-off:
+  // without this call kMapObject answers kNotSupported and no extra thread
+  // exists, so existing workloads are bit-identical. Call before Run.
+  void EnableMapping();
+  bool mapping_enabled() const { return pager_receive_port_ != mk::kNullPort; }
+
   // Arms watchdog heartbeats, same protocol as mk::ServerLoop: a ping to
   // `health_right` (send right in this server's task) on request arrival
   // (every `every_requests`) and from idle via a timed receive every
@@ -57,6 +65,9 @@ class FileServer {
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
   size_t open_files() const { return open_files_.size(); }
+  uint64_t pageins() const { return pageins_; }
+  uint64_t pageouts() const { return pageouts_; }
+  size_t mapped_objects() const { return map_objects_.size(); }
 
  private:
   struct Mount {
@@ -92,7 +103,24 @@ class FileServer {
     hw::PhysAddr sim_addr = 0;
   };
 
+  // One mapped file: the kernel VmObject exported for a node, shared by every
+  // client mapping it. `map_count` counts kMapObject grants minus kMapRelease
+  // drops; the state dies when the last mapping's kObjectTerminate arrives.
+  struct MapObjectState {
+    std::shared_ptr<mk::VmObject> object;
+    uint64_t object_id = 0;
+    uint32_t map_count = 0;
+    Mount* mount = nullptr;
+    NodeId node = 0;
+  };
+
   void Serve(mk::Env& env);
+  void ServePager(mk::Env& env);
+  void TeardownPagerPort();
+  // Drops clean resident pages of the node's mapped object overlapping
+  // [offset, offset+len) so mapped readers refault and observe a write made
+  // through the file API. No-op when the node isn't mapped.
+  void InvalidateMappedRange(Mount* mount, NodeId node, uint64_t offset, uint64_t len);
   void SendHeartbeat(mk::Env& env);
   Mount* MountFor(const std::string& path, std::string* rest);
   // Walks `rest` within `mount`; returns the final node and (optionally) its
@@ -116,6 +144,8 @@ class FileServer {
   void HandlePathOp(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
   void HandleLock(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
   void HandleStat(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
+  void HandleMapObject(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
+  void HandleMapRelease(mk::Env& env, const mk::RpcRequest& rpc, const FsRequest& r);
 
   bool LockConflicts(const NodeState& state, uint64_t start, uint64_t len, bool exclusive,
                      uint64_t handle) const;
@@ -140,6 +170,13 @@ class FileServer {
   uint64_t heartbeat_every_ns_ = 0;
   uint64_t requests_since_beat_ = 0;
   uint64_t last_beat_ns_ = 0;
+  // --- Mapping/pager state (EnableMapping) ---
+  mk::PortName pager_receive_port_ = mk::kNullPort;
+  mk::Port* pager_port_raw_ = nullptr;
+  std::map<uint64_t, MapObjectState> map_objects_;              // by object id
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> node_map_;  // NodeKey -> object id
+  uint64_t pageins_ = 0;
+  uint64_t pageouts_ = 0;
 };
 
 // Client-side scatter/gather descriptors for FsClient::ReadV/WriteV. Each
@@ -153,6 +190,13 @@ struct FsWriteExtent {
   uint64_t offset = 0;
   const void* buf = nullptr;
   uint32_t len = 0;
+};
+
+// FsClient::MapObject result: the kernel memory-object id the server exported
+// for the file, plus the file size at map time.
+struct FsMapping {
+  uint64_t object_id = 0;
+  uint64_t size = 0;
 };
 
 // Client library: the RPC stubs a personality links against.
@@ -203,6 +247,16 @@ class FsClient : private FsCacheBackend {
                      const std::string& value);
   base::Result<std::string> GetEa(mk::Env& env, const std::string& path, const std::string& key);
   base::Status Sync(mk::Env& env);
+  // Exports a memory object for the open file (server must have
+  // EnableMapping); `min_len` sizes the object to at least that many bytes so
+  // a mapping larger than the current file is honoured. Pending write-behind
+  // for the handle is flushed first so mapped pages observe it.
+  base::Result<FsMapping> MapObject(mk::Env& env, uint64_t handle, uint64_t min_len = 0);
+  // Drops one mapping reference; returns the references remaining server-side.
+  base::Result<uint32_t> UnmapObject(mk::Env& env, uint64_t object_id);
+  // Publishes the handle's write-behind run to the server (no-op without the
+  // cache). Mapped readers of the same file need this after cached writes.
+  base::Status Flush(mk::Env& env, uint64_t handle);
 
  private:
   // FsCacheBackend: the raw single-RPC path the cache misses into.

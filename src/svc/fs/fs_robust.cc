@@ -210,6 +210,66 @@ base::Result<FileAttr> RobustFsSession::CacheStat(mk::Env& env, uint64_t handle)
   return base::Status::kInternal;
 }
 
+base::Result<FsMapping> RobustFsSession::MapObject(mk::Env& env, uint64_t handle,
+                                                   uint64_t min_len) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return base::Status::kInvalidArgument;
+  }
+  if (cache_ != nullptr) {
+    // Mapped pages fault in from the server: publish write-behind first.
+    const base::Status fl = cache_->FlushHandle(env, *this, handle);
+    if (fl != base::Status::kOk) {
+      return fl;
+    }
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    FsRequest r;
+    r.op = FsOp::kMapObject;
+    r.handle = it->second.server_handle;
+    r.len = static_cast<uint32_t>(min_len);
+    FsReply reply;
+    const base::Status st = Transport(env, r, &reply, nullptr);
+    if (st != base::Status::kOk) {
+      return st;
+    }
+    const auto app = static_cast<base::Status>(reply.status);
+    if (app == base::Status::kOk) {
+      return FsMapping{reply.handle, reply.attr.size};
+    }
+    if (attempt == 0 && app == base::Status::kInvalidArgument) {
+      const base::Status ro = Reopen(env, it->second);
+      if (ro != base::Status::kOk) {
+        return ro;
+      }
+      continue;
+    }
+    return app;
+  }
+  return base::Status::kInternal;
+}
+
+base::Result<uint32_t> RobustFsSession::UnmapObject(mk::Env& env, uint64_t object_id) {
+  FsRequest r;
+  r.op = FsOp::kMapRelease;
+  r.handle = object_id;
+  FsReply reply;
+  const base::Status st = Transport(env, r, &reply, nullptr);
+  if (st != base::Status::kOk) {
+    return st;
+  }
+  const auto app = static_cast<base::Status>(reply.status);
+  if (app == base::Status::kInvalidArgument) {
+    // The instance that exported the object died, and its map counts with
+    // it: the object has no mappings the respawn knows about.
+    return 0u;
+  }
+  if (app != base::Status::kOk) {
+    return app;
+  }
+  return reply.len;
+}
+
 base::Status RobustFsSession::Close(mk::Env& env, uint64_t handle) {
   auto it = handles_.find(handle);
   if (it == handles_.end()) {

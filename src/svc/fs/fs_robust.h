@@ -29,6 +29,7 @@
 #include "src/mk/kernel.h"
 #include "src/mk/rpc_robust.h"
 #include "src/mks/naming/name_server.h"
+#include "src/svc/fs/file_server.h"
 #include "src/svc/fs/fs_cache.h"
 #include "src/svc/fs/protocol.h"
 
@@ -52,6 +53,14 @@ class RobustFsSession : private FsCacheBackend {
   // Handle-based attributes with the same crash transparency as Read/Write.
   base::Result<FileAttr> Stat(mk::Env& env, uint64_t handle);
   base::Status Close(mk::Env& env, uint64_t handle);
+  // Memory-object export with re-open-and-retry. After a server restart this
+  // returns the NEW instance's object id: pass it to
+  // mk::Kernel::AdoptPagerBacking to re-point a surviving mapped object at
+  // the respawn, so clean pages refault against the current generation.
+  base::Result<FsMapping> MapObject(mk::Env& env, uint64_t handle, uint64_t min_len = 0);
+  // Drops one mapping reference. An id the current instance never exported
+  // (it died with the mappings) answers 0 remaining rather than an error.
+  base::Result<uint32_t> UnmapObject(mk::Env& env, uint64_t object_id);
 
   // Turns on the client-side cache over the robust transport. The cache is
   // keyed by session-local handles (stable across crashes); every re-open

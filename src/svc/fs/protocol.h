@@ -36,6 +36,12 @@ enum class FsOp : uint32_t {
   kReadV,   // multi-extent read; extents travel in the ref data
   kWriteV,  // multi-extent write; ref data = extents then payload
   kFsStat,  // handle-based attributes; no path walk, feeds the client cache
+  kMapObject,   // export a memory object for the open file in `handle`; `len`
+                // is the minimum object size wanted. reply.handle = kernel
+                // object id, reply.attr = current attributes. Requires
+                // FileServer::EnableMapping; kNotSupported otherwise.
+  kMapRelease,  // drop one mapping reference of object id `handle`;
+                // reply.len = references remaining
 };
 
 // One extent of a kReadV/kWriteV request. The extent table travels at the

@@ -13,15 +13,16 @@ The simulator is deterministic, so the measured cycle counts are exact
 and the tolerance only has to absorb intentional, committed cost-model
 changes (which should update the baseline in the same change).
 
-With --ablations, additionally gates the overload ablation (A5) and
-the client-side FS-cache ablation (A6) from a bench_ablations JSON
-report: at every overloaded multiplier the bounded port must actually
-shed, must at least halve the unbounded p99 queue wait, and must keep
-goodput above half of the unbounded run's; and the cached file client
-must cut RPCs per file-intensive op by at least 2x versus uncached.
-These mirror the WPOS_CHECKs inside the bench binary, but as an
-independent CI gate they still hold if someone weakens the in-binary
-asserts.
+With --ablations, additionally gates the overload ablation (A5), the
+client-side FS-cache ablation (A6) and the mapped-file ablation (A7)
+from a bench_ablations JSON report: at every overloaded multiplier the
+bounded port must actually shed, must at least halve the unbounded p99
+queue wait, and must keep goodput above half of the unbounded run's;
+the cached file client must cut RPCs per file-intensive op by at least
+2x versus uncached; and a mapped sequential pass must cut server RPCs
+per page-sized op by at least 4x versus uncached read() calls. These
+mirror the WPOS_CHECKs inside the bench binary, but as an independent
+CI gate they still hold if someone weakens the in-binary asserts.
 
 Usage:
   tools/bench_delta.py --fresh bench_table2.json \
@@ -98,6 +99,20 @@ def check_ablations(path):
             f"({uncached:.2f} -> {cached:.2f}), below the 2x gate")
     print(f"fscache: {uncached:.2f} RPCs/op uncached vs {cached:.2f} cached "
           f"({uncached / max(cached, 1e-9):.1f}x)")
+
+    # A7: mapped sequential reads must collapse per-read RPCs into per-batch
+    # pager fills — at least 4x fewer server RPCs per page-sized op than the
+    # uncached read() pass over the same file.
+    read_rpcs = measured("mmap.read.rpcs_per_op")
+    mapped_rpcs = measured("mmap.mapped.rpcs_per_op")
+    if mapped_rpcs <= 0:
+        failures.append("mmap: non-positive mapped rpcs_per_op")
+    elif read_rpcs < 4 * mapped_rpcs:
+        failures.append(
+            f"mmap: mapped pass cut RPCs/op only {read_rpcs / mapped_rpcs:.2f}x "
+            f"({read_rpcs:.2f} -> {mapped_rpcs:.2f}), below the 4x gate")
+    print(f"mmap: {read_rpcs:.2f} RPCs/op read() vs {mapped_rpcs:.2f} mapped "
+          f"({read_rpcs / max(mapped_rpcs, 1e-9):.1f}x)")
     return failures
 
 
@@ -136,7 +151,7 @@ def main():
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:
             return 1
-        print("OK: overload + fs-cache ablation gates hold")
+        print("OK: overload + fs-cache + mmap ablation gates hold")
     return 0
 
 
